@@ -1,0 +1,181 @@
+//! The *intuitive multi-cloud* baseline (paper §7.1): a file is chunked
+//! into blocks and uniformly distributed into the local sync folders of
+//! N native CCS apps, each of which syncs its share with its own logic.
+//!
+//! There is no redundancy: every part is needed, so the operation
+//! completes only when the **slowest** cloud finishes — exactly the
+//! degradation the paper observes for this design.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Duration;
+
+use bytes::Bytes;
+use parking_lot::Mutex;
+use unidrive_cloud::{CloudError, CloudSet};
+use unidrive_sim::{spawn, Runtime};
+
+use crate::SingleCloudClient;
+
+/// The intuitive multi-cloud: N native single-cloud clients, one file
+/// part each.
+pub struct IntuitiveMultiCloud {
+    rt: Arc<dyn Runtime>,
+    natives: Vec<Arc<SingleCloudClient>>,
+    manifest: Mutex<HashMap<String, u64>>,
+}
+
+impl std::fmt::Debug for IntuitiveMultiCloud {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("IntuitiveMultiCloud")
+            .field("clouds", &self.natives.len())
+            .finish()
+    }
+}
+
+impl IntuitiveMultiCloud {
+    /// Creates the baseline over `clouds` with `connections` per native
+    /// app.
+    pub fn new(rt: Arc<dyn Runtime>, clouds: &CloudSet, connections: usize) -> Self {
+        let natives = clouds
+            .iter()
+            .map(|(_, c)| Arc::new(SingleCloudClient::new(Arc::clone(&rt), Arc::clone(c), connections)))
+            .collect();
+        IntuitiveMultiCloud {
+            rt,
+            natives,
+            manifest: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Splits `data` into N equal parts and uploads part `i` through the
+    /// native client of cloud `i`, in parallel. Completes when every
+    /// cloud finishes.
+    ///
+    /// # Errors
+    ///
+    /// The first native client failure.
+    pub fn upload(&self, name: &str, data: Bytes) -> Result<Duration, CloudError> {
+        let t0 = self.rt.now();
+        let n = self.natives.len();
+        let part_len = data.len().div_ceil(n).max(1);
+        let mut tasks = Vec::new();
+        for (i, native) in self.natives.iter().enumerate() {
+            let start = (i * part_len).min(data.len());
+            let end = ((i + 1) * part_len).min(data.len());
+            let part = data.slice(start..end);
+            let native = Arc::clone(native);
+            let name = format!("{name}.part{i}");
+            tasks.push(spawn(&self.rt, &format!("intuitive-{i}"), move || {
+                native.upload(&name, part)
+            }));
+        }
+        for t in tasks {
+            t.join()?;
+        }
+        self.manifest
+            .lock()
+            .insert(name.to_owned(), data.len() as u64);
+        Ok(self.rt.now().saturating_duration_since(t0))
+    }
+
+    /// Registers `name` as already uploaded without moving traffic (the
+    /// sink side of the native apps' change notifications).
+    pub fn assume_uploaded(&self, name: &str, len: u64) {
+        let n = self.natives.len();
+        let part_len = (len as usize).div_ceil(n).max(1);
+        for (i, native) in self.natives.iter().enumerate() {
+            let start = (i * part_len).min(len as usize);
+            let end = ((i + 1) * part_len).min(len as usize);
+            native.assume_uploaded(&format!("{name}.part{i}"), (end - start) as u64);
+        }
+        self.manifest.lock().insert(name.to_owned(), len);
+    }
+
+    /// Downloads all N parts in parallel; needs *every* cloud.
+    ///
+    /// # Errors
+    ///
+    /// The first native client failure (there is no redundancy).
+    pub fn download(&self, name: &str) -> Result<(Duration, Vec<u8>), CloudError> {
+        if !self.manifest.lock().contains_key(name) {
+            return Err(CloudError::not_found(name));
+        }
+        let t0 = self.rt.now();
+        let mut tasks = Vec::new();
+        for (i, native) in self.natives.iter().enumerate() {
+            let native = Arc::clone(native);
+            let name = format!("{name}.part{i}");
+            tasks.push(spawn(&self.rt, &format!("intuitive-dl-{i}"), move || {
+                native.download(&name).map(|(_, d)| d)
+            }));
+        }
+        let mut out = Vec::new();
+        for t in tasks {
+            out.extend_from_slice(&t.join()?);
+        }
+        Ok((self.rt.now().saturating_duration_since(t0), out))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use unidrive_cloud::{CloudStore, SimCloud, SimCloudConfig};
+    use unidrive_sim::SimRuntime;
+
+    fn set(sim: &Arc<SimRuntime>, rates: &[f64]) -> (CloudSet, Vec<Arc<SimCloud>>) {
+        let mut handles = Vec::new();
+        let members = rates
+            .iter()
+            .enumerate()
+            .map(|(i, &r)| {
+                let c = Arc::new(SimCloud::new(
+                    sim,
+                    format!("c{i}"),
+                    SimCloudConfig::steady(r, r * 5.0),
+                ));
+                handles.push(Arc::clone(&c));
+                c as Arc<dyn CloudStore>
+            })
+            .collect();
+        (CloudSet::new(members), handles)
+    }
+
+    #[test]
+    fn round_trip_preserves_content() {
+        let sim = SimRuntime::new(1);
+        let (clouds, _) = set(&sim, &[1e6; 5]);
+        let client = IntuitiveMultiCloud::new(sim.clone().as_runtime(), &clouds, 2);
+        let data = Bytes::from((0..3_000_000u32).map(|i| i as u8).collect::<Vec<_>>());
+        client.upload("f", data.clone()).unwrap();
+        let (_, restored) = client.download("f").unwrap();
+        assert_eq!(restored, data.to_vec());
+    }
+
+    #[test]
+    fn completion_dominated_by_slowest_cloud() {
+        let sim = SimRuntime::new(2);
+        // 4 fast clouds, one 10x slower.
+        let (clouds, _) = set(&sim, &[10e6, 10e6, 10e6, 10e6, 1e6]);
+        let client = IntuitiveMultiCloud::new(sim.clone().as_runtime(), &clouds, 2);
+        let data = Bytes::from(vec![1u8; 10_000_000]);
+        let took = client.upload("f", data).unwrap();
+        // Each part is 2 MB over 2 connections; the slow cloud at
+        // 1 MB/s per-connection (5 MB/s aggregate) needs ~1 s while the
+        // fast clouds need ~0.1 s: the slow tail dominates.
+        assert!(took.as_secs_f64() > 0.8, "took {took:?}");
+    }
+
+    #[test]
+    fn any_outage_breaks_download() {
+        let sim = SimRuntime::new(3);
+        let (clouds, handles) = set(&sim, &[1e6; 5]);
+        let client = IntuitiveMultiCloud::new(sim.clone().as_runtime(), &clouds, 2);
+        client
+            .upload("f", Bytes::from(vec![2u8; 1_000_000]))
+            .unwrap();
+        handles[3].set_available(false);
+        assert!(client.download("f").is_err(), "no redundancy: must fail");
+    }
+}

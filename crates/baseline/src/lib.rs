@@ -1,0 +1,26 @@
+//! # unidrive-baseline
+//!
+//! The three comparison systems of the UniDrive evaluation (paper §7.1):
+//!
+//! * [`SingleCloudClient`] — a native CCS app's transfer engine: chunked
+//!   multi-connection transfer to one cloud.
+//! * [`IntuitiveMultiCloud`] — file parts handed to N native apps; no
+//!   redundancy, completion dominated by the slowest cloud.
+//! * [`MultiCloudBenchmark`] — RACS/DepSky-style: erasure-coded, evenly
+//!   distributed, statically scheduled (no over-provisioning, no dynamic
+//!   scheduling).
+//! * [`UniDriveTransfer`] — UniDrive's own data plane behind the same
+//!   interface so the harness can compare all four uniformly.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod benchmark;
+mod intuitive;
+mod single;
+mod unidrive_transfer;
+
+pub use benchmark::MultiCloudBenchmark;
+pub use intuitive::IntuitiveMultiCloud;
+pub use single::SingleCloudClient;
+pub use unidrive_transfer::UniDriveTransfer;

@@ -1,0 +1,233 @@
+//! Single-cloud client: a stand-in for a native CCS app's transfer
+//! engine (paper §7.1 "official native apps").
+//!
+//! Real native apps use private APIs, but their transfer behaviour —
+//! chunked, multi-connection upload/download to one cloud — is what the
+//! paper's comparison measures. `SingleCloudClient` reproduces that:
+//! files are split into fixed-size chunks pushed over up to
+//! `connections` parallel streams to a single cloud.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Duration;
+
+use bytes::Bytes;
+use parking_lot::Mutex;
+use unidrive_cloud::{retrying, CloudError, CloudStore, RetryPolicy};
+use unidrive_sim::{spawn, Runtime};
+
+/// Chunked parallel transfer client bound to one cloud.
+pub struct SingleCloudClient {
+    rt: Arc<dyn Runtime>,
+    cloud: Arc<dyn CloudStore>,
+    connections: usize,
+    chunk_size: usize,
+    retry: RetryPolicy,
+    /// name → (total length, chunk count).
+    manifest: Mutex<HashMap<String, (u64, usize)>>,
+}
+
+impl std::fmt::Debug for SingleCloudClient {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SingleCloudClient")
+            .field("cloud", &self.cloud.name())
+            .field("connections", &self.connections)
+            .finish()
+    }
+}
+
+impl SingleCloudClient {
+    /// Creates a client with the given parallelism and 1 MB chunks.
+    pub fn new(
+        rt: Arc<dyn Runtime>,
+        cloud: Arc<dyn CloudStore>,
+        connections: usize,
+    ) -> Self {
+        SingleCloudClient {
+            rt,
+            cloud,
+            connections: connections.max(1),
+            chunk_size: 1024 * 1024,
+            retry: RetryPolicy::new(),
+            manifest: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// The cloud this client talks to.
+    pub fn cloud_name(&self) -> &str {
+        self.cloud.name()
+    }
+
+    /// Uploads `data` as chunked objects under `name`.
+    ///
+    /// # Errors
+    ///
+    /// The first chunk error after retries.
+    pub fn upload(&self, name: &str, data: Bytes) -> Result<Duration, CloudError> {
+        let t0 = self.rt.now();
+        let chunks: Vec<(usize, Bytes)> = data
+            .chunks(self.chunk_size)
+            .map(Bytes::copy_from_slice)
+            .enumerate()
+            .collect();
+        let chunk_count = chunks.len();
+        let queue = Arc::new(Mutex::new(chunks));
+        let errors: Arc<Mutex<Option<CloudError>>> = Arc::new(Mutex::new(None));
+        let mut workers = Vec::new();
+        for w in 0..self.connections.min(chunk_count.max(1)) {
+            let rt = Arc::clone(&self.rt);
+            let cloud = Arc::clone(&self.cloud);
+            let queue = Arc::clone(&queue);
+            let errors = Arc::clone(&errors);
+            let retry = self.retry.clone();
+            let name = name.to_owned();
+            workers.push(spawn(&self.rt, &format!("single-up-{w}"), move || loop {
+                let Some((i, chunk)) = queue.lock().pop() else {
+                    break;
+                };
+                let path = format!("native/{name}.{i}");
+                if let Err(e) = retrying(&rt, &retry, || cloud.upload(&path, chunk.clone())) {
+                    *errors.lock() = Some(e);
+                    break;
+                }
+            }));
+        }
+        for w in workers {
+            w.join();
+        }
+        if let Some(e) = errors.lock().take() {
+            return Err(e);
+        }
+        self.manifest
+            .lock()
+            .insert(name.to_owned(), (data.len() as u64, chunk_count));
+        Ok(self.rt.now().saturating_duration_since(t0))
+    }
+
+    /// Registers `name` as already uploaded (len bytes) without moving
+    /// traffic — the sink side of a native app's change notification.
+    pub fn assume_uploaded(&self, name: &str, len: u64) {
+        let chunk_count = (len as usize).div_ceil(self.chunk_size).max(1);
+        self.manifest
+            .lock()
+            .insert(name.to_owned(), (len, chunk_count));
+    }
+
+    /// Downloads the chunks of `name` and reassembles them.
+    ///
+    /// # Errors
+    ///
+    /// [`CloudError::NotFound`] for unknown names, or the first chunk
+    /// error after retries.
+    pub fn download(&self, name: &str) -> Result<(Duration, Vec<u8>), CloudError> {
+        let (len, chunk_count) = self
+            .manifest
+            .lock()
+            .get(name)
+            .copied()
+            .ok_or_else(|| CloudError::not_found(name))?;
+        let t0 = self.rt.now();
+        let queue = Arc::new(Mutex::new((0..chunk_count).collect::<Vec<_>>()));
+        let results: Arc<Mutex<Vec<Option<Bytes>>>> =
+            Arc::new(Mutex::new(vec![None; chunk_count]));
+        let errors: Arc<Mutex<Option<CloudError>>> = Arc::new(Mutex::new(None));
+        let mut workers = Vec::new();
+        for w in 0..self.connections.min(chunk_count.max(1)) {
+            let rt = Arc::clone(&self.rt);
+            let cloud = Arc::clone(&self.cloud);
+            let queue = Arc::clone(&queue);
+            let results = Arc::clone(&results);
+            let errors = Arc::clone(&errors);
+            let retry = self.retry.clone();
+            let name = name.to_owned();
+            workers.push(spawn(&self.rt, &format!("single-down-{w}"), move || loop {
+                let Some(i) = queue.lock().pop() else {
+                    break;
+                };
+                let path = format!("native/{name}.{i}");
+                match retrying(&rt, &retry, || cloud.download(&path)) {
+                    Ok(data) => {
+                        results.lock()[i] = Some(data);
+                    }
+                    Err(e) => {
+                        *errors.lock() = Some(e);
+                        break;
+                    }
+                }
+            }));
+        }
+        for w in workers {
+            w.join();
+        }
+        if let Some(e) = errors.lock().take() {
+            return Err(e);
+        }
+        let mut out = Vec::with_capacity(len as usize);
+        for chunk in results.lock().iter() {
+            out.extend_from_slice(chunk.as_ref().expect("no error implies all chunks"));
+        }
+        Ok((self.rt.now().saturating_duration_since(t0), out))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use unidrive_cloud::{SimCloud, SimCloudConfig};
+    use unidrive_sim::SimRuntime;
+
+    #[test]
+    fn round_trip_and_parallel_speedup() {
+        let sim = SimRuntime::new(1);
+        // per-conn 1 MB/s, aggregate 4 MB/s: 4 connections help 4x.
+        let cloud = Arc::new(SimCloud::new(
+            &sim,
+            "c",
+            SimCloudConfig::steady(1e6, 4e6),
+        ));
+        let rt = sim.clone().as_runtime();
+        let data = Bytes::from(vec![7u8; 8 * 1024 * 1024]);
+
+        let serial = SingleCloudClient::new(rt.clone(), cloud.clone(), 1);
+        let t_serial = serial.upload("a", data.clone()).unwrap();
+        let parallel = SingleCloudClient::new(rt.clone(), cloud.clone(), 4);
+        let t_parallel = parallel.upload("b", data.clone()).unwrap();
+        assert!(
+            t_serial.as_secs_f64() > 3.0 * t_parallel.as_secs_f64(),
+            "serial {t_serial:?} vs parallel {t_parallel:?}"
+        );
+
+        let (_, restored) = parallel.download("b").unwrap();
+        assert_eq!(restored, data.to_vec());
+    }
+
+    #[test]
+    fn unknown_name_is_not_found() {
+        let sim = SimRuntime::new(2);
+        let cloud = Arc::new(SimCloud::new(
+            &sim,
+            "c",
+            SimCloudConfig::steady(1e6, 1e6),
+        ));
+        let client = SingleCloudClient::new(sim.clone().as_runtime(), cloud, 2);
+        assert!(matches!(
+            client.download("ghost").unwrap_err(),
+            CloudError::NotFound { .. }
+        ));
+    }
+
+    #[test]
+    fn outage_surfaces_as_error() {
+        let sim = SimRuntime::new(3);
+        let cloud = Arc::new(SimCloud::new(
+            &sim,
+            "c",
+            SimCloudConfig::steady(1e6, 1e6),
+        ));
+        cloud.set_available(false);
+        let client = SingleCloudClient::new(sim.clone().as_runtime(), cloud, 2);
+        assert!(client
+            .upload("f", Bytes::from(vec![0u8; 1024]))
+            .is_err());
+    }
+}

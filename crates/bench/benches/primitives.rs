@@ -1,0 +1,141 @@
+//! Criterion micro-benchmarks of the from-scratch primitives: GF(2⁸)
+//! Reed-Solomon coding, SHA-1, DES-CBC, Rabin chunking, and the
+//! metadata codec — the CPU budget behind every simulated second.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use unidrive_chunker::{segment_bytes, ChunkerConfig, RabinHash};
+use unidrive_crypto::{MetadataCipher, Sha1};
+use unidrive_erasure::{Codec, RedundancyConfig};
+use unidrive_meta::{SegmentId, Snapshot, SyncFolderImage};
+
+fn sample(len: usize) -> Vec<u8> {
+    let mut state = 0x9E3779B97F4A7C15u64;
+    (0..len)
+        .map(|_| {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 32) as u8
+        })
+        .collect()
+}
+
+fn bench_reed_solomon(c: &mut Criterion) {
+    let mut group = c.benchmark_group("reed_solomon");
+    group.sample_size(20);
+    let codec = Codec::for_config(&RedundancyConfig::paper_default()).expect("codec");
+    for size in [64 * 1024, 1024 * 1024, 4 * 1024 * 1024] {
+        let data = sample(size);
+        group.throughput(Throughput::Bytes(size as u64));
+        group.bench_with_input(BenchmarkId::new("encode_block", size), &data, |b, data| {
+            let mut index = 0usize;
+            b.iter(|| {
+                index = (index + 1) % 10;
+                codec.encode_block(data, index)
+            });
+        });
+        let blocks = codec.encode_blocks(&data, &[0, 4, 9]);
+        let shares: Vec<(usize, &[u8])> = [0usize, 4, 9]
+            .iter()
+            .zip(&blocks)
+            .map(|(&i, b)| (i, b.as_ref()))
+            .collect();
+        group.bench_with_input(BenchmarkId::new("decode", size), &shares, |b, shares| {
+            b.iter(|| codec.decode(shares, size).expect("decode"));
+        });
+    }
+    group.finish();
+}
+
+fn bench_sha1(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sha1");
+    group.sample_size(30);
+    for size in [64 * 1024, 4 * 1024 * 1024] {
+        let data = sample(size);
+        group.throughput(Throughput::Bytes(size as u64));
+        group.bench_with_input(BenchmarkId::new("digest", size), &data, |b, data| {
+            b.iter(|| Sha1::digest(data));
+        });
+    }
+    group.finish();
+}
+
+fn bench_des_cbc(c: &mut Criterion) {
+    let mut group = c.benchmark_group("des_cbc");
+    group.sample_size(20);
+    let cipher = MetadataCipher::from_passphrase("bench");
+    for size in [16 * 1024, 256 * 1024] {
+        let data = sample(size);
+        group.throughput(Throughput::Bytes(size as u64));
+        group.bench_with_input(BenchmarkId::new("encrypt", size), &data, |b, data| {
+            b.iter(|| cipher.encrypt(data, 7));
+        });
+        let ct = cipher.encrypt(&data, 7);
+        group.bench_with_input(BenchmarkId::new("decrypt", size), &ct, |b, ct| {
+            b.iter(|| cipher.decrypt(ct).expect("decrypt"));
+        });
+    }
+    group.finish();
+}
+
+fn bench_chunker(c: &mut Criterion) {
+    let mut group = c.benchmark_group("chunker");
+    group.sample_size(20);
+    let data = sample(8 * 1024 * 1024);
+    group.throughput(Throughput::Bytes(data.len() as u64));
+    group.bench_function("segment_8mb_theta_1mb", |b| {
+        let config = ChunkerConfig::new(1024 * 1024);
+        b.iter(|| segment_bytes(&data, &config));
+    });
+    group.bench_function("rabin_roll_1mb", |b| {
+        let window = 48;
+        b.iter(|| {
+            let mut h = RabinHash::new(window);
+            for &byte in &data[..window] {
+                h.push(byte);
+            }
+            let mut acc = 0u64;
+            for i in window..1024 * 1024 {
+                h.roll(data[i - window], data[i]);
+                acc ^= h.fingerprint();
+            }
+            acc
+        });
+    });
+    group.finish();
+}
+
+fn bench_metadata_codec(c: &mut Criterion) {
+    let mut group = c.benchmark_group("metadata_codec");
+    group.sample_size(30);
+    let mut image = SyncFolderImage::new();
+    for i in 0..1000 {
+        let id = SegmentId(Sha1::digest(format!("seg-{i}").as_bytes()));
+        image.ensure_segment(id, 100_000);
+        image.upsert_file(
+            &format!("dir/file-{i:04}.bin"),
+            Snapshot {
+                mtime_ns: i,
+                size: 100_000,
+                segments: vec![id],
+            },
+        );
+    }
+    let encoded = image.encode();
+    group.throughput(Throughput::Bytes(encoded.len() as u64));
+    group.bench_function("encode_1000_files", |b| b.iter(|| image.encode()));
+    group.bench_function("decode_1000_files", |b| {
+        b.iter(|| SyncFolderImage::decode(&encoded).expect("decode"))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_reed_solomon,
+    bench_sha1,
+    bench_des_cbc,
+    bench_chunker,
+    bench_metadata_codec
+);
+criterion_main!(benches);

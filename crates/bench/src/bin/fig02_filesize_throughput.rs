@@ -1,0 +1,66 @@
+//! **Figure 2** — impact of file size on throughput (§3.2, Princeton):
+//! throughput grows with file size (request latency amortizes) and the
+//! gain diminishes beyond ~4 MB.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use unidrive_baseline::SingleCloudClient;
+use unidrive_bench::mbps;
+use unidrive_sim::{Runtime, SimRuntime};
+use unidrive_workload::{build_cloud, random_bytes, site_by_name, Provider, TextTable};
+
+fn main() {
+    let site = site_by_name("Princeton").expect("site exists");
+    let sizes_kb: [usize; 6] = [128, 512, 1024, 2048, 4096, 8192];
+    let repeats = 40;
+
+    println!("Figure 2: mean throughput (Mbit/s) vs file size, Princeton\n");
+    let mut table = TextTable::new(&["size", "Dropbox up", "Dropbox down", "OneDrive up", "OneDrive down"]);
+    let mut last_up = Vec::new();
+    let mut first_up = Vec::new();
+    for &kb in &sizes_kb {
+        let size = kb * 1024;
+        let mut cells = vec![if kb >= 1024 {
+            format!("{} MB", kb / 1024)
+        } else {
+            format!("{kb} KB")
+        }];
+        for provider in [Provider::Dropbox, Provider::OneDrive] {
+            let sim = SimRuntime::new(2_000 + kb as u64 + provider as u64 * 7);
+            let cloud = build_cloud(&sim, site, provider);
+            let client =
+                SingleCloudClient::new(sim.clone().as_runtime(), Arc::clone(&cloud) as _, 5);
+            let data = random_bytes(size, kb as u64);
+            let mut up = Vec::new();
+            let mut down = Vec::new();
+            for i in 0..repeats {
+                if let Ok(d) = client.upload(&format!("f{i}"), data.clone()) {
+                    up.push(mbps(size, d));
+                }
+                if let Ok((d, _)) = client.download(&format!("f{i}")) {
+                    down.push(mbps(size, d));
+                }
+                sim.sleep(Duration::from_secs(600));
+            }
+            let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
+            cells.push(format!("{:.2}", mean(&up)));
+            cells.push(format!("{:.2}", mean(&down)));
+            if provider == Provider::Dropbox {
+                if kb == sizes_kb[0] {
+                    first_up.push(mean(&up));
+                }
+                if kb == sizes_kb[sizes_kb.len() - 1] {
+                    last_up.push(mean(&up));
+                }
+            }
+        }
+        table.row(cells);
+    }
+    println!("{}", table.render());
+    println!(
+        "throughput grows with size and saturates (paper: diminishing gains past 4 MB): \
+         8 MB/128 KB Dropbox upload ratio = {:.1}x",
+        last_up[0] / first_up[0]
+    );
+}

@@ -1,0 +1,59 @@
+//! Convenience runner: executes every experiment binary in sequence
+//! (with whatever scale argument was passed through) and prints each
+//! one's output with a banner. Useful for regenerating EXPERIMENTS.md.
+//!
+//! ```sh
+//! cargo run --release -p unidrive-bench --bin run_all quick
+//! ```
+
+use std::process::Command;
+
+const EXPERIMENTS: [&str; 17] = [
+    "fig01_spatial",
+    "fig02_filesize_throughput",
+    "fig03_temporal",
+    "fig04_failure_rate",
+    "tab01_failure_correlation",
+    "fig08_micro",
+    "fig09_sizes",
+    "fig10_hourly",
+    "fig11_batch_sync",
+    "fig12_cumulative",
+    "tab02_variance",
+    "tab03_overhead",
+    "fig13_delta_sync",
+    "fig14_reliability",
+    "fig15_trial_throughput",
+    "fig16_trial_daily",
+    "ablations",
+];
+
+fn main() {
+    let passthrough: Vec<String> = std::env::args().skip(1).collect();
+    let this_exe = std::env::current_exe().expect("own path");
+    let bin_dir = this_exe.parent().expect("bin dir");
+    let mut failures = Vec::new();
+    for name in EXPERIMENTS {
+        println!("\n================ {name} ================\n");
+        let status = Command::new(bin_dir.join(name))
+            .args(&passthrough)
+            .status();
+        match status {
+            Ok(s) if s.success() => {}
+            Ok(s) => {
+                eprintln!("{name} exited with {s}");
+                failures.push(name);
+            }
+            Err(e) => {
+                eprintln!("{name} failed to start: {e} (build with `cargo build --release -p unidrive-bench --bins` first)");
+                failures.push(name);
+            }
+        }
+    }
+    if failures.is_empty() {
+        println!("\nall {} experiments completed", EXPERIMENTS.len());
+    } else {
+        eprintln!("\nfailed: {failures:?}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,149 @@
+//! # unidrive-bench
+//!
+//! Harness that regenerates every table and figure of the UniDrive
+//! paper's evaluation (§3.2 measurement study, §7 experiments, §7.3
+//! trial). Each `src/bin/*` binary prints one table/figure; see
+//! `EXPERIMENTS.md` at the repository root for the index and recorded
+//! outcomes, and `benches/` for Criterion micro-benchmarks of the
+//! primitives.
+//!
+//! All experiments run under deterministic virtual time, so a "month" of
+//! half-hourly probes takes seconds of wall time; run the binaries with
+//! `--release` (debug-mode Reed-Solomon is ~20× slower).
+
+#![warn(missing_docs)]
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use unidrive_baseline::{
+    IntuitiveMultiCloud, MultiCloudBenchmark, SingleCloudClient, UniDriveTransfer,
+};
+use unidrive_cloud::{CloudSet, SimCloud};
+use unidrive_core::DataPlaneConfig;
+use unidrive_erasure::RedundancyConfig;
+use unidrive_sim::SimRuntime;
+use unidrive_workload::{build_multicloud, Provider, Site};
+
+/// Evaluation parameters shared by the experiment binaries.
+#[derive(Debug, Clone)]
+pub struct ExperimentScale {
+    /// Repetitions per measured point.
+    pub repeats: usize,
+    /// The "32 MB" micro-benchmark file size.
+    pub large_file: usize,
+    /// The batch-sync workload: `(count, size)` (paper: 100 × 1 MB).
+    pub batch: (usize, usize),
+    /// Segment size θ.
+    pub theta: usize,
+}
+
+impl ExperimentScale {
+    /// Paper-faithful sizes (slow in debug builds; use `--release`).
+    pub fn paper() -> Self {
+        ExperimentScale {
+            repeats: 5,
+            large_file: 32 * 1024 * 1024,
+            batch: (100, 1024 * 1024),
+            theta: 4 * 1024 * 1024,
+        }
+    }
+
+    /// Reduced sizes preserving every ratio the figures depend on; used
+    /// when an experiment binary is invoked with `quick`.
+    pub fn quick() -> Self {
+        ExperimentScale {
+            repeats: 3,
+            large_file: 8 * 1024 * 1024,
+            batch: (30, 512 * 1024),
+            theta: 1024 * 1024,
+        }
+    }
+
+    /// Parses the scale from the process arguments (`quick` selects the
+    /// reduced scale; default is the paper scale).
+    pub fn from_args() -> Self {
+        if std::env::args().any(|a| a == "quick") {
+            ExperimentScale::quick()
+        } else {
+            ExperimentScale::paper()
+        }
+    }
+}
+
+/// The four systems under comparison at one site (paper §7.1).
+pub struct Systems {
+    /// UniDrive proper.
+    pub unidrive: UniDriveTransfer,
+    /// RACS/DepSky-like benchmark.
+    pub benchmark: MultiCloudBenchmark,
+    /// Parts-to-native-apps baseline.
+    pub intuitive: IntuitiveMultiCloud,
+    /// One native single-cloud client per provider.
+    pub natives: Vec<(Provider, SingleCloudClient)>,
+    /// The cloud handles (outage/traffic control).
+    pub handles: Vec<Arc<SimCloud>>,
+    /// The underlying cloud set.
+    pub clouds: CloudSet,
+}
+
+impl std::fmt::Debug for Systems {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Systems")
+            .field("clouds", &self.clouds)
+            .finish()
+    }
+}
+
+/// Builds all comparison systems over the same five simulated clouds at
+/// `site`, with the paper's parameters (K_r = 3, K_s = 2, k = 3, ≤ 5
+/// connections per cloud).
+pub fn systems_at(sim: &Arc<SimRuntime>, site: Site, theta: usize) -> Systems {
+    let (clouds, handles) = build_multicloud(sim, site);
+    let redundancy = RedundancyConfig::new(5, 3, 3, 2).expect("paper parameters");
+    let config = DataPlaneConfig {
+        connections_per_cloud: 5,
+        ..DataPlaneConfig::with_params(redundancy, theta)
+    };
+    let rt = sim.clone().as_runtime();
+    let unidrive = UniDriveTransfer::new(rt.clone(), clouds.clone(), config);
+    let benchmark =
+        MultiCloudBenchmark::new(rt.clone(), clouds.clone(), redundancy, 5).with_chunk_size(theta);
+    let intuitive = IntuitiveMultiCloud::new(rt.clone(), &clouds, 5);
+    let natives = Provider::ALL
+        .iter()
+        .zip(clouds.ids())
+        .map(|(&p, id)| {
+            (
+                p,
+                SingleCloudClient::new(rt.clone(), Arc::clone(clouds.get(id)), 5),
+            )
+        })
+        .collect();
+    Systems {
+        unidrive,
+        benchmark,
+        intuitive,
+        natives,
+        handles,
+        clouds,
+    }
+}
+
+/// Formats a duration in seconds with two decimals.
+pub fn fmt_secs(d: Duration) -> String {
+    format!("{:.2}", d.as_secs_f64())
+}
+
+/// Formats a sample as `mean (min-max)`.
+pub fn fmt_stats(values: &[f64]) -> String {
+    match unidrive_workload::Summary::of(values) {
+        Some(s) => format!("{:.2} ({:.2}-{:.2})", s.mean, s.min, s.max),
+        None => "n/a".to_owned(),
+    }
+}
+
+/// Throughput in Mbit/s for `bytes` over `d`.
+pub fn mbps(bytes: usize, d: Duration) -> f64 {
+    bytes as f64 * 8.0 / 1e6 / d.as_secs_f64().max(1e-9)
+}

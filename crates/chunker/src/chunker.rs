@@ -1,0 +1,293 @@
+//! Content-based file segmentation (paper §6.1).
+//!
+//! A file is divided at positions where the Rabin fingerprint of the
+//! trailing window matches a magic value — so boundaries depend only on
+//! *content*, not offsets, and a local edit disturbs at most the
+//! segments it touches. The paper constrains final segment sizes to
+//! `(0.5 θ, 1.5 θ)`; we realize exactly that constraint by suppressing
+//! cut points before `0.5 θ` and forcing one at `1.5 θ` (equivalent to
+//! the paper's merge-small/split-large post-pass, but single-scan).
+//!
+//! Each segment is identified by the SHA-1 of its content, giving
+//! cross-file deduplication for free.
+
+use unidrive_crypto::{Digest, Sha1};
+
+use crate::rabin::RabinHash;
+
+/// Parameters of the content-defined chunker.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChunkerConfig {
+    /// Target (average) segment size θ in bytes.
+    pub theta: usize,
+    /// Rolling-hash window in bytes.
+    pub window: usize,
+}
+
+impl ChunkerConfig {
+    /// Creates a config with the given θ and the LBFS-style 48-byte
+    /// window.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `theta < 64`.
+    pub fn new(theta: usize) -> Self {
+        assert!(theta >= 64, "theta too small to chunk meaningfully");
+        ChunkerConfig { theta, window: 48 }
+    }
+
+    /// The paper's default θ = 4 MB.
+    pub fn paper_default() -> Self {
+        ChunkerConfig::new(4 * 1024 * 1024)
+    }
+
+    /// Minimum segment size `0.5 θ`.
+    pub fn min_size(&self) -> usize {
+        self.theta / 2
+    }
+
+    /// Maximum segment size `1.5 θ`.
+    pub fn max_size(&self) -> usize {
+        self.theta + self.theta / 2
+    }
+
+    /// Cut-point mask: expected gap between eligible cut points is
+    /// `0.5 θ`, so the mean size lands near θ inside `[0.5 θ, 1.5 θ)`.
+    fn mask(&self) -> u64 {
+        let bits = (self.theta / 2).next_power_of_two().trailing_zeros();
+        (1u64 << bits) - 1
+    }
+}
+
+/// One content-defined segment of a file.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Segment {
+    /// Byte offset within the file.
+    pub offset: usize,
+    /// Length in bytes.
+    pub len: usize,
+    /// SHA-1 of the segment content (its identity in the segment pool).
+    pub digest: Digest,
+}
+
+impl Segment {
+    /// The half-open byte range of this segment.
+    pub fn range(&self) -> std::ops::Range<usize> {
+        self.offset..self.offset + self.len
+    }
+}
+
+/// Splits `data` into content-defined segments.
+///
+/// Every byte belongs to exactly one segment; all segments except
+/// possibly the last are within `[0.5 θ, 1.5 θ)`; boundaries are stable
+/// under local edits.
+///
+/// # Examples
+///
+/// ```
+/// use unidrive_chunker::{segment_bytes, ChunkerConfig};
+///
+/// let data = vec![7u8; 100_000];
+/// let segs = segment_bytes(&data, &ChunkerConfig::new(16 * 1024));
+/// let total: usize = segs.iter().map(|s| s.len).sum();
+/// assert_eq!(total, data.len());
+/// ```
+pub fn segment_bytes(data: &[u8], config: &ChunkerConfig) -> Vec<Segment> {
+    let mut segments = Vec::new();
+    for (offset, len) in cut_points(data, config) {
+        segments.push(Segment {
+            offset,
+            len,
+            digest: Sha1::digest(&data[offset..offset + len]),
+        });
+    }
+    segments
+}
+
+/// Computes `(offset, len)` pairs of the content-defined segmentation
+/// without hashing the contents (the cheap half of [`segment_bytes`]).
+pub fn cut_points(data: &[u8], config: &ChunkerConfig) -> Vec<(usize, usize)> {
+    if data.is_empty() {
+        return Vec::new();
+    }
+    let mask = config.mask();
+    let min = config.min_size().max(config.window);
+    let max = config.max_size();
+    let mut out = Vec::new();
+    let mut start = 0usize;
+    let mut hash = RabinHash::new(config.window);
+    while data.len() - start > max {
+        // Find the next cut in (start+min, start+max].
+        let mut cut = start + max;
+        // Prime the window over the last `window` bytes before the first
+        // eligible position.
+        hash.reset();
+        let prime_from = start + min - config.window;
+        for &b in &data[prime_from..start + min] {
+            hash.push(b);
+        }
+        for pos in start + min..start + max {
+            if hash.fingerprint() & mask == mask {
+                cut = pos;
+                break;
+            }
+            hash.roll(data[pos - config.window], data[pos]);
+        }
+        out.push((start, cut - start));
+        start = cut;
+    }
+    out.push((start, data.len() - start));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pseudo_random(len: usize, seed: u64) -> Vec<u8> {
+        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+        (0..len)
+            .map(|_| {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                (state >> 32) as u8
+            })
+            .collect()
+    }
+
+    fn cfg() -> ChunkerConfig {
+        ChunkerConfig::new(8 * 1024)
+    }
+
+    #[test]
+    fn segments_cover_input_exactly() {
+        let data = pseudo_random(200_000, 1);
+        let segs = segment_bytes(&data, &cfg());
+        let mut pos = 0;
+        for s in &segs {
+            assert_eq!(s.offset, pos);
+            pos += s.len;
+        }
+        assert_eq!(pos, data.len());
+    }
+
+    #[test]
+    fn sizes_respect_paper_bounds() {
+        let config = cfg();
+        let data = pseudo_random(500_000, 2);
+        let segs = segment_bytes(&data, &config);
+        assert!(segs.len() > 10, "expected many segments, got {}", segs.len());
+        for (i, s) in segs.iter().enumerate() {
+            if i + 1 < segs.len() {
+                assert!(
+                    s.len >= config.min_size() && s.len < config.max_size() + 1,
+                    "segment {i} size {} out of bounds",
+                    s.len
+                );
+            } else {
+                assert!(s.len <= config.max_size());
+            }
+        }
+    }
+
+    #[test]
+    fn mean_size_is_near_theta() {
+        let config = cfg();
+        let data = pseudo_random(2_000_000, 3);
+        let segs = segment_bytes(&data, &config);
+        let mean = data.len() as f64 / segs.len() as f64;
+        let theta = config.theta as f64;
+        assert!(
+            (0.6 * theta..1.4 * theta).contains(&mean),
+            "mean {mean} vs theta {theta}"
+        );
+    }
+
+    #[test]
+    fn local_edit_disturbs_few_segments() {
+        // The property that minimizes sync traffic: flipping one byte in
+        // the middle changes only the digests of segments near the edit.
+        let config = cfg();
+        let mut data = pseudo_random(400_000, 4);
+        let before = segment_bytes(&data, &config);
+        data[200_000] ^= 0xFF;
+        let after = segment_bytes(&data, &config);
+        let before_set: std::collections::HashSet<_> =
+            before.iter().map(|s| s.digest).collect();
+        let changed = after
+            .iter()
+            .filter(|s| !before_set.contains(&s.digest))
+            .count();
+        assert!(
+            changed <= 3,
+            "a one-byte edit changed {changed} of {} segments",
+            after.len()
+        );
+    }
+
+    #[test]
+    fn prepend_shifts_but_preserves_most_segments() {
+        // Offset-based (fixed-size) chunking would invalidate everything.
+        let config = cfg();
+        let data = pseudo_random(400_000, 5);
+        let before = segment_bytes(&data, &config);
+        let mut shifted = pseudo_random(1000, 6);
+        shifted.extend_from_slice(&data);
+        let after = segment_bytes(&shifted, &config);
+        let before_set: std::collections::HashSet<_> =
+            before.iter().map(|s| s.digest).collect();
+        let reused = after
+            .iter()
+            .filter(|s| before_set.contains(&s.digest))
+            .count();
+        assert!(
+            reused * 2 > after.len(),
+            "only {reused} of {} segments reused after prepend",
+            after.len()
+        );
+    }
+
+    #[test]
+    fn identical_content_same_digests() {
+        let data = pseudo_random(100_000, 7);
+        let a = segment_bytes(&data, &cfg());
+        let b = segment_bytes(&data, &cfg());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn small_files_are_one_segment() {
+        let config = cfg();
+        for len in [1usize, 100, config.min_size(), config.max_size()] {
+            let data = pseudo_random(len, 8);
+            let segs = segment_bytes(&data, &config);
+            assert_eq!(segs.len(), 1, "len {len}");
+            assert_eq!(segs[0].len, len);
+        }
+    }
+
+    #[test]
+    fn empty_input_has_no_segments() {
+        assert!(segment_bytes(&[], &cfg()).is_empty());
+    }
+
+    #[test]
+    fn constant_data_hits_max_size_segments() {
+        // All-zero data never matches the magic mask, so cuts are forced
+        // at max_size: the degenerate-content worst case terminates.
+        let config = cfg();
+        let data = vec![0u8; 100_000];
+        let segs = segment_bytes(&data, &config);
+        for (i, s) in segs.iter().enumerate() {
+            if i + 1 < segs.len() {
+                assert_eq!(s.len, config.max_size());
+            }
+        }
+        // And all full-size segments dedup to one digest.
+        let distinct: std::collections::HashSet<_> =
+            segs[..segs.len() - 1].iter().map(|s| s.digest).collect();
+        assert_eq!(distinct.len(), 1);
+    }
+}

@@ -1,0 +1,17 @@
+//! # unidrive-chunker
+//!
+//! Content-based file segmentation for UniDrive (paper §6.1): an
+//! LBFS-style Rabin rolling hash ([`RabinHash`]) finds content-defined
+//! cut points, and [`segment_bytes`] produces SHA-1-addressed segments
+//! whose sizes honour the paper's `(0.5 θ, 1.5 θ)` constraint. Stable
+//! boundaries mean a local edit re-uploads only the touched segments,
+//! and identical content dedups across files.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod chunker;
+mod rabin;
+
+pub use chunker::{cut_points, segment_bytes, ChunkerConfig, Segment};
+pub use rabin::{RabinHash, DEFAULT_POLY};

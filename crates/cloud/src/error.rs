@@ -1,0 +1,142 @@
+//! Error taxonomy for cloud storage operations.
+
+use std::fmt;
+
+/// Error returned by [`CloudStore`](crate::CloudStore) operations.
+///
+/// The variants mirror the failure classes the UniDrive measurement study
+/// observed for real CCS Web APIs (paper §3.2): transient request
+/// failures (by far the most common), admission-level unavailability
+/// (regional blocks, outages), quota exhaustion, and plain not-found.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CloudError {
+    /// The object or directory does not exist.
+    NotFound {
+        /// Path that was requested.
+        path: String,
+    },
+    /// The request failed transiently (network or server hiccup); the
+    /// operation may succeed if retried.
+    Transient {
+        /// Human-readable cause.
+        reason: String,
+    },
+    /// The cloud is administratively unavailable (outage or regional
+    /// block); retrying soon is unlikely to help.
+    Unavailable {
+        /// Cloud that is unavailable.
+        cloud: String,
+    },
+    /// The account's storage quota would be exceeded.
+    QuotaExceeded {
+        /// Bytes the upload needed.
+        needed: u64,
+        /// Bytes still free under the quota.
+        available: u64,
+    },
+    /// The path is syntactically invalid for this store.
+    InvalidPath {
+        /// Offending path.
+        path: String,
+        /// Why it was rejected.
+        reason: String,
+    },
+    /// An underlying I/O error (filesystem-backed stores).
+    Io {
+        /// Stringified `std::io::Error`.
+        message: String,
+    },
+}
+
+impl CloudError {
+    /// Whether retrying the same operation may succeed.
+    ///
+    /// Transient failures are retryable; everything else is not (an
+    /// unavailable cloud needs failover, not retry — UniDrive routes the
+    /// block to another cloud instead).
+    pub fn is_retryable(&self) -> bool {
+        matches!(self, CloudError::Transient { .. })
+    }
+
+    /// Shorthand constructor for transient failures.
+    pub fn transient(reason: impl Into<String>) -> Self {
+        CloudError::Transient {
+            reason: reason.into(),
+        }
+    }
+
+    /// Shorthand constructor for not-found.
+    pub fn not_found(path: impl Into<String>) -> Self {
+        CloudError::NotFound { path: path.into() }
+    }
+}
+
+impl fmt::Display for CloudError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CloudError::NotFound { path } => write!(f, "object not found: {path}"),
+            CloudError::Transient { reason } => write!(f, "transient failure: {reason}"),
+            CloudError::Unavailable { cloud } => write!(f, "cloud unavailable: {cloud}"),
+            CloudError::QuotaExceeded { needed, available } => write!(
+                f,
+                "quota exceeded: needed {needed} bytes, {available} available"
+            ),
+            CloudError::InvalidPath { path, reason } => {
+                write!(f, "invalid path {path:?}: {reason}")
+            }
+            CloudError::Io { message } => write!(f, "i/o error: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for CloudError {}
+
+impl From<std::io::Error> for CloudError {
+    fn from(e: std::io::Error) -> Self {
+        if e.kind() == std::io::ErrorKind::NotFound {
+            CloudError::NotFound {
+                path: String::new(),
+            }
+        } else {
+            CloudError::Io {
+                message: e.to_string(),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn only_transient_is_retryable() {
+        assert!(CloudError::transient("x").is_retryable());
+        assert!(!CloudError::not_found("p").is_retryable());
+        assert!(!CloudError::Unavailable {
+            cloud: "c".into()
+        }
+        .is_retryable());
+        assert!(!CloudError::QuotaExceeded {
+            needed: 1,
+            available: 0
+        }
+        .is_retryable());
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let e = CloudError::QuotaExceeded {
+            needed: 10,
+            available: 3,
+        };
+        let s = e.to_string();
+        assert!(s.contains("10") && s.contains('3'));
+    }
+
+    #[test]
+    fn io_not_found_maps_to_not_found() {
+        let io = std::io::Error::from(std::io::ErrorKind::NotFound);
+        assert!(matches!(CloudError::from(io), CloudError::NotFound { .. }));
+    }
+}

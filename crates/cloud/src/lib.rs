@@ -1,0 +1,39 @@
+//! # unidrive-cloud
+//!
+//! The minimal consumer-cloud-storage abstraction UniDrive builds on:
+//! a [`CloudStore`] trait with exactly the five public RESTful Web API
+//! operations every CCS offers third-party apps (paper §4) — upload,
+//! download, create directory, list, delete — plus the backends and
+//! decorators the reproduction needs:
+//!
+//! * [`MemCloud`] — instantaneous in-memory store (tests).
+//! * [`SimCloud`] — a cloud behind a simulated network with fluctuating
+//!   bandwidth, latency, size-dependent transient failures, degraded
+//!   windows, quotas, and outage switches (the evaluation substrate).
+//! * [`LocalDirCloud`] — a directory on disk (real-bytes examples).
+//! * [`FaultyCloud`], [`ThrottledCloud`], [`CountingCloud`] — composable
+//!   decorators for failure injection, bandwidth limiting, and traffic
+//!   accounting.
+//! * [`retrying`] / [`RetryPolicy`] — bounded-backoff retries for
+//!   transient Web API failures.
+//!
+//! See the crate-level example on [`CloudStore`].
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod error;
+mod local;
+mod mem;
+mod retry;
+mod sim_cloud;
+mod store;
+mod wrappers;
+
+pub use error::CloudError;
+pub use local::LocalDirCloud;
+pub use mem::MemCloud;
+pub use retry::{retrying, RetryPolicy};
+pub use sim_cloud::{FailureProfile, SimCloud, SimCloudConfig, TrafficCounters, TrafficSnapshot};
+pub use store::{split_path, validate_path, CloudId, CloudSet, CloudStore, ObjectInfo};
+pub use wrappers::{CountingCloud, FaultyCloud, ThrottledCloud};

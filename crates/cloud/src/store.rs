@@ -1,0 +1,310 @@
+//! The [`CloudStore`] trait: the minimum RESTful surface UniDrive assumes.
+//!
+//! The paper (§4, "Challenges") restricts itself to the few public,
+//! stateless data-access Web APIs every consumer cloud offers third-party
+//! apps: *file upload, download; directory create, list; and delete*.
+//! Everything UniDrive does — locking, version signaling, metadata
+//! replication, block distribution — is expressed through these five
+//! operations.
+//!
+//! Consistency contract: implementations must provide **read-after-write
+//! consistency** (paper §5.2): once an upload returns success, subsequent
+//! `list`/`download` from any client observe the object. Sequential
+//! consistency is *not* required.
+
+use bytes::Bytes;
+use std::sync::Arc;
+
+use crate::CloudError;
+
+/// Metadata of one object returned by [`CloudStore::list`].
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ObjectInfo {
+    /// Base name within the listed directory (no separators).
+    pub name: String,
+    /// Object size in bytes; zero for directories.
+    pub size: u64,
+    /// Whether the entry is a directory.
+    pub is_dir: bool,
+}
+
+/// A consumer cloud storage service, reduced to the five public Web API
+/// operations available to third-party apps.
+///
+/// Paths are `/`-separated, relative (no leading `/`), with non-empty
+/// segments; the empty string denotes the root directory. Implementations
+/// auto-create missing parent directories on upload (matching real CCS
+/// API behaviour) but [`create_dir`](CloudStore::create_dir) is available
+/// for explicit creation.
+///
+/// # Examples
+///
+/// ```
+/// use unidrive_cloud::{CloudStore, MemCloud};
+/// use bytes::Bytes;
+///
+/// # fn main() -> Result<(), unidrive_cloud::CloudError> {
+/// let cloud = MemCloud::new("dropbox");
+/// cloud.upload("docs/a.txt", Bytes::from_static(b"hello"))?;
+/// assert_eq!(cloud.download("docs/a.txt")?, Bytes::from_static(b"hello"));
+/// let listing = cloud.list("docs")?;
+/// assert_eq!(listing.len(), 1);
+/// assert_eq!(listing[0].name, "a.txt");
+/// # Ok(())
+/// # }
+/// ```
+pub trait CloudStore: Send + Sync {
+    /// Provider name (e.g. `"dropbox"`); used in diagnostics and lock
+    /// bookkeeping.
+    fn name(&self) -> &str;
+
+    /// Stores `data` at `path`, replacing any existing object.
+    ///
+    /// # Errors
+    ///
+    /// [`CloudError::Transient`] on simulated/real network failure,
+    /// [`CloudError::Unavailable`] during outages,
+    /// [`CloudError::QuotaExceeded`] when the account is full,
+    /// [`CloudError::InvalidPath`] for malformed paths.
+    fn upload(&self, path: &str, data: Bytes) -> Result<(), CloudError>;
+
+    /// Retrieves the object at `path`.
+    ///
+    /// # Errors
+    ///
+    /// [`CloudError::NotFound`] if absent, plus the transport errors
+    /// listed under [`upload`](CloudStore::upload).
+    fn download(&self, path: &str) -> Result<Bytes, CloudError>;
+
+    /// Creates directory `path` (and missing parents). Succeeds if it
+    /// already exists.
+    ///
+    /// # Errors
+    ///
+    /// Transport errors as for [`upload`](CloudStore::upload).
+    fn create_dir(&self, path: &str) -> Result<(), CloudError>;
+
+    /// Lists the immediate children of directory `path`.
+    ///
+    /// # Errors
+    ///
+    /// [`CloudError::NotFound`] if the directory does not exist, plus
+    /// transport errors.
+    fn list(&self, path: &str) -> Result<Vec<ObjectInfo>, CloudError>;
+
+    /// Deletes the object or directory (recursively) at `path`.
+    ///
+    /// # Errors
+    ///
+    /// [`CloudError::NotFound`] if absent, plus transport errors.
+    fn delete(&self, path: &str) -> Result<(), CloudError>;
+
+    /// Convenience: whether an object or directory exists, implemented
+    /// via [`list`](CloudStore::list) on the parent (the only way with
+    /// the five-op API).
+    fn exists(&self, path: &str) -> Result<bool, CloudError> {
+        let (parent, base) = split_path(path);
+        match self.list(parent) {
+            Ok(entries) => Ok(entries.iter().any(|e| e.name == base)),
+            Err(CloudError::NotFound { .. }) => Ok(false),
+            Err(e) => Err(e),
+        }
+    }
+}
+
+/// Splits a path into `(parent, basename)`.
+///
+/// ```
+/// use unidrive_cloud::split_path;
+/// assert_eq!(split_path("a/b/c"), ("a/b", "c"));
+/// assert_eq!(split_path("top"), ("", "top"));
+/// ```
+pub fn split_path(path: &str) -> (&str, &str) {
+    match path.rfind('/') {
+        Some(i) => (&path[..i], &path[i + 1..]),
+        None => ("", path),
+    }
+}
+
+/// Validates a path: relative, `/`-separated, non-empty segments, no `.`
+/// or `..` traversal.
+///
+/// # Errors
+///
+/// Returns [`CloudError::InvalidPath`] describing the violation.
+pub fn validate_path(path: &str) -> Result<(), CloudError> {
+    let invalid = |reason: &str| {
+        Err(CloudError::InvalidPath {
+            path: path.to_owned(),
+            reason: reason.to_owned(),
+        })
+    };
+    if path.is_empty() {
+        return invalid("empty path refers to the root; not a valid object path");
+    }
+    if path.starts_with('/') || path.ends_with('/') {
+        return invalid("leading or trailing separator");
+    }
+    for seg in path.split('/') {
+        if seg.is_empty() {
+            return invalid("empty segment");
+        }
+        if seg == "." || seg == ".." {
+            return invalid("path traversal segment");
+        }
+    }
+    Ok(())
+}
+
+/// Identifier of a cloud within a [`CloudSet`] (index order is stable).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct CloudId(pub usize);
+
+impl std::fmt::Display for CloudId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "cloud#{}", self.0)
+    }
+}
+
+/// An ordered collection of clouds forming a user's multi-cloud.
+///
+/// UniDrive configurations refer to member clouds by [`CloudId`] — the
+/// same identifier recorded in block metadata (`<Block-ID, Cloud-ID>`
+/// pairs, paper §5.1).
+#[derive(Clone)]
+pub struct CloudSet {
+    clouds: Vec<Arc<dyn CloudStore>>,
+}
+
+impl CloudSet {
+    /// Creates a set from member clouds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `clouds` is empty.
+    pub fn new(clouds: Vec<Arc<dyn CloudStore>>) -> Self {
+        assert!(!clouds.is_empty(), "a multi-cloud needs at least one cloud");
+        CloudSet { clouds }
+    }
+
+    /// Number of member clouds (the paper's *N*).
+    pub fn len(&self) -> usize {
+        self.clouds.len()
+    }
+
+    /// Whether the set is empty (never true for a constructed set).
+    pub fn is_empty(&self) -> bool {
+        self.clouds.is_empty()
+    }
+
+    /// The cloud with the given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn get(&self, id: CloudId) -> &Arc<dyn CloudStore> {
+        &self.clouds[id.0]
+    }
+
+    /// Iterates over `(CloudId, cloud)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (CloudId, &Arc<dyn CloudStore>)> {
+        self.clouds
+            .iter()
+            .enumerate()
+            .map(|(i, c)| (CloudId(i), c))
+    }
+
+    /// All member ids.
+    pub fn ids(&self) -> Vec<CloudId> {
+        (0..self.clouds.len()).map(CloudId).collect()
+    }
+
+    /// Majority quorum size: `⌊N/2⌋ + 1`.
+    pub fn quorum(&self) -> usize {
+        self.clouds.len() / 2 + 1
+    }
+
+    /// Returns a new set with `cloud` appended (used when the user adds a
+    /// CCS, paper §6.2 "Adding or Removing CCSs").
+    pub fn with_added(&self, cloud: Arc<dyn CloudStore>) -> CloudSet {
+        let mut clouds = self.clouds.clone();
+        clouds.push(cloud);
+        CloudSet { clouds }
+    }
+
+    /// Returns a new set with the cloud at `id` removed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range or the set would become empty.
+    pub fn with_removed(&self, id: CloudId) -> CloudSet {
+        assert!(self.clouds.len() > 1, "cannot remove the last cloud");
+        let mut clouds = self.clouds.clone();
+        clouds.remove(id.0);
+        CloudSet { clouds }
+    }
+}
+
+impl std::fmt::Debug for CloudSet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_list()
+            .entries(self.clouds.iter().map(|c| c.name()))
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MemCloud;
+
+    #[test]
+    fn split_path_handles_nesting() {
+        assert_eq!(split_path("a/b/c.txt"), ("a/b", "c.txt"));
+        assert_eq!(split_path("c.txt"), ("", "c.txt"));
+    }
+
+    #[test]
+    fn validate_path_rejects_bad_shapes() {
+        assert!(validate_path("ok/file.bin").is_ok());
+        for bad in ["", "/abs", "trail/", "a//b", "a/../b", "."] {
+            assert!(validate_path(bad).is_err(), "{bad:?} accepted");
+        }
+    }
+
+    #[test]
+    fn quorum_is_majority() {
+        let set = |n: usize| {
+            CloudSet::new(
+                (0..n)
+                    .map(|i| Arc::new(MemCloud::new(format!("c{i}"))) as Arc<dyn CloudStore>)
+                    .collect(),
+            )
+        };
+        assert_eq!(set(1).quorum(), 1);
+        assert_eq!(set(2).quorum(), 2);
+        assert_eq!(set(3).quorum(), 2);
+        assert_eq!(set(4).quorum(), 3);
+        assert_eq!(set(5).quorum(), 3);
+    }
+
+    #[test]
+    fn add_and_remove_preserve_order() {
+        let base = CloudSet::new(vec![
+            Arc::new(MemCloud::new("a")) as Arc<dyn CloudStore>,
+            Arc::new(MemCloud::new("b")),
+        ]);
+        let grown = base.with_added(Arc::new(MemCloud::new("c")));
+        assert_eq!(grown.len(), 3);
+        assert_eq!(grown.get(CloudId(2)).name(), "c");
+        let shrunk = grown.with_removed(CloudId(1));
+        assert_eq!(shrunk.len(), 2);
+        assert_eq!(shrunk.get(CloudId(1)).name(), "c");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one cloud")]
+    fn empty_set_rejected() {
+        let _ = CloudSet::new(Vec::new());
+    }
+}

@@ -1,0 +1,353 @@
+//! Composable decorators over any [`CloudStore`].
+//!
+//! * [`FaultyCloud`] — deterministic failure injection for tests of the
+//!   retry/failover paths.
+//! * [`ThrottledCloud`] — token-bucket bandwidth limiting under any
+//!   [`Runtime`]; gives the real-directory examples cloud-like speeds.
+//! * [`CountingCloud`] — traffic and operation accounting used by the
+//!   overhead experiments (Table 3, Fig. 13).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use bytes::Bytes;
+use parking_lot::Mutex;
+use unidrive_sim::{Runtime, SimRng};
+
+use crate::{CloudError, CloudStore, ObjectInfo, TrafficSnapshot};
+
+/// Wraps a store, failing a configurable fraction of requests.
+///
+/// Failures are deterministic given the seed, so tests of UniDrive's
+/// failover logic are reproducible.
+pub struct FaultyCloud {
+    inner: Arc<dyn CloudStore>,
+    rng: Mutex<SimRng>,
+    failure_prob: Mutex<f64>,
+}
+
+impl std::fmt::Debug for FaultyCloud {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FaultyCloud")
+            .field("inner", &self.inner.name())
+            .field("failure_prob", &*self.failure_prob.lock())
+            .finish()
+    }
+}
+
+impl FaultyCloud {
+    /// Wraps `inner`, failing each request with probability `p`.
+    pub fn new(inner: Arc<dyn CloudStore>, p: f64, seed: u64) -> Self {
+        FaultyCloud {
+            inner,
+            rng: Mutex::new(SimRng::seed_from_u64(seed)),
+            failure_prob: Mutex::new(p),
+        }
+    }
+
+    /// Adjusts the failure probability at runtime.
+    pub fn set_failure_prob(&self, p: f64) {
+        *self.failure_prob.lock() = p;
+    }
+
+    fn roll(&self) -> Result<(), CloudError> {
+        let p = *self.failure_prob.lock();
+        if self.rng.lock().chance(p) {
+            Err(CloudError::transient("injected failure"))
+        } else {
+            Ok(())
+        }
+    }
+}
+
+impl CloudStore for FaultyCloud {
+    fn name(&self) -> &str {
+        self.inner.name()
+    }
+
+    fn upload(&self, path: &str, data: Bytes) -> Result<(), CloudError> {
+        self.roll()?;
+        self.inner.upload(path, data)
+    }
+
+    fn download(&self, path: &str) -> Result<Bytes, CloudError> {
+        self.roll()?;
+        self.inner.download(path)
+    }
+
+    fn create_dir(&self, path: &str) -> Result<(), CloudError> {
+        self.roll()?;
+        self.inner.create_dir(path)
+    }
+
+    fn list(&self, path: &str) -> Result<Vec<ObjectInfo>, CloudError> {
+        self.roll()?;
+        self.inner.list(path)
+    }
+
+    fn delete(&self, path: &str) -> Result<(), CloudError> {
+        self.roll()?;
+        self.inner.delete(path)
+    }
+}
+
+/// Wraps a store, limiting payload throughput with a token bucket.
+///
+/// Tokens are bytes; the bucket refills at `bytes_per_sec` and holds at
+/// most one second of burst. Requests sleep on the wrapped [`Runtime`]
+/// until enough tokens accumulate, so this works under both wall-clock
+/// and virtual time.
+pub struct ThrottledCloud {
+    inner: Arc<dyn CloudStore>,
+    rt: Arc<dyn Runtime>,
+    bytes_per_sec: f64,
+    bucket: Mutex<Bucket>,
+}
+
+#[derive(Debug)]
+struct Bucket {
+    tokens: f64,
+    last_refill: unidrive_sim::Time,
+}
+
+impl std::fmt::Debug for ThrottledCloud {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ThrottledCloud")
+            .field("inner", &self.inner.name())
+            .field("bytes_per_sec", &self.bytes_per_sec)
+            .finish()
+    }
+}
+
+impl ThrottledCloud {
+    /// Wraps `inner` with a `bytes_per_sec` payload rate limit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bytes_per_sec` is not strictly positive.
+    pub fn new(inner: Arc<dyn CloudStore>, rt: Arc<dyn Runtime>, bytes_per_sec: f64) -> Self {
+        assert!(bytes_per_sec > 0.0, "rate must be positive");
+        let now = rt.now();
+        ThrottledCloud {
+            inner,
+            rt,
+            bytes_per_sec,
+            bucket: Mutex::new(Bucket {
+                tokens: bytes_per_sec, // one second of initial burst
+                last_refill: now,
+            }),
+        }
+    }
+
+    fn consume(&self, bytes: u64) {
+        let mut need = bytes as f64;
+        loop {
+            let wait = {
+                let mut b = self.bucket.lock();
+                let now = self.rt.now();
+                let elapsed = now.saturating_duration_since(b.last_refill);
+                b.tokens = (b.tokens + elapsed.as_secs_f64() * self.bytes_per_sec)
+                    .min(self.bytes_per_sec);
+                b.last_refill = now;
+                if b.tokens >= need {
+                    b.tokens -= need;
+                    return;
+                }
+                need -= b.tokens;
+                b.tokens = 0.0;
+                Duration::from_secs_f64(need / self.bytes_per_sec)
+            };
+            self.rt.sleep(wait);
+            // After sleeping the bucket will have refilled enough; loop to
+            // account for it exactly.
+        }
+    }
+}
+
+impl CloudStore for ThrottledCloud {
+    fn name(&self) -> &str {
+        self.inner.name()
+    }
+
+    fn upload(&self, path: &str, data: Bytes) -> Result<(), CloudError> {
+        self.consume(data.len() as u64);
+        self.inner.upload(path, data)
+    }
+
+    fn download(&self, path: &str) -> Result<Bytes, CloudError> {
+        let data = self.inner.download(path)?;
+        self.consume(data.len() as u64);
+        Ok(data)
+    }
+
+    fn create_dir(&self, path: &str) -> Result<(), CloudError> {
+        self.inner.create_dir(path)
+    }
+
+    fn list(&self, path: &str) -> Result<Vec<ObjectInfo>, CloudError> {
+        self.inner.list(path)
+    }
+
+    fn delete(&self, path: &str) -> Result<(), CloudError> {
+        self.inner.delete(path)
+    }
+}
+
+/// Wraps a store, counting operations and payload bytes.
+///
+/// [`SimCloud`](crate::SimCloud) counts its own traffic including
+/// protocol overhead; `CountingCloud` is the backend-agnostic variant
+/// used to account *payload* traffic for any store (and to attribute
+/// traffic per client in multi-device experiments).
+pub struct CountingCloud {
+    inner: Arc<dyn CloudStore>,
+    uploaded: AtomicU64,
+    downloaded: AtomicU64,
+    ok: AtomicU64,
+    failed: AtomicU64,
+}
+
+impl std::fmt::Debug for CountingCloud {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CountingCloud")
+            .field("inner", &self.inner.name())
+            .field("uploaded", &self.uploaded.load(Ordering::Relaxed))
+            .field("downloaded", &self.downloaded.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+impl CountingCloud {
+    /// Wraps `inner` with zeroed counters.
+    pub fn new(inner: Arc<dyn CloudStore>) -> Self {
+        CountingCloud {
+            inner,
+            uploaded: AtomicU64::new(0),
+            downloaded: AtomicU64::new(0),
+            ok: AtomicU64::new(0),
+            failed: AtomicU64::new(0),
+        }
+    }
+
+    /// Snapshot of the counters.
+    pub fn traffic(&self) -> TrafficSnapshot {
+        TrafficSnapshot {
+            uploaded_bytes: self.uploaded.load(Ordering::Relaxed),
+            downloaded_bytes: self.downloaded.load(Ordering::Relaxed),
+            ok_requests: self.ok.load(Ordering::Relaxed),
+            failed_requests: self.failed.load(Ordering::Relaxed),
+        }
+    }
+
+    fn record<T>(&self, r: Result<T, CloudError>) -> Result<T, CloudError> {
+        match &r {
+            Ok(_) => self.ok.fetch_add(1, Ordering::Relaxed),
+            Err(_) => self.failed.fetch_add(1, Ordering::Relaxed),
+        };
+        r
+    }
+}
+
+impl CloudStore for CountingCloud {
+    fn name(&self) -> &str {
+        self.inner.name()
+    }
+
+    fn upload(&self, path: &str, data: Bytes) -> Result<(), CloudError> {
+        let len = data.len() as u64;
+        let r = self.record(self.inner.upload(path, data));
+        if r.is_ok() {
+            self.uploaded.fetch_add(len, Ordering::Relaxed);
+        }
+        r
+    }
+
+    fn download(&self, path: &str) -> Result<Bytes, CloudError> {
+        let r = self.record(self.inner.download(path));
+        if let Ok(data) = &r {
+            self.downloaded.fetch_add(data.len() as u64, Ordering::Relaxed);
+        }
+        r
+    }
+
+    fn create_dir(&self, path: &str) -> Result<(), CloudError> {
+        self.record(self.inner.create_dir(path))
+    }
+
+    fn list(&self, path: &str) -> Result<Vec<ObjectInfo>, CloudError> {
+        self.record(self.inner.list(path))
+    }
+
+    fn delete(&self, path: &str) -> Result<(), CloudError> {
+        self.record(self.inner.delete(path))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MemCloud;
+    use unidrive_sim::{RealRuntime, SimRuntime};
+
+    fn mem() -> Arc<dyn CloudStore> {
+        Arc::new(MemCloud::new("m"))
+    }
+
+    #[test]
+    fn faulty_cloud_fails_roughly_at_rate() {
+        let c = FaultyCloud::new(mem(), 0.3, 11);
+        let fails = (0..1000)
+            .filter(|_| c.upload("x", Bytes::new()).is_err())
+            .count();
+        assert!((200..400).contains(&fails), "fails {fails}");
+    }
+
+    #[test]
+    fn faulty_cloud_rate_can_change() {
+        let c = FaultyCloud::new(mem(), 1.0, 12);
+        assert!(c.upload("x", Bytes::new()).is_err());
+        c.set_failure_prob(0.0);
+        assert!(c.upload("x", Bytes::new()).is_ok());
+    }
+
+    #[test]
+    fn throttle_paces_virtual_time() {
+        let sim = SimRuntime::new(13);
+        let rt = sim.clone().as_runtime();
+        let c = ThrottledCloud::new(mem(), rt, 1_000_000.0);
+        let t0 = sim.now();
+        // First MB rides the initial burst; next 2 MB take 2 s.
+        for i in 0..3 {
+            c.upload(&format!("f{i}"), Bytes::from(vec![0u8; 1_000_000]))
+                .unwrap();
+        }
+        let elapsed = (sim.now() - t0).as_secs_f64();
+        assert!((1.9..2.3).contains(&elapsed), "elapsed {elapsed}");
+    }
+
+    #[test]
+    fn throttle_works_under_wall_clock() {
+        let rt: Arc<dyn Runtime> = Arc::new(RealRuntime::new());
+        let c = ThrottledCloud::new(mem(), Arc::clone(&rt), 10_000_000.0);
+        let t0 = rt.now();
+        // 10 MB burst + 10 MB at 10 MB/s ≈ 1 s.
+        c.upload("a", Bytes::from(vec![0u8; 10_000_000])).unwrap();
+        c.upload("b", Bytes::from(vec![0u8; 10_000_000])).unwrap();
+        let took = (rt.now() - t0).as_secs_f64();
+        assert!(took >= 0.9, "took {took}");
+    }
+
+    #[test]
+    fn counting_cloud_tallies_payloads() {
+        let c = CountingCloud::new(mem());
+        c.upload("a", Bytes::from(vec![0u8; 100])).unwrap();
+        let _ = c.download("a").unwrap();
+        let _ = c.download("missing");
+        let t = c.traffic();
+        assert_eq!(t.uploaded_bytes, 100);
+        assert_eq!(t.downloaded_bytes, 100);
+        assert_eq!(t.ok_requests, 2);
+        assert_eq!(t.failed_requests, 1);
+    }
+}

@@ -1,0 +1,400 @@
+//! The data plane facade: from file bytes to erasure-coded blocks in
+//! the multi-cloud and back (paper §6).
+
+use std::collections::HashSet;
+use std::sync::Arc;
+
+use bytes::Bytes;
+use unidrive_cloud::CloudSet;
+use unidrive_erasure::Codec;
+use unidrive_meta::{block_path, SegmentId, SyncFolderImage};
+use unidrive_sim::Runtime;
+
+use crate::download::{run_download, DownloadReport, SegmentFetch};
+use crate::plan::{DataPlaneConfig, SegmentData};
+use crate::probe::BandwidthProbe;
+use crate::upload::{run_upload_opts, FileUpload, UploadOptions, UploadReport};
+
+/// A file (path + content) handed to [`DataPlane::upload_files`].
+#[derive(Debug, Clone)]
+pub struct UploadRequest {
+    /// Sync-folder-relative path.
+    pub path: String,
+    /// Whole file content.
+    pub data: Bytes,
+}
+
+/// Segmentation outcome for one uploaded file, needed to build its
+/// metadata [`Snapshot`](unidrive_meta::Snapshot).
+#[derive(Debug, Clone)]
+pub struct FileSegmentation {
+    /// Path as supplied.
+    pub path: String,
+    /// `(segment id, length)` in file order.
+    pub segments: Vec<(SegmentId, u64)>,
+    /// Total file size.
+    pub size: u64,
+}
+
+/// The data plane: segmentation, erasure coding, and the
+/// over-provisioning block scheduler over a cloud set.
+pub struct DataPlane {
+    rt: Arc<dyn Runtime>,
+    clouds: CloudSet,
+    config: DataPlaneConfig,
+    codec: Arc<Codec>,
+    probe: Arc<BandwidthProbe>,
+}
+
+impl std::fmt::Debug for DataPlane {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DataPlane")
+            .field("clouds", &self.clouds)
+            .field("config", &self.config)
+            .finish()
+    }
+}
+
+impl DataPlane {
+    /// Creates a data plane over `clouds`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.redundancy.clouds()` disagrees with
+    /// `clouds.len()`.
+    pub fn new(rt: Arc<dyn Runtime>, clouds: CloudSet, config: DataPlaneConfig) -> Self {
+        assert_eq!(
+            config.redundancy.clouds(),
+            clouds.len(),
+            "redundancy config is for a different number of clouds"
+        );
+        let codec = Arc::new(Codec::for_config(&config.redundancy).expect("validated config"));
+        let probe = Arc::new(BandwidthProbe::new(clouds.len(), 1_000_000.0));
+        DataPlane {
+            rt,
+            clouds,
+            config,
+            codec,
+            probe,
+        }
+    }
+
+    /// The configuration in effect.
+    pub fn config(&self) -> &DataPlaneConfig {
+        &self.config
+    }
+
+    /// The bandwidth probe (shared with the schedulers).
+    pub fn probe(&self) -> &Arc<BandwidthProbe> {
+        &self.probe
+    }
+
+    /// The cloud set.
+    pub fn clouds(&self) -> &CloudSet {
+        &self.clouds
+    }
+
+    /// Content-defined segmentation of one file (no network traffic).
+    pub fn segment_file(&self, path: &str, data: &[u8]) -> FileSegmentation {
+        let segments = unidrive_chunker::segment_bytes(data, &self.config.chunker)
+            .into_iter()
+            .map(|s| (SegmentId(s.digest), s.len as u64))
+            .collect();
+        FileSegmentation {
+            path: path.to_owned(),
+            segments,
+            size: data.len() as u64,
+        }
+    }
+
+    /// Uploads a batch of files: segments them, skips segments in
+    /// `known` (deduplication against the current metadata), and runs
+    /// the two-phase over-provisioning scheduler. Returns the upload
+    /// report plus the per-file segmentations (for metadata snapshots).
+    pub fn upload_files(
+        &self,
+        requests: Vec<UploadRequest>,
+        known: &HashSet<SegmentId>,
+    ) -> (UploadReport, Vec<FileSegmentation>) {
+        self.upload_files_opts(requests, known, UploadOptions::default())
+    }
+
+    /// [`upload_files`](DataPlane::upload_files) with [`UploadOptions`]
+    /// (availability detach, asynchronous block sink).
+    pub fn upload_files_opts(
+        &self,
+        requests: Vec<UploadRequest>,
+        known: &HashSet<SegmentId>,
+        options: UploadOptions,
+    ) -> (UploadReport, Vec<FileSegmentation>) {
+        let mut segmentations = Vec::new();
+        let mut uploads = Vec::new();
+        let mut scheduled: HashSet<SegmentId> = HashSet::new();
+        for req in &requests {
+            let cuts = unidrive_chunker::segment_bytes(&req.data, &self.config.chunker);
+            let mut seg_meta = Vec::new();
+            let mut to_send = Vec::new();
+            for s in cuts {
+                let id = SegmentId(s.digest);
+                seg_meta.push((id, s.len as u64));
+                if !known.contains(&id) && scheduled.insert(id) {
+                    to_send.push(SegmentData {
+                        id,
+                        data: req.data.slice(s.range()),
+                    });
+                }
+            }
+            segmentations.push(FileSegmentation {
+                path: req.path.clone(),
+                segments: seg_meta,
+                size: req.data.len() as u64,
+            });
+            uploads.push(FileUpload {
+                path: req.path.clone(),
+                segments: to_send,
+            });
+        }
+        let report = run_upload_opts(
+            &self.rt,
+            &self.clouds,
+            &self.codec,
+            &self.config,
+            &self.probe,
+            uploads,
+            options,
+        );
+        (report, segmentations)
+    }
+
+    /// Downloads and reconstructs the given segments.
+    pub fn download_segments(&self, fetches: Vec<SegmentFetch>) -> DownloadReport {
+        run_download(
+            &self.rt,
+            &self.clouds,
+            &self.codec,
+            &self.config,
+            &self.probe,
+            fetches,
+        )
+    }
+
+    /// Downloads a whole file per the metadata `image`: fetches every
+    /// missing segment and concatenates.
+    ///
+    /// # Errors
+    ///
+    /// First failure from the underlying fetches, or a missing pool
+    /// entry.
+    pub fn download_file(
+        &self,
+        image: &SyncFolderImage,
+        path: &str,
+    ) -> Result<Vec<u8>, crate::DownloadError> {
+        let entry = image.file(path).ok_or(crate::DownloadError::NotEnoughBlocks {
+            segment: SegmentId(unidrive_crypto::Sha1::digest(path.as_bytes())),
+            got: 0,
+            need: self.codec.k(),
+        })?;
+        let fetches: Vec<SegmentFetch> = entry
+            .snapshot
+            .segments
+            .iter()
+            .map(|id| {
+                let pool = image.segment(id).expect("pool entry for snapshot segment");
+                SegmentFetch {
+                    id: *id,
+                    len: pool.len,
+                    blocks: pool.blocks.clone(),
+                }
+            })
+            .collect();
+        let order: Vec<SegmentId> = fetches.iter().map(|f| f.id).collect();
+        let mut report = self.download_segments(fetches);
+        if let Some(err) = report.failed.pop() {
+            return Err(err);
+        }
+        let mut out = Vec::with_capacity(entry.snapshot.size as usize);
+        for id in order {
+            out.extend_from_slice(
+                report
+                    .segments
+                    .get(&id)
+                    .expect("complete report contains every segment"),
+            );
+        }
+        Ok(out)
+    }
+
+    /// Deletes the stored blocks of garbage-collected segments from the
+    /// clouds (best effort).
+    pub fn delete_blocks(&self, garbage: &[(SegmentId, unidrive_meta::SegmentEntry)]) {
+        for (id, entry) in garbage {
+            for b in &entry.blocks {
+                let cloud = self.clouds.get(unidrive_cloud::CloudId(b.cloud as usize));
+                let _ = cloud.delete(&block_path(id, b.index));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use unidrive_cloud::{CloudStore, SimCloud, SimCloudConfig};
+    use unidrive_erasure::RedundancyConfig;
+    use unidrive_sim::SimRuntime;
+
+    fn plane(seed: u64) -> (Arc<SimRuntime>, DataPlane) {
+        let sim = SimRuntime::new(seed);
+        let clouds = CloudSet::new(
+            (0..5)
+                .map(|i| {
+                    Arc::new(SimCloud::new(
+                        &sim,
+                        format!("c{i}"),
+                        SimCloudConfig::steady(2e6, 10e6),
+                    )) as Arc<dyn CloudStore>
+                })
+                .collect(),
+        );
+        let config = DataPlaneConfig::with_params(
+            RedundancyConfig::new(5, 3, 3, 2).unwrap(),
+            64 * 1024,
+        );
+        let rt = sim.clone().as_runtime();
+        (sim, DataPlane::new(rt, clouds, config))
+    }
+
+    fn content(len: usize, seed: u64) -> Bytes {
+        let mut state = seed | 1;
+        Bytes::from(
+            (0..len)
+                .map(|_| {
+                    state ^= state << 13;
+                    state ^= state >> 7;
+                    state ^= state << 17;
+                    (state >> 32) as u8
+                })
+                .collect::<Vec<u8>>(),
+        )
+    }
+
+    #[test]
+    fn upload_then_download_file_round_trips() {
+        let (_sim, plane) = plane(1);
+        let data = content(300_000, 42);
+        let (report, segs) = plane.upload_files(
+            vec![UploadRequest {
+                path: "doc.bin".into(),
+                data: data.clone(),
+            }],
+            &HashSet::new(),
+        );
+        assert!(report.all_available());
+
+        // Build an image the way the client would.
+        let mut image = SyncFolderImage::new();
+        for (id, len) in &segs[0].segments {
+            image.ensure_segment(*id, *len);
+        }
+        for (id, b) in &report.blocks {
+            image.record_block(*id, *b);
+        }
+        image.upsert_file(
+            "doc.bin",
+            unidrive_meta::Snapshot {
+                mtime_ns: 0,
+                size: segs[0].size,
+                segments: segs[0].segments.iter().map(|(id, _)| *id).collect(),
+            },
+        );
+        let restored = plane.download_file(&image, "doc.bin").unwrap();
+        assert_eq!(restored, data.to_vec());
+    }
+
+    #[test]
+    fn dedup_skips_known_segments() {
+        let (_sim, plane) = plane(2);
+        let data = content(150_000, 7);
+        let (first, segs) = plane.upload_files(
+            vec![UploadRequest {
+                path: "a".into(),
+                data: data.clone(),
+            }],
+            &HashSet::new(),
+        );
+        assert!(!first.blocks.is_empty());
+        let known: HashSet<SegmentId> = segs[0].segments.iter().map(|(id, _)| *id).collect();
+        let (second, _) = plane.upload_files(
+            vec![UploadRequest {
+                path: "b".into(),
+                data,
+            }],
+            &known,
+        );
+        assert!(second.all_available());
+        assert!(second.blocks.is_empty(), "dedup hit must transfer nothing");
+    }
+
+    #[test]
+    fn delete_blocks_removes_objects() {
+        let (_sim, plane) = plane(3);
+        let data = content(100_000, 9);
+        let (report, segs) = plane.upload_files(
+            vec![UploadRequest {
+                path: "x".into(),
+                data,
+            }],
+            &HashSet::new(),
+        );
+        let mut image = SyncFolderImage::new();
+        for (id, len) in &segs[0].segments {
+            image.ensure_segment(*id, *len);
+        }
+        for (id, b) in &report.blocks {
+            image.record_block(*id, *b);
+        }
+        let garbage = image.collect_garbage(); // nothing referenced them
+        assert!(!garbage.is_empty());
+        plane.delete_blocks(&garbage);
+        for (id, entry) in &garbage {
+            for b in &entry.blocks {
+                let cloud = plane
+                    .clouds()
+                    .get(unidrive_cloud::CloudId(b.cloud as usize));
+                assert!(!cloud.exists(&block_path(id, b.index)).unwrap());
+            }
+        }
+    }
+
+    #[test]
+    fn multi_segment_files_reassemble_in_order() {
+        let (_sim, plane) = plane(4);
+        // Big enough to span several 64 KB-θ segments.
+        let data = content(500_000, 11);
+        let (report, segs) = plane.upload_files(
+            vec![UploadRequest {
+                path: "big.bin".into(),
+                data: data.clone(),
+            }],
+            &HashSet::new(),
+        );
+        assert!(segs[0].segments.len() > 2, "expected multiple segments");
+        let mut image = SyncFolderImage::new();
+        for (id, len) in &segs[0].segments {
+            image.ensure_segment(*id, *len);
+        }
+        for (id, b) in &report.blocks {
+            image.record_block(*id, *b);
+        }
+        image.upsert_file(
+            "big.bin",
+            unidrive_meta::Snapshot {
+                mtime_ns: 0,
+                size: segs[0].size,
+                segments: segs[0].segments.iter().map(|(id, _)| *id).collect(),
+            },
+        );
+        assert_eq!(plane.download_file(&image, "big.bin").unwrap(), data.to_vec());
+    }
+}

@@ -1,0 +1,56 @@
+//! # unidrive-core
+//!
+//! The UniDrive system itself (Middleware 2015): a server-less,
+//! client-centric consumer-cloud-storage app that synergizes multiple
+//! clouds through five public file-access operations.
+//!
+//! * **Control plane** — [`QuorumLock`] (empty-lock-file majority
+//!   locking with ΔT lock breaking), [`MetadataStore`] (DES-encrypted
+//!   base + delta + version files replicated to all clouds), and
+//!   [`UniDriveClient::sync_once`] implementing the paper's Algorithm 1
+//!   with three-way merge and conflict retention.
+//! * **Data plane** — [`DataPlane`]: content-defined segmentation,
+//!   non-systematic Reed-Solomon blocks, even fair-share placement,
+//!   **over-provisioning** onto idle fast clouds, the
+//!   availability-first / reliability-second two-phase batch principle,
+//!   pull-based download with in-channel probing, and add/remove-cloud
+//!   rebalancing.
+//!
+//! The same code runs under wall-clock or deterministic virtual time —
+//! see [`unidrive_sim`].
+//!
+//! # Example: two devices syncing through five simulated clouds
+//!
+//! See `examples/quickstart.rs` in the repository root.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod client;
+mod control;
+mod dataplane;
+mod download;
+mod folder;
+mod lock;
+mod maintenance;
+mod plan;
+mod probe;
+mod rebalance;
+mod upload;
+
+pub use client::{ClientConfig, SyncError, SyncReport, UniDriveClient};
+pub use control::{newer, MetaError, MetadataStore, RemoteState};
+pub use dataplane::{DataPlane, FileSegmentation, UploadRequest};
+pub use download::{run_download, DownloadError, DownloadReport, SegmentFetch};
+pub use folder::{
+    scan_changes, DirFolder, FolderError, LocalChange, LocalStat, MemFolder, SyncFolder,
+};
+pub use lock::{LockConfig, LockError, LockGuard, QuorumLock};
+pub use maintenance::{trim_overprovisioned, trim_plan};
+pub use plan::{normal_assignment, DataPlaneConfig, SegmentData};
+pub use probe::BandwidthProbe;
+pub use rebalance::{add_cloud, remove_cloud, RebalanceError, RebalanceOutcome};
+pub use upload::{
+    run_upload, run_upload_opts, BlockSink, FileUpload, FileUploadResult, UploadOptions,
+    UploadReport,
+};

@@ -1,0 +1,562 @@
+//! The quorum-based distributed mutual-exclusive lock (paper §5.2,
+//! "Handling Concurrent Local Updates").
+//!
+//! Built purely from the five cloud file operations: the attempting
+//! device uploads an empty `lock_<device>_<t>` file into a dedicated
+//! lock directory on every cloud, then lists each directory — it holds a
+//! cloud's lock iff its own lock file is the only one there. Holding a
+//! **majority** of clouds wins; a loser withdraws its files and retries
+//! after a random backoff.
+//!
+//! Fault tolerance needs no global clock: every client records the
+//! *first time it saw* each foreign lock file; a lock file observed for
+//! longer than ΔT without being refreshed is considered abandoned and
+//! deleted (lock breaking). Holders therefore refresh their lock by
+//! uploading a new lock file (new timestamp) and deleting the old one
+//! well within ΔT.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::Mutex;
+use unidrive_cloud::{CloudError, CloudSet};
+use unidrive_meta::{lock_file_name, parse_lock_name, LOCK_DIR};
+use unidrive_sim::{Runtime, SimRng, Time};
+
+/// Tunables of the lock protocol.
+#[derive(Debug, Clone)]
+pub struct LockConfig {
+    /// Give up after this many failed acquisition rounds.
+    pub max_attempts: u32,
+    /// Base of the random backoff between rounds.
+    pub backoff_base: Duration,
+    /// Backoff ceiling.
+    pub backoff_max: Duration,
+    /// ΔT: a foreign lock seen unrefreshed for this long is broken.
+    pub stale_after: Duration,
+}
+
+impl Default for LockConfig {
+    fn default() -> Self {
+        LockConfig {
+            max_attempts: 12,
+            backoff_base: Duration::from_millis(500),
+            backoff_max: Duration::from_secs(15),
+            // The paper's example ΔT = 120 s.
+            stale_after: Duration::from_secs(120),
+        }
+    }
+}
+
+/// Error from lock operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LockError {
+    /// Could not win a majority within `max_attempts` rounds.
+    Contended {
+        /// Rounds attempted.
+        attempts: u32,
+    },
+    /// Fewer than a quorum of clouds are reachable at all.
+    QuorumUnreachable {
+        /// Clouds that answered.
+        reachable: usize,
+        /// Quorum size needed.
+        quorum: usize,
+    },
+}
+
+impl std::fmt::Display for LockError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LockError::Contended { attempts } => {
+                write!(f, "failed to acquire quorum lock after {attempts} attempts")
+            }
+            LockError::QuorumUnreachable { reachable, quorum } => write!(
+                f,
+                "only {reachable} clouds reachable, quorum of {quorum} required"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for LockError {}
+
+/// The metadata lock over a user's multi-cloud.
+pub struct QuorumLock {
+    rt: Arc<dyn Runtime>,
+    clouds: CloudSet,
+    device: String,
+    config: LockConfig,
+    rng: Mutex<SimRng>,
+    /// `(cloud index, lock file name)` → first time we saw it.
+    first_seen: Mutex<HashMap<(usize, String), Time>>,
+}
+
+impl std::fmt::Debug for QuorumLock {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("QuorumLock")
+            .field("device", &self.device)
+            .field("clouds", &self.clouds.len())
+            .finish()
+    }
+}
+
+/// Proof of lock ownership; release with [`LockGuard::release`] (Drop
+/// releases best-effort too, but an explicit release reports errors).
+#[derive(Debug)]
+pub struct LockGuard<'a> {
+    lock: &'a QuorumLock,
+    lock_name: String,
+    released: bool,
+}
+
+impl QuorumLock {
+    /// Creates a lock handle for `device` over `clouds`.
+    pub fn new(
+        rt: Arc<dyn Runtime>,
+        clouds: CloudSet,
+        device: impl Into<String>,
+        config: LockConfig,
+        rng: SimRng,
+    ) -> Self {
+        QuorumLock {
+            rt,
+            clouds,
+            device: device.into(),
+            config,
+            rng: Mutex::new(rng),
+            first_seen: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// The device name this lock identifies itself as.
+    pub fn device(&self) -> &str {
+        &self.device
+    }
+
+    /// Acquires the quorum lock, retrying with random backoff.
+    ///
+    /// # Errors
+    ///
+    /// [`LockError::Contended`] after `max_attempts` losing rounds;
+    /// [`LockError::QuorumUnreachable`] if a majority of clouds cannot
+    /// even be contacted.
+    pub fn acquire(&self) -> Result<LockGuard<'_>, LockError> {
+        let quorum = self.clouds.quorum();
+        for attempt in 0..self.config.max_attempts {
+            let lock_name =
+                lock_file_name(&self.device, self.rt.now().as_nanos() + attempt as u64);
+            match self.try_round(&lock_name) {
+                RoundOutcome::Won => {
+                    return Ok(LockGuard {
+                        lock: self,
+                        lock_name,
+                        released: false,
+                    })
+                }
+                RoundOutcome::Lost => {
+                    self.withdraw(&lock_name);
+                    let cap = self
+                        .config
+                        .backoff_max
+                        .min(self.config.backoff_base * 2u32.saturating_pow(attempt));
+                    let nanos = cap.as_nanos().max(1) as u64;
+                    let wait = Duration::from_nanos(self.rng.lock().below(nanos));
+                    self.rt.sleep(wait);
+                }
+                RoundOutcome::Unreachable { reachable } => {
+                    self.withdraw(&lock_name);
+                    return Err(LockError::QuorumUnreachable { reachable, quorum });
+                }
+            }
+        }
+        Err(LockError::Contended {
+            attempts: self.config.max_attempts,
+        })
+    }
+
+    /// One acquisition round: upload our lock file everywhere, then list
+    /// and count clouds where ours is the only live lock.
+    fn try_round(&self, lock_name: &str) -> RoundOutcome {
+        let quorum = self.clouds.quorum();
+        let path = format!("{LOCK_DIR}/{lock_name}");
+        // Lock files go out to all clouds concurrently (the client opens
+        // one HTTP request per cloud), then the listings come back
+        // concurrently too.
+        let upload_tasks: Vec<_> = self
+            .clouds
+            .iter()
+            .map(|(_, cloud)| {
+                let cloud = std::sync::Arc::clone(cloud);
+                let path = path.clone();
+                unidrive_sim::spawn(&self.rt, "lock-up", move || {
+                    cloud.upload(&path, bytes::Bytes::new()).is_ok()
+                })
+            })
+            .collect();
+        for t in upload_tasks {
+            let _ = t.join();
+        }
+        let list_tasks: Vec<_> = self
+            .clouds
+            .iter()
+            .map(|(id, cloud)| {
+                let cloud = std::sync::Arc::clone(cloud);
+                unidrive_sim::spawn(&self.rt, "lock-list", move || {
+                    (id, cloud.list(LOCK_DIR).ok())
+                })
+            })
+            .collect();
+        let listings: Vec<_> = list_tasks.into_iter().map(|t| t.join()).collect();
+        let mut reachable = 0usize;
+        let mut held = 0usize;
+        for (id, entries) in listings {
+            let cloud = std::sync::Arc::clone(self.clouds.get(id));
+            let Some(entries) = entries else {
+                continue;
+            };
+            reachable += 1;
+            let mut ours_present = false;
+            let mut foreign_live = false;
+            for entry in &entries {
+                let Some((device, _)) = parse_lock_name(&entry.name) else {
+                    continue;
+                };
+                if entry.name == lock_name {
+                    ours_present = true;
+                    continue;
+                }
+                if device == self.device {
+                    // A leftover of our own earlier attempt whose delete
+                    // was lost to a transient failure: reclaim it
+                    // immediately (no ΔT needed — it is certainly ours).
+                    let _ = cloud.delete(&format!("{LOCK_DIR}/{}", entry.name));
+                    continue;
+                }
+                if self.is_stale(id.0, &entry.name) {
+                    // Lock breaking: delete the abandoned lock file.
+                    let _ = cloud.delete(&format!("{LOCK_DIR}/{}", entry.name));
+                } else {
+                    foreign_live = true;
+                }
+            }
+            if ours_present && !foreign_live {
+                held += 1;
+            }
+        }
+        if reachable < quorum {
+            return RoundOutcome::Unreachable { reachable };
+        }
+        if held >= quorum {
+            RoundOutcome::Won
+        } else {
+            RoundOutcome::Lost
+        }
+    }
+
+    /// Tracks first-seen times; returns whether the foreign lock has
+    /// been visible for longer than ΔT. Entries much older than ΔT are
+    /// pruned so long-lived clients don't accumulate dead lock names.
+    fn is_stale(&self, cloud: usize, name: &str) -> bool {
+        let now = self.rt.now();
+        let horizon = self.config.stale_after * 4;
+        let mut seen = self.first_seen.lock();
+        if seen.len() > 256 {
+            seen.retain(|_, first| now.saturating_duration_since(*first) < horizon);
+        }
+        let first = *seen.entry((cloud, name.to_owned())).or_insert(now);
+        now.saturating_duration_since(first) > self.config.stale_after
+    }
+
+    /// Deletes our lock file from every cloud (concurrently).
+    fn withdraw(&self, lock_name: &str) {
+        let path = format!("{LOCK_DIR}/{lock_name}");
+        let tasks: Vec<_> = self
+            .clouds
+            .iter()
+            .map(|(_, cloud)| {
+                let cloud = std::sync::Arc::clone(cloud);
+                let path = path.clone();
+                unidrive_sim::spawn(&self.rt, "lock-del", move || {
+                    match cloud.delete(&path) {
+                        Ok(()) | Err(CloudError::NotFound { .. }) => {}
+                        Err(_) => { /* best effort; self-reclaim handles it */ }
+                    }
+                })
+            })
+            .collect();
+        for t in tasks {
+            t.join();
+        }
+    }
+}
+
+enum RoundOutcome {
+    Won,
+    Lost,
+    Unreachable { reachable: usize },
+}
+
+impl LockGuard<'_> {
+    /// Re-stamps the lock (upload new file, delete old) so other clients
+    /// never see it older than ΔT. Call at most every ΔT/2 while holding
+    /// the lock across long operations.
+    pub fn refresh(&mut self) {
+        let new_name = lock_file_name(&self.lock.device, self.lock.rt.now().as_nanos());
+        if new_name == self.lock_name {
+            return;
+        }
+        let new_path = format!("{LOCK_DIR}/{new_name}");
+        let tasks: Vec<_> = self
+            .lock
+            .clouds
+            .iter()
+            .map(|(_, cloud)| {
+                let cloud = std::sync::Arc::clone(cloud);
+                let path = new_path.clone();
+                unidrive_sim::spawn(&self.lock.rt, "lock-refresh", move || {
+                    let _ = cloud.upload(&path, bytes::Bytes::new());
+                })
+            })
+            .collect();
+        for t in tasks {
+            t.join();
+        }
+        self.lock.withdraw(&self.lock_name);
+        self.lock_name = new_name;
+    }
+
+    /// Releases the lock by deleting our lock files everywhere.
+    pub fn release(mut self) {
+        self.lock.withdraw(&self.lock_name);
+        self.released = true;
+    }
+
+    /// The current lock file name (diagnostics).
+    pub fn lock_name(&self) -> &str {
+        &self.lock_name
+    }
+}
+
+impl Drop for LockGuard<'_> {
+    fn drop(&mut self) {
+        if !self.released {
+            self.lock.withdraw(&self.lock_name);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use unidrive_cloud::{CloudStore, MemCloud};
+    use unidrive_sim::{spawn, RealRuntime, SimRuntime};
+
+    fn mem_clouds(n: usize) -> CloudSet {
+        CloudSet::new(
+            (0..n)
+                .map(|i| Arc::new(MemCloud::new(format!("c{i}"))) as Arc<dyn CloudStore>)
+                .collect(),
+        )
+    }
+
+    fn lock_on(
+        rt: Arc<dyn Runtime>,
+        clouds: CloudSet,
+        device: &str,
+        seed: u64,
+    ) -> QuorumLock {
+        QuorumLock::new(
+            rt,
+            clouds,
+            device,
+            LockConfig::default(),
+            SimRng::seed_from_u64(seed),
+        )
+    }
+
+    #[test]
+    fn uncontended_acquire_and_release() {
+        let rt: Arc<dyn Runtime> = Arc::new(RealRuntime::new());
+        let clouds = mem_clouds(5);
+        let lock = lock_on(rt, clouds.clone(), "dev-a", 1);
+        let guard = lock.acquire().unwrap();
+        // Lock files visible on every cloud.
+        for (_, c) in clouds.iter() {
+            assert_eq!(c.list(LOCK_DIR).unwrap().len(), 1);
+        }
+        guard.release();
+        for (_, c) in clouds.iter() {
+            assert!(c.list(LOCK_DIR).unwrap().is_empty());
+        }
+    }
+
+    #[test]
+    fn second_client_blocks_until_release() {
+        let sim = SimRuntime::new(2);
+        let rt = sim.clone().as_runtime();
+        let clouds = mem_clouds(5);
+        let lock_a = lock_on(rt.clone(), clouds.clone(), "dev-a", 3);
+        let guard = lock_a.acquire().unwrap();
+
+        let rt2 = rt.clone();
+        let clouds2 = clouds.clone();
+        let contender = spawn(&rt, "dev-b", move || {
+            let lock_b = lock_on(rt2.clone(), clouds2, "dev-b", 4);
+            let acquired = lock_b.acquire().is_ok();
+            acquired
+        });
+        // Hold the lock briefly, then release; B must eventually win.
+        sim.sleep(Duration::from_secs(2));
+        guard.release();
+        assert!(contender.join());
+    }
+
+    #[test]
+    fn mutual_exclusion_under_contention() {
+        let sim = SimRuntime::new(5);
+        let rt = sim.clone().as_runtime();
+        let clouds = mem_clouds(5);
+        let in_cs = Arc::new(std::sync::atomic::AtomicUsize::new(0));
+        let max_seen = Arc::new(std::sync::atomic::AtomicUsize::new(0));
+        let tasks: Vec<_> = (0..4)
+            .map(|i| {
+                let rt2 = rt.clone();
+                let clouds = clouds.clone();
+                let in_cs = Arc::clone(&in_cs);
+                let max_seen = Arc::clone(&max_seen);
+                spawn(&rt, &format!("dev-{i}"), move || {
+                    let lock = lock_on(rt2.clone(), clouds, &format!("dev-{i}"), 100 + i);
+                    for _ in 0..3 {
+                        let guard = lock.acquire().expect("acquire");
+                        let n = in_cs.fetch_add(1, std::sync::atomic::Ordering::SeqCst) + 1;
+                        max_seen.fetch_max(n, std::sync::atomic::Ordering::SeqCst);
+                        rt2.sleep(Duration::from_millis(50));
+                        in_cs.fetch_sub(1, std::sync::atomic::Ordering::SeqCst);
+                        guard.release();
+                        rt2.sleep(Duration::from_millis(20));
+                    }
+                })
+            })
+            .collect();
+        for t in tasks {
+            t.join();
+        }
+        assert_eq!(
+            max_seen.load(std::sync::atomic::Ordering::SeqCst),
+            1,
+            "two devices were in the critical section simultaneously"
+        );
+    }
+
+    #[test]
+    fn abandoned_lock_is_broken_after_delta_t() {
+        let sim = SimRuntime::new(6);
+        let rt = sim.clone().as_runtime();
+        let clouds = mem_clouds(5);
+        // A crashed device left lock files behind.
+        for (_, c) in clouds.iter() {
+            c.upload(
+                &format!("{LOCK_DIR}/{}", lock_file_name("crashed", 1)),
+                bytes::Bytes::new(),
+            )
+            .unwrap();
+        }
+        let mut config = LockConfig::default();
+        config.stale_after = Duration::from_secs(120);
+        config.max_attempts = 40;
+        let lock = QuorumLock::new(
+            rt,
+            clouds,
+            "dev-a",
+            config,
+            SimRng::seed_from_u64(7),
+        );
+        let t0 = sim.now();
+        let guard = lock.acquire().expect("should break the stale lock");
+        let waited = sim.now() - t0;
+        assert!(
+            waited > Duration::from_secs(120),
+            "acquired before ΔT elapsed: {waited:?}"
+        );
+        guard.release();
+    }
+
+    #[test]
+    fn quorum_survives_minority_outage() {
+        let rt: Arc<dyn Runtime> = Arc::new(RealRuntime::new());
+        let sims: Vec<Arc<unidrive_cloud::SimCloud>> = Vec::new();
+        drop(sims);
+        // Use FaultyCloud with 100% failure on 2 of 5 clouds.
+        let mut members: Vec<Arc<dyn CloudStore>> = Vec::new();
+        for i in 0..5 {
+            let inner: Arc<dyn CloudStore> = Arc::new(MemCloud::new(format!("c{i}")));
+            if i < 2 {
+                members.push(Arc::new(unidrive_cloud::FaultyCloud::new(inner, 1.0, i as u64)));
+            } else {
+                members.push(inner);
+            }
+        }
+        let clouds = CloudSet::new(members);
+        let lock = lock_on(rt, clouds, "dev-a", 8);
+        let guard = lock.acquire().expect("3 of 5 clouds suffice");
+        guard.release();
+    }
+
+    #[test]
+    fn majority_outage_fails_fast() {
+        let rt: Arc<dyn Runtime> = Arc::new(RealRuntime::new());
+        let mut members: Vec<Arc<dyn CloudStore>> = Vec::new();
+        for i in 0..5 {
+            let inner: Arc<dyn CloudStore> = Arc::new(MemCloud::new(format!("c{i}")));
+            if i < 3 {
+                members.push(Arc::new(unidrive_cloud::FaultyCloud::new(inner, 1.0, i as u64)));
+            } else {
+                members.push(inner);
+            }
+        }
+        let clouds = CloudSet::new(members);
+        let lock = lock_on(rt, clouds, "dev-a", 9);
+        assert!(matches!(
+            lock.acquire().unwrap_err(),
+            LockError::QuorumUnreachable { reachable: 2, quorum: 3 }
+        ));
+    }
+
+    #[test]
+    fn refresh_replaces_lock_file() {
+        let sim = SimRuntime::new(10);
+        let rt = sim.clone().as_runtime();
+        let clouds = mem_clouds(3);
+        let lock = lock_on(rt, clouds.clone(), "dev-a", 11);
+        let mut guard = lock.acquire().unwrap();
+        let old = guard.lock_name().to_owned();
+        sim.sleep(Duration::from_secs(30));
+        guard.refresh();
+        assert_ne!(guard.lock_name(), old);
+        let (_, cloud) = clouds.iter().next().unwrap();
+        let names: Vec<String> = cloud
+            .list(LOCK_DIR)
+            .unwrap()
+            .into_iter()
+            .map(|e| e.name)
+            .collect();
+        assert_eq!(names.len(), 1);
+        assert_eq!(names[0], guard.lock_name());
+        guard.release();
+    }
+
+    #[test]
+    fn drop_releases_best_effort() {
+        let rt: Arc<dyn Runtime> = Arc::new(RealRuntime::new());
+        let clouds = mem_clouds(3);
+        let lock = lock_on(rt, clouds.clone(), "dev-a", 12);
+        {
+            let _guard = lock.acquire().unwrap();
+        }
+        for (_, c) in clouds.iter() {
+            assert!(c.list(LOCK_DIR).unwrap().is_empty());
+        }
+    }
+}

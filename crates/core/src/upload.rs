@@ -1,0 +1,803 @@
+//! Upload scheduling: even normal-block placement, **over-provisioning**
+//! onto idle fast clouds, and the **availability-first /
+//! reliability-second** two-phase principle for batches (paper §6.2).
+//!
+//! The scheduler is pull-based: one worker thread per (cloud,
+//! connection) asks for its next block whenever it goes idle. Because a
+//! faster cloud's connections go idle more often, it is handed more
+//! blocks — the network utilization of each cloud ends up proportional
+//! to its performance exactly as the paper intends, with every completed
+//! transfer doubling as an in-channel bandwidth probe.
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+use std::time::Duration;
+
+use bytes::Bytes;
+use parking_lot::Mutex;
+use unidrive_cloud::{retrying, CloudError, CloudId, CloudSet};
+use unidrive_erasure::Codec;
+use unidrive_meta::{block_path, BlockRef, SegmentId};
+use unidrive_sim::{spawn, Runtime, Time};
+
+use crate::plan::{normal_assignment, DataPlaneConfig, SegmentData};
+use crate::probe::BandwidthProbe;
+
+/// How often an idle worker re-checks for work (virtual or wall time).
+const IDLE_POLL: Duration = Duration::from_millis(5);
+/// Give up on a block after this many failed placements.
+const MAX_BLOCK_BOUNCES: u32 = 8;
+
+/// One file to upload, already segmented.
+#[derive(Debug, Clone)]
+pub struct FileUpload {
+    /// Sync-folder-relative path (reporting only).
+    pub path: String,
+    /// The file's segments in order. Segments already present in the
+    /// multi-cloud (dedup hits) are simply omitted by the caller.
+    pub segments: Vec<SegmentData>,
+}
+
+/// Shared sink collecting `(segment, block)` placements that complete
+/// *after* an upload call returned (paper §5.1: block locations are "set
+/// asynchronously via callback"). The client drains it at its next
+/// metadata commit.
+pub type BlockSink = Arc<Mutex<Vec<(SegmentId, BlockRef)>>>;
+
+/// Options controlling one upload batch.
+#[derive(Debug, Clone, Default)]
+pub struct UploadOptions {
+    /// Return as soon as every file is *available* (k blocks per
+    /// segment); the reliability-second work continues on background
+    /// workers, reporting placements through `sink`.
+    pub detach_after_availability: bool,
+    /// Receives every successful placement (including those after
+    /// detach).
+    pub sink: Option<BlockSink>,
+}
+
+/// Outcome for one uploaded file.
+#[derive(Debug, Clone)]
+pub struct FileUploadResult {
+    /// Path as supplied.
+    pub path: String,
+    /// When the file became *available* (k blocks of every segment in
+    /// the multi-cloud), if it did.
+    pub available_at: Option<Time>,
+    /// Whether every cloud holds its fair share of every segment.
+    pub reliable: bool,
+}
+
+/// Outcome of an upload batch.
+#[derive(Debug, Clone)]
+pub struct UploadReport {
+    /// Per-file outcomes, in request order.
+    pub files: Vec<FileUploadResult>,
+    /// Every block successfully placed: feed these to
+    /// [`SyncFolderImage::record_block`](unidrive_meta::SyncFolderImage::record_block).
+    pub blocks: Vec<(SegmentId, BlockRef)>,
+    /// Blocks that could not be placed anywhere (all candidate clouds
+    /// dead or at their security cap).
+    pub unplaced_blocks: usize,
+    /// When the batch started.
+    pub started: Time,
+    /// When the batch finished.
+    pub finished: Time,
+    /// Availability timeline: `(time, file index)` per file, in
+    /// completion order (drives the Fig. 12 cumulative plot).
+    pub timeline: Vec<(Time, usize)>,
+}
+
+impl UploadReport {
+    /// Whether every file became available.
+    pub fn all_available(&self) -> bool {
+        self.files.iter().all(|f| f.available_at.is_some())
+    }
+
+    /// Duration until the last file became available (the paper's
+    /// *available time* metric), if all did.
+    pub fn available_duration(&self) -> Option<Duration> {
+        let last = self
+            .files
+            .iter()
+            .map(|f| f.available_at)
+            .collect::<Option<Vec<_>>>()?
+            .into_iter()
+            .max()?;
+        Some(last.saturating_duration_since(self.started))
+    }
+
+    /// Total wall/virtual duration of the batch (availability +
+    /// reliability phases).
+    pub fn total_duration(&self) -> Duration {
+        self.finished.saturating_duration_since(self.started)
+    }
+}
+
+struct SegPlan {
+    id: SegmentId,
+    data: Bytes,
+    /// Indices queued for each cloud (normal blocks initially).
+    planned: Vec<VecDeque<u16>>,
+    /// Blocks orphaned by dead clouds, waiting for a new home.
+    reassign: VecDeque<u16>,
+    /// Blocks currently in flight per cloud.
+    inflight: Vec<usize>,
+    /// Successfully placed blocks.
+    done: Vec<BlockRef>,
+    /// Next over-provisioned index to mint.
+    next_extra: u16,
+    /// Total per-segment failure bounces (gives up eventually).
+    bounces: u32,
+    /// Files (by index) referencing this segment.
+    files: Vec<usize>,
+}
+
+impl SegPlan {
+    fn blocks_on(&self, cloud: usize) -> usize {
+        self.done.iter().filter(|b| b.cloud as usize == cloud).count() + self.inflight[cloud]
+    }
+
+    fn available(&self, k: usize) -> bool {
+        self.done.len() >= k
+    }
+}
+
+struct UploadState {
+    segs: Vec<SegPlan>,
+    /// File index → (path, plan indices, available_at).
+    files: Vec<(String, Vec<usize>, Option<Time>)>,
+    cloud_alive: Vec<bool>,
+    finished: bool,
+    unplaced: usize,
+    timeline: Vec<(Time, usize)>,
+}
+
+impl UploadState {
+    fn file_available(&self, file: usize, k: usize) -> bool {
+        self.files[file]
+            .1
+            .iter()
+            .all(|&p| self.segs[p].available(k))
+    }
+
+    fn all_available(&self, k: usize) -> bool {
+        (0..self.files.len()).all(|f| self.files[f].2.is_some() || self.file_available(f, k))
+    }
+
+    /// Marks newly-available files, returning their indices.
+    fn refresh_availability(&mut self, k: usize, now: Time) -> Vec<usize> {
+        let mut newly = Vec::new();
+        for f in 0..self.files.len() {
+            if self.files[f].2.is_none() && self.file_available(f, k) {
+                self.files[f].2 = Some(now);
+                self.timeline.push((now, f));
+                newly.push(f);
+            }
+        }
+        newly
+    }
+}
+
+/// A job handed to a worker: upload block `index` of segment `seg`.
+struct Job {
+    seg: usize,
+    index: u16,
+}
+
+/// Runs one upload batch over `clouds` and returns the report.
+///
+/// The caller provides files already segmented (and deduplicated);
+/// see [`DataPlane`](crate::DataPlane) for the full path from bytes.
+pub fn run_upload(
+    rt: &Arc<dyn Runtime>,
+    clouds: &CloudSet,
+    codec: &Arc<Codec>,
+    config: &DataPlaneConfig,
+    probe: &Arc<BandwidthProbe>,
+    uploads: Vec<FileUpload>,
+) -> UploadReport {
+    run_upload_opts(rt, clouds, codec, config, probe, uploads, UploadOptions::default())
+}
+
+/// [`run_upload`] with [`UploadOptions`] (availability detach, block
+/// sink).
+pub fn run_upload_opts(
+    rt: &Arc<dyn Runtime>,
+    clouds: &CloudSet,
+    codec: &Arc<Codec>,
+    config: &DataPlaneConfig,
+    probe: &Arc<BandwidthProbe>,
+    uploads: Vec<FileUpload>,
+    options: UploadOptions,
+) -> UploadReport {
+    let started = rt.now();
+    let n_clouds = clouds.len();
+    let k = config.redundancy.k();
+    let cap = config.redundancy.per_cloud_cap();
+    let normal_total = config.redundancy.normal_block_count() as u16;
+
+    // Build plans, sharing one plan per distinct segment.
+    let mut files = Vec::new();
+    let mut segs: Vec<SegPlan> = Vec::new();
+    let mut seg_index: std::collections::HashMap<SegmentId, usize> = std::collections::HashMap::new();
+    for (fi, file) in uploads.iter().enumerate() {
+        let mut plan_ids = Vec::new();
+        for seg in &file.segments {
+            let idx = *seg_index.entry(seg.id).or_insert_with(|| {
+                let assignment = normal_assignment(&config.redundancy);
+                segs.push(SegPlan {
+                    id: seg.id,
+                    data: seg.data.clone(),
+                    planned: assignment
+                        .into_iter()
+                        .map(|v| v.into_iter().collect())
+                        .collect(),
+                    reassign: VecDeque::new(),
+                    inflight: vec![0; n_clouds],
+                    done: Vec::new(),
+                    next_extra: normal_total,
+                    bounces: 0,
+                    files: Vec::new(),
+                });
+                segs.len() - 1
+            });
+            if !segs[idx].files.contains(&fi) {
+                segs[idx].files.push(fi);
+            }
+            plan_ids.push(idx);
+        }
+        files.push((file.path.clone(), plan_ids, None));
+    }
+
+    let state = Arc::new(Mutex::new(UploadState {
+        segs,
+        files,
+        cloud_alive: vec![true; n_clouds],
+        finished: false,
+        unplaced: 0,
+        timeline: Vec::new(),
+    }));
+
+    // Files with no segments (empty, or fully deduplicated) are
+    // available immediately.
+    {
+        let mut st = state.lock();
+        st.refresh_availability(k, started);
+        maybe_finish(&mut st, cap);
+    }
+
+    let mut workers = Vec::new();
+    for (cloud_id, cloud) in clouds.iter() {
+        for conn in 0..config.connections_per_cloud {
+            let rt2 = Arc::clone(rt);
+            let cloud = Arc::clone(cloud);
+            let codec = Arc::clone(codec);
+            let state = Arc::clone(&state);
+            let probe = Arc::clone(probe);
+            let config = config.clone();
+            let sink = options.sink.clone();
+            workers.push(spawn(
+                rt,
+                &format!("up-{}-{}", cloud.name(), conn),
+                move || loop {
+                    let job = {
+                        let mut st = state.lock();
+                        if st.finished {
+                            break;
+                        }
+                        next_job(&mut st, cloud_id.0, k, cap, &config)
+                    };
+                    let Some(job) = job else {
+                        rt2.sleep(IDLE_POLL);
+                        continue;
+                    };
+                    let (seg_id, block) = {
+                        let st = state.lock();
+                        (st.segs[job.seg].id, st.segs[job.seg].data.clone())
+                    };
+                    let encoded = codec.encode_block(&block, job.index as usize);
+                    let path = block_path(&seg_id, job.index);
+                    let bytes_len = encoded.len() as u64;
+                    let t0 = rt2.now();
+                    let result = retrying(&rt2, &config.retry, || {
+                        cloud.upload(&path, encoded.clone())
+                    });
+                    let elapsed = rt2.now().saturating_duration_since(t0);
+                    let mut st = state.lock();
+                    st.segs[job.seg].inflight[cloud_id.0] -= 1;
+                    match result {
+                        Ok(()) => {
+                            probe.record(cloud_id, bytes_len, elapsed);
+                            let placed = BlockRef {
+                                index: job.index,
+                                cloud: cloud_id.0 as u16,
+                            };
+                            st.segs[job.seg].done.push(placed);
+                            if let Some(sink) = &sink {
+                                sink.lock().push((st.segs[job.seg].id, placed));
+                            }
+                            let now = rt2.now();
+                            st.refresh_availability(k, now);
+                        }
+                        Err(e) => {
+                            handle_failure(&mut st, job, cloud_id, e, cap);
+                        }
+                    }
+                    maybe_finish(&mut st, cap);
+                },
+            ));
+        }
+    }
+    if options.detach_after_availability {
+        // Wait only until every file is available (or nothing more can
+        // make progress); the reliability work continues on the detached
+        // workers and reports through the sink.
+        loop {
+            {
+                let mut st = state.lock();
+                let all_avail = st.files.iter().all(|(_, _, at)| at.is_some())
+                    || st.all_available(k);
+                if st.finished || all_avail {
+                    // Stamp availability in case the check above hit the
+                    // computed path.
+                    let now = rt.now();
+                    st.refresh_availability(k, now);
+                    break;
+                }
+            }
+            rt.sleep(IDLE_POLL);
+        }
+        drop(workers); // detach: tasks keep running on their own threads
+    } else {
+        for w in workers {
+            w.join();
+        }
+    }
+
+    let finished = rt.now();
+    let st = state.lock();
+    let fair = config.redundancy.fair_share();
+    let report_files = st
+        .files
+        .iter()
+        .map(|(path, plan_ids, available_at)| {
+            let reliable = plan_ids.iter().all(|&p| {
+                let seg = &st.segs[p];
+                (0..n_clouds).all(|c| {
+                    !st.cloud_alive[c] || seg.done.iter().filter(|b| b.cloud as usize == c).count() >= fair
+                })
+            });
+            FileUploadResult {
+                path: path.clone(),
+                available_at: *available_at,
+                reliable,
+            }
+        })
+        .collect();
+    let blocks = st
+        .segs
+        .iter()
+        .flat_map(|s| s.done.iter().map(move |b| (s.id, *b)))
+        .collect();
+    UploadReport {
+        files: report_files,
+        blocks,
+        unplaced_blocks: st.unplaced,
+        started,
+        finished,
+        timeline: st.timeline.clone(),
+    }
+}
+
+/// Picks the next block for an idle connection of `cloud` under the
+/// two-phase + over-provisioning policy.
+fn next_job(
+    st: &mut UploadState,
+    cloud: usize,
+    k: usize,
+    cap: usize,
+    config: &DataPlaneConfig,
+) -> Option<Job> {
+    if !st.cloud_alive[cloud] {
+        return None;
+    }
+    let all_avail = st.all_available(k);
+
+    // Ablation mode (two_phase = false): file-at-a-time — finish ALL of
+    // the earliest unfinished file's work (availability, reliability,
+    // extras) before touching the next file. This is the natural
+    // alternative the paper's availability-first principle improves on.
+    if !config.two_phase {
+        for f in 0..st.files.len() {
+            let plan_ids = st.files[f].1.clone();
+            let pending = plan_ids.iter().any(|&p| {
+                let seg = &st.segs[p];
+                (0..st.cloud_alive.len()).any(|c| !seg.planned[c].is_empty())
+                    || !seg.reassign.is_empty()
+                    || seg.inflight.iter().any(|&i| i > 0)
+                    || !seg.available(k)
+            });
+            if !pending {
+                continue;
+            }
+            for &p in &plan_ids {
+                if let Some(job) = take_planned(st, p, cloud, cap) {
+                    return Some(job);
+                }
+            }
+            if config.overprovisioning {
+                for &p in &plan_ids {
+                    if st.segs[p].available(k) {
+                        continue;
+                    }
+                    if let Some(job) = mint_extra(st, p, cloud, cap) {
+                        return Some(job);
+                    }
+                }
+            }
+            // This file still has in-flight work: wait for it rather
+            // than starting the next file.
+            return None;
+        }
+        return None;
+    }
+
+    // Phase 1 — availability: earliest unavailable file first. All of
+    // this cloud's planned (fair-share) work comes first; only a cloud
+    // that has *finished its fair share* of a file receives
+    // over-provisioned extras (paper: extras are "assigned on the fly to
+    // those clouds finished transferring their fair share").
+    for f in 0..st.files.len() {
+        if st.files[f].2.is_some() {
+            continue;
+        }
+        let plan_ids = st.files[f].1.clone();
+        for &p in &plan_ids {
+            if st.segs[p].available(k) {
+                continue;
+            }
+            if let Some(job) = take_planned(st, p, cloud, cap) {
+                return Some(job);
+            }
+        }
+        if config.overprovisioning {
+            for &p in &plan_ids {
+                if st.segs[p].available(k) {
+                    continue;
+                }
+                if let Some(job) = mint_extra(st, p, cloud, cap) {
+                    return Some(job);
+                }
+            }
+        }
+    }
+
+    // Phase 2 — reliability: remaining fair-share blocks. Under the
+    // two-phase principle this work only starts once ALL files are
+    // available; the ablation switch interleaves it instead.
+    if all_avail || !config.two_phase {
+        for p in 0..st.segs.len() {
+            if let Some(job) = take_planned(st, p, cloud, cap) {
+                return Some(job);
+            }
+        }
+        // Over-provisioning continues while the slowest cloud is still
+        // pushing its fair share (paper §6.2: "the over-provisioning
+        // process will stop when the slowest cloud finishes uploading
+        // its fair share or when the maximally allowed blocks are
+        // transferred") — an otherwise idle fast cloud keeps minting
+        // extras, which is what lets Fig. 14 survive n = 3 outages.
+        if config.overprovisioning {
+            let slowest_still_pushing = st.segs.iter().any(|seg| {
+                (0..st.cloud_alive.len()).any(|c| !seg.planned[c].is_empty())
+                    || seg.inflight.iter().any(|&i| i > 0)
+            });
+            if slowest_still_pushing {
+                for p in 0..st.segs.len() {
+                    if let Some(job) = mint_extra(st, p, cloud, cap) {
+                        return Some(job);
+                    }
+                }
+            }
+        }
+    }
+    None
+}
+
+fn take_planned(st: &mut UploadState, p: usize, cloud: usize, cap: usize) -> Option<Job> {
+    // Our own queued normal blocks first.
+    if let Some(index) = st.segs[p].planned[cloud].pop_front() {
+        st.segs[p].inflight[cloud] += 1;
+        return Some(Job { seg: p, index });
+    }
+    // Orphans from dead clouds, if the security cap allows us to adopt.
+    if st.segs[p].blocks_on(cloud) < cap {
+        if let Some(index) = st.segs[p].reassign.pop_front() {
+            st.segs[p].inflight[cloud] += 1;
+            return Some(Job { seg: p, index });
+        }
+    }
+    None
+}
+
+fn mint_extra(st: &mut UploadState, p: usize, cloud: usize, cap: usize) -> Option<Job> {
+    let seg = &mut st.segs[p];
+    if seg.blocks_on(cloud) >= cap {
+        return None;
+    }
+    let n_max = seg
+        .planned
+        .len()
+        .checked_mul(cap)
+        .expect("cap fits") as u16;
+    if seg.next_extra >= n_max {
+        return None;
+    }
+    let index = seg.next_extra;
+    seg.next_extra += 1;
+    seg.inflight[cloud] += 1;
+    Some(Job { seg: p, index })
+}
+
+fn handle_failure(st: &mut UploadState, job: Job, cloud: CloudId, error: CloudError, cap: usize) {
+    let fatal = matches!(
+        error,
+        CloudError::Unavailable { .. } | CloudError::QuotaExceeded { .. }
+    );
+    if fatal {
+        // Fail the cloud for this batch and orphan its queued blocks.
+        st.cloud_alive[cloud.0] = false;
+        for seg in &mut st.segs {
+            let orphans: Vec<u16> = seg.planned[cloud.0].drain(..).collect();
+            seg.reassign.extend(orphans);
+        }
+    }
+    let seg = &mut st.segs[job.seg];
+    seg.bounces += 1;
+    if seg.bounces <= MAX_BLOCK_BOUNCES {
+        seg.reassign.push_back(job.index);
+    } else {
+        st.unplaced += 1;
+    }
+    let _ = cap;
+}
+
+/// Declares the batch finished when no work remains or none of what
+/// remains is assignable (every candidate cloud is dead or at its
+/// security cap). Permanently-stuck orphan blocks are counted as
+/// unplaced so the report can surface degraded reliability.
+fn maybe_finish(st: &mut UploadState, cap: usize) {
+    if st.finished {
+        return;
+    }
+    let n_clouds = st.cloud_alive.len();
+    for p in 0..st.segs.len() {
+        let seg = &st.segs[p];
+        if seg.inflight.iter().any(|&i| i > 0) {
+            return;
+        }
+        if (0..n_clouds).any(|c| st.cloud_alive[c] && !seg.planned[c].is_empty()) {
+            return;
+        }
+        if !seg.reassign.is_empty() {
+            let adoptable =
+                (0..n_clouds).any(|c| st.cloud_alive[c] && seg.blocks_on(c) < cap);
+            if adoptable {
+                return;
+            }
+        }
+    }
+    // Nothing is in flight and nothing left is assignable: drain the
+    // stuck orphans and finish.
+    for seg in &mut st.segs {
+        st.unplaced += seg.reassign.len();
+        seg.reassign.clear();
+    }
+    st.finished = true;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use unidrive_cloud::{CloudStore, SimCloud, SimCloudConfig};
+    use unidrive_crypto::Sha1;
+    use unidrive_erasure::RedundancyConfig;
+    use unidrive_sim::SimRuntime;
+
+    fn make_file(path: &str, size: usize, tag: u8) -> FileUpload {
+        let data: Vec<u8> = (0..size).map(|i| (i as u8).wrapping_mul(tag)).collect();
+        FileUpload {
+            path: path.into(),
+            segments: vec![SegmentData {
+                id: unidrive_meta::SegmentId(Sha1::digest(&data)),
+                data: Bytes::from(data),
+            }],
+        }
+    }
+
+    fn setup(
+        seed: u64,
+        rates: &[f64],
+    ) -> (
+        Arc<SimRuntime>,
+        Arc<dyn Runtime>,
+        CloudSet,
+        Arc<Codec>,
+        DataPlaneConfig,
+        Arc<BandwidthProbe>,
+    ) {
+        let sim = SimRuntime::new(seed);
+        let clouds = CloudSet::new(
+            rates
+                .iter()
+                .enumerate()
+                .map(|(i, &r)| {
+                    Arc::new(SimCloud::new(
+                        &sim,
+                        format!("c{i}"),
+                        SimCloudConfig::steady(r, r * 5.0),
+                    )) as Arc<dyn CloudStore>
+                })
+                .collect(),
+        );
+        let redundancy = RedundancyConfig::new(rates.len(), 3, 3, 2).unwrap();
+        let config = DataPlaneConfig::with_params(redundancy, 64 * 1024);
+        let codec = Arc::new(Codec::for_config(&config.redundancy).unwrap());
+        let probe = Arc::new(BandwidthProbe::new(rates.len(), 1e6));
+        let rt = sim.clone().as_runtime();
+        (sim, rt, clouds, codec, config, probe)
+    }
+
+    #[test]
+    fn upload_places_fair_share_everywhere() {
+        let (_sim, rt, clouds, codec, config, probe) = setup(1, &[1e6; 5]);
+        let report = run_upload(
+            &rt,
+            &clouds,
+            &codec,
+            &config,
+            &probe,
+            vec![make_file("f", 300_000, 3)],
+        );
+        assert!(report.all_available());
+        assert!(report.files[0].reliable);
+        assert_eq!(report.unplaced_blocks, 0);
+        // Every cloud holds at least fair share (1) and at most cap (2).
+        for c in 0..5u16 {
+            let on_c = report.blocks.iter().filter(|(_, b)| b.cloud == c).count();
+            assert!((1..=2).contains(&on_c), "cloud {c} holds {on_c}");
+        }
+    }
+
+    #[test]
+    fn over_provisioning_gives_fast_clouds_more_blocks() {
+        // Cloud 0 is 10x faster than the rest.
+        let (_sim, rt, clouds, codec, config, probe) =
+            setup(2, &[10e6, 1e6, 1e6, 1e6, 1e6]);
+        let report = run_upload(
+            &rt,
+            &clouds,
+            &codec,
+            &config,
+            &probe,
+            vec![make_file("f", 600_000, 5)],
+        );
+        assert!(report.all_available());
+        let on_fast = report.blocks.iter().filter(|(_, b)| b.cloud == 0).count();
+        let per_seg_cap = config.redundancy.per_cloud_cap();
+        let segs: std::collections::HashSet<_> =
+            report.blocks.iter().map(|(s, _)| *s).collect();
+        // The fast cloud should be saturated at its security cap.
+        assert_eq!(on_fast, per_seg_cap * segs.len(), "fast cloud not saturated");
+    }
+
+    #[test]
+    fn security_cap_never_exceeded() {
+        let (_sim, rt, clouds, codec, config, probe) =
+            setup(3, &[20e6, 1e6, 1e6, 1e6, 1e6]);
+        let report = run_upload(
+            &rt,
+            &clouds,
+            &codec,
+            &config,
+            &probe,
+            (0..4).map(|i| make_file(&format!("f{i}"), 200_000, i as u8 + 1)).collect(),
+        );
+        let cap = config.redundancy.per_cloud_cap();
+        let mut per_seg_cloud: std::collections::HashMap<(SegmentId, u16), usize> =
+            std::collections::HashMap::new();
+        for (seg, b) in &report.blocks {
+            *per_seg_cloud.entry((*seg, b.cloud)).or_default() += 1;
+        }
+        for ((seg, cloud), count) in per_seg_cloud {
+            assert!(
+                count <= cap,
+                "segment {seg} has {count} blocks on cloud {cloud} (cap {cap})"
+            );
+        }
+    }
+
+    #[test]
+    fn upload_survives_a_dead_cloud() {
+        let sim = SimRuntime::new(4);
+        let mut members: Vec<Arc<dyn CloudStore>> = Vec::new();
+        let mut sim_clouds = Vec::new();
+        for i in 0..5 {
+            let c = Arc::new(SimCloud::new(
+                &sim,
+                format!("c{i}"),
+                SimCloudConfig::steady(1e6, 5e6),
+            ));
+            sim_clouds.push(Arc::clone(&c));
+            members.push(c);
+        }
+        sim_clouds[2].set_available(false);
+        let clouds = CloudSet::new(members);
+        let redundancy = RedundancyConfig::new(5, 3, 3, 2).unwrap();
+        let config = DataPlaneConfig::with_params(redundancy, 64 * 1024);
+        let codec = Arc::new(Codec::for_config(&config.redundancy).unwrap());
+        let probe = Arc::new(BandwidthProbe::new(5, 1e6));
+        let rt = sim.clone().as_runtime();
+        let report = run_upload(
+            &rt,
+            &clouds,
+            &codec,
+            &config,
+            &probe,
+            vec![make_file("f", 300_000, 7)],
+        );
+        assert!(report.all_available(), "upload must survive one outage");
+        assert!(report
+            .blocks
+            .iter()
+            .all(|(_, b)| b.cloud != 2), "no blocks on the dead cloud");
+    }
+
+    #[test]
+    fn two_phase_batches_make_all_files_available_before_reliability() {
+        let (_sim, rt, clouds, codec, config, probe) =
+            setup(5, &[2e6, 1e6, 1e6, 1e6, 0.5e6]);
+        let files: Vec<FileUpload> = (0..5)
+            .map(|i| make_file(&format!("f{i}"), 150_000, i as u8 + 1))
+            .collect();
+        let report = run_upload(&rt, &clouds, &codec, &config, &probe, files);
+        assert!(report.all_available());
+        assert_eq!(report.timeline.len(), 5);
+        // Availability of the last file precedes the end of the batch
+        // (reliability work continues afterwards).
+        let last_avail = report.timeline.iter().map(|(t, _)| *t).max().unwrap();
+        assert!(last_avail <= report.finished);
+    }
+
+    #[test]
+    fn empty_and_dedup_only_files_complete_instantly() {
+        let (_sim, rt, clouds, codec, config, probe) = setup(6, &[1e6; 5]);
+        let report = run_upload(
+            &rt,
+            &clouds,
+            &codec,
+            &config,
+            &probe,
+            vec![FileUpload {
+                path: "empty.txt".into(),
+                segments: Vec::new(),
+            }],
+        );
+        assert!(report.all_available());
+        assert_eq!(report.blocks.len(), 0);
+    }
+
+    #[test]
+    fn duplicate_segments_upload_once() {
+        let (_sim, rt, clouds, codec, config, probe) = setup(7, &[1e6; 5]);
+        let f1 = make_file("a", 100_000, 9);
+        let mut f2 = f1.clone();
+        f2.path = "b".into();
+        let report = run_upload(&rt, &clouds, &codec, &config, &probe, vec![f1, f2]);
+        assert!(report.all_available());
+        let seg_ids: std::collections::HashSet<_> =
+            report.blocks.iter().map(|(s, _)| *s).collect();
+        assert_eq!(seg_ids.len(), 1, "shared segment uploaded once");
+    }
+}

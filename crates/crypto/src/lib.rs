@@ -1,0 +1,20 @@
+//! # unidrive-crypto
+//!
+//! From-scratch implementations of the two primitives the UniDrive paper
+//! names: **SHA-1** (content addressing of segments, §6.1) and **DES**
+//! (metadata encryption, §4), plus a DES-CBC + PKCS#5 [`MetadataCipher`]
+//! with passphrase key derivation.
+//!
+//! Both algorithms are reproduced for fidelity to the 2015 paper; see
+//! the module docs for security caveats.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod cbc;
+mod des;
+mod sha1;
+
+pub use cbc::{DecryptError, MetadataCipher};
+pub use des::Des;
+pub use sha1::{Digest, Sha1};

@@ -1,0 +1,228 @@
+//! Arithmetic in GF(2⁸), the finite field underlying Reed-Solomon coding.
+//!
+//! The field is GF(2)[x]/(x⁸ + x⁴ + x³ + x² + 1) (the 0x11D polynomial,
+//! as in AES-agnostic RS implementations). Multiplication and inversion
+//! go through log/exp tables computed at compile time, so there is no
+//! runtime table-initialization state.
+
+/// The irreducible polynomial (without the x⁸ term) defining the field.
+pub const POLY: u16 = 0x1D;
+
+const fn build_tables() -> ([u8; 256], [u8; 512]) {
+    let mut log = [0u8; 256];
+    let mut exp = [0u8; 512];
+    let mut x: u16 = 1;
+    let mut i = 0;
+    while i < 255 {
+        exp[i] = x as u8;
+        log[x as usize] = i as u8;
+        // Multiply x by the generator 2 in GF(256).
+        x <<= 1;
+        if x & 0x100 != 0 {
+            x ^= 0x11D;
+        }
+        i += 1;
+    }
+    // Duplicate the exp table so exp[log a + log b] needs no modulo.
+    let mut j = 255;
+    while j < 510 {
+        exp[j] = exp[j - 255];
+        j += 1;
+    }
+    (log, exp)
+}
+
+const TABLES: ([u8; 256], [u8; 512]) = build_tables();
+const LOG: [u8; 256] = TABLES.0;
+const EXP: [u8; 512] = TABLES.1;
+
+/// Adds two field elements (XOR; addition and subtraction coincide).
+#[inline]
+pub const fn add(a: u8, b: u8) -> u8 {
+    a ^ b
+}
+
+/// Multiplies two field elements.
+#[inline]
+pub fn mul(a: u8, b: u8) -> u8 {
+    if a == 0 || b == 0 {
+        0
+    } else {
+        EXP[LOG[a as usize] as usize + LOG[b as usize] as usize]
+    }
+}
+
+/// Divides `a` by `b`.
+///
+/// # Panics
+///
+/// Panics if `b == 0`.
+#[inline]
+pub fn div(a: u8, b: u8) -> u8 {
+    assert!(b != 0, "division by zero in GF(256)");
+    if a == 0 {
+        0
+    } else {
+        EXP[(LOG[a as usize] as usize + 255 - LOG[b as usize] as usize) % 255]
+    }
+}
+
+/// Multiplicative inverse.
+///
+/// # Panics
+///
+/// Panics if `a == 0`.
+#[inline]
+pub fn inv(a: u8) -> u8 {
+    assert!(a != 0, "zero has no inverse in GF(256)");
+    EXP[255 - LOG[a as usize] as usize]
+}
+
+/// Raises `a` to the power `e`.
+pub fn pow(a: u8, e: u32) -> u8 {
+    if e == 0 {
+        return 1;
+    }
+    if a == 0 {
+        return 0;
+    }
+    let l = LOG[a as usize] as u64 * e as u64;
+    EXP[(l % 255) as usize]
+}
+
+/// `dst[i] ^= c * src[i]` for all `i` — the inner loop of encoding and
+/// decoding.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn mul_add_slice(dst: &mut [u8], src: &[u8], c: u8) {
+    assert_eq!(dst.len(), src.len(), "slice length mismatch");
+    if c == 0 {
+        return;
+    }
+    if c == 1 {
+        for (d, s) in dst.iter_mut().zip(src) {
+            *d ^= s;
+        }
+        return;
+    }
+    let lc = LOG[c as usize] as usize;
+    for (d, s) in dst.iter_mut().zip(src) {
+        if *s != 0 {
+            *d ^= EXP[lc + LOG[*s as usize] as usize];
+        }
+    }
+}
+
+/// `dst[i] = c * dst[i]` for all `i`.
+pub fn scale_slice(dst: &mut [u8], c: u8) {
+    if c == 1 {
+        return;
+    }
+    if c == 0 {
+        dst.fill(0);
+        return;
+    }
+    let lc = LOG[c as usize] as usize;
+    for d in dst.iter_mut() {
+        if *d != 0 {
+            *d = EXP[lc + LOG[*d as usize] as usize];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tables_are_consistent() {
+        // exp and log are mutual inverses on the nonzero elements.
+        for a in 1..=255u8 {
+            assert_eq!(EXP[LOG[a as usize] as usize], a);
+        }
+    }
+
+    #[test]
+    fn mul_matches_schoolbook() {
+        // Carry-less multiply + reduction, the definitional algorithm.
+        fn slow_mul(mut a: u8, mut b: u8) -> u8 {
+            let mut r = 0u8;
+            while b != 0 {
+                if b & 1 != 0 {
+                    r ^= a;
+                }
+                let hi = a & 0x80 != 0;
+                a <<= 1;
+                if hi {
+                    a ^= 0x1D;
+                }
+                b >>= 1;
+            }
+            r
+        }
+        for a in 0..=255u8 {
+            for b in 0..=255u8 {
+                assert_eq!(mul(a, b), slow_mul(a, b), "a={a} b={b}");
+            }
+        }
+    }
+
+    #[test]
+    fn field_axioms_hold() {
+        for a in 1..=255u8 {
+            assert_eq!(mul(a, inv(a)), 1, "a={a}");
+            assert_eq!(div(a, a), 1);
+            assert_eq!(mul(a, 1), a);
+            assert_eq!(add(a, a), 0);
+        }
+    }
+
+    #[test]
+    fn distributivity_spot_checks() {
+        for a in [3u8, 87, 255] {
+            for b in [5u8, 120, 254] {
+                for c in [7u8, 99, 200] {
+                    assert_eq!(mul(a, add(b, c)), add(mul(a, b), mul(a, c)));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pow_matches_repeated_mul() {
+        for a in [2u8, 3, 29, 255] {
+            let mut acc = 1u8;
+            for e in 0..20u32 {
+                assert_eq!(pow(a, e), acc, "a={a} e={e}");
+                acc = mul(acc, a);
+            }
+        }
+    }
+
+    #[test]
+    fn mul_add_slice_is_fused_multiply_xor() {
+        let src = [1u8, 2, 3, 250];
+        let mut dst = [9u8, 9, 9, 9];
+        mul_add_slice(&mut dst, &src, 7);
+        for i in 0..4 {
+            assert_eq!(dst[i], add(9, mul(7, src[i])));
+        }
+    }
+
+    #[test]
+    fn scale_slice_by_zero_and_one() {
+        let mut a = [5u8, 6, 7];
+        scale_slice(&mut a, 1);
+        assert_eq!(a, [5, 6, 7]);
+        scale_slice(&mut a, 0);
+        assert_eq!(a, [0, 0, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "division by zero")]
+    fn div_by_zero_panics() {
+        let _ = div(5, 0);
+    }
+}

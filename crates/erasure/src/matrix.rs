@@ -1,0 +1,287 @@
+//! Dense matrices over GF(2⁸) with the operations Reed-Solomon needs:
+//! multiplication, Gauss-Jordan inversion, and Vandermonde construction.
+
+use crate::gf256;
+
+/// A row-major dense matrix over GF(2⁸).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<u8>,
+}
+
+impl Matrix {
+    /// Creates a zero matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn zero(rows: usize, cols: usize) -> Self {
+        assert!(rows > 0 && cols > 0, "matrix dimensions must be positive");
+        Matrix {
+            rows,
+            cols,
+            data: vec![0; rows * cols],
+        }
+    }
+
+    /// Creates the identity matrix of size `n`.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Matrix::zero(n, n);
+        for i in 0..n {
+            m.set(i, i, 1);
+        }
+        m
+    }
+
+    /// Creates a matrix from rows of equal length.
+    ///
+    /// # Panics
+    ///
+    /// Panics if rows are empty or ragged.
+    pub fn from_rows(rows: Vec<Vec<u8>>) -> Self {
+        assert!(!rows.is_empty(), "need at least one row");
+        let cols = rows[0].len();
+        assert!(cols > 0, "need at least one column");
+        assert!(
+            rows.iter().all(|r| r.len() == cols),
+            "ragged rows in matrix"
+        );
+        let n = rows.len();
+        Matrix {
+            rows: n,
+            cols,
+            data: rows.into_iter().flatten().collect(),
+        }
+    }
+
+    /// A Vandermonde matrix whose row `i` is
+    /// `(1, xᵢ, xᵢ², …, xᵢ^(cols-1))` for the given evaluation points.
+    /// Any `cols` rows with distinct points form an invertible matrix —
+    /// the MDS property Reed-Solomon relies on.
+    ///
+    /// # Panics
+    ///
+    /// Panics if points are not distinct.
+    pub fn vandermonde(points: &[u8], cols: usize) -> Self {
+        let mut seen = [false; 256];
+        for &p in points {
+            assert!(!seen[p as usize], "duplicate Vandermonde point {p}");
+            seen[p as usize] = true;
+        }
+        let mut m = Matrix::zero(points.len(), cols);
+        for (i, &x) in points.iter().enumerate() {
+            for j in 0..cols {
+                m.set(i, j, gf256::pow(x, j as u32));
+            }
+        }
+        m
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Element at `(r, c)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    pub fn get(&self, r: usize, c: usize) -> u8 {
+        assert!(r < self.rows && c < self.cols, "index out of bounds");
+        self.data[r * self.cols + c]
+    }
+
+    /// Sets element `(r, c)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    pub fn set(&mut self, r: usize, c: usize, v: u8) {
+        assert!(r < self.rows && c < self.cols, "index out of bounds");
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// Borrows row `r` as a slice.
+    pub fn row(&self, r: usize) -> &[u8] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Returns a new matrix made of the selected rows (in the given
+    /// order).
+    pub fn select_rows(&self, indices: &[usize]) -> Matrix {
+        Matrix::from_rows(indices.iter().map(|&i| self.row(i).to_vec()).collect())
+    }
+
+    /// Matrix product `self × rhs`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the inner dimensions disagree.
+    pub fn mul(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!(self.cols, rhs.rows, "inner dimension mismatch");
+        let mut out = Matrix::zero(self.rows, rhs.cols);
+        for i in 0..self.rows {
+            for l in 0..self.cols {
+                let a = self.get(i, l);
+                if a == 0 {
+                    continue;
+                }
+                for j in 0..rhs.cols {
+                    let prod = gf256::mul(a, rhs.get(l, j));
+                    out.set(i, j, gf256::add(out.get(i, j), prod));
+                }
+            }
+        }
+        out
+    }
+
+    /// Inverts a square matrix by Gauss-Jordan elimination.
+    ///
+    /// Returns `None` if the matrix is singular.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix is not square.
+    pub fn inverse(&self) -> Option<Matrix> {
+        assert_eq!(self.rows, self.cols, "only square matrices invert");
+        let n = self.rows;
+        let mut a = self.clone();
+        let mut inv = Matrix::identity(n);
+        for col in 0..n {
+            // Find a pivot.
+            let pivot = (col..n).find(|&r| a.get(r, col) != 0)?;
+            if pivot != col {
+                a.swap_rows(pivot, col);
+                inv.swap_rows(pivot, col);
+            }
+            // Normalize the pivot row.
+            let p = a.get(col, col);
+            let pinv = gf256::inv(p);
+            a.scale_row(col, pinv);
+            inv.scale_row(col, pinv);
+            // Eliminate the column everywhere else.
+            for r in 0..n {
+                if r == col {
+                    continue;
+                }
+                let factor = a.get(r, col);
+                if factor != 0 {
+                    a.add_scaled_row(r, col, factor);
+                    inv.add_scaled_row(r, col, factor);
+                }
+            }
+        }
+        Some(inv)
+    }
+
+    fn swap_rows(&mut self, r1: usize, r2: usize) {
+        if r1 == r2 {
+            return;
+        }
+        for c in 0..self.cols {
+            self.data.swap(r1 * self.cols + c, r2 * self.cols + c);
+        }
+    }
+
+    fn scale_row(&mut self, r: usize, factor: u8) {
+        let row = &mut self.data[r * self.cols..(r + 1) * self.cols];
+        gf256::scale_slice(row, factor);
+    }
+
+    /// `row[dst] ^= factor * row[src]`.
+    fn add_scaled_row(&mut self, dst: usize, src: usize, factor: u8) {
+        let cols = self.cols;
+        let (a, b) = if dst < src {
+            let (head, tail) = self.data.split_at_mut(src * cols);
+            (
+                &mut head[dst * cols..(dst + 1) * cols],
+                &tail[..cols],
+            )
+        } else {
+            let (head, tail) = self.data.split_at_mut(dst * cols);
+            (
+                &mut tail[..cols],
+                &head[src * cols..(src + 1) * cols],
+            )
+        };
+        gf256::mul_add_slice(a, b, factor);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_is_multiplicative_unit() {
+        let m = Matrix::from_rows(vec![vec![1, 2, 3], vec![4, 5, 6], vec![7, 8, 9]]);
+        assert_eq!(m.mul(&Matrix::identity(3)), m);
+        assert_eq!(Matrix::identity(3).mul(&m), m);
+    }
+
+    #[test]
+    fn inverse_times_original_is_identity() {
+        let m = Matrix::vandermonde(&[1, 2, 3, 4], 4);
+        let inv = m.inverse().expect("vandermonde is invertible");
+        assert_eq!(m.mul(&inv), Matrix::identity(4));
+        assert_eq!(inv.mul(&m), Matrix::identity(4));
+    }
+
+    #[test]
+    fn singular_matrix_has_no_inverse() {
+        let m = Matrix::from_rows(vec![vec![1, 2], vec![1, 2]]);
+        assert!(m.inverse().is_none());
+    }
+
+    #[test]
+    fn any_k_vandermonde_rows_invert() {
+        // The MDS property on which UniDrive's "any k blocks reconstruct"
+        // guarantee rests.
+        let points: Vec<u8> = (1..=20).collect();
+        let m = Matrix::vandermonde(&points, 4);
+        // Try a spread of 4-row subsets.
+        for a in 0..6 {
+            for b in (a + 1)..10 {
+                for c in (b + 1)..14 {
+                    for d in (c + 1)..20 {
+                        let sub = m.select_rows(&[a, b, c, d]);
+                        assert!(
+                            sub.inverse().is_some(),
+                            "rows {a},{b},{c},{d} singular"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn select_rows_keeps_order() {
+        let m = Matrix::from_rows(vec![vec![1], vec![2], vec![3]]);
+        let s = m.select_rows(&[2, 0]);
+        assert_eq!(s.row(0), &[3]);
+        assert_eq!(s.row(1), &[1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate Vandermonde point")]
+    fn duplicate_points_rejected() {
+        let _ = Matrix::vandermonde(&[1, 2, 1], 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dimension mismatch")]
+    fn bad_mul_dimensions_panic() {
+        let a = Matrix::zero(2, 3);
+        let b = Matrix::zero(2, 3);
+        let _ = a.mul(&b);
+    }
+}

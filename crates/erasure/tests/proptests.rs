@@ -1,0 +1,110 @@
+//! Property-based tests of the erasure-coding invariants UniDrive's
+//! reliability and security guarantees rest on.
+
+use proptest::prelude::*;
+use unidrive_erasure::{Codec, RedundancyConfig};
+
+proptest! {
+    /// Any k distinct blocks of a non-systematic code reconstruct the
+    /// original data exactly — the MDS property.
+    #[test]
+    fn any_k_blocks_reconstruct(
+        data in proptest::collection::vec(any::<u8>(), 1..2048),
+        n in 4usize..20,
+        k in 2usize..4,
+        seed in any::<u64>(),
+    ) {
+        prop_assume!(k < n);
+        let codec = Codec::non_systematic(n, k).unwrap();
+        // Pick k distinct indices pseudo-randomly from the seed.
+        let mut indices: Vec<usize> = (0..n).collect();
+        let mut state = seed | 1;
+        for i in (1..indices.len()).rev() {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            indices.swap(i, (state % (i as u64 + 1)) as usize);
+        }
+        indices.truncate(k);
+        let blocks = codec.encode_blocks(&data, &indices);
+        let shares: Vec<(usize, &[u8])> = indices
+            .iter()
+            .zip(&blocks)
+            .map(|(&i, b)| (i, b.as_ref()))
+            .collect();
+        prop_assert_eq!(codec.decode(&shares, data.len()).unwrap(), data);
+    }
+
+    /// Fewer than k blocks always fail to decode (the K_s security
+    /// property at the codec level).
+    #[test]
+    fn fewer_than_k_blocks_fail(
+        data in proptest::collection::vec(any::<u8>(), 1..512),
+        have in 0usize..3,
+    ) {
+        let codec = Codec::non_systematic(10, 3).unwrap();
+        let indices: Vec<usize> = (0..have).collect();
+        let blocks = codec.encode_blocks(&data, &indices);
+        let shares: Vec<(usize, &[u8])> = indices
+            .iter()
+            .zip(&blocks)
+            .map(|(&i, b)| (i, b.as_ref()))
+            .collect();
+        prop_assert!(codec.decode(&shares, data.len()).is_err());
+    }
+
+    /// Encoding is deterministic and blocks have the advertised length.
+    #[test]
+    fn encoding_is_deterministic(
+        data in proptest::collection::vec(any::<u8>(), 1..4096),
+        index in 0usize..10,
+    ) {
+        let codec = Codec::non_systematic(10, 3).unwrap();
+        let a = codec.encode_block(&data, index);
+        let b = codec.encode_block(&data, index);
+        prop_assert_eq!(&a, &b);
+        prop_assert_eq!(a.len(), codec.block_len(data.len()));
+    }
+
+    /// Every accepted redundancy configuration satisfies both paper
+    /// requirements: K_r clouds always suffice, K_s − 1 never do.
+    #[test]
+    fn config_requirements_hold(
+        clouds in 1usize..10,
+        k in 1usize..16,
+        k_r in 1usize..10,
+        k_s in 1usize..10,
+    ) {
+        if let Ok(cfg) = RedundancyConfig::new(clouds, k, k_r, k_s) {
+            prop_assert!(cfg.k_r() * cfg.fair_share() >= cfg.k());
+            prop_assert!((cfg.k_s() - 1) * cfg.per_cloud_cap() < cfg.k());
+            prop_assert!(cfg.fair_share() <= cfg.per_cloud_cap());
+            prop_assert!(cfg.max_block_count() <= 255);
+        }
+    }
+
+    /// A corrupted share either fails to decode or produces different
+    /// output — never silently the same plaintext.
+    #[test]
+    fn corruption_is_never_silently_correct(
+        data in proptest::collection::vec(any::<u8>(), 8..512),
+        flip_byte in any::<u8>(),
+    ) {
+        prop_assume!(flip_byte != 0);
+        let codec = Codec::non_systematic(10, 3).unwrap();
+        let indices = [1usize, 5, 8];
+        let mut blocks = codec.encode_blocks(&data, &indices);
+        let mut corrupted = blocks[1].to_vec();
+        corrupted[0] ^= flip_byte;
+        blocks[1] = corrupted.into();
+        let shares: Vec<(usize, &[u8])> = indices
+            .iter()
+            .zip(&blocks)
+            .map(|(&i, b)| (i, b.as_ref()))
+            .collect();
+        match codec.decode(&shares, data.len()) {
+            Ok(decoded) => prop_assert_ne!(decoded, data),
+            Err(_) => {}
+        }
+    }
+}

@@ -1,0 +1,114 @@
+//! Cloud-side object layout shared by every UniDrive client.
+//!
+//! All coordination is done through files (paper §4): the encrypted
+//! metadata base and delta, the tiny version file, empty lock files in a
+//! dedicated lock directory (footnote 3: a separate directory keeps
+//! `list` traffic small), and the erasure-coded blocks named by segment
+//! hash and block index.
+
+use crate::SegmentId;
+
+/// Root directory UniDrive uses on every cloud.
+pub const ROOT_DIR: &str = "unidrive";
+
+/// The encrypted metadata base file.
+pub const BASE_PATH: &str = "unidrive/meta.base";
+
+/// The encrypted metadata delta file.
+pub const DELTA_PATH: &str = "unidrive/meta.delta";
+
+/// The small version file checked on every poll.
+pub const VERSION_PATH: &str = "unidrive/meta.version";
+
+/// The dedicated lock directory.
+pub const LOCK_DIR: &str = "unidrive/locks";
+
+/// Directory holding erasure-coded blocks.
+pub const BLOCKS_DIR: &str = "unidrive/blocks";
+
+/// Cloud path of one erasure-coded block: the segment id concatenated
+/// with the block's sequence number (paper §5.1).
+///
+/// # Examples
+///
+/// ```
+/// use unidrive_crypto::Sha1;
+/// use unidrive_meta::{block_path, SegmentId};
+///
+/// let id = SegmentId(Sha1::digest(b"x"));
+/// let path = block_path(&id, 4);
+/// assert!(path.starts_with("unidrive/blocks/"));
+/// assert!(path.ends_with(".4"));
+/// ```
+pub fn block_path(segment: &SegmentId, index: u16) -> String {
+    format!("{BLOCKS_DIR}/{}.{index}", segment.to_hex())
+}
+
+/// Name of a lock file for `device` stamped with the device-local
+/// time `t` (paper §5.2: `lock_<d>_<t>`).
+pub fn lock_file_name(device: &str, t_ns: u64) -> String {
+    format!("lock_{device}_{t_ns}")
+}
+
+/// Full cloud path of a lock file.
+pub fn lock_file_path(device: &str, t_ns: u64) -> String {
+    format!("{LOCK_DIR}/{}", lock_file_name(device, t_ns))
+}
+
+/// Parses a lock file name back into `(device, t)`.
+///
+/// Returns `None` for files that are not lock files.
+pub fn parse_lock_name(name: &str) -> Option<(&str, u64)> {
+    let rest = name.strip_prefix("lock_")?;
+    let sep = rest.rfind('_')?;
+    let device = &rest[..sep];
+    if device.is_empty() {
+        return None;
+    }
+    let t = rest[sep + 1..].parse().ok()?;
+    Some((device, t))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use unidrive_crypto::Sha1;
+
+    #[test]
+    fn block_paths_are_unique_per_index() {
+        let id = SegmentId(Sha1::digest(b"seg"));
+        assert_ne!(block_path(&id, 0), block_path(&id, 1));
+        assert!(block_path(&id, 7).contains(&id.to_hex()));
+    }
+
+    #[test]
+    fn lock_name_round_trip() {
+        let name = lock_file_name("laptop-2", 123456789);
+        assert_eq!(parse_lock_name(&name), Some(("laptop-2", 123456789)));
+    }
+
+    #[test]
+    fn lock_name_with_underscored_device_round_trips() {
+        // Device names may contain underscores; the timestamp is after
+        // the LAST underscore.
+        let name = lock_file_name("my_home_pc", 42);
+        assert_eq!(parse_lock_name(&name), Some(("my_home_pc", 42)));
+    }
+
+    #[test]
+    fn non_lock_names_rejected() {
+        assert_eq!(parse_lock_name("meta.base"), None);
+        assert_eq!(parse_lock_name("lock_"), None);
+        assert_eq!(parse_lock_name("lock_dev_notanumber"), None);
+        assert_eq!(parse_lock_name("lock__77"), None);
+    }
+
+    #[test]
+    fn layout_paths_are_coherent() {
+        assert!(BASE_PATH.starts_with(ROOT_DIR));
+        assert!(DELTA_PATH.starts_with(ROOT_DIR));
+        assert!(VERSION_PATH.starts_with(ROOT_DIR));
+        assert!(LOCK_DIR.starts_with(ROOT_DIR));
+        assert!(BLOCKS_DIR.starts_with(ROOT_DIR));
+    }
+}

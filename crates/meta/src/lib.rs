@@ -1,0 +1,25 @@
+//! # unidrive-meta
+//!
+//! The UniDrive metadata layer (paper §5): the single
+//! [`SyncFolderImage`] metadata file with its deduplicating segment
+//! pool, tree diff and three-way [`merge3`] with conflict retention,
+//! the log-structured [`DeltaLog`] for Delta-sync, [`VersionStamp`]
+//! version files, and the cloud-side object [`layout`](block_path).
+//! Serialization uses a from-scratch checksummed binary [`codec`].
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod codec;
+mod delta;
+mod diff;
+mod layout;
+mod model;
+
+pub use delta::{DeltaLog, DeltaRecord};
+pub use diff::{diff, merge3, Conflict, EntryChange, MergeOutcome, TreeDelta};
+pub use layout::{
+    block_path, lock_file_name, lock_file_path, parse_lock_name, BASE_PATH, BLOCKS_DIR,
+    DELTA_PATH, LOCK_DIR, ROOT_DIR, VERSION_PATH,
+};
+pub use model::{BlockRef, FileEntry, SegmentEntry, SegmentId, Snapshot, SyncFolderImage, VersionStamp};

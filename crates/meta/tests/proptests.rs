@@ -1,0 +1,176 @@
+//! Property-based tests of the metadata layer: codec round-trips,
+//! delta-log reconstruction, and three-way merge invariants.
+
+use proptest::prelude::*;
+use unidrive_crypto::{Digest, Sha1};
+use unidrive_meta::{
+    diff, merge3, BlockRef, DeltaLog, SegmentId, Snapshot, SyncFolderImage, VersionStamp,
+};
+
+/// Strategy: a small random image.
+fn arb_image() -> impl Strategy<Value = SyncFolderImage> {
+    proptest::collection::btree_map(
+        "[a-z]{1,8}(/[a-z]{1,8}){0,2}",
+        (any::<u16>(), 1u64..1_000_000, proptest::collection::vec(any::<u8>(), 1..4)),
+        0..12,
+    )
+    .prop_map(|files| {
+        let mut image = SyncFolderImage::new();
+        for (path, (mtime, size, seg_tags)) in files {
+            let segments: Vec<SegmentId> = seg_tags
+                .iter()
+                .map(|t| SegmentId(Sha1::digest(&[*t])))
+                .collect();
+            for id in &segments {
+                image.ensure_segment(*id, size);
+            }
+            image.upsert_file(
+                &path,
+                Snapshot {
+                    mtime_ns: mtime as u64,
+                    size,
+                    segments,
+                },
+            );
+        }
+        image
+    })
+}
+
+proptest! {
+    /// encode/decode round-trips arbitrary images.
+    #[test]
+    fn image_codec_round_trips(image in arb_image()) {
+        let restored = SyncFolderImage::decode(&image.encode()).unwrap();
+        prop_assert_eq!(restored, image);
+    }
+
+    /// Any single-byte corruption of the encoded image is rejected.
+    #[test]
+    fn image_codec_rejects_bitflips(image in arb_image(), pos in any::<u16>(), flip in 1u8..) {
+        let mut bytes = image.encode().to_vec();
+        let idx = pos as usize % bytes.len();
+        bytes[idx] ^= flip;
+        // Either the checksum catches it (virtually always) or the decode
+        // differs; it must never silently equal the original.
+        match SyncFolderImage::decode(&bytes) {
+            Err(_) => {}
+            Ok(decoded) => prop_assert_ne!(decoded, image),
+        }
+    }
+
+    /// Applying records_for(from, to) onto `from` reproduces `to`'s
+    /// files and block locations.
+    #[test]
+    fn delta_records_reconstruct(from in arb_image(), to in arb_image()) {
+        let mut log = DeltaLog::new(from.version.clone());
+        log.append(DeltaLog::records_for(&from, &to), to.version.clone());
+        let mut rebuilt = from.clone();
+        log.apply_to(&mut rebuilt);
+        // Compare the file trees.
+        let files = |img: &SyncFolderImage| {
+            img.files()
+                .map(|(p, e)| (p.to_owned(), e.snapshot.clone()))
+                .collect::<Vec<_>>()
+        };
+        prop_assert_eq!(files(&rebuilt), files(&to));
+        // Every block location in `to` is present in the rebuilt pool.
+        for (id, entry) in to.segments() {
+            if entry.refcount > 0 {
+                let rebuilt_entry = rebuilt.segment(id).unwrap();
+                for b in &entry.blocks {
+                    prop_assert!(rebuilt_entry.blocks.contains(b));
+                }
+            }
+        }
+    }
+
+    /// diff(x, x) is empty; applying diff(a, b) to `a` via merge with no
+    /// cloud side reproduces b's tree.
+    #[test]
+    fn diff_is_sound(a in arb_image(), b in arb_image()) {
+        prop_assert!(diff(&a, &a.clone()).is_empty());
+        let d = diff(&a, &b);
+        for (path, _) in b.files() {
+            let same = a.file(path).is_some_and(|e| e.snapshot == b.file(path).unwrap().snapshot);
+            prop_assert_eq!(d.get(path).is_none(), same);
+        }
+    }
+
+    /// Merge with an unchanged cloud side applies exactly the local
+    /// changes (no conflicts).
+    #[test]
+    fn merge_with_unchanged_cloud_is_local(original in arb_image(), local in arb_image()) {
+        let out = merge3(&original, &local, &original, "dev");
+        prop_assert!(out.conflicts.is_empty());
+        let files = |img: &SyncFolderImage| {
+            img.files()
+                .map(|(p, e)| (p.to_owned(), e.snapshot.clone()))
+                .collect::<Vec<_>>()
+        };
+        prop_assert_eq!(files(&out.image), files(&local));
+    }
+
+    /// Merge never loses a file that only one side touched, and
+    /// refcounts always cover every referenced segment.
+    #[test]
+    fn merge_preserves_disjoint_changes(
+        original in arb_image(),
+        local in arb_image(),
+        cloud in arb_image(),
+    ) {
+        let out = merge3(&original, &local, &cloud, "dev");
+        let dl = diff(&original, &local);
+        let dc = diff(&original, &cloud);
+        for (path, change) in dl.iter() {
+            if dc.get(path).is_none() {
+                match change {
+                    unidrive_meta::EntryChange::Upsert(snap) => {
+                        prop_assert_eq!(&out.image.file(path).unwrap().snapshot, snap);
+                    }
+                    unidrive_meta::EntryChange::Delete => {
+                        prop_assert!(out.image.file(path).is_none());
+                    }
+                }
+            }
+        }
+        // Pool covers every snapshot reference with a positive refcount.
+        for (_, entry) in out.image.files() {
+            for id in &entry.snapshot.segments {
+                prop_assert!(out.image.segment(id).unwrap().refcount > 0);
+            }
+        }
+    }
+
+    /// Version files round-trip.
+    #[test]
+    fn version_stamp_round_trips(device in "[a-z0-9-]{1,16}", counter in any::<u64>(), ts in any::<u64>()) {
+        let v = VersionStamp { device, counter, timestamp_ns: ts };
+        prop_assert_eq!(VersionStamp::decode(&v.encode()).unwrap(), v);
+    }
+
+    /// Block add/remove on segment entries is idempotent and consistent.
+    #[test]
+    fn block_bookkeeping(ops in proptest::collection::vec((any::<u8>(), 0u16..8, 0u16..4), 0..32)) {
+        let mut image = SyncFolderImage::new();
+        let id = SegmentId(Digest([7; 20]));
+        image.ensure_segment(id, 1);
+        let mut model: std::collections::BTreeSet<(u16, u16)> = Default::default();
+        for (op, index, cloud) in ops {
+            let block = BlockRef { index, cloud };
+            if op % 2 == 0 {
+                prop_assert_eq!(image.record_block(id, block), model.insert((index, cloud)));
+            } else {
+                prop_assert_eq!(image.remove_block(&id, block), model.remove(&(index, cloud)));
+            }
+        }
+        let stored: std::collections::BTreeSet<(u16, u16)> = image
+            .segment(&id)
+            .unwrap()
+            .blocks
+            .iter()
+            .map(|b| (b.index, b.cloud))
+            .collect();
+        prop_assert_eq!(stored, model);
+    }
+}

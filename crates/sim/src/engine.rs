@@ -1,0 +1,662 @@
+//! The virtual-time engine: [`SimRuntime`].
+//!
+//! # Model
+//!
+//! Every thread participating in a simulation is an **actor**. Actors run
+//! real Rust code on real OS threads; only their *blocking* goes through
+//! the engine (sleeps, semaphore waits, network flows). The engine keeps a
+//! global invariant: virtual time advances **only when every live actor is
+//! blocked**. The last actor to block performs the advance inline:
+//!
+//! 1. find the earliest pending event (timer deadline, flow completion
+//!    under current bandwidth sharing, or a link's multiplier re-sample),
+//! 2. integrate all in-flight flows forward to that instant,
+//! 3. fire everything due, waking the affected actors.
+//!
+//! Because flow rates only change at events (a flow starting or ending, or
+//! an epoch boundary), completions can be computed analytically and a
+//! month of simulated transfers takes milliseconds of wall time.
+//!
+//! # Rules for actor code
+//!
+//! * Never block through anything except this runtime's primitives
+//!   ([`Runtime::sleep`], [`Semaphore`](crate::Semaphore),
+//!   [`SimRuntime::transfer`], [`Task::join`](crate::Task::join)); an
+//!   actor blocked in, say, `std::sync::mpsc::recv` looks *running* to the
+//!   engine and time will never advance (the engine cannot detect this —
+//!   the run simply hangs).
+//! * Short critical sections under `parking_lot` mutexes are fine; they
+//!   are not "blocking" in the scheduling sense.
+//! * The thread that calls [`SimRuntime::new`] is registered as the
+//!   `main` actor and must itself obey these rules.
+
+use std::cell::Cell;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::{Condvar, Mutex};
+
+use crate::link::{Flow, LinkId, LinkProfile, LinkState};
+use crate::rng::SimRng;
+use crate::{Runtime, Semaphore, Time};
+
+static NEXT_ENGINE_ID: AtomicU64 = AtomicU64::new(1);
+
+thread_local! {
+    /// (engine id, actor index) of the actor running on this thread.
+    static CURRENT_ACTOR: Cell<Option<(u64, usize)>> = const { Cell::new(None) };
+}
+
+/// Why a blocked actor was woken.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum WakeReason {
+    /// Its timer deadline fired.
+    Timeout,
+    /// A semaphore permit was granted to it.
+    Acquired,
+    /// Its network flow completed.
+    FlowDone,
+}
+
+/// What an actor is currently blocked on (used to validate wake-ups).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum BlockKind {
+    Sleep,
+    Sem(usize),
+    Flow(u64),
+}
+
+#[derive(Debug)]
+struct Actor {
+    name: String,
+    /// Incremented every time the actor blocks; lets the engine discard
+    /// stale timer/semaphore registrations after an early wake.
+    epoch: u64,
+    running: bool,
+    alive: bool,
+    block: Option<BlockKind>,
+    woken: Option<WakeReason>,
+    cv: Arc<Condvar>,
+}
+
+#[derive(Debug)]
+struct SemState {
+    permits: usize,
+    waiters: VecDeque<(usize, u64)>,
+}
+
+#[derive(Debug)]
+struct EngineState {
+    now_ns: u64,
+    actors: Vec<Actor>,
+    running: usize,
+    /// Min-heap of (deadline ns, actor, actor-epoch).
+    timers: BinaryHeap<Reverse<(u64, usize, u64)>>,
+    sems: Vec<SemState>,
+    links: Vec<LinkState>,
+    next_flow_id: u64,
+    rng: SimRng,
+}
+
+/// Deterministic virtual-time [`Runtime`].
+///
+/// See the module docs for the actor model. Construct with
+/// [`SimRuntime::new`], which registers the calling thread as the main
+/// actor.
+///
+/// # Examples
+///
+/// ```
+/// use std::time::Duration;
+/// use unidrive_sim::{spawn, Runtime, SimRuntime};
+///
+/// let sim = SimRuntime::new(42);
+/// let rt = sim.clone().as_runtime();
+/// let t = spawn(&rt, "sleeper", {
+///     let rt = rt.clone();
+///     move || {
+///         rt.sleep(Duration::from_secs(3600)); // one virtual hour
+///         rt.now()
+///     }
+/// });
+/// let woke_at = t.join();
+/// assert_eq!(woke_at.as_secs_f64(), 3600.0); // instant in wall time
+/// ```
+pub struct SimRuntime {
+    id: u64,
+    state: Mutex<EngineState>,
+    /// Back-reference so spawned threads and semaphores can keep the
+    /// engine alive without unsafe pointer juggling.
+    weak_self: std::sync::Weak<SimRuntime>,
+}
+
+impl std::fmt::Debug for SimRuntime {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let st = self.state.lock();
+        f.debug_struct("SimRuntime")
+            .field("id", &self.id)
+            .field("now", &Time::from_nanos(st.now_ns))
+            .field("actors", &st.actors.len())
+            .field("running", &st.running)
+            .finish()
+    }
+}
+
+impl SimRuntime {
+    /// Creates a virtual-time runtime seeded with `seed` and registers the
+    /// calling thread as the `main` actor.
+    pub fn new(seed: u64) -> Arc<SimRuntime> {
+        let rt = Arc::new_cyclic(|weak| SimRuntime {
+            id: NEXT_ENGINE_ID.fetch_add(1, Ordering::Relaxed),
+            state: Mutex::new(EngineState {
+                now_ns: 0,
+                actors: Vec::new(),
+                running: 0,
+                timers: BinaryHeap::new(),
+                sems: Vec::new(),
+                links: Vec::new(),
+                next_flow_id: 0,
+                rng: SimRng::seed_from_u64(seed),
+            }),
+            weak_self: weak.clone(),
+        });
+        rt.register_thread("main");
+        rt
+    }
+
+    fn strong_self(&self) -> Arc<SimRuntime> {
+        self.weak_self
+            .upgrade()
+            .expect("SimRuntime used after being dropped")
+    }
+
+    /// Upcasts to the `Runtime` trait object.
+    pub fn as_runtime(self: Arc<Self>) -> Arc<dyn Runtime> {
+        self
+    }
+
+    /// Registers the calling thread as a new actor named `name`.
+    ///
+    /// Normally unnecessary: [`SimRuntime::new`] registers the creator and
+    /// [`Runtime::spawn_raw`] registers spawned threads. Only threads
+    /// created outside the runtime need this.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the thread is already registered with this runtime.
+    pub fn register_thread(&self, name: &str) {
+        let idx = {
+            let mut st = self.state.lock();
+            st.running += 1;
+            st.actors.push(Actor {
+                name: name.to_owned(),
+                epoch: 0,
+                running: true,
+                alive: true,
+                block: None,
+                woken: None,
+                cv: Arc::new(Condvar::new()),
+            });
+            st.actors.len() - 1
+        };
+        CURRENT_ACTOR.with(|c| {
+            assert!(
+                c.get().map_or(true, |(eid, _)| eid != self.id),
+                "thread already registered with this SimRuntime"
+            );
+            c.set(Some((self.id, idx)));
+        });
+    }
+
+    /// Deregisters the calling thread. After this, the thread may no
+    /// longer block on the runtime. If it was the last running actor, the
+    /// engine advances time so blocked actors make progress.
+    pub fn deregister_thread(&self) {
+        let me = self.current_actor();
+        CURRENT_ACTOR.with(|c| c.set(None));
+        let mut st = self.state.lock();
+        st.actors[me].alive = false;
+        st.actors[me].running = false;
+        st.running -= 1;
+        self.advance_if_stalled(&mut st);
+    }
+
+    /// Derives an independent deterministic RNG stream from the engine
+    /// seed; used by higher layers (failure injection, workload
+    /// generation) so whole scenarios stay reproducible.
+    pub fn fork_rng(&self) -> SimRng {
+        self.state.lock().rng.fork()
+    }
+
+    /// Registers a directed network link; see [`LinkProfile`].
+    pub fn add_link(&self, profile: LinkProfile) -> LinkId {
+        let mut st = self.state.lock();
+        let rng = st.rng.fork();
+        st.links.push(LinkState::new(profile, rng));
+        LinkId(st.links.len() - 1)
+    }
+
+    /// Enables or disables a link. Transfers attempted on a disabled link
+    /// return [`TransferError::LinkDisabled`] immediately; flows already in
+    /// progress continue (modeling an admission-level outage).
+    pub fn set_link_enabled(&self, link: LinkId, enabled: bool) {
+        self.state.lock().links[link.0].enabled = enabled;
+    }
+
+    /// Current bandwidth multiplier of a link (diagnostics).
+    pub fn link_multiplier(&self, link: LinkId) -> f64 {
+        self.state.lock().links[link.0].multiplier
+    }
+
+    /// Blocks the calling actor while `bytes` flow over `link`, modeling
+    /// request latency, processor-sharing bandwidth, and epoch
+    /// fluctuation. Zero-byte transfers still pay the request latency
+    /// (they model metadata/listing calls).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TransferError::LinkDisabled`] if the link is disabled at
+    /// request time.
+    pub fn transfer(&self, link: LinkId, bytes: u64) -> Result<(), TransferError> {
+        let latency = {
+            let mut st = self.state.lock();
+            let l = &mut st.links[link.0];
+            if !l.enabled {
+                return Err(TransferError::LinkDisabled);
+            }
+            l.sample_latency()
+        };
+        if latency > Duration::ZERO {
+            self.sleep(latency);
+        }
+        if bytes == 0 {
+            return Ok(());
+        }
+        let me = self.current_actor();
+        let mut st = self.state.lock();
+        let now = st.now_ns;
+        st.links[link.0].maybe_resample(now);
+        let flow_id = st.next_flow_id;
+        st.next_flow_id += 1;
+        let epoch = {
+            let a = &mut st.actors[me];
+            a.epoch += 1;
+            a.epoch
+        };
+        let _ = epoch;
+        st.links[link.0].flows.push(Flow {
+            remaining_bytes: bytes as f64,
+            actor: me,
+        });
+        let reason = self.block_prepared(st, me, epoch, BlockKind::Flow(flow_id));
+        debug_assert_eq!(reason, WakeReason::FlowDone);
+        Ok(())
+    }
+
+    /// Mean rate in bytes/second a fresh single connection would get on
+    /// `link` right now (diagnostics / probing oracle in tests).
+    pub fn instantaneous_rate(&self, link: LinkId) -> f64 {
+        let mut st = self.state.lock();
+        let now = st.now_ns;
+        let l = &mut st.links[link.0];
+        l.maybe_resample(now);
+        let n = l.flows.len() as f64 + 1.0;
+        let per_conn = l.profile.per_conn_bytes_per_sec * l.multiplier;
+        let agg = l.profile.agg_bytes_per_sec * l.multiplier;
+        per_conn.min(agg / n)
+    }
+
+    fn current_actor(&self) -> usize {
+        CURRENT_ACTOR.with(|c| match c.get() {
+            Some((eid, idx)) if eid == self.id => idx,
+            _ => panic!(
+                "thread '{}' is not registered with this SimRuntime; \
+                 spawn it via Runtime::spawn_raw or call register_thread",
+                std::thread::current().name().unwrap_or("?")
+            ),
+        })
+    }
+
+    /// Core blocking path. The caller must have already (under `st`)
+    /// bumped the actor's epoch to `epoch` and registered whatever will
+    /// eventually wake it (timer entry, semaphore waiter, flow).
+    fn block_prepared(
+        &self,
+        mut st: parking_lot::MutexGuard<'_, EngineState>,
+        me: usize,
+        epoch: u64,
+        kind: BlockKind,
+    ) -> WakeReason {
+        {
+            let a = &mut st.actors[me];
+            debug_assert!(a.running, "actor blocking twice");
+            debug_assert_eq!(a.epoch, epoch);
+            a.running = false;
+            a.block = Some(kind);
+            a.woken = None;
+        }
+        st.running -= 1;
+        let cv = Arc::clone(&st.actors[me].cv);
+        loop {
+            if let Some(reason) = st.actors[me].woken.take() {
+                debug_assert!(st.actors[me].running);
+                return reason;
+            }
+            if st.running == 0 {
+                self.advance(&mut st);
+                continue;
+            }
+            cv.wait(&mut st);
+        }
+    }
+
+    /// If every live actor is blocked, advance until at least one wakes.
+    fn advance_if_stalled(&self, st: &mut EngineState) {
+        while st.running == 0 && st.actors.iter().any(|a| a.alive) {
+            self.advance(st);
+        }
+    }
+
+    /// One engine step: move to the earliest event and fire it.
+    fn advance(&self, st: &mut EngineState) {
+        let mut next: Option<u64> = None;
+        let consider = |t: u64, next: &mut Option<u64>| {
+            *next = Some(next.map_or(t, |n| n.min(t)));
+        };
+
+        // Timer candidates: pop stale heads eagerly.
+        while let Some(&Reverse((t, actor, epoch))) = st.timers.peek() {
+            if Self::timer_valid(st, actor, epoch) {
+                consider(t, &mut next);
+                break;
+            }
+            st.timers.pop();
+        }
+
+        // Flow completions and epoch boundaries on busy links.
+        let now = Time::from_nanos(st.now_ns);
+        for l in &st.links {
+            if l.flows.is_empty() {
+                continue;
+            }
+            if let Some(done) = l.earliest_completion(now) {
+                consider(done.as_nanos(), &mut next);
+            }
+            consider(l.next_resample_ns.max(st.now_ns), &mut next);
+        }
+
+        let Some(t_next) = next else {
+            let blocked: Vec<String> = st
+                .actors
+                .iter()
+                .filter(|a| a.alive && !a.running)
+                .map(|a| format!("{} ({:?})", a.name, a.block))
+                .collect();
+            panic!(
+                "virtual-time deadlock: all actors blocked with no pending \
+                 events; blocked actors: [{}]",
+                blocked.join(", ")
+            );
+        };
+        let t_next = t_next.max(st.now_ns);
+        let dt = Duration::from_nanos(t_next - st.now_ns);
+
+        // Integrate flows up to the event instant.
+        for l in &mut st.links {
+            l.integrate(dt);
+        }
+        st.now_ns = t_next;
+
+        let mut to_wake: Vec<(usize, WakeReason)> = Vec::new();
+
+        // Fire due timers.
+        while let Some(&Reverse((t, actor, epoch))) = st.timers.peek() {
+            if t > st.now_ns {
+                break;
+            }
+            st.timers.pop();
+            if Self::timer_valid(st, actor, epoch) {
+                to_wake.push((actor, WakeReason::Timeout));
+                // Mark immediately so duplicate timers for the same actor
+                // are discarded by the validity check.
+                Self::mark_woken(st, actor, WakeReason::Timeout);
+            }
+        }
+
+        // Epoch boundaries.
+        let now_ns = st.now_ns;
+        for l in &mut st.links {
+            if !l.flows.is_empty() {
+                l.maybe_resample(now_ns);
+            }
+        }
+
+        // Flow completions.
+        const EPS_BYTES: f64 = 0.5;
+        for l in &mut st.links {
+            let mut i = 0;
+            while i < l.flows.len() {
+                if l.flows[i].remaining_bytes <= EPS_BYTES {
+                    let f = l.flows.swap_remove(i);
+                    to_wake.push((f.actor, WakeReason::FlowDone));
+                } else {
+                    i += 1;
+                }
+            }
+        }
+        for &(actor, reason) in &to_wake {
+            if reason == WakeReason::FlowDone {
+                Self::mark_woken(st, actor, reason);
+            }
+        }
+
+        // Notify outside the state mutation pass (still holding the lock,
+        // which parking_lot permits).
+        for (actor, _) in to_wake {
+            st.actors[actor].cv.notify_all();
+        }
+    }
+
+    fn timer_valid(st: &EngineState, actor: usize, epoch: u64) -> bool {
+        let a = &st.actors[actor];
+        a.alive && !a.running && a.woken.is_none() && a.epoch == epoch
+    }
+
+    fn mark_woken(st: &mut EngineState, actor: usize, reason: WakeReason) {
+        let a = &mut st.actors[actor];
+        if a.woken.is_some() || a.running {
+            return; // already woken this round
+        }
+        a.woken = Some(reason);
+        a.running = true;
+        a.block = None;
+        st.running += 1;
+    }
+
+    fn wake_external(&self, st: &mut EngineState, actor: usize, reason: WakeReason) {
+        Self::mark_woken(st, actor, reason);
+        let cv = Arc::clone(&st.actors[actor].cv);
+        cv.notify_all();
+    }
+
+    fn sem_acquire(&self, sem: usize, timeout: Option<Duration>) -> bool {
+        let me = self.current_actor();
+        let mut st = self.state.lock();
+        if st.sems[sem].permits > 0 {
+            st.sems[sem].permits -= 1;
+            return true;
+        }
+        if timeout == Some(Duration::ZERO) {
+            return false;
+        }
+        let epoch = {
+            let a = &mut st.actors[me];
+            a.epoch += 1;
+            a.epoch
+        };
+        st.sems[sem].waiters.push_back((me, epoch));
+        if let Some(t) = timeout {
+            let deadline = st.now_ns + t.as_nanos() as u64;
+            st.timers.push(Reverse((deadline, me, epoch)));
+        }
+        let reason = self.block_prepared(st, me, epoch, BlockKind::Sem(sem));
+        match reason {
+            WakeReason::Acquired => true,
+            WakeReason::Timeout => false,
+            WakeReason::FlowDone => unreachable!("flow wake on semaphore wait"),
+        }
+    }
+
+    fn sem_release(&self, sem: usize, n: usize) {
+        let mut st = self.state.lock();
+        st.sems[sem].permits += n;
+        loop {
+            if st.sems[sem].permits == 0 {
+                break;
+            }
+            let Some((actor, epoch)) = st.sems[sem].waiters.pop_front() else {
+                break;
+            };
+            let valid = {
+                let a = &st.actors[actor];
+                a.alive
+                    && !a.running
+                    && a.woken.is_none()
+                    && a.epoch == epoch
+                    && a.block == Some(BlockKind::Sem(sem))
+            };
+            if valid {
+                st.sems[sem].permits -= 1;
+                self.wake_external(&mut st, actor, WakeReason::Acquired);
+            }
+        }
+    }
+}
+
+impl Runtime for SimRuntime {
+    fn now(&self) -> Time {
+        Time::from_nanos(self.state.lock().now_ns)
+    }
+
+    fn sleep(&self, d: Duration) {
+        if d.is_zero() {
+            return;
+        }
+        let me = self.current_actor();
+        let mut st = self.state.lock();
+        let epoch = {
+            let a = &mut st.actors[me];
+            a.epoch += 1;
+            a.epoch
+        };
+        let deadline = st.now_ns + d.as_nanos() as u64;
+        st.timers.push(Reverse((deadline, me, epoch)));
+        let reason = self.block_prepared(st, me, epoch, BlockKind::Sleep);
+        debug_assert_eq!(reason, WakeReason::Timeout);
+    }
+
+    fn spawn_raw(&self, name: &str, f: Box<dyn FnOnce() + Send>) {
+        // Register the actor *before* the thread starts so the engine
+        // never advances past its birth.
+        let idx = {
+            let mut st = self.state.lock();
+            st.running += 1;
+            st.actors.push(Actor {
+                name: name.to_owned(),
+                epoch: 0,
+                running: true,
+                alive: true,
+                block: None,
+                woken: None,
+                cv: Arc::new(Condvar::new()),
+            });
+            st.actors.len() - 1
+        };
+        let engine_id = self.id;
+        let this = self.strong_self();
+        std::thread::Builder::new()
+            .name(name.to_owned())
+            .spawn(move || {
+                CURRENT_ACTOR.with(|c| c.set(Some((engine_id, idx))));
+                let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(f));
+                {
+                    let mut st = this.state.lock();
+                    // The closure may have deregistered itself already;
+                    // only settle the books once.
+                    if st.actors[idx].alive {
+                        st.actors[idx].alive = false;
+                        st.actors[idx].running = false;
+                        st.running -= 1;
+                    }
+                    this.advance_if_stalled(&mut st);
+                }
+                if let Err(payload) = result {
+                    std::panic::resume_unwind(payload);
+                }
+            })
+            .expect("failed to spawn OS thread");
+    }
+
+    fn semaphore(&self, permits: usize) -> Arc<dyn Semaphore> {
+        let idx = {
+            let mut st = self.state.lock();
+            st.sems.push(SemState {
+                permits,
+                waiters: VecDeque::new(),
+            });
+            st.sems.len() - 1
+        };
+        Arc::new(SimSemaphore {
+            engine: self.strong_self(),
+            idx,
+        })
+    }
+}
+
+/// Error returned by [`SimRuntime::transfer`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TransferError {
+    /// The link was administratively disabled (simulated outage).
+    LinkDisabled,
+}
+
+impl std::fmt::Display for TransferError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TransferError::LinkDisabled => write!(f, "link is disabled"),
+        }
+    }
+}
+
+impl std::error::Error for TransferError {}
+
+struct SimSemaphore {
+    engine: Arc<SimRuntime>,
+    idx: usize,
+}
+
+impl Semaphore for SimSemaphore {
+    fn acquire(&self) {
+        let ok = self.engine.sem_acquire(self.idx, None);
+        debug_assert!(ok);
+    }
+
+    fn acquire_timeout(&self, timeout: Duration) -> bool {
+        self.engine.sem_acquire(self.idx, Some(timeout))
+    }
+
+    fn try_acquire(&self) -> bool {
+        self.engine.sem_acquire(self.idx, Some(Duration::ZERO))
+    }
+
+    fn release(&self, n: usize) {
+        self.engine.sem_release(self.idx, n);
+    }
+
+    fn permits(&self) -> usize {
+        self.engine.state.lock().sems[self.idx].permits
+    }
+}

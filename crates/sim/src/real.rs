@@ -1,0 +1,166 @@
+//! Wall-clock implementation of [`Runtime`].
+//!
+//! Used by the examples and integration tests that sync real bytes
+//! between real directories. Semantics match [`SimRuntime`]
+//! (crate::SimRuntime) except that time is `std::time::Instant` based and
+//! threads really sleep.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use parking_lot::{Condvar, Mutex};
+
+use crate::{Runtime, Semaphore, Time};
+
+/// A [`Runtime`] backed by the operating system clock and scheduler.
+///
+/// # Examples
+///
+/// ```
+/// use std::time::Duration;
+/// use unidrive_sim::{RealRuntime, Runtime};
+///
+/// let rt = RealRuntime::new();
+/// let t0 = rt.now();
+/// rt.sleep(Duration::from_millis(5));
+/// assert!(rt.now() - t0 >= Duration::from_millis(5));
+/// ```
+#[derive(Debug)]
+pub struct RealRuntime {
+    epoch: Instant,
+}
+
+impl RealRuntime {
+    /// Creates a runtime whose epoch is "now".
+    pub fn new() -> Self {
+        RealRuntime {
+            epoch: Instant::now(),
+        }
+    }
+
+    /// Convenience constructor returning a shared trait handle.
+    pub fn handle() -> Arc<dyn Runtime> {
+        Arc::new(RealRuntime::new())
+    }
+}
+
+impl Default for RealRuntime {
+    fn default() -> Self {
+        RealRuntime::new()
+    }
+}
+
+impl Runtime for RealRuntime {
+    fn now(&self) -> Time {
+        Time::from_nanos(self.epoch.elapsed().as_nanos() as u64)
+    }
+
+    fn sleep(&self, d: Duration) {
+        std::thread::sleep(d);
+    }
+
+    fn spawn_raw(&self, name: &str, f: Box<dyn FnOnce() + Send>) {
+        std::thread::Builder::new()
+            .name(name.to_owned())
+            .spawn(f)
+            .expect("failed to spawn OS thread");
+    }
+
+    fn semaphore(&self, permits: usize) -> Arc<dyn Semaphore> {
+        Arc::new(RealSemaphore {
+            state: Mutex::new(permits),
+            cv: Condvar::new(),
+        })
+    }
+}
+
+/// Condvar-based counting semaphore.
+#[derive(Debug)]
+struct RealSemaphore {
+    state: Mutex<usize>,
+    cv: Condvar,
+}
+
+impl Semaphore for RealSemaphore {
+    fn acquire(&self) {
+        let mut permits = self.state.lock();
+        while *permits == 0 {
+            self.cv.wait(&mut permits);
+        }
+        *permits -= 1;
+    }
+
+    fn acquire_timeout(&self, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        let mut permits = self.state.lock();
+        while *permits == 0 {
+            if self.cv.wait_until(&mut permits, deadline).timed_out() {
+                return false;
+            }
+        }
+        *permits -= 1;
+        true
+    }
+
+    fn try_acquire(&self) -> bool {
+        let mut permits = self.state.lock();
+        if *permits > 0 {
+            *permits -= 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn release(&self, n: usize) {
+        let mut permits = self.state.lock();
+        *permits += n;
+        if n == 1 {
+            self.cv.notify_one();
+        } else {
+            self.cv.notify_all();
+        }
+    }
+
+    fn permits(&self) -> usize {
+        *self.state.lock()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spawn;
+
+    #[test]
+    fn semaphore_hands_off_between_threads() {
+        let rt: Arc<dyn Runtime> = Arc::new(RealRuntime::new());
+        let sem = rt.semaphore(0);
+        let sem2 = Arc::clone(&sem);
+        let task = spawn(&rt, "releaser", move || {
+            sem2.release(1);
+            7
+        });
+        sem.acquire();
+        assert_eq!(task.join(), 7);
+    }
+
+    #[test]
+    fn acquire_timeout_expires() {
+        let rt = RealRuntime::new();
+        let sem = rt.semaphore(0);
+        assert!(!sem.acquire_timeout(Duration::from_millis(10)));
+        sem.release(1);
+        assert!(sem.acquire_timeout(Duration::from_millis(10)));
+    }
+
+    #[test]
+    fn try_acquire_counts_permits() {
+        let rt = RealRuntime::new();
+        let sem = rt.semaphore(2);
+        assert!(sem.try_acquire());
+        assert!(sem.try_acquire());
+        assert!(!sem.try_acquire());
+        assert_eq!(sem.permits(), 0);
+    }
+}

@@ -1,0 +1,220 @@
+//! The [`Runtime`] abstraction: everything UniDrive needs from "the world"
+//! so that identical client code runs under wall-clock time
+//! ([`RealRuntime`](crate::RealRuntime)) or deterministic virtual time
+//! ([`SimRuntime`](crate::SimRuntime)).
+//!
+//! The surface is deliberately tiny: a clock, a sleeper, thread spawning,
+//! and a counting semaphore. Every blocking primitive used by the sync
+//! client (work queues, completion counters, joins) is built on the
+//! semaphore, so the virtual-time engine can always tell when all actors
+//! are blocked and time may advance.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::Mutex;
+
+use crate::Time;
+
+/// A counting semaphore usable under both runtimes.
+///
+/// Under a [`SimRuntime`](crate::SimRuntime) the blocked thread is parked
+/// on the virtual clock; under a [`RealRuntime`](crate::RealRuntime) it is
+/// an ordinary condvar wait.
+pub trait Semaphore: Send + Sync {
+    /// Blocks until a permit is available, then consumes it.
+    fn acquire(&self);
+
+    /// Like [`acquire`](Semaphore::acquire) but gives up after `timeout`.
+    /// Returns `true` if a permit was obtained.
+    fn acquire_timeout(&self, timeout: Duration) -> bool;
+
+    /// Consumes a permit if one is immediately available.
+    fn try_acquire(&self) -> bool;
+
+    /// Adds `n` permits, waking blocked acquirers.
+    fn release(&self, n: usize);
+
+    /// Number of currently available permits (racy; diagnostics only).
+    fn permits(&self) -> usize;
+}
+
+/// The execution environment UniDrive runs in.
+///
+/// See the crate docs for the actor rules that apply under the simulated
+/// runtime (most importantly: only block through this trait's primitives).
+pub trait Runtime: Send + Sync {
+    /// Current time since the runtime's epoch.
+    fn now(&self) -> Time;
+
+    /// Blocks the calling thread for `d`.
+    fn sleep(&self, d: Duration);
+
+    /// Spawns `f` on a new thread registered with the runtime.
+    ///
+    /// Prefer the typed [`spawn`] helper, which returns a joinable
+    /// [`Task`].
+    fn spawn_raw(&self, name: &str, f: Box<dyn FnOnce() + Send>);
+
+    /// Creates a counting semaphore with `permits` initial permits.
+    fn semaphore(&self, permits: usize) -> Arc<dyn Semaphore>;
+}
+
+/// Shared handle to a runtime.
+pub type RuntimeHandle = Arc<dyn Runtime>;
+
+/// Handle to a value produced by a spawned thread; see [`spawn`].
+pub struct Task<T> {
+    result: Arc<Mutex<Option<T>>>,
+    done: Arc<dyn Semaphore>,
+}
+
+impl<T> std::fmt::Debug for Task<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Task")
+            .field("finished", &(self.done.permits() > 0))
+            .finish()
+    }
+}
+
+impl<T: Send + 'static> Task<T> {
+    /// Blocks until the task finishes and returns its result.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the task itself panicked (its result was never stored).
+    pub fn join(self) -> T {
+        self.done.acquire();
+        self.result
+            .lock()
+            .take()
+            .expect("task panicked before producing a result")
+    }
+
+    /// Returns `true` once the task has finished (without consuming it).
+    pub fn is_finished(&self) -> bool {
+        self.done.permits() > 0
+    }
+}
+
+/// Spawns a closure on `rt`, returning a joinable [`Task`].
+///
+/// # Examples
+///
+/// ```
+/// use unidrive_sim::{spawn, RealRuntime, Runtime};
+/// use std::sync::Arc;
+///
+/// let rt: Arc<dyn Runtime> = Arc::new(RealRuntime::new());
+/// let task = spawn(&rt, "worker", move || 2 + 2);
+/// assert_eq!(task.join(), 4);
+/// ```
+pub fn spawn<T, F>(rt: &Arc<dyn Runtime>, name: &str, f: F) -> Task<T>
+where
+    T: Send + 'static,
+    F: FnOnce() -> T + Send + 'static,
+{
+    let result = Arc::new(Mutex::new(None));
+    let done = rt.semaphore(0);
+    let (res2, done2) = (Arc::clone(&result), Arc::clone(&done));
+    rt.spawn_raw(
+        name,
+        Box::new(move || {
+            let value = f();
+            *res2.lock() = Some(value);
+            done2.release(1);
+        }),
+    );
+    Task { result, done }
+}
+
+/// A multi-producer multi-consumer FIFO queue built from a runtime
+/// semaphore, safe to block on under virtual time.
+///
+/// # Examples
+///
+/// ```
+/// use unidrive_sim::{RealRuntime, Runtime, SimQueue};
+/// use std::sync::Arc;
+///
+/// let rt: Arc<dyn Runtime> = Arc::new(RealRuntime::new());
+/// let q = SimQueue::new(&rt);
+/// q.push(5);
+/// assert_eq!(q.pop(), 5);
+/// ```
+#[derive(Clone)]
+pub struct SimQueue<T> {
+    items: Arc<Mutex<std::collections::VecDeque<T>>>,
+    available: Arc<dyn Semaphore>,
+}
+
+impl<T: Send> SimQueue<T> {
+    /// Creates an empty queue on `rt`.
+    pub fn new(rt: &Arc<dyn Runtime>) -> Self {
+        SimQueue {
+            items: Arc::new(Mutex::new(std::collections::VecDeque::new())),
+            available: rt.semaphore(0),
+        }
+    }
+
+    /// Appends an item and wakes one blocked consumer.
+    pub fn push(&self, item: T) {
+        self.items.lock().push_back(item);
+        self.available.release(1);
+    }
+
+    /// Blocks until an item is available and removes it.
+    pub fn pop(&self) -> T {
+        self.available.acquire();
+        self.items
+            .lock()
+            .pop_front()
+            .expect("semaphore permit without queued item")
+    }
+
+    /// Removes an item if one is immediately available.
+    pub fn try_pop(&self) -> Option<T> {
+        if self.available.try_acquire() {
+            Some(
+                self.items
+                    .lock()
+                    .pop_front()
+                    .expect("semaphore permit without queued item"),
+            )
+        } else {
+            None
+        }
+    }
+
+    /// Blocks up to `timeout` for an item.
+    pub fn pop_timeout(&self, timeout: Duration) -> Option<T> {
+        if self.available.acquire_timeout(timeout) {
+            Some(
+                self.items
+                    .lock()
+                    .pop_front()
+                    .expect("semaphore permit without queued item"),
+            )
+        } else {
+            None
+        }
+    }
+
+    /// Current queue length (racy; diagnostics only).
+    pub fn len(&self) -> usize {
+        self.items.lock().len()
+    }
+
+    /// Whether the queue is currently empty (racy; diagnostics only).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl<T> std::fmt::Debug for SimQueue<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SimQueue")
+            .field("len", &self.items.lock().len())
+            .finish()
+    }
+}

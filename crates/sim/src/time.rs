@@ -1,0 +1,131 @@
+//! Virtual time representation.
+//!
+//! The engine counts time in integer nanoseconds from an arbitrary epoch
+//! (the start of the simulation). [`Time`] is a thin newtype so virtual
+//! timestamps cannot be confused with wall-clock instants or raw counters.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+use std::time::Duration;
+
+/// A point in (virtual or wall-clock) time, in nanoseconds since the
+/// runtime's epoch.
+///
+/// `Time` is produced by [`Runtime::now`](crate::Runtime::now) and is
+/// totally ordered; differences between two `Time`s are
+/// [`std::time::Duration`]s.
+///
+/// # Examples
+///
+/// ```
+/// use std::time::Duration;
+/// use unidrive_sim::Time;
+///
+/// let t0 = Time::ZERO;
+/// let t1 = t0 + Duration::from_millis(1500);
+/// assert_eq!(t1 - t0, Duration::from_millis(1500));
+/// assert_eq!(t1.as_secs_f64(), 1.5);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Time(u64);
+
+impl Time {
+    /// The runtime epoch.
+    pub const ZERO: Time = Time(0);
+
+    /// Creates a `Time` from raw nanoseconds since the epoch.
+    pub const fn from_nanos(nanos: u64) -> Self {
+        Time(nanos)
+    }
+
+    /// Creates a `Time` from whole seconds since the epoch.
+    pub const fn from_secs(secs: u64) -> Self {
+        Time(secs * 1_000_000_000)
+    }
+
+    /// Raw nanoseconds since the epoch.
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Seconds since the epoch as a float (lossy for very large times).
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// Duration elapsed since `earlier`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `earlier` is later than `self`.
+    pub fn duration_since(self, earlier: Time) -> Duration {
+        Duration::from_nanos(
+            self.0
+                .checked_sub(earlier.0)
+                .expect("duration_since: earlier time is later than self"),
+        )
+    }
+
+    /// Duration elapsed since `earlier`, or zero if `earlier` is later.
+    pub fn saturating_duration_since(self, earlier: Time) -> Duration {
+        Duration::from_nanos(self.0.saturating_sub(earlier.0))
+    }
+}
+
+impl Add<Duration> for Time {
+    type Output = Time;
+
+    fn add(self, rhs: Duration) -> Time {
+        Time(self.0 + rhs.as_nanos() as u64)
+    }
+}
+
+impl AddAssign<Duration> for Time {
+    fn add_assign(&mut self, rhs: Duration) {
+        self.0 += rhs.as_nanos() as u64;
+    }
+}
+
+impl Sub<Time> for Time {
+    type Output = Duration;
+
+    fn sub(self, rhs: Time) -> Duration {
+        self.duration_since(rhs)
+    }
+}
+
+impl fmt::Display for Time {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.6}s", self.as_secs_f64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic_round_trips() {
+        let t = Time::from_secs(3) + Duration::from_millis(250);
+        assert_eq!(t.as_nanos(), 3_250_000_000);
+        assert_eq!(t - Time::from_secs(3), Duration::from_millis(250));
+    }
+
+    #[test]
+    fn saturating_subtraction_clamps() {
+        let early = Time::from_secs(1);
+        let late = Time::from_secs(2);
+        assert_eq!(early.saturating_duration_since(late), Duration::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "earlier time is later")]
+    fn duration_since_panics_when_reversed() {
+        let _ = Time::from_secs(1).duration_since(Time::from_secs(2));
+    }
+
+    #[test]
+    fn display_is_human_readable() {
+        assert_eq!(format!("{}", Time::from_secs(2)), "2.000000s");
+    }
+}

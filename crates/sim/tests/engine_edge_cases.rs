@@ -1,0 +1,171 @@
+//! Edge-case tests of the virtual-time engine: deadlock detection,
+//! thread deregistration, flow conservation under churn, and timer/
+//! semaphore races.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use unidrive_sim::{spawn, LinkProfile, Runtime, SimRng, SimRuntime, Time};
+
+#[test]
+fn deadlock_is_detected_and_reported() {
+    let result = std::panic::catch_unwind(|| {
+        let sim = SimRuntime::new(1);
+        let rt = sim.clone().as_runtime();
+        // An actor waiting on a semaphore nobody will ever release, with
+        // no timers and no flows: the engine must panic with a
+        // diagnostic rather than hang.
+        let sem = rt.semaphore(0);
+        sem.acquire();
+    });
+    let payload = result.expect_err("deadlock must panic");
+    let message = payload
+        .downcast_ref::<String>()
+        .cloned()
+        .or_else(|| payload.downcast_ref::<&str>().map(|s| s.to_string()))
+        .unwrap_or_default();
+    assert!(
+        message.contains("virtual-time deadlock"),
+        "diagnostic missing: {message}"
+    );
+}
+
+#[test]
+fn deregistered_thread_no_longer_blocks_time() {
+    use std::sync::atomic::{AtomicBool, Ordering};
+    let sim = SimRuntime::new(2);
+    let rt = sim.clone().as_runtime();
+    let sim2 = sim.clone();
+    let finished = Arc::new(AtomicBool::new(false));
+    let finished2 = Arc::clone(&finished);
+    // The spawned actor deregisters itself and then runs in real time;
+    // the engine must advance virtual time without waiting for it. A
+    // deregistered thread may no longer be awaited through engine
+    // primitives, so completion is signalled via an atomic.
+    spawn(&rt, "free-runner", move || {
+        sim2.deregister_thread();
+        std::thread::sleep(Duration::from_millis(20));
+        finished2.store(true, Ordering::SeqCst);
+    });
+    sim.sleep(Duration::from_secs(10));
+    assert_eq!(sim.now(), Time::from_secs(10));
+    // Main is a *running* actor while it really-waits, which is allowed.
+    while !finished.load(Ordering::SeqCst) {
+        std::thread::sleep(Duration::from_millis(1));
+    }
+}
+
+#[test]
+fn flows_conserve_bytes_under_churn() {
+    // Many staggered flows on one link: total virtual time must equal
+    // total bytes / capacity when the link is saturated throughout.
+    let sim = SimRuntime::new(3);
+    let link = sim.add_link(LinkProfile::steady(10e6, 2e6)); // agg-limited
+    let rt = sim.clone().as_runtime();
+    let tasks: Vec<_> = (0..10)
+        .map(|i| {
+            let sim2 = sim.clone();
+            spawn(&rt, &format!("f{i}"), move || {
+                sim2.transfer(link, 1_000_000).unwrap();
+            })
+        })
+        .collect();
+    for t in tasks {
+        t.join();
+    }
+    // 10 MB over a 2 MB/s aggregate = 5 s exactly.
+    assert!((sim.now().as_secs_f64() - 5.0).abs() < 0.01);
+}
+
+#[test]
+fn timer_and_release_race_is_consistent() {
+    // Release exactly at the timeout instant: the acquirer must observe
+    // exactly one of the outcomes, and the permit must not be lost.
+    let sim = SimRuntime::new(4);
+    let rt = sim.clone().as_runtime();
+    let sem = rt.semaphore(0);
+    let sem2 = Arc::clone(&sem);
+    let rt2 = rt.clone();
+    let releaser = spawn(&rt, "releaser", move || {
+        rt2.sleep(Duration::from_secs(5));
+        sem2.release(1);
+    });
+    let got = sem.acquire_timeout(Duration::from_secs(5));
+    releaser.join();
+    if got {
+        assert_eq!(sem.permits(), 0);
+    } else {
+        // The permit survived for the next acquirer.
+        assert_eq!(sem.permits(), 1);
+    }
+}
+
+#[test]
+fn zero_duration_sleep_returns_immediately() {
+    let sim = SimRuntime::new(5);
+    let before = sim.now();
+    sim.sleep(Duration::ZERO);
+    assert_eq!(sim.now(), before);
+}
+
+#[test]
+fn many_links_advance_independently() {
+    let sim = SimRuntime::new(6);
+    let fast = sim.add_link(LinkProfile::steady(8e6, 8e6));
+    let slow = sim.add_link(LinkProfile::steady(1e6, 1e6));
+    let rt = sim.clone().as_runtime();
+    let sim_a = sim.clone();
+    let a = spawn(&rt, "fast", move || {
+        sim_a.transfer(fast, 8_000_000).unwrap();
+        sim_a.now()
+    });
+    let sim_b = sim.clone();
+    let b = spawn(&rt, "slow", move || {
+        sim_b.transfer(slow, 8_000_000).unwrap();
+        sim_b.now()
+    });
+    assert_eq!(a.join().as_secs_f64(), 1.0);
+    assert_eq!(b.join().as_secs_f64(), 8.0);
+}
+
+#[test]
+fn rng_forks_are_deterministic_per_seed() {
+    let draws = |seed: u64| {
+        let sim = SimRuntime::new(seed);
+        let mut rng = sim.fork_rng();
+        (0..8).map(|_| rng.next_u64()).collect::<Vec<_>>()
+    };
+    assert_eq!(draws(42), draws(42));
+    assert_ne!(draws(42), draws(43));
+    let _ = SimRng::seed_from_u64(1);
+}
+
+#[test]
+fn try_acquire_never_blocks_the_clock() {
+    let sim = SimRuntime::new(7);
+    let rt = sim.clone().as_runtime();
+    let sem = rt.semaphore(1);
+    assert!(sem.try_acquire());
+    assert!(!sem.try_acquire());
+    // The failed try must not have advanced virtual time.
+    assert_eq!(sim.now(), Time::ZERO);
+}
+
+#[test]
+fn instantaneous_rate_reflects_contention() {
+    let sim = SimRuntime::new(8);
+    let link = sim.add_link(LinkProfile::steady(4e6, 4e6));
+    let idle_rate = sim.instantaneous_rate(link);
+    assert_eq!(idle_rate, 4e6);
+    // Start a competing flow; a new connection now shares the aggregate.
+    let rt = sim.clone().as_runtime();
+    let sim2 = sim.clone();
+    let t = spawn(&rt, "bg", move || {
+        sim2.transfer(link, 4_000_000).unwrap();
+    });
+    // Give the flow a moment to register.
+    sim.sleep(Duration::from_millis(10));
+    let contended = sim.instantaneous_rate(link);
+    assert!(contended <= 2e6 + 1.0, "rate {contended}");
+    t.join();
+}

@@ -1,0 +1,237 @@
+//! Workload generators: random file content, batch workloads, and the
+//! synthetic 272-user trial population of §7.3.
+
+use bytes::Bytes;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::{Provider, Region, Site, EC2_SITES, PLANETLAB_SITES};
+
+/// Deterministic pseudo-random file content ("randomly generated
+/// contents to avoid deduplication and transfer suppression", §7.2).
+pub fn random_bytes(len: usize, seed: u64) -> Bytes {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = vec![0u8; len];
+    rng.fill(&mut out[..]);
+    Bytes::from(out)
+}
+
+/// A batch of `count` files of `size` bytes each with distinct random
+/// content (the Fig. 11 workload is `100 × 1 MB`).
+pub fn batch(count: usize, size: usize, seed: u64) -> Vec<(String, Bytes)> {
+    (0..count)
+        .map(|i| {
+            (
+                format!("batch/file-{i:04}.bin"),
+                random_bytes(size, seed.wrapping_mul(1_000_003).wrapping_add(i as u64)),
+            )
+        })
+        .collect()
+}
+
+/// File-content categories of the trial (§7.3: 28.3 % documents,
+/// 30.5 % multimedia, rest mixed).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FileKind {
+    /// Office documents, PDFs: tens of KB to a few MB.
+    Document,
+    /// Photos, audio, video: hundreds of KB to tens of MB.
+    Multimedia,
+    /// Archives, binaries, code, misc.
+    Other,
+}
+
+/// The paper's size buckets used in Figs. 15-16.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum SizeBucket {
+    /// `< 100 KB`.
+    Tiny,
+    /// `100 KB – 1 MB` ("medium sized files", Fig. 16).
+    Medium,
+    /// `1 MB – 10 MB`.
+    Large,
+    /// `> 10 MB`.
+    Huge,
+}
+
+impl SizeBucket {
+    /// Bucket of a file size in bytes.
+    pub fn of(bytes: u64) -> SizeBucket {
+        match bytes {
+            0..=102_399 => SizeBucket::Tiny,
+            102_400..=1_048_575 => SizeBucket::Medium,
+            1_048_576..=10_485_759 => SizeBucket::Large,
+            _ => SizeBucket::Huge,
+        }
+    }
+
+    /// Display label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            SizeBucket::Tiny => "<100KB",
+            SizeBucket::Medium => "100KB-1MB",
+            SizeBucket::Large => "1MB-10MB",
+            SizeBucket::Huge => ">10MB",
+        }
+    }
+
+    /// All buckets in ascending order.
+    pub const ALL: [SizeBucket; 4] = [
+        SizeBucket::Tiny,
+        SizeBucket::Medium,
+        SizeBucket::Large,
+        SizeBucket::Huge,
+    ];
+}
+
+/// One synthetic trial user.
+#[derive(Debug, Clone)]
+pub struct TrialUser {
+    /// User index (0..272).
+    pub id: usize,
+    /// Site the user's device sits at.
+    pub site: Site,
+    /// Providers the user enrolled (3 to 5; §7.3: "not every user is
+    /// using all the 5 clouds").
+    pub providers: Vec<Provider>,
+    /// Files the user will upload: `(kind, size in bytes)`.
+    pub files: Vec<(FileKind, u64)>,
+}
+
+/// Generates the 272-user trial population (§7.3): devices spread over
+/// 21 sites across four continents, ~97 k files, >500 GB total scaled by
+/// `scale` (use a small `scale` to keep simulations fast while
+/// preserving the distributions).
+pub fn trial_population(seed: u64, users: usize, files_per_user: usize) -> Vec<TrialUser> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    // Trial sites: every PlanetLab + EC2 site bar one duplicate ≈ 21
+    // sites excluding mainland China (the trial had none there).
+    let sites: Vec<Site> = PLANETLAB_SITES
+        .iter()
+        .chain(EC2_SITES.iter())
+        .filter(|s| s.region != Region::China)
+        .copied()
+        .collect();
+    (0..users)
+        .map(|id| {
+            let site = sites[rng.gen_range(0..sites.len())];
+            let n_providers = rng.gen_range(3..=5);
+            let mut providers = Provider::ALL.to_vec();
+            // Fisher-Yates prefix shuffle.
+            for i in 0..n_providers {
+                let j = rng.gen_range(i..providers.len());
+                providers.swap(i, j);
+            }
+            providers.truncate(n_providers);
+            let files = (0..files_per_user)
+                .map(|_| {
+                    let roll: f64 = rng.gen();
+                    let kind = if roll < 0.283 {
+                        FileKind::Document
+                    } else if roll < 0.283 + 0.305 {
+                        FileKind::Multimedia
+                    } else {
+                        FileKind::Other
+                    };
+                    (kind, sample_size(kind, &mut rng))
+                })
+                .collect();
+            TrialUser {
+                id,
+                site,
+                providers,
+                files,
+            }
+        })
+        .collect()
+}
+
+/// Samples a file size for `kind` (lognormal-ish per-category).
+fn sample_size(kind: FileKind, rng: &mut StdRng) -> u64 {
+    let (median, sigma) = match kind {
+        FileKind::Document => (80.0 * 1024.0, 1.3),
+        FileKind::Multimedia => (2.5 * 1024.0 * 1024.0, 1.5),
+        FileKind::Other => (300.0 * 1024.0, 1.8),
+    };
+    let normal: f64 = {
+        // Box-Muller from two uniforms.
+        let u1: f64 = rng.gen_range(1e-12..1.0);
+        let u2: f64 = rng.gen();
+        (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+    };
+    let size = median * (sigma * normal).exp();
+    (size.clamp(1024.0, 256.0 * 1024.0 * 1024.0)) as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn random_bytes_deterministic_and_distinct() {
+        assert_eq!(random_bytes(1000, 1), random_bytes(1000, 1));
+        assert_ne!(random_bytes(1000, 1), random_bytes(1000, 2));
+    }
+
+    #[test]
+    fn batch_shapes() {
+        let b = batch(100, 1024 * 1024, 7);
+        assert_eq!(b.len(), 100);
+        assert!(b.iter().all(|(_, d)| d.len() == 1024 * 1024));
+        // Distinct contents (no accidental dedup).
+        let first_bytes: std::collections::HashSet<&[u8]> =
+            b.iter().map(|(_, d)| &d[..32]).collect();
+        assert_eq!(first_bytes.len(), 100);
+    }
+
+    #[test]
+    fn size_buckets_partition() {
+        assert_eq!(SizeBucket::of(50_000), SizeBucket::Tiny);
+        assert_eq!(SizeBucket::of(500_000), SizeBucket::Medium);
+        assert_eq!(SizeBucket::of(5_000_000), SizeBucket::Large);
+        assert_eq!(SizeBucket::of(50_000_000), SizeBucket::Huge);
+    }
+
+    #[test]
+    fn trial_population_matches_study_statistics() {
+        let users = trial_population(42, 272, 30);
+        assert_eq!(users.len(), 272);
+        // Provider counts within 3..=5.
+        assert!(users.iter().all(|u| (3..=5).contains(&u.providers.len())));
+        // No duplicate providers per user.
+        for u in &users {
+            let set: std::collections::HashSet<_> = u.providers.iter().collect();
+            assert_eq!(set.len(), u.providers.len());
+        }
+        // Document share ≈ 28.3 %, multimedia ≈ 30.5 % (±5 points).
+        let all_files: Vec<&(FileKind, u64)> =
+            users.iter().flat_map(|u| u.files.iter()).collect();
+        let frac = |k: FileKind| {
+            all_files.iter().filter(|(kind, _)| *kind == k).count() as f64
+                / all_files.len() as f64
+        };
+        assert!((frac(FileKind::Document) - 0.283).abs() < 0.05);
+        assert!((frac(FileKind::Multimedia) - 0.305).abs() < 0.05);
+        // No user in mainland China.
+        assert!(users.iter().all(|u| u.site.region != Region::China));
+        // Multiple sites covered.
+        let sites: std::collections::HashSet<_> =
+            users.iter().map(|u| u.site.name).collect();
+        assert!(sites.len() >= 12, "sites {}", sites.len());
+    }
+
+    #[test]
+    fn multimedia_files_are_bigger_than_documents() {
+        let users = trial_population(7, 100, 50);
+        let mean = |k: FileKind| {
+            let sizes: Vec<f64> = users
+                .iter()
+                .flat_map(|u| u.files.iter())
+                .filter(|(kind, _)| *kind == k)
+                .map(|(_, s)| *s as f64)
+                .collect();
+            sizes.iter().sum::<f64>() / sizes.len() as f64
+        };
+        assert!(mean(FileKind::Multimedia) > 3.0 * mean(FileKind::Document));
+    }
+}

@@ -1,0 +1,26 @@
+//! # unidrive-workload
+//!
+//! Evaluation substrate for the UniDrive reproduction: the five-provider
+//! network [`profiles`](build_multicloud) calibrated to the paper's §3.2
+//! measurement study, workload [generators](trial_population) including
+//! the synthetic 272-user trial of §7.3, and the summary
+//! [statistics](Summary) the tables and figures report.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod gen;
+mod profiles;
+mod stats;
+
+pub use gen::{batch, random_bytes, trial_population, FileKind, SizeBucket, TrialUser};
+pub use profiles::{
+    build_cloud, build_multicloud, build_multicloud_shared, cloud_config, disjoint_degraded_windows, site_by_name,
+    Provider, Region, Site, EC2_SITES, PLANETLAB_SITES,
+};
+pub use stats::{pearson, quantile, Summary, TextTable};
+
+/// Convenience: a `Duration` as fractional seconds (benches print these).
+pub fn secs(d: std::time::Duration) -> f64 {
+    d.as_secs_f64()
+}

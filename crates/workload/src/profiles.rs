@@ -1,0 +1,447 @@
+//! Network profiles of the five clouds as seen from the measurement and
+//! evaluation sites.
+//!
+//! Calibrated to reproduce the *shape* of the paper's §3.2 measurement
+//! study (not its absolute numbers, which depended on 2013-era paths):
+//!
+//! * large spatial disparity per cloud and no global winner (Fig. 1);
+//! * average-speed disparity across clouds of up to ~60× (§1);
+//! * heavy temporal fluctuation — max/min within a day up to ~17×
+//!   (Fig. 3) — via lognormal epoch multipliers plus deep fades;
+//! * US clouds effectively unusable from China sites and vice versa;
+//! * success rates ≈99 % US↔US, ≈90 % from China, ≈95 % for BaiduPCS,
+//!   highly variable for DBank, with failures rising with file size
+//!   (Fig. 4, Table 1).
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use unidrive_cloud::{CloudSet, CloudStore, FailureProfile, SimCloud, SimCloudConfig};
+use unidrive_sim::{LinkProfile, SimRuntime, Time};
+
+/// The five CCS providers of the study.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Provider {
+    /// Dropbox (hosted in two US data centers).
+    Dropbox,
+    /// Microsoft OneDrive (globally distributed DCs).
+    OneDrive,
+    /// Google Drive (edge POPs).
+    GoogleDrive,
+    /// Baidu PCS (geo-distributed within China).
+    BaiduPcs,
+    /// Huawei DBank (China, highly variable abroad).
+    DBank,
+}
+
+impl Provider {
+    /// All five, in the paper's order.
+    pub const ALL: [Provider; 5] = [
+        Provider::Dropbox,
+        Provider::OneDrive,
+        Provider::GoogleDrive,
+        Provider::BaiduPcs,
+        Provider::DBank,
+    ];
+
+    /// The three US providers (used in Table 1 / Fig. 3).
+    pub const US: [Provider; 3] = [
+        Provider::Dropbox,
+        Provider::OneDrive,
+        Provider::GoogleDrive,
+    ];
+
+    /// Display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Provider::Dropbox => "Dropbox",
+            Provider::OneDrive => "OneDrive",
+            Provider::GoogleDrive => "GoogleDrive",
+            Provider::BaiduPcs => "BaiduPCS",
+            Provider::DBank => "DBank",
+        }
+    }
+}
+
+/// Coarse geography that drives cloud affinity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Region {
+    /// North America.
+    NorthAmerica,
+    /// South America.
+    SouthAmerica,
+    /// Europe.
+    Europe,
+    /// Mainland China.
+    China,
+    /// Asia outside mainland China.
+    Asia,
+    /// Oceania.
+    Oceania,
+}
+
+/// A measurement or evaluation site.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Site {
+    /// Human-readable name.
+    pub name: &'static str,
+    /// Region for affinity lookups.
+    pub region: Region,
+    /// Deterministic per-site rate multiplier (last-mile quality).
+    pub local_factor: f64,
+}
+
+/// The 13 PlanetLab-style measurement sites (§3.2: 10 countries across
+/// 5 continents).
+pub const PLANETLAB_SITES: [Site; 13] = [
+    Site { name: "Princeton", region: Region::NorthAmerica, local_factor: 1.3 },
+    Site { name: "LosAngeles", region: Region::NorthAmerica, local_factor: 0.8 },
+    Site { name: "Toronto", region: Region::NorthAmerica, local_factor: 1.1 },
+    Site { name: "SaoPaulo", region: Region::SouthAmerica, local_factor: 0.9 },
+    Site { name: "London", region: Region::Europe, local_factor: 1.2 },
+    Site { name: "Frankfurt", region: Region::Europe, local_factor: 1.25 },
+    Site { name: "Moscow", region: Region::Europe, local_factor: 0.7 },
+    Site { name: "Beijing", region: Region::China, local_factor: 1.0 },
+    Site { name: "Shanghai", region: Region::China, local_factor: 1.1 },
+    Site { name: "Singapore", region: Region::Asia, local_factor: 1.2 },
+    Site { name: "Tokyo", region: Region::Asia, local_factor: 1.3 },
+    Site { name: "Mumbai", region: Region::Asia, local_factor: 0.6 },
+    Site { name: "Sydney", region: Region::Oceania, local_factor: 1.0 },
+];
+
+/// The 7 EC2 evaluation sites (§7: 6 countries across 5 continents).
+pub const EC2_SITES: [Site; 7] = [
+    Site { name: "Virginia", region: Region::NorthAmerica, local_factor: 1.25 },
+    Site { name: "Oregon", region: Region::NorthAmerica, local_factor: 1.15 },
+    Site { name: "SaoPaulo", region: Region::SouthAmerica, local_factor: 0.85 },
+    Site { name: "Ireland", region: Region::Europe, local_factor: 1.2 },
+    Site { name: "Singapore", region: Region::Asia, local_factor: 1.1 },
+    Site { name: "Tokyo", region: Region::Asia, local_factor: 1.25 },
+    Site { name: "Sydney", region: Region::Oceania, local_factor: 0.95 },
+];
+
+/// Looks up a site by name in both site lists.
+pub fn site_by_name(name: &str) -> Option<Site> {
+    PLANETLAB_SITES
+        .iter()
+        .chain(EC2_SITES.iter())
+        .find(|s| s.name == name)
+        .copied()
+}
+
+/// Base single-connection **upload** rate in bytes/second for
+/// `(provider, region)`; download is derived from it.
+fn base_up_rate(provider: Provider, region: Region) -> f64 {
+    use Provider::*;
+    use Region::*;
+    let mbps = match (provider, region) {
+        (Dropbox, NorthAmerica) => 1.50,
+        (Dropbox, SouthAmerica) => 0.50,
+        (Dropbox, Europe) => 1.00,
+        (Dropbox, China) => 0.030, // effectively blocked
+        (Dropbox, Asia) => 0.60,
+        (Dropbox, Oceania) => 0.50,
+
+        (OneDrive, NorthAmerica) => 1.00,
+        (OneDrive, SouthAmerica) => 0.60,
+        (OneDrive, Europe) => 1.10,
+        (OneDrive, China) => 0.15,
+        (OneDrive, Asia) => 0.90,
+        (OneDrive, Oceania) => 0.70,
+
+        (GoogleDrive, NorthAmerica) => 1.20,
+        (GoogleDrive, SouthAmerica) => 0.70,
+        (GoogleDrive, Europe) => 1.30,
+        (GoogleDrive, China) => 0.025, // effectively blocked
+        (GoogleDrive, Asia) => 1.00,
+        (GoogleDrive, Oceania) => 0.80,
+
+        (BaiduPcs, NorthAmerica) => 0.08,
+        (BaiduPcs, SouthAmerica) => 0.025,
+        (BaiduPcs, Europe) => 0.06,
+        (BaiduPcs, China) => 1.20,
+        (BaiduPcs, Asia) => 0.30,
+        (BaiduPcs, Oceania) => 0.05,
+
+        (DBank, NorthAmerica) => 0.06,
+        (DBank, SouthAmerica) => 0.03,
+        (DBank, Europe) => 0.05,
+        (DBank, China) => 0.80,
+        (DBank, Asia) => 0.20,
+        (DBank, Oceania) => 0.04,
+    };
+    mbps * 1e6
+}
+
+/// Temporal fluctuation parameters per provider: `(sigma, fade_prob)`.
+/// DBank fluctuates the most (§3.2, "much larger fluctuation").
+fn fluctuation(provider: Provider) -> (f64, f64) {
+    match provider {
+        Provider::Dropbox => (0.55, 0.035),
+        Provider::OneDrive => (0.60, 0.040),
+        Provider::GoogleDrive => (0.50, 0.030),
+        Provider::BaiduPcs => (0.65, 0.045),
+        Provider::DBank => (0.90, 0.080),
+    }
+}
+
+/// Transient failure model per `(provider, region)` (§3.2 "Service
+/// Availability" and Fig. 4).
+fn failure_profile(provider: Provider, region: Region) -> FailureProfile {
+    use Provider::*;
+    use Region::*;
+    let us_cloud = matches!(provider, Dropbox | OneDrive | GoogleDrive);
+    let base = match (us_cloud, region) {
+        (true, NorthAmerica) | (true, Europe) | (true, Oceania) => 0.010,
+        (true, SouthAmerica) | (true, Asia) => 0.020,
+        (true, China) => 0.100,
+        (false, China) => 0.015,
+        (false, Asia) => 0.050,
+        (false, _) => {
+            if provider == BaiduPcs {
+                0.050
+            } else {
+                0.120 // DBank abroad: much larger fluctuation
+            }
+        }
+    };
+    FailureProfile {
+        base,
+        per_mb: base * 0.4,
+        max: (base * 6.0).min(0.6),
+        degraded: 0.55,
+    }
+}
+
+/// Deterministic per-(site, provider) jitter in `[lo, hi]` (FNV-1a).
+fn pair_jitter(site: Site, provider: Provider, lo: f64, hi: f64) -> f64 {
+    let mut h = 0xcbf29ce484222325u64;
+    for b in site.name.bytes().chain([provider as u8]) {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    lo + (hi - lo) * ((h >> 11) as f64 / (1u64 << 53) as f64)
+}
+
+/// Full simulated-cloud configuration for `(site, provider)`.
+pub fn cloud_config(site: Site, provider: Provider) -> SimCloudConfig {
+    let up_rate = base_up_rate(provider, site.region) * site.local_factor;
+    // Downlinks are faster on average but follow different paths than
+    // uplinks, so the paper finds up/down only weakly correlated (~0.4);
+    // the per-pair jitter models the asymmetric routes.
+    let down_rate = up_rate * 2.2 * pair_jitter(site, provider, 0.4, 2.6);
+    let (sigma, fade_prob) = fluctuation(provider);
+    let mk = |rate: f64| {
+        LinkProfile::new(rate, rate * 4.0)
+            .with_fluctuation(sigma, fade_prob)
+            .with_epoch(Duration::from_secs(300))
+            .with_latency(Duration::from_millis(120), Duration::from_millis(80))
+    };
+    SimCloudConfig {
+        up: mk(up_rate),
+        down: mk(down_rate),
+        failure: failure_profile(provider, site.region),
+        quota_bytes: None,
+        request_overhead_bytes: 600,
+    }
+}
+
+/// Builds the five-provider multi-cloud as seen from `site`.
+///
+/// Returns the [`CloudSet`] (provider order matches [`Provider::ALL`])
+/// and the concrete handles for outage injection and traffic accounting.
+pub fn build_multicloud(sim: &Arc<SimRuntime>, site: Site) -> (CloudSet, Vec<Arc<SimCloud>>) {
+    let mut handles = Vec::new();
+    let members: Vec<Arc<dyn CloudStore>> = Provider::ALL
+        .iter()
+        .map(|&p| {
+            let c = Arc::new(SimCloud::new(sim, p.name(), cloud_config(site, p)));
+            handles.push(Arc::clone(&c));
+            c as Arc<dyn CloudStore>
+        })
+        .collect();
+    (CloudSet::new(members), handles)
+}
+
+/// Builds the five-provider multi-cloud frontends for *several* sites
+/// over shared backing stores: `sets[i]` is the cloud set as seen from
+/// `sites[i]`, but all sites observe the same stored objects. This is
+/// the substrate for the multi-device sync experiments (Fig. 11-12).
+pub fn build_multicloud_shared(
+    sim: &Arc<SimRuntime>,
+    sites: &[Site],
+) -> (Vec<CloudSet>, Vec<Vec<Arc<SimCloud>>>) {
+    let backings: Vec<Arc<unidrive_cloud::MemCloud>> = Provider::ALL
+        .iter()
+        .map(|p| Arc::new(unidrive_cloud::MemCloud::new(p.name())))
+        .collect();
+    let mut sets = Vec::new();
+    let mut handles_per_site = Vec::new();
+    for &site in sites {
+        let mut handles = Vec::new();
+        let members: Vec<Arc<dyn CloudStore>> = Provider::ALL
+            .iter()
+            .zip(&backings)
+            .map(|(&p, backing)| {
+                let c = Arc::new(SimCloud::with_backing(
+                    sim,
+                    p.name(),
+                    cloud_config(site, p),
+                    Arc::clone(backing),
+                ));
+                handles.push(Arc::clone(&c));
+                c as Arc<dyn CloudStore>
+            })
+            .collect();
+        sets.push(CloudSet::new(members));
+        handles_per_site.push(handles);
+    }
+    (sets, handles_per_site)
+}
+
+/// Builds a single provider's cloud as seen from `site`.
+pub fn build_cloud(sim: &Arc<SimRuntime>, site: Site, provider: Provider) -> Arc<SimCloud> {
+    Arc::new(SimCloud::new(
+        sim,
+        provider.name(),
+        cloud_config(site, provider),
+    ))
+}
+
+/// Generates **disjoint** degraded windows for the five providers over
+/// `horizon`: at any moment at most one provider is degraded, which is
+/// what makes their failure series *negatively* correlated (Table 1 —
+/// "different CCSs rarely experience outages at the same time").
+///
+/// `duty` is the fraction of time each provider spends degraded.
+pub fn disjoint_degraded_windows(
+    horizon: Duration,
+    providers: usize,
+    duty: f64,
+    seed: u64,
+) -> Vec<Vec<(Time, Time)>> {
+    let mut rng = unidrive_sim::SimRng::seed_from_u64(seed);
+    let mut windows = vec![Vec::new(); providers];
+    let slot = Duration::from_secs(1800); // half-hour rotation slots
+    let slots = (horizon.as_secs() / slot.as_secs()).max(1);
+    for s in 0..slots {
+        // Each slot, at most one provider is degraded.
+        if rng.next_f64() < duty * providers as f64 {
+            let victim = rng.below(providers as u64) as usize;
+            let start = Time::from_nanos(s * slot.as_nanos() as u64);
+            let end = start + slot;
+            windows[victim].push((start, end));
+        }
+    }
+    windows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn site_tables_have_expected_shape() {
+        assert_eq!(PLANETLAB_SITES.len(), 13);
+        assert_eq!(EC2_SITES.len(), 7);
+        assert!(site_by_name("Princeton").is_some());
+        assert!(site_by_name("Virginia").is_some());
+        assert!(site_by_name("Atlantis").is_none());
+    }
+
+    #[test]
+    fn us_clouds_fast_at_home_slow_in_china() {
+        let princeton = site_by_name("Princeton").unwrap();
+        let beijing = site_by_name("Beijing").unwrap();
+        for p in Provider::US {
+            let home = base_up_rate(p, princeton.region);
+            let away = base_up_rate(p, beijing.region);
+            assert!(home / away > 5.0, "{}: home {home} away {away}", p.name());
+        }
+    }
+
+    #[test]
+    fn china_clouds_show_inverse_affinity() {
+        assert!(
+            base_up_rate(Provider::BaiduPcs, Region::China)
+                > 10.0 * base_up_rate(Provider::BaiduPcs, Region::NorthAmerica)
+        );
+    }
+
+    #[test]
+    fn cross_cloud_disparity_reaches_tens() {
+        // §1: up to ~60x average upload-speed disparity across clouds.
+        let mut rates = Vec::new();
+        for p in Provider::ALL {
+            for s in PLANETLAB_SITES {
+                rates.push(base_up_rate(p, s.region) * s.local_factor);
+            }
+        }
+        let max = rates.iter().cloned().fold(0.0, f64::max);
+        let min = rates.iter().cloned().fold(f64::INFINITY, f64::min);
+        assert!(max / min > 40.0, "disparity {}", max / min);
+    }
+
+    #[test]
+    fn no_global_winner_across_sites() {
+        // Fig. 1: some clouds win at some locations and lose at others.
+        let best_at = |site: Site| {
+            Provider::ALL
+                .iter()
+                .max_by(|a, b| {
+                    let ra = base_up_rate(**a, site.region);
+                    let rb = base_up_rate(**b, site.region);
+                    ra.partial_cmp(&rb).unwrap()
+                })
+                .copied()
+                .unwrap()
+        };
+        let winners: std::collections::HashSet<_> = PLANETLAB_SITES
+            .iter()
+            .map(|&s| best_at(s))
+            .collect();
+        assert!(winners.len() >= 2, "one cloud wins everywhere");
+    }
+
+    #[test]
+    fn failure_rates_follow_the_study() {
+        let na = failure_profile(Provider::Dropbox, Region::NorthAmerica);
+        let cn = failure_profile(Provider::Dropbox, Region::China);
+        assert!(cn.base > 5.0 * na.base);
+        let baidu = failure_profile(Provider::BaiduPcs, Region::Europe);
+        assert!((0.03..0.08).contains(&baidu.base));
+        let dbank = failure_profile(Provider::DBank, Region::Europe);
+        assert!(dbank.base > baidu.base, "DBank abroad flakier than Baidu");
+    }
+
+    #[test]
+    fn degraded_windows_are_disjoint_across_providers() {
+        let windows =
+            disjoint_degraded_windows(Duration::from_secs(86_400 * 7), 5, 0.05, 42);
+        let mut all: Vec<(u64, u64, usize)> = Vec::new();
+        for (p, w) in windows.iter().enumerate() {
+            for &(s, e) in w {
+                all.push((s.as_nanos(), e.as_nanos(), p));
+            }
+        }
+        all.sort();
+        for pair in all.windows(2) {
+            assert!(
+                pair[0].1 <= pair[1].0,
+                "windows overlap: {pair:?}"
+            );
+        }
+        // And some windows exist at all.
+        assert!(!all.is_empty());
+    }
+
+    #[test]
+    fn multicloud_builder_wires_five_providers() {
+        let sim = unidrive_sim::SimRuntime::new(1);
+        let (set, handles) = build_multicloud(&sim, site_by_name("Virginia").unwrap());
+        assert_eq!(set.len(), 5);
+        assert_eq!(handles.len(), 5);
+        assert_eq!(set.get(unidrive_cloud::CloudId(0)).name(), "Dropbox");
+        assert_eq!(set.get(unidrive_cloud::CloudId(4)).name(), "DBank");
+    }
+}

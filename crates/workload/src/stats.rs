@@ -1,0 +1,216 @@
+//! Summary statistics used across the evaluation harness: mean/min/max
+//! (Figs. 1, 8, 11), variance (Table 2), and Pearson correlation
+//! (Table 1, the up/down correlation remark in §3.2).
+
+/// Summary of a sample of `f64` observations.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Number of observations.
+    pub count: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Minimum.
+    pub min: f64,
+    /// Maximum.
+    pub max: f64,
+    /// Population variance.
+    pub variance: f64,
+}
+
+impl Summary {
+    /// Summarizes `values`; returns `None` for an empty sample.
+    pub fn of(values: &[f64]) -> Option<Summary> {
+        if values.is_empty() {
+            return None;
+        }
+        let count = values.len();
+        let mean = values.iter().sum::<f64>() / count as f64;
+        let variance = values.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / count as f64;
+        let min = values.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        Some(Summary {
+            count,
+            mean,
+            min,
+            max,
+            variance,
+        })
+    }
+
+    /// Population standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance.sqrt()
+    }
+
+    /// `max / min` — the fluctuation factor quoted throughout §3.2.
+    pub fn max_over_min(&self) -> f64 {
+        if self.min > 0.0 {
+            self.max / self.min
+        } else {
+            f64::INFINITY
+        }
+    }
+}
+
+/// Pearson correlation coefficient of two equally long samples.
+///
+/// Returns `None` if the samples are empty, differ in length, or either
+/// has zero variance.
+///
+/// # Examples
+///
+/// ```
+/// use unidrive_workload::pearson;
+///
+/// let x = [1.0, 2.0, 3.0, 4.0];
+/// let up = [2.0, 4.0, 6.0, 8.0];
+/// let down = [8.0, 6.0, 4.0, 2.0];
+/// assert!((pearson(&x, &up).unwrap() - 1.0).abs() < 1e-12);
+/// assert!((pearson(&x, &down).unwrap() + 1.0).abs() < 1e-12);
+/// ```
+pub fn pearson(a: &[f64], b: &[f64]) -> Option<f64> {
+    if a.is_empty() || a.len() != b.len() {
+        return None;
+    }
+    let n = a.len() as f64;
+    let mean_a = a.iter().sum::<f64>() / n;
+    let mean_b = b.iter().sum::<f64>() / n;
+    let mut cov = 0.0;
+    let mut var_a = 0.0;
+    let mut var_b = 0.0;
+    for (&x, &y) in a.iter().zip(b) {
+        cov += (x - mean_a) * (y - mean_b);
+        var_a += (x - mean_a).powi(2);
+        var_b += (y - mean_b).powi(2);
+    }
+    if var_a == 0.0 || var_b == 0.0 {
+        return None;
+    }
+    Some(cov / (var_a.sqrt() * var_b.sqrt()))
+}
+
+/// The `p`-quantile (0 ≤ p ≤ 1) by nearest-rank; `None` on empty input.
+pub fn quantile(values: &[f64], p: f64) -> Option<f64> {
+    if values.is_empty() {
+        return None;
+    }
+    let mut sorted = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let rank = ((p.clamp(0.0, 1.0) * (sorted.len() - 1) as f64).round()) as usize;
+    Some(sorted[rank])
+}
+
+/// Formats a table with aligned columns for the bench binaries' stdout.
+#[derive(Debug, Default)]
+pub struct TextTable {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Creates a table with the given column headers.
+    pub fn new(header: &[&str]) -> Self {
+        TextTable {
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (cells are stringified by the caller).
+    pub fn row(&mut self, cells: Vec<String>) -> &mut Self {
+        self.rows.push(cells);
+        self
+    }
+
+    /// Renders the table.
+    pub fn render(&self) -> String {
+        let cols = self.header.len().max(
+            self.rows.iter().map(|r| r.len()).max().unwrap_or(0),
+        );
+        let mut widths = vec![0usize; cols];
+        let measure = |row: &[String], widths: &mut Vec<usize>| {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.chars().count());
+            }
+        };
+        measure(&self.header, &mut widths);
+        for r in &self.rows {
+            measure(r, &mut widths);
+        }
+        let fmt_row = |row: &[String]| {
+            row.iter()
+                .enumerate()
+                .map(|(i, cell)| format!("{cell:width$}", width = widths[i]))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        let mut out = String::new();
+        out.push_str(&fmt_row(&self.header));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (cols - 1)));
+        out.push('\n');
+        for r in &self.rows {
+            out.push_str(&fmt_row(r));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_basic_moments() {
+        let s = Summary::of(&[1.0, 2.0, 3.0, 4.0]).unwrap();
+        assert_eq!(s.count, 4);
+        assert_eq!(s.mean, 2.5);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 4.0);
+        assert!((s.variance - 1.25).abs() < 1e-12);
+        assert_eq!(s.max_over_min(), 4.0);
+    }
+
+    #[test]
+    fn summary_empty_is_none() {
+        assert!(Summary::of(&[]).is_none());
+    }
+
+    #[test]
+    fn pearson_of_independent_noise_is_small() {
+        let mut rng = unidrive_sim::SimRng::seed_from_u64(1);
+        let a: Vec<f64> = (0..5000).map(|_| rng.next_f64()).collect();
+        let b: Vec<f64> = (0..5000).map(|_| rng.next_f64()).collect();
+        let r = pearson(&a, &b).unwrap();
+        assert!(r.abs() < 0.05, "r = {r}");
+    }
+
+    #[test]
+    fn pearson_degenerate_cases() {
+        assert_eq!(pearson(&[], &[]), None);
+        assert_eq!(pearson(&[1.0], &[1.0, 2.0]), None);
+        assert_eq!(pearson(&[1.0, 1.0], &[2.0, 3.0]), None); // zero variance
+    }
+
+    #[test]
+    fn quantiles() {
+        let v = [5.0, 1.0, 3.0, 2.0, 4.0];
+        assert_eq!(quantile(&v, 0.0), Some(1.0));
+        assert_eq!(quantile(&v, 0.5), Some(3.0));
+        assert_eq!(quantile(&v, 1.0), Some(5.0));
+        assert_eq!(quantile(&[], 0.5), None);
+    }
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = TextTable::new(&["site", "mean", "max"]);
+        t.row(vec!["Princeton".into(), "1.5".into(), "12.0".into()]);
+        t.row(vec!["LA".into(), "2.25".into(), "7".into()]);
+        let rendered = t.render();
+        let lines: Vec<&str> = rendered.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("site"));
+        assert!(lines[2].starts_with("Princeton"));
+    }
+}

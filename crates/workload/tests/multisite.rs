@@ -1,0 +1,132 @@
+//! Tests of the multi-site shared-backing substrate and the per-site
+//! profile behaviours the experiments rely on.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use bytes::Bytes;
+use unidrive_cloud::CloudStore;
+use unidrive_sim::{Runtime, SimRuntime};
+use unidrive_workload::{
+    build_multicloud, build_multicloud_shared, site_by_name, Provider, EC2_SITES,
+};
+
+#[test]
+fn shared_backing_exposes_same_objects_at_every_site() {
+    let sim = SimRuntime::new(1);
+    let (sets, _) = build_multicloud_shared(&sim, &EC2_SITES);
+    assert_eq!(sets.len(), EC2_SITES.len());
+    // Upload through Virginia's Dropbox frontend.
+    let virginia = &sets[0];
+    virginia
+        .get(unidrive_cloud::CloudId(0))
+        .upload("shared/file", Bytes::from_static(b"payload"))
+        .unwrap();
+    // Every other site's Dropbox frontend sees it (read-after-write).
+    for (i, set) in sets.iter().enumerate().skip(1) {
+        let data = set
+            .get(unidrive_cloud::CloudId(0))
+            .download("shared/file")
+            .unwrap_or_else(|e| panic!("site {i}: {e}"));
+        assert_eq!(&data[..], b"payload");
+    }
+    // But NOT another provider's frontend (separate backings).
+    assert!(sets[1]
+        .get(unidrive_cloud::CloudId(1))
+        .download("shared/file")
+        .is_err());
+}
+
+#[test]
+fn per_site_paths_have_different_speeds_to_one_backing() {
+    let sim = SimRuntime::new(2);
+    let fast_site = site_by_name("Virginia").unwrap();
+    let slow_site = site_by_name("SaoPaulo").unwrap();
+    let (sets, _) = build_multicloud_shared(&sim, &[fast_site, slow_site]);
+    let data = Bytes::from(vec![0u8; 4_000_000]);
+    // Upload the same bytes through both frontends of Dropbox and time
+    // it (with a couple of retries: the profiles inject transient
+    // failures).
+    let timed_upload = |set: &unidrive_cloud::CloudSet, name: &str| {
+        let t0 = sim.now();
+        for attempt in 0..8 {
+            if set
+                .get(unidrive_cloud::CloudId(0))
+                .upload(&format!("{name}{attempt}"), data.clone())
+                .is_ok()
+            {
+                return sim.now() - t0;
+            }
+        }
+        panic!("upload kept failing");
+    };
+    let fast = timed_upload(&sets[0], "a");
+    let slow = timed_upload(&sets[1], "b");
+    assert!(
+        slow.as_secs_f64() > 1.5 * fast.as_secs_f64(),
+        "SaoPaulo {slow:?} should be well slower than Virginia {fast:?}"
+    );
+}
+
+#[test]
+fn outage_on_one_frontend_does_not_kill_other_sites() {
+    let sim = SimRuntime::new(3);
+    let sites = [
+        site_by_name("Virginia").unwrap(),
+        site_by_name("Tokyo").unwrap(),
+    ];
+    let (sets, handles) = build_multicloud_shared(&sim, &sites);
+    // Virginia's Dropbox path goes dark; Tokyo's stays up.
+    handles[0][0].set_available(false);
+    assert!(sets[0]
+        .get(unidrive_cloud::CloudId(0))
+        .upload("x", Bytes::new())
+        .is_err());
+    assert!(sets[1]
+        .get(unidrive_cloud::CloudId(0))
+        .upload("x", Bytes::new())
+        .is_ok());
+}
+
+#[test]
+fn single_site_builder_matches_provider_order() {
+    let sim = SimRuntime::new(4);
+    let (set, handles) = build_multicloud(&sim, site_by_name("Ireland").unwrap());
+    assert_eq!(set.len(), Provider::ALL.len());
+    for (i, p) in Provider::ALL.iter().enumerate() {
+        assert_eq!(set.get(unidrive_cloud::CloudId(i)).name(), p.name());
+        assert_eq!(handles[i].traffic().ok_requests, 0);
+    }
+}
+
+#[test]
+fn degraded_windows_only_affect_their_window() {
+    let sim = SimRuntime::new(5);
+    let cloud = unidrive_workload::build_cloud(
+        &sim,
+        site_by_name("Princeton").unwrap(),
+        Provider::Dropbox,
+    );
+    cloud.set_degraded_windows(vec![(
+        unidrive_sim::Time::from_secs(1000),
+        unidrive_sim::Time::from_secs(2000),
+    )]);
+    // Before the window: mostly fine (1 % base).
+    let mut early_fail = 0;
+    for i in 0..50 {
+        if cloud.upload(&format!("e{i}"), Bytes::from(vec![1u8; 1024])).is_err() {
+            early_fail += 1;
+        }
+    }
+    sim.sleep(Duration::from_secs(1500));
+    let mut during_fail = 0;
+    for i in 0..50 {
+        if cloud.upload(&format!("d{i}"), Bytes::from(vec![1u8; 1024])).is_err() {
+            during_fail += 1;
+        }
+    }
+    assert!(
+        during_fail > early_fail + 10,
+        "degraded window must elevate failures: {early_fail} -> {during_fail}"
+    );
+}
