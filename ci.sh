@@ -1,0 +1,42 @@
+#!/usr/bin/env sh
+# Offline CI for the UniDrive reproduction. No network access is
+# assumed anywhere: the workspace has zero external dependencies and
+# every cargo invocation passes --offline.
+#
+#   ./ci.sh         tier-1 gate + full workspace tests + obs lint
+#   ./ci.sh quick   tier-1 gate only
+set -eu
+cd "$(dirname "$0")"
+
+echo "==> tier-1: release build + root package tests"
+cargo build --offline --release
+cargo test --offline -q
+
+if [ "${1:-}" = "quick" ]; then
+    echo "==> quick mode: skipping workspace tests and lints"
+    exit 0
+fi
+
+echo "==> workspace tests (all crates)"
+cargo test --offline --workspace -q
+
+echo "==> bench binaries compile"
+cargo build --offline -p unidrive-bench --all-targets
+
+echo "==> clippy on the observability crate (deny warnings)"
+# rustup-managed toolchains ship clippy; if this toolchain has none,
+# report and continue rather than failing an otherwise green run.
+if cargo clippy --offline --version >/dev/null 2>&1; then
+    cargo clippy --offline -p unidrive-obs -- -D warnings
+else
+    echo "    clippy not installed; skipped"
+fi
+
+echo "==> metrics export determinism (same seed => byte-identical)"
+out="$(mktemp -d)"
+trap 'rm -rf "$out"' EXIT
+./target/release/fig08_micro quick --metrics-out "$out/a.json" >/dev/null
+./target/release/fig08_micro quick --metrics-out "$out/b.json" >/dev/null
+cmp "$out/a.json" "$out/b.json"
+
+echo "CI OK"

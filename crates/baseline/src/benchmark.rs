@@ -10,8 +10,8 @@ use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::Duration;
 
-use bytes::Bytes;
-use parking_lot::Mutex;
+use unidrive_util::bytes::Bytes;
+use unidrive_util::sync::Mutex;
 use unidrive_cloud::{retrying, CloudError, CloudSet, RetryPolicy};
 use unidrive_erasure::{Codec, RedundancyConfig};
 use unidrive_meta::{block_path, BlockRef, SegmentId};

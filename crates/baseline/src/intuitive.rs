@@ -10,8 +10,8 @@ use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::Duration;
 
-use bytes::Bytes;
-use parking_lot::Mutex;
+use unidrive_util::bytes::Bytes;
+use unidrive_util::sync::Mutex;
 use unidrive_cloud::{CloudError, CloudSet};
 use unidrive_sim::{spawn, Runtime};
 

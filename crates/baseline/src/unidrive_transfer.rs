@@ -6,8 +6,8 @@ use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 use std::time::Duration;
 
-use bytes::Bytes;
-use parking_lot::Mutex;
+use unidrive_util::bytes::Bytes;
+use unidrive_util::sync::Mutex;
 use unidrive_cloud::{CloudError, CloudSet};
 use unidrive_core::{DataPlane, DataPlaneConfig, SegmentFetch, UploadRequest};
 use unidrive_meta::{BlockRef, SegmentId};

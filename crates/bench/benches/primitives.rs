@@ -1,8 +1,12 @@
-//! Criterion micro-benchmarks of the from-scratch primitives: GF(2⁸)
+//! Micro-benchmarks of the from-scratch primitives: GF(2⁸)
 //! Reed-Solomon coding, SHA-1, DES-CBC, Rabin chunking, and the
 //! metadata codec — the CPU budget behind every simulated second.
+//!
+//! Uses the in-tree `microbench` harness (`cargo bench --bench
+//! primitives`); no external benchmarking crate so the workspace
+//! builds offline.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use unidrive_bench::microbench::run;
 use unidrive_chunker::{segment_bytes, ChunkerConfig, RabinHash};
 use unidrive_crypto::{MetadataCipher, Sha1};
 use unidrive_erasure::{Codec, RedundancyConfig};
@@ -20,19 +24,14 @@ fn sample(len: usize) -> Vec<u8> {
         .collect()
 }
 
-fn bench_reed_solomon(c: &mut Criterion) {
-    let mut group = c.benchmark_group("reed_solomon");
-    group.sample_size(20);
+fn bench_reed_solomon() {
     let codec = Codec::for_config(&RedundancyConfig::paper_default()).expect("codec");
     for size in [64 * 1024, 1024 * 1024, 4 * 1024 * 1024] {
         let data = sample(size);
-        group.throughput(Throughput::Bytes(size as u64));
-        group.bench_with_input(BenchmarkId::new("encode_block", size), &data, |b, data| {
-            let mut index = 0usize;
-            b.iter(|| {
-                index = (index + 1) % 10;
-                codec.encode_block(data, index)
-            });
+        let mut index = 0usize;
+        run(&format!("reed_solomon/encode_block/{size}"), 20, size, || {
+            index = (index + 1) % 10;
+            codec.encode_block(&data, index)
         });
         let blocks = codec.encode_blocks(&data, &[0, 4, 9]);
         let shares: Vec<(usize, &[u8])> = [0usize, 4, 9]
@@ -40,74 +39,57 @@ fn bench_reed_solomon(c: &mut Criterion) {
             .zip(&blocks)
             .map(|(&i, b)| (i, b.as_ref()))
             .collect();
-        group.bench_with_input(BenchmarkId::new("decode", size), &shares, |b, shares| {
-            b.iter(|| codec.decode(shares, size).expect("decode"));
+        run(&format!("reed_solomon/decode/{size}"), 20, size, || {
+            codec.decode(&shares, size).expect("decode")
         });
     }
-    group.finish();
 }
 
-fn bench_sha1(c: &mut Criterion) {
-    let mut group = c.benchmark_group("sha1");
-    group.sample_size(30);
+fn bench_sha1() {
     for size in [64 * 1024, 4 * 1024 * 1024] {
         let data = sample(size);
-        group.throughput(Throughput::Bytes(size as u64));
-        group.bench_with_input(BenchmarkId::new("digest", size), &data, |b, data| {
-            b.iter(|| Sha1::digest(data));
+        run(&format!("sha1/digest/{size}"), 30, size, || {
+            Sha1::digest(&data)
         });
     }
-    group.finish();
 }
 
-fn bench_des_cbc(c: &mut Criterion) {
-    let mut group = c.benchmark_group("des_cbc");
-    group.sample_size(20);
+fn bench_des_cbc() {
     let cipher = MetadataCipher::from_passphrase("bench");
     for size in [16 * 1024, 256 * 1024] {
         let data = sample(size);
-        group.throughput(Throughput::Bytes(size as u64));
-        group.bench_with_input(BenchmarkId::new("encrypt", size), &data, |b, data| {
-            b.iter(|| cipher.encrypt(data, 7));
+        run(&format!("des_cbc/encrypt/{size}"), 20, size, || {
+            cipher.encrypt(&data, 7)
         });
         let ct = cipher.encrypt(&data, 7);
-        group.bench_with_input(BenchmarkId::new("decrypt", size), &ct, |b, ct| {
-            b.iter(|| cipher.decrypt(ct).expect("decrypt"));
+        run(&format!("des_cbc/decrypt/{size}"), 20, size, || {
+            cipher.decrypt(&ct).expect("decrypt")
         });
     }
-    group.finish();
 }
 
-fn bench_chunker(c: &mut Criterion) {
-    let mut group = c.benchmark_group("chunker");
-    group.sample_size(20);
+fn bench_chunker() {
     let data = sample(8 * 1024 * 1024);
-    group.throughput(Throughput::Bytes(data.len() as u64));
-    group.bench_function("segment_8mb_theta_1mb", |b| {
-        let config = ChunkerConfig::new(1024 * 1024);
-        b.iter(|| segment_bytes(&data, &config));
+    let config = ChunkerConfig::new(1024 * 1024);
+    run("chunker/segment_8mb_theta_1mb", 20, data.len(), || {
+        segment_bytes(&data, &config)
     });
-    group.bench_function("rabin_roll_1mb", |b| {
-        let window = 48;
-        b.iter(|| {
-            let mut h = RabinHash::new(window);
-            for &byte in &data[..window] {
-                h.push(byte);
-            }
-            let mut acc = 0u64;
-            for i in window..1024 * 1024 {
-                h.roll(data[i - window], data[i]);
-                acc ^= h.fingerprint();
-            }
-            acc
-        });
+    let window = 48;
+    run("chunker/rabin_roll_1mb", 20, 1024 * 1024, || {
+        let mut h = RabinHash::new(window);
+        for &byte in &data[..window] {
+            h.push(byte);
+        }
+        let mut acc = 0u64;
+        for i in window..1024 * 1024 {
+            h.roll(data[i - window], data[i]);
+            acc ^= h.fingerprint();
+        }
+        acc
     });
-    group.finish();
 }
 
-fn bench_metadata_codec(c: &mut Criterion) {
-    let mut group = c.benchmark_group("metadata_codec");
-    group.sample_size(30);
+fn bench_metadata_codec() {
     let mut image = SyncFolderImage::new();
     for i in 0..1000 {
         let id = SegmentId(Sha1::digest(format!("seg-{i}").as_bytes()));
@@ -122,20 +104,18 @@ fn bench_metadata_codec(c: &mut Criterion) {
         );
     }
     let encoded = image.encode();
-    group.throughput(Throughput::Bytes(encoded.len() as u64));
-    group.bench_function("encode_1000_files", |b| b.iter(|| image.encode()));
-    group.bench_function("decode_1000_files", |b| {
-        b.iter(|| SyncFolderImage::decode(&encoded).expect("decode"))
+    run("metadata_codec/encode_1000_files", 30, encoded.len(), || {
+        image.encode()
     });
-    group.finish();
+    run("metadata_codec/decode_1000_files", 30, encoded.len(), || {
+        SyncFolderImage::decode(&encoded).expect("decode")
+    });
 }
 
-criterion_group!(
-    benches,
-    bench_reed_solomon,
-    bench_sha1,
-    bench_des_cbc,
-    bench_chunker,
-    bench_metadata_codec
-);
-criterion_main!(benches);
+fn main() {
+    bench_reed_solomon();
+    bench_sha1();
+    bench_des_cbc();
+    bench_chunker();
+    bench_metadata_codec();
+}

@@ -1,77 +1,93 @@
-//! Criterion benchmarks of the schedulers under virtual time: wall-clock
-//! cost of simulating uploads/downloads (the harness's own efficiency),
-//! plus the end-to-end lock round-trip.
+//! Micro-benchmarks of the schedulers under virtual time: wall-clock
+//! cost of simulating uploads/downloads (the harness's own
+//! efficiency), the end-to-end lock round-trip, and the overhead of
+//! the `unidrive-obs` instrumentation (no-op vs installed registry).
+//!
+//! Uses the in-tree `microbench` harness (`cargo bench --bench
+//! scheduler`); no external benchmarking crate so the workspace builds
+//! offline.
 
 use std::collections::HashSet;
 use std::sync::Arc;
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use unidrive_bench::microbench::run;
 use unidrive_cloud::{CloudSet, CloudStore, MemCloud, SimCloud, SimCloudConfig};
 use unidrive_core::{DataPlane, DataPlaneConfig, LockConfig, QuorumLock, UploadRequest};
 use unidrive_erasure::RedundancyConfig;
+use unidrive_obs::{Obs, Registry};
 use unidrive_sim::{RealRuntime, Runtime, SimRng, SimRuntime};
 use unidrive_workload::random_bytes;
 
-fn bench_sim_upload(c: &mut Criterion) {
-    let mut c = c.benchmark_group("scheduler");
-    c.sample_size(10);
-    c.bench_function("sim_upload_4mb_5_clouds", |b| {
-        b.iter(|| {
-            let sim = SimRuntime::new(1);
-            let clouds = CloudSet::new(
-                (0..5)
-                    .map(|i| {
-                        Arc::new(SimCloud::new(
-                            &sim,
-                            format!("c{i}"),
-                            SimCloudConfig::steady(1e6 * (i + 1) as f64, 2e7),
-                        )) as Arc<dyn CloudStore>
-                    })
-                    .collect(),
-            );
-            let plane = DataPlane::new(
-                sim.clone().as_runtime(),
-                clouds,
-                DataPlaneConfig::with_params(
-                    RedundancyConfig::paper_default(),
-                    1024 * 1024,
-                ),
-            );
-            let (report, _) = plane.upload_files(
-                vec![UploadRequest {
-                    path: "bench".into(),
-                    data: random_bytes(4 * 1024 * 1024, 9),
-                }],
-                &HashSet::new(),
-            );
-            assert!(report.all_available());
-            report.blocks.len()
-        });
-    });
-    c.finish();
+/// One full 4 MB upload through the DataPlane over five simulated
+/// clouds; `obs` is threaded into the plane (and the clouds) when
+/// enabled.
+fn sim_upload(obs: &Obs) -> usize {
+    let sim = SimRuntime::new(1);
+    let clouds = CloudSet::new(
+        (0..5)
+            .map(|i| {
+                let cloud = SimCloud::new(
+                    &sim,
+                    format!("c{i}"),
+                    SimCloudConfig::steady(1e6 * (i + 1) as f64, 2e7),
+                );
+                cloud.install_obs(obs.clone());
+                Arc::new(cloud) as Arc<dyn CloudStore>
+            })
+            .collect(),
+    );
+    let config = DataPlaneConfig {
+        obs: obs.clone(),
+        ..DataPlaneConfig::with_params(RedundancyConfig::paper_default(), 1024 * 1024)
+    };
+    let plane = DataPlane::new(sim.clone().as_runtime(), clouds, config);
+    let (report, _) = plane.upload_files(
+        vec![UploadRequest {
+            path: "bench".into(),
+            data: random_bytes(4 * 1024 * 1024, 9),
+        }],
+        &HashSet::new(),
+    );
+    assert!(report.all_available());
+    report.blocks.len()
 }
 
-fn bench_lock_round_trip(c: &mut Criterion) {
-    c.bench_function("quorum_lock_acquire_release_5_mem_clouds", |b| {
-        let rt: Arc<dyn Runtime> = Arc::new(RealRuntime::new());
-        let clouds = CloudSet::new(
-            (0..5)
-                .map(|i| Arc::new(MemCloud::new(format!("c{i}"))) as Arc<dyn CloudStore>)
-                .collect(),
-        );
-        let lock = QuorumLock::new(
-            rt,
-            clouds,
-            "bench-device",
-            LockConfig::default(),
-            SimRng::seed_from_u64(3),
-        );
-        b.iter(|| {
-            let guard = lock.acquire().expect("uncontended");
-            guard.release();
-        });
+fn bench_sim_upload() {
+    let noop = run("scheduler/sim_upload_4mb_5_clouds/noop", 10, 0, || {
+        sim_upload(&Obs::noop())
+    });
+    let registry = Registry::new();
+    let obs = Obs::with_registry(registry);
+    let instrumented = run("scheduler/sim_upload_4mb_5_clouds/obs", 10, 0, || {
+        sim_upload(&obs)
+    });
+    println!(
+        "observability overhead: {:+.2}% (target < 5%)",
+        (instrumented.mean_ns() / noop.mean_ns() - 1.0) * 100.0
+    );
+}
+
+fn bench_lock_round_trip() {
+    let rt: Arc<dyn Runtime> = Arc::new(RealRuntime::new());
+    let clouds = CloudSet::new(
+        (0..5)
+            .map(|i| Arc::new(MemCloud::new(format!("c{i}"))) as Arc<dyn CloudStore>)
+            .collect(),
+    );
+    let lock = QuorumLock::new(
+        rt,
+        clouds,
+        "bench-device",
+        LockConfig::default(),
+        SimRng::seed_from_u64(3),
+    );
+    run("scheduler/quorum_lock_acquire_release_5_mem", 50, 0, || {
+        let guard = lock.acquire().expect("uncontended");
+        guard.release();
     });
 }
 
-criterion_group!(benches, bench_sim_upload, bench_lock_round_trip);
-criterion_main!(benches);
+fn main() {
+    bench_sim_upload();
+    bench_lock_round_trip();
+}

@@ -7,7 +7,7 @@ use std::collections::HashSet;
 use std::sync::Arc;
 use std::time::Duration;
 
-use bytes::Bytes;
+use unidrive_util::bytes::Bytes;
 use unidrive_bench::ExperimentScale;
 use unidrive_cloud::{CloudSet, CloudStore};
 use unidrive_core::{
@@ -192,8 +192,8 @@ fn main() {
             let sim = SimRuntime::new(2400 + devices as u64);
             let (clouds, _) = build_multicloud(&sim, site);
             let rt = sim.clone().as_runtime();
-            let latencies: Arc<parking_lot::Mutex<Vec<f64>>> =
-                Arc::new(parking_lot::Mutex::new(Vec::new()));
+            let latencies: Arc<unidrive_util::sync::Mutex<Vec<f64>>> =
+                Arc::new(unidrive_util::sync::Mutex::new(Vec::new()));
             let tasks: Vec<_> = (0..devices)
                 .map(|d| {
                     let rt2 = rt.clone();

@@ -8,12 +8,13 @@
 
 use std::time::Duration;
 
-use unidrive_bench::{systems_at, ExperimentScale};
+use unidrive_bench::{metrics_out, systems_at_observed, ExperimentScale};
 use unidrive_sim::{Runtime, SimRuntime};
 use unidrive_workload::{random_bytes, Summary, TextTable, EC2_SITES};
 
 fn main() {
     let scale = ExperimentScale::from_args();
+    let metrics = metrics_out::from_args();
     let size = scale.large_file;
     let data = random_bytes(size, 8);
     println!(
@@ -34,7 +35,7 @@ fn main() {
 
     for site in EC2_SITES {
         let sim = SimRuntime::new(0x0808 + site.name.len() as u64 * 131);
-        let sys = systems_at(&sim, site, scale.theta);
+        let sys = systems_at_observed(&sim, site, scale.theta, &metrics.obs);
         let mut up: Vec<Vec<f64>> = vec![Vec::new(); 8];
         let mut down: Vec<Vec<f64>> = vec![Vec::new(); 8];
         for rep in 0..scale.repeats {
@@ -112,4 +113,7 @@ fn main() {
         "UniDrive vs multi-cloud benchmark:  upload {:.2}x              (paper: ~1.5x)",
         avg(&bench_speedups)
     );
+    if let Some(path) = metrics.write() {
+        println!("metrics snapshot written to {path}");
+    }
 }

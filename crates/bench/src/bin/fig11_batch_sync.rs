@@ -15,19 +15,21 @@
 use std::sync::Arc;
 use std::time::Duration;
 
-use parking_lot::Mutex;
+use unidrive_util::sync::Mutex;
 use unidrive_baseline::{IntuitiveMultiCloud, MultiCloudBenchmark, SingleCloudClient};
-use unidrive_bench::ExperimentScale;
+use unidrive_bench::{metrics_out, ExperimentScale};
 use unidrive_cloud::{CloudId, CloudSet};
 use unidrive_core::{ClientConfig, DataPlaneConfig, MemFolder, SyncFolder, UniDriveClient};
 use unidrive_erasure::RedundancyConfig;
+use unidrive_obs::Obs;
 use unidrive_sim::{spawn, Runtime, SimRng, SimRuntime};
 use unidrive_workload::{batch, build_multicloud_shared, Summary, TextTable, EC2_SITES};
 
-fn client_config(device: &str, theta: usize) -> ClientConfig {
+fn client_config(device: &str, theta: usize, obs: &Obs) -> ClientConfig {
     let mut c = ClientConfig::paper_default(device);
     c.data = DataPlaneConfig {
         connections_per_cloud: 5,
+        obs: obs.clone(),
         ..DataPlaneConfig::with_params(RedundancyConfig::new(5, 3, 3, 2).expect("valid"), theta)
     };
     c
@@ -38,13 +40,13 @@ fn client_config(device: &str, theta: usize) -> ClientConfig {
 /// Returns the end-to-end seconds (upload start → last sink finished).
 fn pipelined_baseline<U, D>(
     sim: &Arc<SimRuntime>,
-    files: &[(String, bytes::Bytes)],
+    files: &[(String, unidrive_util::bytes::Bytes)],
     sinks: usize,
     upload: U,
     download: D,
 ) -> Option<f64>
 where
-    U: Fn(usize, &str, bytes::Bytes) -> bool + Send + Sync + 'static,
+    U: Fn(usize, &str, unidrive_util::bytes::Bytes) -> bool + Send + Sync + 'static,
     D: Fn(usize, usize, &str, u64) -> bool + Send + Sync + 'static,
 {
     let rt = sim.clone().as_runtime();
@@ -52,7 +54,7 @@ where
     let t0 = sim.now();
     let upload = Arc::new(upload);
     let download = Arc::new(download);
-    let files: Arc<Vec<(String, bytes::Bytes)>> = Arc::new(files.to_vec());
+    let files: Arc<Vec<(String, unidrive_util::bytes::Bytes)>> = Arc::new(files.to_vec());
 
     let up_task = {
         let files = Arc::clone(&files);
@@ -98,6 +100,7 @@ where
 
 fn main() {
     let scale = ExperimentScale::from_args();
+    let metrics = metrics_out::from_args();
     let (count, size) = scale.batch;
     let sinks = EC2_SITES.len() - 1;
     println!(
@@ -117,7 +120,10 @@ fn main() {
         // --- UniDrive: the real sync protocol. ---
         {
             let sim = SimRuntime::new(1100 + si as u64);
-            let (sets, _) = build_multicloud_shared(&sim, &EC2_SITES);
+            let (sets, handles) = build_multicloud_shared(&sim, &EC2_SITES);
+            for handle in handles.iter().flatten() {
+                handle.install_obs(metrics.obs.clone());
+            }
             let rt = sim.clone().as_runtime();
             let files = batch(count, size, 1100 + si as u64);
             let uploader_folder = MemFolder::new();
@@ -125,7 +131,7 @@ fn main() {
                 rt.clone(),
                 sets[si].clone(),
                 Arc::clone(&uploader_folder) as Arc<dyn SyncFolder>,
-                client_config(&format!("up-{}", site.name), scale.theta),
+                client_config(&format!("up-{}", site.name), scale.theta, &metrics.obs),
                 SimRng::seed_from_u64(40 + si as u64),
             );
             let t0 = sim.now();
@@ -141,13 +147,14 @@ fn main() {
                 let theta = scale.theta;
                 let seed = 80 + di as u64;
                 let target = count;
+                let obs = metrics.obs.clone();
                 tasks.push(spawn(&rt, &name.clone(), move || {
                     let folder = MemFolder::new();
                     let mut client = UniDriveClient::new(
                         rt2.clone(),
                         set,
                         folder as Arc<dyn SyncFolder>,
-                        client_config(&name, theta),
+                        client_config(&name, theta, &obs),
                         SimRng::seed_from_u64(seed),
                     );
                     let mut done = 0usize;
@@ -325,5 +332,8 @@ fn main() {
         }
         let avg = speedups.iter().sum::<f64>() / speedups.len() as f64;
         println!("\nUniDrive vs fastest CCS per site: {avg:.2}x (paper: 1.33x)");
+    }
+    if let Some(path) = metrics.write() {
+        println!("metrics snapshot written to {path}");
     }
 }

@@ -40,7 +40,7 @@ impl unidrive_cloud::CloudStore for ContentCounter {
     fn name(&self) -> &str {
         self.inner.name()
     }
-    fn upload(&self, path: &str, data: bytes::Bytes) -> Result<(), unidrive_cloud::CloudError> {
+    fn upload(&self, path: &str, data: unidrive_util::bytes::Bytes) -> Result<(), unidrive_cloud::CloudError> {
         let len = data.len() as u64;
         let r = self.inner.upload(path, data);
         if r.is_ok() && Self::is_content(path) {
@@ -48,7 +48,7 @@ impl unidrive_cloud::CloudStore for ContentCounter {
         }
         r
     }
-    fn download(&self, path: &str) -> Result<bytes::Bytes, unidrive_cloud::CloudError> {
+    fn download(&self, path: &str) -> Result<unidrive_util::bytes::Bytes, unidrive_cloud::CloudError> {
         let r = self.inner.download(path);
         if let Ok(data) = &r {
             if Self::is_content(path) {

@@ -22,6 +22,7 @@ use unidrive_baseline::{
 use unidrive_cloud::{CloudSet, SimCloud};
 use unidrive_core::DataPlaneConfig;
 use unidrive_erasure::RedundancyConfig;
+use unidrive_obs::Obs;
 use unidrive_sim::SimRuntime;
 use unidrive_workload::{build_multicloud, Provider, Site};
 
@@ -99,10 +100,27 @@ impl std::fmt::Debug for Systems {
 /// `site`, with the paper's parameters (K_r = 3, K_s = 2, k = 3, ≤ 5
 /// connections per cloud).
 pub fn systems_at(sim: &Arc<SimRuntime>, site: Site, theta: usize) -> Systems {
+    systems_at_observed(sim, site, theta, &Obs::noop())
+}
+
+/// Like [`systems_at`], but threads an [`Obs`] handle through the
+/// UniDrive data plane and installs it on every simulated cloud (which
+/// also points the registry clock at `sim`'s virtual time), so the run
+/// can be exported with `--metrics-out` (see [`metrics_out`]).
+pub fn systems_at_observed(
+    sim: &Arc<SimRuntime>,
+    site: Site,
+    theta: usize,
+    obs: &Obs,
+) -> Systems {
     let (clouds, handles) = build_multicloud(sim, site);
+    for handle in &handles {
+        handle.install_obs(obs.clone());
+    }
     let redundancy = RedundancyConfig::new(5, 3, 3, 2).expect("paper parameters");
     let config = DataPlaneConfig {
         connections_per_cloud: 5,
+        obs: obs.clone(),
         ..DataPlaneConfig::with_params(redundancy, theta)
     };
     let rt = sim.clone().as_runtime();
@@ -127,6 +145,155 @@ pub fn systems_at(sim: &Arc<SimRuntime>, site: Site, theta: usize) -> Systems {
         natives,
         handles,
         clouds,
+    }
+}
+
+/// Minimal micro-benchmark harness (replaces Criterion so the
+/// workspace builds offline with zero external crates). Each sample
+/// times one call of the closure; results print as
+/// `name  mean (min..max)  [throughput]`.
+pub mod microbench {
+    use std::hint::black_box;
+    use std::time::{Duration, Instant};
+
+    /// Timing summary for one benchmark.
+    #[derive(Debug, Clone)]
+    pub struct BenchResult {
+        /// Benchmark label.
+        pub name: String,
+        /// Number of timed samples.
+        pub samples: usize,
+        /// Mean sample duration.
+        pub mean: Duration,
+        /// Fastest sample.
+        pub min: Duration,
+        /// Slowest sample.
+        pub max: Duration,
+    }
+
+    impl BenchResult {
+        /// Mean duration in nanoseconds.
+        pub fn mean_ns(&self) -> f64 {
+            self.mean.as_secs_f64() * 1e9
+        }
+    }
+
+    fn fmt(d: Duration) -> String {
+        let ns = d.as_secs_f64() * 1e9;
+        if ns < 1e3 {
+            format!("{ns:.0} ns")
+        } else if ns < 1e6 {
+            format!("{:.2} µs", ns / 1e3)
+        } else if ns < 1e9 {
+            format!("{:.2} ms", ns / 1e6)
+        } else {
+            format!("{:.3} s", ns / 1e9)
+        }
+    }
+
+    /// Times `f` for `samples` runs after one warm-up run and prints a
+    /// summary line. `bytes` (when non-zero) adds a throughput column.
+    pub fn run<T>(name: &str, samples: usize, bytes: usize, mut f: impl FnMut() -> T) -> BenchResult {
+        black_box(f());
+        let mut times = Vec::with_capacity(samples);
+        for _ in 0..samples.max(1) {
+            let start = Instant::now();
+            black_box(f());
+            times.push(start.elapsed());
+        }
+        let total: Duration = times.iter().sum();
+        let result = BenchResult {
+            name: name.to_owned(),
+            samples: times.len(),
+            mean: total / times.len() as u32,
+            min: *times.iter().min().expect("non-empty"),
+            max: *times.iter().max().expect("non-empty"),
+        };
+        let throughput = if bytes > 0 {
+            let mibps = bytes as f64 / result.mean.as_secs_f64().max(1e-12) / (1024.0 * 1024.0);
+            format!("  {mibps:.1} MiB/s")
+        } else {
+            String::new()
+        };
+        println!(
+            "{:<44} {:>10} ({} .. {}){throughput}",
+            result.name,
+            fmt(result.mean),
+            fmt(result.min),
+            fmt(result.max),
+        );
+        result
+    }
+}
+
+/// `--metrics-out <path>` support shared by the experiment binaries:
+/// when the flag is present the binary records the run into a
+/// registry-backed [`Obs`] and writes the canonicalized snapshot to
+/// `path` on exit (JSON, or CSV when the path ends in `.csv`).
+/// Without the flag the returned handle is a no-op and the run pays
+/// only an `Option` branch per instrumentation site.
+pub mod metrics_out {
+    use unidrive_obs::{Obs, Registry};
+
+    /// Event-ring capacity used for exported runs: large enough that a
+    /// full figure run keeps every event, so the export (and therefore
+    /// the same-seed determinism check) never depends on eviction
+    /// order between racing actors.
+    pub const EXPORT_TRACE_CAPACITY: usize = 1 << 16;
+
+    /// Parsed `--metrics-out` state; obtain via [`from_args`].
+    #[derive(Debug)]
+    pub struct MetricsOut {
+        /// Handle to thread through [`crate::systems_at_observed`] or
+        /// `DataPlaneConfig.obs` / `SimCloud::install_obs` directly.
+        pub obs: Obs,
+        path: Option<String>,
+    }
+
+    /// Reads `--metrics-out <path>` from the process arguments.
+    pub fn from_args() -> MetricsOut {
+        let mut args = std::env::args();
+        let mut path = None;
+        while let Some(arg) = args.next() {
+            if arg == "--metrics-out" {
+                path = args.next();
+            }
+        }
+        match path {
+            Some(path) => MetricsOut {
+                obs: Obs::with_registry(Registry::with_trace_capacity(EXPORT_TRACE_CAPACITY)),
+                path: Some(path),
+            },
+            None => MetricsOut {
+                obs: Obs::noop(),
+                path: None,
+            },
+        }
+    }
+
+    impl MetricsOut {
+        /// Writes the canonicalized snapshot to the requested path.
+        /// Returns the path written, or `None` when the flag was
+        /// absent. I/O errors are reported on stderr, not fatal: the
+        /// figure output already printed.
+        pub fn write(&self) -> Option<String> {
+            let (Some(path), Some(mut snap)) = (self.path.clone(), self.obs.snapshot()) else {
+                return None;
+            };
+            snap.canonicalize();
+            let body = if path.ends_with(".csv") {
+                snap.to_csv()
+            } else {
+                snap.to_json()
+            };
+            match std::fs::write(&path, body) {
+                Ok(()) => Some(path),
+                Err(e) => {
+                    eprintln!("failed to write --metrics-out {path}: {e}");
+                    None
+                }
+            }
+        }
     }
 }
 

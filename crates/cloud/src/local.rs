@@ -10,7 +10,7 @@
 use std::fs;
 use std::path::{Path, PathBuf};
 
-use bytes::Bytes;
+use unidrive_util::bytes::Bytes;
 
 use crate::{validate_path, CloudError, CloudStore, ObjectInfo};
 
@@ -24,7 +24,7 @@ use crate::{validate_path, CloudError, CloudStore, ObjectInfo};
 ///
 /// ```no_run
 /// use unidrive_cloud::{CloudStore, LocalDirCloud};
-/// use bytes::Bytes;
+/// use unidrive_util::bytes::Bytes;
 ///
 /// # fn main() -> Result<(), unidrive_cloud::CloudError> {
 /// let cloud = LocalDirCloud::create("my-drive", "/tmp/clouds/drive-a")?;

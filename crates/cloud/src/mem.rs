@@ -4,8 +4,8 @@
 
 use std::collections::BTreeMap;
 
-use bytes::Bytes;
-use parking_lot::RwLock;
+use unidrive_util::bytes::Bytes;
+use unidrive_util::sync::RwLock;
 
 use crate::{split_path, validate_path, CloudError, CloudStore, ObjectInfo};
 
@@ -47,7 +47,7 @@ impl Tree {
 ///
 /// ```
 /// use unidrive_cloud::{CloudStore, MemCloud};
-/// use bytes::Bytes;
+/// use unidrive_util::bytes::Bytes;
 ///
 /// # fn main() -> Result<(), unidrive_cloud::CloudError> {
 /// let c = MemCloud::new("test");

@@ -9,6 +9,7 @@
 use std::sync::Arc;
 use std::time::Duration;
 
+use unidrive_obs::{Event, Obs};
 use unidrive_sim::Runtime;
 
 use crate::CloudError;
@@ -45,13 +46,19 @@ impl RetryPolicy {
     }
 
     /// Backoff to sleep before attempt number `attempt` (1-based; attempt
-    /// 1 has no backoff).
+    /// 1 has no backoff). Saturates at `max_backoff`: neither a huge
+    /// attempt number nor an extreme `initial_backoff` can overflow.
     pub fn backoff_before(&self, attempt: u32) -> Duration {
         if attempt <= 1 {
             return Duration::ZERO;
         }
+        // The shift exponent is clamped so the factor fits a u32, and the
+        // multiply is checked: overflow means "longer than any cap we
+        // could have", so it collapses to max_backoff.
         let factor = 1u32 << (attempt - 2).min(16);
-        (self.initial_backoff * factor).min(self.max_backoff)
+        self.initial_backoff
+            .checked_mul(factor)
+            .map_or(self.max_backoff, |b| b.min(self.max_backoff))
     }
 }
 
@@ -92,20 +99,57 @@ impl Default for RetryPolicy {
 pub fn retrying<T>(
     rt: &Arc<dyn Runtime>,
     policy: &RetryPolicy,
+    op: impl FnMut() -> Result<T, CloudError>,
+) -> Result<T, CloudError> {
+    retrying_observed(rt, policy, &Obs::noop(), "op", op)
+}
+
+/// [`retrying`] with observability: each re-attempt increments
+/// `retry.attempts`, records the backoff into the `retry.backoff_ns`
+/// histogram, and traces an [`Event::RetryAttempt`] labeled `op_label`;
+/// `retry.recovered` / `retry.exhausted` count how retried operations
+/// ended. With a no-op [`Obs`] this is exactly [`retrying`].
+///
+/// # Errors
+///
+/// Returns the last error once attempts are exhausted, or immediately
+/// for non-retryable errors.
+pub fn retrying_observed<T>(
+    rt: &Arc<dyn Runtime>,
+    policy: &RetryPolicy,
+    obs: &Obs,
+    op_label: &str,
     mut op: impl FnMut() -> Result<T, CloudError>,
 ) -> Result<T, CloudError> {
     let mut attempt = 1;
     loop {
         match op() {
-            Ok(v) => return Ok(v),
+            Ok(v) => {
+                if attempt > 1 {
+                    obs.inc("retry.recovered");
+                }
+                return Ok(v);
+            }
             Err(e) if e.is_retryable() && attempt < policy.max_attempts => {
                 attempt += 1;
                 let backoff = policy.backoff_before(attempt);
+                obs.inc("retry.attempts");
+                obs.observe("retry.backoff_ns", backoff.as_nanos() as u64);
+                obs.event(|| Event::RetryAttempt {
+                    op: op_label.to_owned(),
+                    attempt,
+                    backoff_ns: backoff.as_nanos() as u64,
+                });
                 if backoff > Duration::ZERO {
                     rt.sleep(backoff);
                 }
             }
-            Err(e) => return Err(e),
+            Err(e) => {
+                if attempt > 1 {
+                    obs.inc("retry.exhausted");
+                }
+                return Err(e);
+            }
         }
     }
 }
@@ -128,6 +172,56 @@ mod tests {
         assert_eq!(p.backoff_before(4), Duration::from_millis(400));
         assert_eq!(p.backoff_before(5), Duration::from_millis(500));
         assert_eq!(p.backoff_before(9), Duration::from_millis(500));
+    }
+
+    #[test]
+    fn backoff_saturates_instead_of_overflowing() {
+        let p = RetryPolicy {
+            max_attempts: u32::MAX,
+            initial_backoff: Duration::MAX,
+            max_backoff: Duration::from_secs(5),
+        };
+        // Duration::MAX * 2 would panic without the checked multiply.
+        assert_eq!(p.backoff_before(3), Duration::from_secs(5));
+        // Huge attempt numbers clamp the shift exponent (no u32 overflow).
+        assert_eq!(p.backoff_before(u32::MAX), Duration::from_secs(5));
+        let q = RetryPolicy {
+            max_attempts: 100,
+            initial_backoff: Duration::from_secs(u64::MAX / 2),
+            max_backoff: Duration::MAX,
+        };
+        // Overflowing growth collapses to the cap rather than wrapping.
+        assert_eq!(q.backoff_before(50), Duration::MAX);
+    }
+
+    #[test]
+    fn observed_retries_count_attempts_and_outcomes() {
+        use unidrive_obs::Registry;
+        let rt: Arc<dyn Runtime> = Arc::new(RealRuntime::new());
+        let obs = Obs::with_registry(Registry::new());
+        let policy = RetryPolicy {
+            max_attempts: 3,
+            initial_backoff: Duration::from_millis(1),
+            max_backoff: Duration::from_millis(1),
+        };
+        let mut calls = 0;
+        let r = retrying_observed(&rt, &policy, &obs, "upload", || {
+            calls += 1;
+            if calls < 3 {
+                Err(CloudError::transient("hiccup"))
+            } else {
+                Ok(7)
+            }
+        });
+        assert_eq!(r.unwrap(), 7);
+        let _: Result<(), _> = retrying_observed(&rt, &policy, &obs, "upload", || {
+            Err(CloudError::transient("always"))
+        });
+        let snap = obs.snapshot().unwrap();
+        assert_eq!(snap.counter("retry.attempts"), 4); // 2 + 2 re-attempts
+        assert_eq!(snap.counter("retry.recovered"), 1);
+        assert_eq!(snap.counter("retry.exhausted"), 1);
+        assert_eq!(snap.event_count("RetryAttempt"), 4);
     }
 
     #[test]

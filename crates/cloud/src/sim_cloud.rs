@@ -18,8 +18,9 @@
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
-use bytes::Bytes;
-use parking_lot::Mutex;
+use unidrive_obs::{Event, Obs};
+use unidrive_util::bytes::Bytes;
+use unidrive_util::sync::Mutex;
 use unidrive_sim::{LinkId, LinkProfile, Runtime, SimRng, SimRuntime, Time, TransferError};
 
 use crate::{CloudError, CloudStore, MemCloud, ObjectInfo};
@@ -148,7 +149,7 @@ impl TrafficSnapshot {
 /// # Examples
 ///
 /// ```
-/// use bytes::Bytes;
+/// use unidrive_util::bytes::Bytes;
 /// use unidrive_cloud::{CloudStore, SimCloud, SimCloudConfig};
 /// use unidrive_sim::SimRuntime;
 ///
@@ -174,6 +175,7 @@ pub struct SimCloud {
     counters: Arc<TrafficCounters>,
     /// Disjoint (start, end) degraded windows, sorted by start.
     degraded_windows: Mutex<Vec<(Time, Time)>>,
+    obs: Mutex<Obs>,
 }
 
 impl std::fmt::Debug for SimCloud {
@@ -218,7 +220,35 @@ impl SimCloud {
             available: AtomicBool::new(true),
             counters: Arc::new(TrafficCounters::default()),
             degraded_windows: Mutex::new(Vec::new()),
+            obs: Mutex::new(Obs::noop()),
         }
+    }
+
+    /// Installs an observability handle. Requests are then counted per
+    /// cloud (`cloud.{name}.requests_ok`/`requests_failed`/`bytes`, a
+    /// `request_bytes` size histogram) and failures traced as
+    /// [`Event::CloudOpFailed`]. The handle is also installed on the
+    /// engine (see [`SimRuntime::install_obs`]), which points the
+    /// registry clock at virtual time so stamps are deterministic.
+    pub fn install_obs(&self, obs: Obs) {
+        self.sim.install_obs(obs.clone());
+        *self.obs.lock() = obs;
+    }
+
+    fn obs(&self) -> Obs {
+        self.obs.lock().clone()
+    }
+
+    fn count_failure(&self, op: &'static str, bytes: u64, transient: bool) {
+        self.counters.failed_requests.fetch_add(1, Ordering::Relaxed);
+        let obs = self.obs();
+        obs.inc(&format!("cloud.{}.requests_failed", self.name));
+        obs.event(|| Event::CloudOpFailed {
+            cloud: self.name.clone(),
+            op,
+            bytes,
+            transient,
+        });
     }
 
     /// Switches the whole service up or down (outage emulation).
@@ -282,11 +312,11 @@ impl SimCloud {
             .any(|&(s, e)| s <= now && now < e)
     }
 
-    fn check_available(&self) -> Result<(), CloudError> {
+    fn check_available(&self, op: &'static str) -> Result<(), CloudError> {
         if self.is_available() {
             Ok(())
         } else {
-            self.counters.failed_requests.fetch_add(1, Ordering::Relaxed);
+            self.count_failure(op, 0, false);
             Err(CloudError::Unavailable {
                 cloud: self.name.clone(),
             })
@@ -295,7 +325,13 @@ impl SimCloud {
 
     /// Runs one request: decides failure, moves the right number of bytes
     /// over `link`, updates counters.
-    fn request(&self, link: LinkId, payload: u64, counter: &AtomicU64) -> Result<(), CloudError> {
+    fn request(
+        &self,
+        link: LinkId,
+        op: &'static str,
+        payload: u64,
+        counter: &AtomicU64,
+    ) -> Result<(), CloudError> {
         let total = payload + self.overhead;
         let p = self
             .failure
@@ -308,18 +344,24 @@ impl SimCloud {
             let wasted = (total as f64 * fraction) as u64;
             let _ = self.do_transfer(link, wasted);
             counter.fetch_add(wasted, Ordering::Relaxed);
-            self.counters.failed_requests.fetch_add(1, Ordering::Relaxed);
+            self.count_failure(op, payload, true);
             return Err(CloudError::transient(format!(
                 "request to {} dropped mid-transfer",
                 self.name
             )));
         }
         self.do_transfer(link, total).map_err(|e| {
-            self.counters.failed_requests.fetch_add(1, Ordering::Relaxed);
+            self.count_failure(op, payload, false);
             e
         })?;
         counter.fetch_add(total, Ordering::Relaxed);
         self.counters.ok_requests.fetch_add(1, Ordering::Relaxed);
+        let obs = self.obs();
+        if obs.is_enabled() {
+            obs.inc(&format!("cloud.{}.requests_ok", self.name));
+            obs.add(&format!("cloud.{}.bytes", self.name), total);
+            obs.observe(&format!("cloud.{}.request_bytes", self.name), payload);
+        }
         Ok(())
     }
 
@@ -338,34 +380,40 @@ impl CloudStore for SimCloud {
     }
 
     fn upload(&self, path: &str, data: Bytes) -> Result<(), CloudError> {
-        self.check_available()?;
+        self.check_available("upload")?;
         if let Some(quota) = self.quota {
             let used = self.storage.used_bytes();
             let needed = data.len() as u64;
             if used + needed > quota {
-                self.counters.failed_requests.fetch_add(1, Ordering::Relaxed);
+                self.count_failure("upload", needed, false);
                 return Err(CloudError::QuotaExceeded {
                     needed,
                     available: quota.saturating_sub(used),
                 });
             }
         }
-        self.request(self.up, data.len() as u64, &self.counters.uploaded_bytes)?;
+        self.request(
+            self.up,
+            "upload",
+            data.len() as u64,
+            &self.counters.uploaded_bytes,
+        )?;
         self.storage.upload(path, data)
     }
 
     fn download(&self, path: &str) -> Result<Bytes, CloudError> {
-        self.check_available()?;
+        self.check_available("download")?;
         // The request has to reach the cloud before NotFound can be known.
         let data = match self.storage.download(path) {
             Ok(d) => d,
             Err(e) => {
-                self.request(self.down, 0, &self.counters.downloaded_bytes)?;
+                self.request(self.down, "download", 0, &self.counters.downloaded_bytes)?;
                 return Err(e);
             }
         };
         self.request(
             self.down,
+            "download",
             data.len() as u64,
             &self.counters.downloaded_bytes,
         )?;
@@ -373,23 +421,24 @@ impl CloudStore for SimCloud {
     }
 
     fn create_dir(&self, path: &str) -> Result<(), CloudError> {
-        self.check_available()?;
-        self.request(self.up, 0, &self.counters.uploaded_bytes)?;
+        self.check_available("create_dir")?;
+        self.request(self.up, "create_dir", 0, &self.counters.uploaded_bytes)?;
         self.storage.create_dir(path)
     }
 
     fn list(&self, path: &str) -> Result<Vec<ObjectInfo>, CloudError> {
-        self.check_available()?;
+        self.check_available("list")?;
         let entries = match self.storage.list(path) {
             Ok(e) => e,
             Err(e) => {
-                self.request(self.down, 0, &self.counters.downloaded_bytes)?;
+                self.request(self.down, "list", 0, &self.counters.downloaded_bytes)?;
                 return Err(e);
             }
         };
         // Listings cost roughly 64 bytes of response per entry.
         self.request(
             self.down,
+            "list",
             entries.len() as u64 * 64,
             &self.counters.downloaded_bytes,
         )?;
@@ -397,8 +446,8 @@ impl CloudStore for SimCloud {
     }
 
     fn delete(&self, path: &str) -> Result<(), CloudError> {
-        self.check_available()?;
-        self.request(self.up, 0, &self.counters.uploaded_bytes)?;
+        self.check_available("delete")?;
+        self.request(self.up, "delete", 0, &self.counters.uploaded_bytes)?;
         self.storage.delete(path)
     }
 }

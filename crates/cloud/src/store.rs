@@ -12,7 +12,7 @@
 //! `list`/`download` from any client observe the object. Sequential
 //! consistency is *not* required.
 
-use bytes::Bytes;
+use unidrive_util::bytes::Bytes;
 use std::sync::Arc;
 
 use crate::CloudError;
@@ -41,7 +41,7 @@ pub struct ObjectInfo {
 ///
 /// ```
 /// use unidrive_cloud::{CloudStore, MemCloud};
-/// use bytes::Bytes;
+/// use unidrive_util::bytes::Bytes;
 ///
 /// # fn main() -> Result<(), unidrive_cloud::CloudError> {
 /// let cloud = MemCloud::new("dropbox");

@@ -11,8 +11,9 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
-use bytes::Bytes;
-use parking_lot::Mutex;
+use unidrive_obs::{Event, Obs};
+use unidrive_util::bytes::Bytes;
+use unidrive_util::sync::Mutex;
 use unidrive_sim::{Runtime, SimRng};
 
 use crate::{CloudError, CloudStore, ObjectInfo, TrafficSnapshot};
@@ -25,6 +26,8 @@ pub struct FaultyCloud {
     inner: Arc<dyn CloudStore>,
     rng: Mutex<SimRng>,
     failure_prob: Mutex<f64>,
+    injected: AtomicU64,
+    obs: Mutex<Obs>,
 }
 
 impl std::fmt::Debug for FaultyCloud {
@@ -43,6 +46,8 @@ impl FaultyCloud {
             inner,
             rng: Mutex::new(SimRng::seed_from_u64(seed)),
             failure_prob: Mutex::new(p),
+            injected: AtomicU64::new(0),
+            obs: Mutex::new(Obs::noop()),
         }
     }
 
@@ -51,9 +56,31 @@ impl FaultyCloud {
         *self.failure_prob.lock() = p;
     }
 
-    fn roll(&self) -> Result<(), CloudError> {
+    /// Installs an observability handle: every injected failure then
+    /// increments `cloud.{name}.injected_failures` and traces an
+    /// [`Event::CloudOpFailed`], so tests can reconcile retries against
+    /// the exact number of faults injected.
+    pub fn install_obs(&self, obs: Obs) {
+        *self.obs.lock() = obs;
+    }
+
+    /// How many failures this wrapper has injected so far.
+    pub fn injected_failures(&self) -> u64 {
+        self.injected.load(Ordering::Relaxed)
+    }
+
+    fn roll(&self, op: &'static str) -> Result<(), CloudError> {
         let p = *self.failure_prob.lock();
         if self.rng.lock().chance(p) {
+            self.injected.fetch_add(1, Ordering::Relaxed);
+            let obs = self.obs.lock().clone();
+            obs.inc(&format!("cloud.{}.injected_failures", self.inner.name()));
+            obs.event(|| Event::CloudOpFailed {
+                cloud: self.inner.name().to_owned(),
+                op,
+                bytes: 0,
+                transient: true,
+            });
             Err(CloudError::transient("injected failure"))
         } else {
             Ok(())
@@ -67,27 +94,27 @@ impl CloudStore for FaultyCloud {
     }
 
     fn upload(&self, path: &str, data: Bytes) -> Result<(), CloudError> {
-        self.roll()?;
+        self.roll("upload")?;
         self.inner.upload(path, data)
     }
 
     fn download(&self, path: &str) -> Result<Bytes, CloudError> {
-        self.roll()?;
+        self.roll("download")?;
         self.inner.download(path)
     }
 
     fn create_dir(&self, path: &str) -> Result<(), CloudError> {
-        self.roll()?;
+        self.roll("create_dir")?;
         self.inner.create_dir(path)
     }
 
     fn list(&self, path: &str) -> Result<Vec<ObjectInfo>, CloudError> {
-        self.roll()?;
+        self.roll("list")?;
         self.inner.list(path)
     }
 
     fn delete(&self, path: &str) -> Result<(), CloudError> {
-        self.roll()?;
+        self.roll("delete")?;
         self.inner.delete(path)
     }
 }

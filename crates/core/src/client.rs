@@ -15,11 +15,12 @@ use std::collections::{BTreeMap, HashSet};
 use std::sync::Arc;
 use std::time::Duration;
 
-use bytes::Bytes;
+use unidrive_util::bytes::Bytes;
 use unidrive_cloud::CloudSet;
 use unidrive_meta::{
     merge3, DeltaLog, SegmentId, Snapshot, SyncFolderImage, VersionStamp,
 };
+use unidrive_obs::Event;
 use unidrive_sim::{Runtime, SimRng};
 
 use crate::control::{newer, MetaError, MetadataStore, RemoteState};
@@ -218,7 +219,8 @@ impl UniDriveClient {
             config.device.clone(),
             config.lock.clone(),
             rng,
-        );
+        )
+        .with_obs(config.data.obs.clone());
         UniDriveClient {
             rt,
             folder,
@@ -230,7 +232,7 @@ impl UniDriveClient {
             shadow: BTreeMap::new(),
             counter: 0,
             cached_delta: None,
-            pending_blocks: std::sync::Arc::new(parking_lot::Mutex::new(Vec::new())),
+            pending_blocks: std::sync::Arc::new(unidrive_util::sync::Mutex::new(Vec::new())),
         }
     }
 
@@ -337,6 +339,28 @@ impl UniDriveClient {
     /// [`SyncError`] on lock, metadata, download or folder failures; the
     /// client state is unchanged on error and the pass can be retried.
     pub fn sync_once(&mut self) -> Result<SyncReport, SyncError> {
+        let t0 = self.rt.now();
+        let result = self.sync_pass();
+        let elapsed_ns = self.rt.now().saturating_duration_since(t0).as_nanos() as u64;
+        let outcome = match &result {
+            Ok(r) if !r.uploaded.is_empty() || !r.deleted_remotely.is_empty() => "committed",
+            Ok(r) if !r.downloaded.is_empty() || !r.deleted_locally.is_empty() => "fetched",
+            Ok(_) => "clean",
+            Err(_) => "error",
+        };
+        let obs = &self.config.data.obs;
+        obs.inc("client.sync_rounds");
+        obs.inc(&format!("client.sync_rounds.{outcome}"));
+        obs.observe("client.sync_round_ns", elapsed_ns);
+        obs.event(|| Event::SyncRoundCompleted {
+            device: self.config.device.clone(),
+            outcome,
+            elapsed_ns,
+        });
+        result
+    }
+
+    fn sync_pass(&mut self) -> Result<SyncReport, SyncError> {
         let changes = self.scan_local_changes().map_err(SyncError::Folder)?;
         let has_pending_blocks = !self.pending_blocks.lock().is_empty();
         if !changes.is_empty() || has_pending_blocks {

@@ -203,10 +203,10 @@ impl MetadataStore {
             .wrapping_add(unidrive_crypto::Sha1::digest(version.device.as_bytes()).as_bytes()[0] as u64)
             .wrapping_add(self.rt.now().as_nanos());
         let base_ct = new_base.map(|image| {
-            bytes::Bytes::from(self.cipher.encrypt(&image.encode(), nonce.wrapping_mul(3)))
+            unidrive_util::bytes::Bytes::from(self.cipher.encrypt(&image.encode(), nonce.wrapping_mul(3)))
         });
         let delta_ct =
-            bytes::Bytes::from(self.cipher.encrypt(&delta.encode(), nonce.wrapping_mul(3) + 1));
+            unidrive_util::bytes::Bytes::from(self.cipher.encrypt(&delta.encode(), nonce.wrapping_mul(3) + 1));
         let version_bytes = version.encode();
         // Replicate to every cloud concurrently; the version file goes
         // last on each cloud so its presence implies the data files.

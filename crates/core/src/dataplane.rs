@@ -4,7 +4,7 @@
 use std::collections::HashSet;
 use std::sync::Arc;
 
-use bytes::Bytes;
+use unidrive_util::bytes::Bytes;
 use unidrive_cloud::CloudSet;
 use unidrive_erasure::Codec;
 use unidrive_meta::{block_path, SegmentId, SyncFolderImage};
@@ -69,7 +69,9 @@ impl DataPlane {
             "redundancy config is for a different number of clouds"
         );
         let codec = Arc::new(Codec::for_config(&config.redundancy).expect("validated config"));
-        let probe = Arc::new(BandwidthProbe::new(clouds.len(), 1_000_000.0));
+        let probe = Arc::new(
+            BandwidthProbe::new(clouds.len(), 1_000_000.0).with_obs(config.obs.clone()),
+        );
         DataPlane {
             rt,
             clouds,

@@ -14,11 +14,12 @@ use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 use std::time::Duration;
 
-use bytes::Bytes;
-use parking_lot::Mutex;
-use unidrive_cloud::{retrying, CloudError, CloudSet};
+use unidrive_util::bytes::Bytes;
+use unidrive_util::sync::Mutex;
+use unidrive_cloud::{retrying_observed, CloudError, CloudSet};
 use unidrive_erasure::Codec;
 use unidrive_meta::{block_path, BlockRef, SegmentId};
+use unidrive_obs::{Event, Obs};
 use unidrive_sim::{spawn, Runtime, Time};
 
 use crate::plan::DataPlaneConfig;
@@ -192,6 +193,9 @@ pub fn run_download(
             let segments = Arc::clone(&segments);
             let failures = Arc::clone(&failures);
             let config = config.clone();
+            let obs = config.obs.clone();
+            let retry_label = format!("download:{}", cloud.name());
+            let cloud_blocks = format!("download.cloud.{}.blocks", cloud.name());
             workers.push(spawn(
                 rt,
                 &format!("down-{}-{}", cloud.name(), conn),
@@ -201,7 +205,7 @@ pub fn run_download(
                         if st.finished {
                             break;
                         }
-                        next_job(&mut st, cloud_id.0, k, config.probing, &probe)
+                        next_job(&mut st, cloud_id.0, k, config.probing, &probe, &obs)
                     };
                     let Some(job) = job else {
                         rt2.sleep(IDLE_POLL);
@@ -209,10 +213,33 @@ pub fn run_download(
                     };
                     let seg_id = { state.lock().fetches[job.fetch].id };
                     let path = block_path(&seg_id, job.index);
+                    obs.inc("download.blocks_dispatched");
+                    obs.event(|| Event::BlockDispatched {
+                        cloud: cloud_id.0,
+                        index: job.index,
+                        bytes: 0, // size unknown until the block arrives
+                        extra: false,
+                    });
                     let t0 = rt2.now();
-                    let result =
-                        retrying(&rt2, &config.retry, || cloud.download(&path));
+                    let result = retrying_observed(&rt2, &config.retry, &obs, &retry_label, || {
+                        cloud.download(&path)
+                    });
                     let elapsed = rt2.now().saturating_duration_since(t0);
+                    if let Ok(data) = &result {
+                        probe.record(cloud_id, data.len() as u64, elapsed);
+                        obs.inc("download.blocks_completed");
+                        obs.add("download.block_bytes", data.len() as u64);
+                        obs.inc(&cloud_blocks);
+                        obs.observe("download.block_elapsed_ns", elapsed.as_nanos() as u64);
+                        obs.event(|| Event::BlockCompleted {
+                            cloud: cloud_id.0,
+                            index: job.index,
+                            bytes: data.len() as u64,
+                            elapsed_ns: elapsed.as_nanos() as u64,
+                        });
+                    } else {
+                        obs.inc("download.block_failures");
+                    }
                     let mut st = state.lock();
                     let fetch = &mut st.fetches[job.fetch];
                     if fetch.inflight.get(&job.index) == Some(&cloud_id.0) {
@@ -220,7 +247,6 @@ pub fn run_download(
                     }
                     match result {
                         Ok(data) => {
-                            probe.record(cloud_id, data.len() as u64, elapsed);
                             fetch.have.entry(job.index).or_insert(data);
                             if !fetch.done && fetch.have.len() >= k {
                                 match decode_segment(&codec, fetch, k) {
@@ -332,6 +358,7 @@ fn next_job(
     k: usize,
     probing: bool,
     probe: &BandwidthProbe,
+    obs: &Obs,
 ) -> Option<Job> {
     if !st.cloud_alive[cloud] {
         return None;
@@ -386,6 +413,8 @@ fn next_job(
             if stuck_on_slow {
                 let fetch = &mut st.fetches[fi];
                 fetch.over_requests += 1;
+                // Counter-only: safe under the scheduler lock (no clock).
+                obs.inc("download.over_requests");
                 fetch.requested.insert(index);
                 fetch.inflight.insert(index, cloud);
                 return Some(Job { fetch: fi, index });

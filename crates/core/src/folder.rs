@@ -12,8 +12,8 @@ use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
-use bytes::Bytes;
-use parking_lot::RwLock;
+use unidrive_util::bytes::Bytes;
+use unidrive_util::sync::RwLock;
 use unidrive_meta::SyncFolderImage;
 
 /// Error from sync folder operations.

@@ -19,9 +19,10 @@ use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::Duration;
 
-use parking_lot::Mutex;
+use unidrive_util::sync::Mutex;
 use unidrive_cloud::{CloudError, CloudSet};
 use unidrive_meta::{lock_file_name, parse_lock_name, LOCK_DIR};
+use unidrive_obs::{Event, Obs};
 use unidrive_sim::{Runtime, SimRng, Time};
 
 /// Tunables of the lock protocol.
@@ -91,6 +92,7 @@ pub struct QuorumLock {
     rng: Mutex<SimRng>,
     /// `(cloud index, lock file name)` → first time we saw it.
     first_seen: Mutex<HashMap<(usize, String), Time>>,
+    obs: Obs,
 }
 
 impl std::fmt::Debug for QuorumLock {
@@ -127,7 +129,15 @@ impl QuorumLock {
             config,
             rng: Mutex::new(rng),
             first_seen: Mutex::new(HashMap::new()),
+            obs: Obs::noop(),
         }
+    }
+
+    /// Builder-style: records acquisition latency, contention rounds,
+    /// lock breaking, and releases on `obs` (see `unidrive-obs`).
+    pub fn with_obs(mut self, obs: Obs) -> Self {
+        self.obs = obs;
+        self
     }
 
     /// The device name this lock identifies itself as.
@@ -144,18 +154,34 @@ impl QuorumLock {
     /// even be contacted.
     pub fn acquire(&self) -> Result<LockGuard<'_>, LockError> {
         let quorum = self.clouds.quorum();
+        let t0 = self.rt.now();
         for attempt in 0..self.config.max_attempts {
             let lock_name =
                 lock_file_name(&self.device, self.rt.now().as_nanos() + attempt as u64);
             match self.try_round(&lock_name) {
                 RoundOutcome::Won => {
+                    let wait_ns =
+                        self.rt.now().saturating_duration_since(t0).as_nanos() as u64;
+                    self.obs.inc("lock.acquired");
+                    self.obs.observe("lock.acquire_wait_ns", wait_ns);
+                    self.obs.event(|| Event::LockAcquired {
+                        device: self.device.clone(),
+                        rounds: attempt + 1,
+                        wait_ns,
+                    });
                     return Ok(LockGuard {
                         lock: self,
                         lock_name,
                         released: false,
-                    })
+                    });
                 }
-                RoundOutcome::Lost => {
+                RoundOutcome::Lost { held } => {
+                    self.obs.inc("lock.contended_rounds");
+                    self.obs.event(|| Event::LockContended {
+                        device: self.device.clone(),
+                        held,
+                        quorum,
+                    });
                     self.withdraw(&lock_name);
                     let cap = self
                         .config
@@ -166,11 +192,13 @@ impl QuorumLock {
                     self.rt.sleep(wait);
                 }
                 RoundOutcome::Unreachable { reachable } => {
+                    self.obs.inc("lock.unreachable");
                     self.withdraw(&lock_name);
                     return Err(LockError::QuorumUnreachable { reachable, quorum });
                 }
             }
         }
+        self.obs.inc("lock.exhausted");
         Err(LockError::Contended {
             attempts: self.config.max_attempts,
         })
@@ -191,7 +219,7 @@ impl QuorumLock {
                 let cloud = std::sync::Arc::clone(cloud);
                 let path = path.clone();
                 unidrive_sim::spawn(&self.rt, "lock-up", move || {
-                    cloud.upload(&path, bytes::Bytes::new()).is_ok()
+                    cloud.upload(&path, unidrive_util::bytes::Bytes::new()).is_ok()
                 })
             })
             .collect();
@@ -237,6 +265,11 @@ impl QuorumLock {
                 if self.is_stale(id.0, &entry.name) {
                     // Lock breaking: delete the abandoned lock file.
                     let _ = cloud.delete(&format!("{LOCK_DIR}/{}", entry.name));
+                    self.obs.inc("lock.broken");
+                    self.obs.event(|| Event::LockBroken {
+                        device: self.device.clone(),
+                        victim: device.to_owned(),
+                    });
                 } else {
                     foreign_live = true;
                 }
@@ -251,7 +284,7 @@ impl QuorumLock {
         if held >= quorum {
             RoundOutcome::Won
         } else {
-            RoundOutcome::Lost
+            RoundOutcome::Lost { held }
         }
     }
 
@@ -294,7 +327,7 @@ impl QuorumLock {
 
 enum RoundOutcome {
     Won,
-    Lost,
+    Lost { held: usize },
     Unreachable { reachable: usize },
 }
 
@@ -316,7 +349,7 @@ impl LockGuard<'_> {
                 let cloud = std::sync::Arc::clone(cloud);
                 let path = new_path.clone();
                 unidrive_sim::spawn(&self.lock.rt, "lock-refresh", move || {
-                    let _ = cloud.upload(&path, bytes::Bytes::new());
+                    let _ = cloud.upload(&path, unidrive_util::bytes::Bytes::new());
                 })
             })
             .collect();
@@ -331,6 +364,10 @@ impl LockGuard<'_> {
     pub fn release(mut self) {
         self.lock.withdraw(&self.lock_name);
         self.released = true;
+        self.lock.obs.inc("lock.released");
+        self.lock.obs.event(|| Event::LockReleased {
+            device: self.lock.device.clone(),
+        });
     }
 
     /// The current lock file name (diagnostics).
@@ -343,6 +380,10 @@ impl Drop for LockGuard<'_> {
     fn drop(&mut self) {
         if !self.released {
             self.lock.withdraw(&self.lock_name);
+            self.lock.obs.inc("lock.released");
+            self.lock.obs.event(|| Event::LockReleased {
+                device: self.lock.device.clone(),
+            });
         }
     }
 }
@@ -459,7 +500,7 @@ mod tests {
         for (_, c) in clouds.iter() {
             c.upload(
                 &format!("{LOCK_DIR}/{}", lock_file_name("crashed", 1)),
-                bytes::Bytes::new(),
+                unidrive_util::bytes::Bytes::new(),
             )
             .unwrap();
         }

@@ -142,7 +142,7 @@ mod tests {
             clouds,
             crate::DataPlaneConfig::with_params(redundancy, 128 * 1024),
         );
-        let data: bytes::Bytes = (0..400_000u32).map(|i| (i % 251) as u8).collect::<Vec<u8>>().into();
+        let data: unidrive_util::bytes::Bytes = (0..400_000u32).map(|i| (i % 251) as u8).collect::<Vec<u8>>().into();
         let (report, segs) = plane.upload_files(
             vec![crate::UploadRequest {
                 path: "f".into(),

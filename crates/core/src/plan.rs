@@ -4,6 +4,7 @@
 use unidrive_chunker::ChunkerConfig;
 use unidrive_cloud::RetryPolicy;
 use unidrive_erasure::RedundancyConfig;
+use unidrive_obs::Obs;
 
 /// Configuration of the data plane (paper §6, plus ablation switches).
 #[derive(Debug, Clone)]
@@ -25,6 +26,9 @@ pub struct DataPlaneConfig {
     /// Enable in-channel probing (download tail duplication onto faster
     /// clouds). Disabling reduces downloads to plain idle-pull.
     pub probing: bool,
+    /// Observability handle threaded through the schedulers, retries,
+    /// and the bandwidth probe (no-op by default; see `unidrive-obs`).
+    pub obs: Obs,
 }
 
 impl DataPlaneConfig {
@@ -39,6 +43,7 @@ impl DataPlaneConfig {
             overprovisioning: true,
             two_phase: true,
             probing: true,
+            obs: Obs::noop(),
         }
     }
 
@@ -73,7 +78,7 @@ pub struct SegmentData {
     /// Content-addressed id.
     pub id: unidrive_meta::SegmentId,
     /// Plaintext bytes.
-    pub data: bytes::Bytes,
+    pub data: unidrive_util::bytes::Bytes,
 }
 
 

@@ -13,11 +13,12 @@ use std::collections::VecDeque;
 use std::sync::Arc;
 use std::time::Duration;
 
-use bytes::Bytes;
-use parking_lot::Mutex;
-use unidrive_cloud::{retrying, CloudError, CloudId, CloudSet};
+use unidrive_util::bytes::Bytes;
+use unidrive_util::sync::Mutex;
+use unidrive_cloud::{retrying_observed, CloudError, CloudId, CloudSet};
 use unidrive_erasure::Codec;
 use unidrive_meta::{block_path, BlockRef, SegmentId};
+use unidrive_obs::Event;
 use unidrive_sim::{spawn, Runtime, Time};
 
 use crate::plan::{normal_assignment, DataPlaneConfig, SegmentData};
@@ -277,6 +278,9 @@ pub fn run_upload_opts(
             let probe = Arc::clone(probe);
             let config = config.clone();
             let sink = options.sink.clone();
+            let obs = config.obs.clone();
+            let retry_label = format!("upload:{}", cloud.name());
+            let cloud_blocks = format!("upload.cloud.{}.blocks", cloud.name());
             workers.push(spawn(
                 rt,
                 &format!("up-{}-{}", cloud.name(), conn),
@@ -299,16 +303,43 @@ pub fn run_upload_opts(
                     let encoded = codec.encode_block(&block, job.index as usize);
                     let path = block_path(&seg_id, job.index);
                     let bytes_len = encoded.len() as u64;
+                    let extra = job.index >= normal_total;
+                    obs.inc("upload.blocks_dispatched");
+                    if extra {
+                        obs.inc("upload.extra_blocks_dispatched");
+                    }
+                    obs.event(|| Event::BlockDispatched {
+                        cloud: cloud_id.0,
+                        index: job.index,
+                        bytes: bytes_len,
+                        extra,
+                    });
                     let t0 = rt2.now();
-                    let result = retrying(&rt2, &config.retry, || {
+                    let result = retrying_observed(&rt2, &config.retry, &obs, &retry_label, || {
                         cloud.upload(&path, encoded.clone())
                     });
                     let elapsed = rt2.now().saturating_duration_since(t0);
+                    if result.is_ok() {
+                        // Recorded outside the scheduler lock: events
+                        // stamp through the (engine-backed) clock.
+                        probe.record(cloud_id, bytes_len, elapsed);
+                        obs.inc("upload.blocks_completed");
+                        obs.add("upload.block_bytes", bytes_len);
+                        obs.inc(&cloud_blocks);
+                        obs.observe("upload.block_elapsed_ns", elapsed.as_nanos() as u64);
+                        obs.event(|| Event::BlockCompleted {
+                            cloud: cloud_id.0,
+                            index: job.index,
+                            bytes: bytes_len,
+                            elapsed_ns: elapsed.as_nanos() as u64,
+                        });
+                    } else {
+                        obs.inc("upload.block_failures");
+                    }
                     let mut st = state.lock();
                     st.segs[job.seg].inflight[cloud_id.0] -= 1;
                     match result {
                         Ok(()) => {
-                            probe.record(cloud_id, bytes_len, elapsed);
                             let placed = BlockRef {
                                 index: job.index,
                                 cloud: cloud_id.0 as u16,

@@ -5,7 +5,7 @@
 use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 
-use bytes::Bytes;
+use unidrive_util::bytes::Bytes;
 use unidrive_cloud::{CloudSet, CloudStore, SimCloud, SimCloudConfig};
 use unidrive_core::{DataPlane, DataPlaneConfig, SegmentFetch, UploadRequest};
 use unidrive_erasure::RedundancyConfig;

@@ -1,70 +1,106 @@
-//! Property-based tests of the from-scratch crypto primitives.
+//! Randomized property tests of the from-scratch crypto primitives,
+//! driven by the workspace's deterministic `SimRng` (seeded, so
+//! failures reproduce exactly).
 
-use proptest::prelude::*;
 use unidrive_crypto::{Des, MetadataCipher, Sha1};
+use unidrive_sim::SimRng;
 
-proptest! {
-    /// DES decrypt(encrypt(x)) == x for every key and block.
-    #[test]
-    fn des_round_trips(key in any::<[u8; 8]>(), block in any::<[u8; 8]>()) {
+fn random_vec(rng: &mut SimRng, max_len: usize) -> Vec<u8> {
+    let len = rng.below(max_len as u64 + 1) as usize;
+    (0..len).map(|_| rng.next_u64() as u8).collect()
+}
+
+fn random_block(rng: &mut SimRng) -> [u8; 8] {
+    rng.next_u64().to_le_bytes()
+}
+
+/// DES decrypt(encrypt(x)) == x for every key and block.
+#[test]
+fn des_round_trips() {
+    let mut rng = SimRng::seed_from_u64(0xDE50);
+    for _ in 0..128 {
+        let key = random_block(&mut rng);
+        let block = random_block(&mut rng);
         let des = Des::new(key);
-        prop_assert_eq!(des.decrypt_block(des.encrypt_block(block)), block);
+        assert_eq!(des.decrypt_block(des.encrypt_block(block)), block);
     }
+}
 
-    /// The DES complementation property holds for all inputs.
-    #[test]
-    fn des_complementation(key in any::<[u8; 8]>(), block in any::<[u8; 8]>()) {
-        let not = |x: [u8; 8]| x.map(|b| !b);
+/// The DES complementation property holds for all inputs.
+#[test]
+fn des_complementation() {
+    let mut rng = SimRng::seed_from_u64(0xDE51);
+    let not = |x: [u8; 8]| x.map(|b| !b);
+    for _ in 0..128 {
+        let key = random_block(&mut rng);
+        let block = random_block(&mut rng);
         let a = Des::new(key).encrypt_block(block);
         let b = Des::new(not(key)).encrypt_block(not(block));
-        prop_assert_eq!(not(a), b);
+        assert_eq!(not(a), b);
     }
+}
 
-    /// CBC round-trips arbitrary plaintext under arbitrary passphrases
-    /// and nonces.
-    #[test]
-    fn cbc_round_trips(
-        passphrase in "[a-zA-Z0-9 ]{0,32}",
-        plaintext in proptest::collection::vec(any::<u8>(), 0..2048),
-        nonce in any::<u64>(),
-    ) {
+/// CBC round-trips arbitrary plaintext under arbitrary passphrases and
+/// nonces.
+#[test]
+fn cbc_round_trips() {
+    let mut rng = SimRng::seed_from_u64(0xDE52);
+    const CHARS: &[u8] = b"abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789 ";
+    for _ in 0..48 {
+        let pass_len = rng.below(33) as usize;
+        let passphrase: String = (0..pass_len)
+            .map(|_| CHARS[rng.below(CHARS.len() as u64) as usize] as char)
+            .collect();
+        let plaintext = random_vec(&mut rng, 2047);
+        let nonce = rng.next_u64();
         let cipher = MetadataCipher::from_passphrase(&passphrase);
         let ct = cipher.encrypt(&plaintext, nonce);
-        prop_assert_eq!(cipher.decrypt(&ct).unwrap(), plaintext);
+        assert_eq!(cipher.decrypt(&ct).unwrap(), plaintext);
     }
+}
 
-    /// Ciphertext length is plaintext rounded up to the block plus IV,
-    /// and always a multiple of 8.
-    #[test]
-    fn cbc_length_is_predictable(plaintext in proptest::collection::vec(any::<u8>(), 0..512)) {
-        let cipher = MetadataCipher::from_passphrase("p");
+/// Ciphertext length is plaintext rounded up to the block plus IV, and
+/// always a multiple of 8.
+#[test]
+fn cbc_length_is_predictable() {
+    let mut rng = SimRng::seed_from_u64(0xDE53);
+    let cipher = MetadataCipher::from_passphrase("p");
+    for _ in 0..64 {
+        let plaintext = random_vec(&mut rng, 511);
         let ct = cipher.encrypt(&plaintext, 1);
         let pad = 8 - plaintext.len() % 8;
-        prop_assert_eq!(ct.len(), 8 + plaintext.len() + pad);
-        prop_assert_eq!(ct.len() % 8, 0);
+        assert_eq!(ct.len(), 8 + plaintext.len() + pad);
+        assert_eq!(ct.len() % 8, 0);
     }
+}
 
-    /// Streaming SHA-1 equals one-shot SHA-1 under arbitrary splits.
-    #[test]
-    fn sha1_streaming_matches_oneshot(
-        data in proptest::collection::vec(any::<u8>(), 0..4096),
-        splits in proptest::collection::vec(any::<u16>(), 0..6),
-    ) {
+/// Streaming SHA-1 equals one-shot SHA-1 under arbitrary splits.
+#[test]
+fn sha1_streaming_matches_oneshot() {
+    let mut rng = SimRng::seed_from_u64(0xDE54);
+    for _ in 0..64 {
+        let data = random_vec(&mut rng, 4095);
+        let n_splits = rng.below(6) as usize;
         let mut h = Sha1::new();
         let mut cursor = 0usize;
-        for s in splits {
-            let next = (cursor + s as usize).min(data.len());
+        for _ in 0..n_splits {
+            let s = rng.below(u16::MAX as u64 + 1) as usize;
+            let next = (cursor + s).min(data.len());
             h.update(&data[cursor..next]);
             cursor = next;
         }
         h.update(&data[cursor..]);
-        prop_assert_eq!(h.finalize(), Sha1::digest(&data));
+        assert_eq!(h.finalize(), Sha1::digest(&data));
     }
+}
 
-    /// Hex round-trip of digests.
-    #[test]
-    fn digest_hex_round_trips(data in proptest::collection::vec(any::<u8>(), 0..256)) {
+/// Hex round-trip of digests.
+#[test]
+fn digest_hex_round_trips() {
+    let mut rng = SimRng::seed_from_u64(0xDE55);
+    for _ in 0..64 {
+        let data = random_vec(&mut rng, 255);
         let d = Sha1::digest(&data);
-        prop_assert_eq!(unidrive_crypto::Digest::from_hex(&d.to_hex()), Some(d));
+        assert_eq!(unidrive_crypto::Digest::from_hex(&d.to_hex()), Some(d));
     }
 }

@@ -11,7 +11,7 @@
 
 use std::fmt;
 
-use bytes::Bytes;
+use unidrive_util::bytes::Bytes;
 
 use crate::matrix::Matrix;
 use crate::{gf256, RedundancyConfig};

@@ -1,29 +1,31 @@
-//! Property-based tests of the erasure-coding invariants UniDrive's
-//! reliability and security guarantees rest on.
+//! Randomized property tests of the erasure-coding invariants
+//! UniDrive's reliability and security guarantees rest on. Driven by
+//! the workspace's deterministic `SimRng` (seeded, so failures
+//! reproduce exactly).
 
-use proptest::prelude::*;
 use unidrive_erasure::{Codec, RedundancyConfig};
+use unidrive_sim::SimRng;
 
-proptest! {
-    /// Any k distinct blocks of a non-systematic code reconstruct the
-    /// original data exactly — the MDS property.
-    #[test]
-    fn any_k_blocks_reconstruct(
-        data in proptest::collection::vec(any::<u8>(), 1..2048),
-        n in 4usize..20,
-        k in 2usize..4,
-        seed in any::<u64>(),
-    ) {
-        prop_assume!(k < n);
+fn random_vec(rng: &mut SimRng, min_len: usize, max_len: usize) -> Vec<u8> {
+    let len = min_len + rng.below((max_len - min_len) as u64) as usize;
+    (0..len).map(|_| rng.next_u64() as u8).collect()
+}
+
+/// Any k distinct blocks of a non-systematic code reconstruct the
+/// original data exactly — the MDS property.
+#[test]
+fn any_k_blocks_reconstruct() {
+    let mut rng = SimRng::seed_from_u64(0xE501);
+    for _ in 0..48 {
+        let data = random_vec(&mut rng, 1, 2048);
+        let k = 2 + rng.below(2) as usize;
+        let n = (k + 1) + rng.below((20 - k - 1) as u64) as usize;
         let codec = Codec::non_systematic(n, k).unwrap();
-        // Pick k distinct indices pseudo-randomly from the seed.
+        // Pick k distinct indices with a Fisher-Yates prefix shuffle.
         let mut indices: Vec<usize> = (0..n).collect();
-        let mut state = seed | 1;
-        for i in (1..indices.len()).rev() {
-            state ^= state << 13;
-            state ^= state >> 7;
-            state ^= state << 17;
-            indices.swap(i, (state % (i as u64 + 1)) as usize);
+        for i in 0..k {
+            let j = i + rng.below((n - i) as u64) as usize;
+            indices.swap(i, j);
         }
         indices.truncate(k);
         let blocks = codec.encode_blocks(&data, &indices);
@@ -32,16 +34,18 @@ proptest! {
             .zip(&blocks)
             .map(|(&i, b)| (i, b.as_ref()))
             .collect();
-        prop_assert_eq!(codec.decode(&shares, data.len()).unwrap(), data);
+        assert_eq!(codec.decode(&shares, data.len()).unwrap(), data);
     }
+}
 
-    /// Fewer than k blocks always fail to decode (the K_s security
-    /// property at the codec level).
-    #[test]
-    fn fewer_than_k_blocks_fail(
-        data in proptest::collection::vec(any::<u8>(), 1..512),
-        have in 0usize..3,
-    ) {
+/// Fewer than k blocks always fail to decode (the K_s security
+/// property at the codec level).
+#[test]
+fn fewer_than_k_blocks_fail() {
+    let mut rng = SimRng::seed_from_u64(0xE502);
+    for _ in 0..48 {
+        let data = random_vec(&mut rng, 1, 512);
+        let have = rng.below(3) as usize;
         let codec = Codec::non_systematic(10, 3).unwrap();
         let indices: Vec<usize> = (0..have).collect();
         let blocks = codec.encode_blocks(&data, &indices);
@@ -50,47 +54,54 @@ proptest! {
             .zip(&blocks)
             .map(|(&i, b)| (i, b.as_ref()))
             .collect();
-        prop_assert!(codec.decode(&shares, data.len()).is_err());
+        assert!(codec.decode(&shares, data.len()).is_err());
     }
+}
 
-    /// Encoding is deterministic and blocks have the advertised length.
-    #[test]
-    fn encoding_is_deterministic(
-        data in proptest::collection::vec(any::<u8>(), 1..4096),
-        index in 0usize..10,
-    ) {
+/// Encoding is deterministic and blocks have the advertised length.
+#[test]
+fn encoding_is_deterministic() {
+    let mut rng = SimRng::seed_from_u64(0xE503);
+    for _ in 0..48 {
+        let data = random_vec(&mut rng, 1, 4096);
+        let index = rng.below(10) as usize;
         let codec = Codec::non_systematic(10, 3).unwrap();
         let a = codec.encode_block(&data, index);
         let b = codec.encode_block(&data, index);
-        prop_assert_eq!(&a, &b);
-        prop_assert_eq!(a.len(), codec.block_len(data.len()));
+        assert_eq!(&a, &b);
+        assert_eq!(a.len(), codec.block_len(data.len()));
     }
+}
 
-    /// Every accepted redundancy configuration satisfies both paper
-    /// requirements: K_r clouds always suffice, K_s − 1 never do.
-    #[test]
-    fn config_requirements_hold(
-        clouds in 1usize..10,
-        k in 1usize..16,
-        k_r in 1usize..10,
-        k_s in 1usize..10,
-    ) {
-        if let Ok(cfg) = RedundancyConfig::new(clouds, k, k_r, k_s) {
-            prop_assert!(cfg.k_r() * cfg.fair_share() >= cfg.k());
-            prop_assert!((cfg.k_s() - 1) * cfg.per_cloud_cap() < cfg.k());
-            prop_assert!(cfg.fair_share() <= cfg.per_cloud_cap());
-            prop_assert!(cfg.max_block_count() <= 255);
+/// Every accepted redundancy configuration satisfies both paper
+/// requirements: K_r clouds always suffice, K_s − 1 never do.
+#[test]
+fn config_requirements_hold() {
+    // Small discrete space: sweep it exhaustively instead of sampling.
+    for clouds in 1..10usize {
+        for k in 1..16usize {
+            for k_r in 1..10usize {
+                for k_s in 1..10usize {
+                    if let Ok(cfg) = RedundancyConfig::new(clouds, k, k_r, k_s) {
+                        assert!(cfg.k_r() * cfg.fair_share() >= cfg.k());
+                        assert!((cfg.k_s() - 1) * cfg.per_cloud_cap() < cfg.k());
+                        assert!(cfg.fair_share() <= cfg.per_cloud_cap());
+                        assert!(cfg.max_block_count() <= 255);
+                    }
+                }
+            }
         }
     }
+}
 
-    /// A corrupted share either fails to decode or produces different
-    /// output — never silently the same plaintext.
-    #[test]
-    fn corruption_is_never_silently_correct(
-        data in proptest::collection::vec(any::<u8>(), 8..512),
-        flip_byte in any::<u8>(),
-    ) {
-        prop_assume!(flip_byte != 0);
+/// A corrupted share either fails to decode or produces different
+/// output — never silently the same plaintext.
+#[test]
+fn corruption_is_never_silently_correct() {
+    let mut rng = SimRng::seed_from_u64(0xE505);
+    for _ in 0..48 {
+        let data = random_vec(&mut rng, 8, 512);
+        let flip_byte = 1 + rng.below(255) as u8;
         let codec = Codec::non_systematic(10, 3).unwrap();
         let indices = [1usize, 5, 8];
         let mut blocks = codec.encode_blocks(&data, &indices);
@@ -102,9 +113,8 @@ proptest! {
             .zip(&blocks)
             .map(|(&i, b)| (i, b.as_ref()))
             .collect();
-        match codec.decode(&shares, data.len()) {
-            Ok(decoded) => prop_assert_ne!(decoded, data),
-            Err(_) => {}
+        if let Ok(decoded) = codec.decode(&shares, data.len()) {
+            assert_ne!(decoded, data);
         }
     }
 }

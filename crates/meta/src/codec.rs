@@ -7,7 +7,7 @@
 //! checksum so corrupted or foreign files are rejected instead of
 //! misparsed.
 
-use bytes::Bytes;
+use unidrive_util::bytes::Bytes;
 use unidrive_crypto::Sha1;
 
 /// Error decoding a metadata buffer.

@@ -7,7 +7,7 @@
 //! base. Normally only the delta travels; when it outgrows the threshold
 //! λ it is merged into a new base by the lock holder.
 
-use bytes::Bytes;
+use unidrive_util::bytes::Bytes;
 use unidrive_crypto::Digest;
 
 use crate::codec::{DecodeError, Reader, Writer};

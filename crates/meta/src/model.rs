@@ -9,7 +9,7 @@
 
 use std::collections::BTreeMap;
 
-use bytes::Bytes;
+use unidrive_util::bytes::Bytes;
 use unidrive_crypto::Digest;
 
 use crate::codec::{DecodeError, Reader, Writer};

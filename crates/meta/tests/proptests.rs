@@ -1,68 +1,96 @@
-//! Property-based tests of the metadata layer: codec round-trips,
-//! delta-log reconstruction, and three-way merge invariants.
+//! Randomized property tests of the metadata layer: codec round-trips,
+//! delta-log reconstruction, and three-way merge invariants. Driven by
+//! the workspace's deterministic `SimRng` (seeded, so failures
+//! reproduce exactly).
 
-use proptest::prelude::*;
 use unidrive_crypto::{Digest, Sha1};
 use unidrive_meta::{
     diff, merge3, BlockRef, DeltaLog, SegmentId, Snapshot, SyncFolderImage, VersionStamp,
 };
+use unidrive_sim::SimRng;
 
-/// Strategy: a small random image.
-fn arb_image() -> impl Strategy<Value = SyncFolderImage> {
-    proptest::collection::btree_map(
-        "[a-z]{1,8}(/[a-z]{1,8}){0,2}",
-        (any::<u16>(), 1u64..1_000_000, proptest::collection::vec(any::<u8>(), 1..4)),
-        0..12,
-    )
-    .prop_map(|files| {
-        let mut image = SyncFolderImage::new();
-        for (path, (mtime, size, seg_tags)) in files {
-            let segments: Vec<SegmentId> = seg_tags
-                .iter()
-                .map(|t| SegmentId(Sha1::digest(&[*t])))
-                .collect();
-            for id in &segments {
-                image.ensure_segment(*id, size);
-            }
-            image.upsert_file(
-                &path,
-                Snapshot {
-                    mtime_ns: mtime as u64,
-                    size,
-                    segments,
-                },
-            );
+/// A small random image: up to 12 files with short random paths, each
+/// with up to 3 random segment tags.
+fn random_image(rng: &mut SimRng) -> SyncFolderImage {
+    let mut image = SyncFolderImage::new();
+    let n_files = rng.below(12) as usize;
+    for _ in 0..n_files {
+        let path = random_path(rng);
+        let mtime = rng.below(u16::MAX as u64 + 1);
+        let size = 1 + rng.below(999_999);
+        let n_segs = 1 + rng.below(3) as usize;
+        let segments: Vec<SegmentId> = (0..n_segs)
+            .map(|_| SegmentId(Sha1::digest(&[rng.next_u64() as u8])))
+            .collect();
+        for id in &segments {
+            image.ensure_segment(*id, size);
         }
-        image
-    })
+        image.upsert_file(
+            &path,
+            Snapshot {
+                mtime_ns: mtime,
+                size,
+                segments,
+            },
+        );
+    }
+    image
 }
 
-proptest! {
-    /// encode/decode round-trips arbitrary images.
-    #[test]
-    fn image_codec_round_trips(image in arb_image()) {
-        let restored = SyncFolderImage::decode(&image.encode()).unwrap();
-        prop_assert_eq!(restored, image);
+fn random_path(rng: &mut SimRng) -> String {
+    let segment = |rng: &mut SimRng| {
+        let len = 1 + rng.below(8) as usize;
+        (0..len)
+            .map(|_| (b'a' + rng.below(26) as u8) as char)
+            .collect::<String>()
+    };
+    let depth = rng.below(3);
+    let mut path = segment(rng);
+    for _ in 0..depth {
+        path.push('/');
+        path.push_str(&segment(rng));
     }
+    path
+}
 
-    /// Any single-byte corruption of the encoded image is rejected.
-    #[test]
-    fn image_codec_rejects_bitflips(image in arb_image(), pos in any::<u16>(), flip in 1u8..) {
+/// encode/decode round-trips arbitrary images.
+#[test]
+fn image_codec_round_trips() {
+    let mut rng = SimRng::seed_from_u64(0x4E01);
+    for _ in 0..48 {
+        let image = random_image(&mut rng);
+        let restored = SyncFolderImage::decode(&image.encode()).unwrap();
+        assert_eq!(restored, image);
+    }
+}
+
+/// Any single-byte corruption of the encoded image is rejected.
+#[test]
+fn image_codec_rejects_bitflips() {
+    let mut rng = SimRng::seed_from_u64(0x4E02);
+    for _ in 0..48 {
+        let image = random_image(&mut rng);
         let mut bytes = image.encode().to_vec();
-        let idx = pos as usize % bytes.len();
+        let idx = rng.below(bytes.len() as u64) as usize;
+        let flip = 1 + rng.below(255) as u8;
         bytes[idx] ^= flip;
-        // Either the checksum catches it (virtually always) or the decode
-        // differs; it must never silently equal the original.
+        // Either the checksum catches it (virtually always) or the
+        // decode differs; it must never silently equal the original.
         match SyncFolderImage::decode(&bytes) {
             Err(_) => {}
-            Ok(decoded) => prop_assert_ne!(decoded, image),
+            Ok(decoded) => assert_ne!(decoded, image),
         }
     }
+}
 
-    /// Applying records_for(from, to) onto `from` reproduces `to`'s
-    /// files and block locations.
-    #[test]
-    fn delta_records_reconstruct(from in arb_image(), to in arb_image()) {
+/// Applying records_for(from, to) onto `from` reproduces `to`'s files
+/// and block locations.
+#[test]
+fn delta_records_reconstruct() {
+    let mut rng = SimRng::seed_from_u64(0x4E03);
+    for _ in 0..48 {
+        let from = random_image(&mut rng);
+        let to = random_image(&mut rng);
         let mut log = DeltaLog::new(from.version.clone());
         log.append(DeltaLog::records_for(&from, &to), to.version.clone());
         let mut rebuilt = from.clone();
@@ -73,52 +101,66 @@ proptest! {
                 .map(|(p, e)| (p.to_owned(), e.snapshot.clone()))
                 .collect::<Vec<_>>()
         };
-        prop_assert_eq!(files(&rebuilt), files(&to));
+        assert_eq!(files(&rebuilt), files(&to));
         // Every block location in `to` is present in the rebuilt pool.
         for (id, entry) in to.segments() {
             if entry.refcount > 0 {
                 let rebuilt_entry = rebuilt.segment(id).unwrap();
                 for b in &entry.blocks {
-                    prop_assert!(rebuilt_entry.blocks.contains(b));
+                    assert!(rebuilt_entry.blocks.contains(b));
                 }
             }
         }
     }
+}
 
-    /// diff(x, x) is empty; applying diff(a, b) to `a` via merge with no
-    /// cloud side reproduces b's tree.
-    #[test]
-    fn diff_is_sound(a in arb_image(), b in arb_image()) {
-        prop_assert!(diff(&a, &a.clone()).is_empty());
+/// diff(x, x) is empty; diff(a, b) marks exactly the paths whose
+/// snapshots differ.
+#[test]
+fn diff_is_sound() {
+    let mut rng = SimRng::seed_from_u64(0x4E04);
+    for _ in 0..48 {
+        let a = random_image(&mut rng);
+        let b = random_image(&mut rng);
+        assert!(diff(&a, &a.clone()).is_empty());
         let d = diff(&a, &b);
         for (path, _) in b.files() {
-            let same = a.file(path).is_some_and(|e| e.snapshot == b.file(path).unwrap().snapshot);
-            prop_assert_eq!(d.get(path).is_none(), same);
+            let same = a
+                .file(path)
+                .is_some_and(|e| e.snapshot == b.file(path).unwrap().snapshot);
+            assert_eq!(d.get(path).is_none(), same);
         }
     }
+}
 
-    /// Merge with an unchanged cloud side applies exactly the local
-    /// changes (no conflicts).
-    #[test]
-    fn merge_with_unchanged_cloud_is_local(original in arb_image(), local in arb_image()) {
+/// Merge with an unchanged cloud side applies exactly the local
+/// changes (no conflicts).
+#[test]
+fn merge_with_unchanged_cloud_is_local() {
+    let mut rng = SimRng::seed_from_u64(0x4E05);
+    for _ in 0..48 {
+        let original = random_image(&mut rng);
+        let local = random_image(&mut rng);
         let out = merge3(&original, &local, &original, "dev");
-        prop_assert!(out.conflicts.is_empty());
+        assert!(out.conflicts.is_empty());
         let files = |img: &SyncFolderImage| {
             img.files()
                 .map(|(p, e)| (p.to_owned(), e.snapshot.clone()))
                 .collect::<Vec<_>>()
         };
-        prop_assert_eq!(files(&out.image), files(&local));
+        assert_eq!(files(&out.image), files(&local));
     }
+}
 
-    /// Merge never loses a file that only one side touched, and
-    /// refcounts always cover every referenced segment.
-    #[test]
-    fn merge_preserves_disjoint_changes(
-        original in arb_image(),
-        local in arb_image(),
-        cloud in arb_image(),
-    ) {
+/// Merge never loses a file that only one side touched, and refcounts
+/// always cover every referenced segment.
+#[test]
+fn merge_preserves_disjoint_changes() {
+    let mut rng = SimRng::seed_from_u64(0x4E06);
+    for _ in 0..48 {
+        let original = random_image(&mut rng);
+        let local = random_image(&mut rng);
+        let cloud = random_image(&mut rng);
         let out = merge3(&original, &local, &cloud, "dev");
         let dl = diff(&original, &local);
         let dc = diff(&original, &cloud);
@@ -126,10 +168,10 @@ proptest! {
             if dc.get(path).is_none() {
                 match change {
                     unidrive_meta::EntryChange::Upsert(snap) => {
-                        prop_assert_eq!(&out.image.file(path).unwrap().snapshot, snap);
+                        assert_eq!(&out.image.file(path).unwrap().snapshot, snap);
                     }
                     unidrive_meta::EntryChange::Delete => {
-                        prop_assert!(out.image.file(path).is_none());
+                        assert!(out.image.file(path).is_none());
                     }
                 }
             }
@@ -137,31 +179,50 @@ proptest! {
         // Pool covers every snapshot reference with a positive refcount.
         for (_, entry) in out.image.files() {
             for id in &entry.snapshot.segments {
-                prop_assert!(out.image.segment(id).unwrap().refcount > 0);
+                assert!(out.image.segment(id).unwrap().refcount > 0);
             }
         }
     }
+}
 
-    /// Version files round-trip.
-    #[test]
-    fn version_stamp_round_trips(device in "[a-z0-9-]{1,16}", counter in any::<u64>(), ts in any::<u64>()) {
-        let v = VersionStamp { device, counter, timestamp_ns: ts };
-        prop_assert_eq!(VersionStamp::decode(&v.encode()).unwrap(), v);
+/// Version files round-trip.
+#[test]
+fn version_stamp_round_trips() {
+    let mut rng = SimRng::seed_from_u64(0x4E07);
+    for _ in 0..64 {
+        let name_len = 1 + rng.below(16) as usize;
+        const CHARS: &[u8] = b"abcdefghijklmnopqrstuvwxyz0123456789-";
+        let device: String = (0..name_len)
+            .map(|_| CHARS[rng.below(CHARS.len() as u64) as usize] as char)
+            .collect();
+        let v = VersionStamp {
+            device,
+            counter: rng.next_u64(),
+            timestamp_ns: rng.next_u64(),
+        };
+        assert_eq!(VersionStamp::decode(&v.encode()).unwrap(), v);
     }
+}
 
-    /// Block add/remove on segment entries is idempotent and consistent.
-    #[test]
-    fn block_bookkeeping(ops in proptest::collection::vec((any::<u8>(), 0u16..8, 0u16..4), 0..32)) {
+/// Block add/remove on segment entries is idempotent and consistent.
+#[test]
+fn block_bookkeeping() {
+    let mut rng = SimRng::seed_from_u64(0x4E08);
+    for _ in 0..48 {
         let mut image = SyncFolderImage::new();
         let id = SegmentId(Digest([7; 20]));
         image.ensure_segment(id, 1);
         let mut model: std::collections::BTreeSet<(u16, u16)> = Default::default();
-        for (op, index, cloud) in ops {
+        let n_ops = rng.below(32) as usize;
+        for _ in 0..n_ops {
+            let op = rng.next_u64() as u8;
+            let index = rng.below(8) as u16;
+            let cloud = rng.below(4) as u16;
             let block = BlockRef { index, cloud };
             if op % 2 == 0 {
-                prop_assert_eq!(image.record_block(id, block), model.insert((index, cloud)));
+                assert_eq!(image.record_block(id, block), model.insert((index, cloud)));
             } else {
-                prop_assert_eq!(image.remove_block(&id, block), model.remove(&(index, cloud)));
+                assert_eq!(image.remove_block(&id, block), model.remove(&(index, cloud)));
             }
         }
         let stored: std::collections::BTreeSet<(u16, u16)> = image
@@ -171,6 +232,6 @@ proptest! {
             .iter()
             .map(|b| (b.index, b.cloud))
             .collect();
-        prop_assert_eq!(stored, model);
+        assert_eq!(stored, model);
     }
 }

@@ -1,0 +1,305 @@
+//! Snapshot type and deterministic JSON/CSV export.
+//!
+//! The JSON writer is hand-rolled (no external crates) and fully
+//! deterministic: metric maps are exported in sorted (BTreeMap) key
+//! order, events in trace order, floats through Rust's shortest
+//! round-trip formatting. Two runs with the same seed therefore
+//! produce byte-identical exports.
+
+use crate::metrics::HistogramSnapshot;
+use crate::trace::{FieldValue, TracedEvent};
+
+/// Point-in-time copy of a registry: every metric plus the event
+/// trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Snapshot {
+    /// Counters, sorted by name.
+    pub counters: Vec<(String, u64)>,
+    /// Gauges, sorted by name.
+    pub gauges: Vec<(String, f64)>,
+    /// Histograms, sorted by name.
+    pub histograms: Vec<(String, HistogramSnapshot)>,
+    /// The event trace, oldest first.
+    pub events: Vec<TracedEvent>,
+    /// Events evicted from the ring before this snapshot.
+    pub dropped_events: u64,
+}
+
+impl Snapshot {
+    /// Value of counter `name` (0 when absent).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| *v)
+            .unwrap_or(0)
+    }
+
+    /// Sum of all counters whose name starts with `prefix`.
+    pub fn counter_sum(&self, prefix: &str) -> u64 {
+        self.counters
+            .iter()
+            .filter(|(n, _)| n.starts_with(prefix))
+            .map(|(_, v)| *v)
+            .sum()
+    }
+
+    /// Value of gauge `name`, if present and set.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| *v)
+            .filter(|v| !v.is_nan())
+    }
+
+    /// Histogram snapshot `name`, if present.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, h)| h)
+    }
+
+    /// Number of trace events of the given kind.
+    pub fn event_count(&self, kind: &str) -> usize {
+        self.events.iter().filter(|e| e.event.kind() == kind).count()
+    }
+
+    /// Sorts the trace into a canonical order: by timestamp, then
+    /// event kind, then field values. Actors that become runnable at
+    /// the same virtual instant may record their events in either
+    /// order; canonicalizing before export makes same-seed runs
+    /// byte-identical regardless of that benign race.
+    pub fn canonicalize(&mut self) {
+        self.events.sort_by_cached_key(|e| {
+            let mut key = format!("{:020}|{}", e.t_ns, e.event.kind());
+            for (name, value) in e.event.fields() {
+                key.push('|');
+                key.push_str(name);
+                key.push('=');
+                match value {
+                    FieldValue::U(v) => key.push_str(&format!("{v:020}")),
+                    FieldValue::B(v) => key.push(if v { '1' } else { '0' }),
+                    FieldValue::S(v) => key.push_str(&v),
+                }
+            }
+            key
+        });
+    }
+
+    /// Serializes the snapshot as pretty-stable JSON (see module docs
+    /// for the determinism guarantee).
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(4096);
+        out.push_str("{\n  \"schema\": \"unidrive-obs/v1\",\n  \"counters\": {");
+        for (i, (name, value)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("\n    ");
+            json_string(&mut out, name);
+            out.push_str(&format!(": {value}"));
+        }
+        out.push_str("\n  },\n  \"gauges\": {");
+        for (i, (name, value)) in self.gauges.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("\n    ");
+            json_string(&mut out, name);
+            out.push_str(": ");
+            json_f64(&mut out, *value);
+        }
+        out.push_str("\n  },\n  \"histograms\": {");
+        for (i, (name, h)) in self.histograms.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("\n    ");
+            json_string(&mut out, name);
+            out.push_str(&format!(
+                ": {{\"count\": {}, \"sum\": {}, \"min\": {}, \"max\": {}, \"buckets\": [",
+                h.count, h.sum, h.min, h.max
+            ));
+            for (j, (lo, n)) in h.buckets.iter().enumerate() {
+                if j > 0 {
+                    out.push_str(", ");
+                }
+                out.push_str(&format!("[{lo}, {n}]"));
+            }
+            out.push_str("]}");
+        }
+        out.push_str(&format!(
+            "\n  }},\n  \"dropped_events\": {},\n  \"events\": [",
+            self.dropped_events
+        ));
+        for (i, e) in self.events.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\n    {{\"t_ns\": {}, \"type\": \"{}\"",
+                e.t_ns,
+                e.event.kind()
+            ));
+            for (key, value) in e.event.fields() {
+                out.push_str(", ");
+                json_string(&mut out, key);
+                out.push_str(": ");
+                match value {
+                    FieldValue::U(v) => out.push_str(&v.to_string()),
+                    FieldValue::B(v) => out.push_str(if v { "true" } else { "false" }),
+                    FieldValue::S(v) => json_string(&mut out, &v),
+                }
+            }
+            out.push('}');
+        }
+        out.push_str("\n  ]\n}\n");
+        out
+    }
+
+    /// Serializes the metrics (not the trace) as CSV with a
+    /// `kind,name,field,value` header.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("kind,name,field,value\n");
+        for (name, value) in &self.counters {
+            out.push_str(&format!("counter,{},value,{}\n", csv_field(name), value));
+        }
+        for (name, value) in &self.gauges {
+            out.push_str(&format!("gauge,{},value,{}\n", csv_field(name), value));
+        }
+        for (name, h) in &self.histograms {
+            let name = csv_field(name);
+            out.push_str(&format!("histogram,{name},count,{}\n", h.count));
+            out.push_str(&format!("histogram,{name},sum,{}\n", h.sum));
+            out.push_str(&format!("histogram,{name},min,{}\n", h.min));
+            out.push_str(&format!("histogram,{name},max,{}\n", h.max));
+            for (lo, n) in &h.buckets {
+                out.push_str(&format!("histogram,{name},bucket_ge_{lo},{n}\n"));
+            }
+        }
+        out
+    }
+}
+
+fn json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn json_f64(out: &mut String, v: f64) {
+    if v.is_finite() {
+        let s = format!("{v}");
+        // Bare integers like `2` are valid JSON numbers, but keep a
+        // decimal point so consumers type gauges consistently.
+        if s.contains(['.', 'e', 'E']) {
+            out.push_str(&s);
+        } else {
+            out.push_str(&s);
+            out.push_str(".0");
+        }
+    } else {
+        out.push_str("null");
+    }
+}
+
+fn csv_field(s: &str) -> String {
+    if s.contains([',', '"', '\n']) {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_owned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::Event;
+
+    fn sample() -> Snapshot {
+        Snapshot {
+            counters: vec![("a".into(), 1), ("b".into(), 2)],
+            gauges: vec![("g".into(), 1.5), ("whole".into(), 2.0)],
+            histograms: vec![(
+                "h".into(),
+                HistogramSnapshot {
+                    count: 2,
+                    sum: 5,
+                    min: 1,
+                    max: 4,
+                    buckets: vec![(1, 1), (4, 1)],
+                },
+            )],
+            events: vec![TracedEvent {
+                t_ns: 10,
+                event: Event::LockReleased {
+                    device: "dev-\"a\"".into(),
+                },
+            }],
+            dropped_events: 0,
+        }
+    }
+
+    #[test]
+    fn json_is_deterministic_and_escaped() {
+        let a = sample().to_json();
+        let b = sample().to_json();
+        assert_eq!(a, b);
+        assert!(a.contains("\"schema\": \"unidrive-obs/v1\""));
+        assert!(a.contains("\"a\": 1"));
+        assert!(a.contains("\"whole\": 2.0"));
+        assert!(a.contains("dev-\\\"a\\\""));
+        assert!(a.contains("[4, 1]"));
+    }
+
+    #[test]
+    fn csv_lists_every_metric() {
+        let csv = sample().to_csv();
+        assert!(csv.starts_with("kind,name,field,value\n"));
+        assert!(csv.contains("counter,a,value,1\n"));
+        assert!(csv.contains("histogram,h,bucket_ge_4,1\n"));
+    }
+
+    #[test]
+    fn canonicalize_is_order_insensitive() {
+        let mut a = sample();
+        a.events.push(TracedEvent {
+            t_ns: 10,
+            event: Event::EpochResampled { epoch: 3 },
+        });
+        a.events.push(TracedEvent {
+            t_ns: 5,
+            event: Event::EpochResampled { epoch: 9 },
+        });
+        let mut b = a.clone();
+        b.events.reverse();
+        a.canonicalize();
+        b.canonicalize();
+        assert_eq!(a, b);
+        assert_eq!(a.events[0].t_ns, 5);
+        assert_eq!(a.to_json(), b.to_json());
+    }
+
+    #[test]
+    fn lookup_helpers() {
+        let s = sample();
+        assert_eq!(s.counter("b"), 2);
+        assert_eq!(s.counter("missing"), 0);
+        assert_eq!(s.counter_sum(""), 3);
+        assert_eq!(s.gauge("g"), Some(1.5));
+        assert_eq!(s.histogram("h").unwrap().count, 2);
+        assert_eq!(s.event_count("LockReleased"), 1);
+    }
+}

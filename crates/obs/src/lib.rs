@@ -1,0 +1,394 @@
+//! # unidrive-obs
+//!
+//! Observability substrate for the UniDrive reproduction: a cheap,
+//! thread-safe **metrics registry** (counters, gauges, log-bucketed
+//! histograms), a ring-buffered **structured event trace**, and
+//! **scoped timers** — all timestamped through an installable clock so
+//! that under the simulation's virtual time the full export is
+//! *deterministic*: the same seed produces a byte-identical snapshot.
+//!
+//! ## Design
+//!
+//! Instrumented code holds an [`Obs`] handle. The handle is either a
+//! no-op (the default — every call returns immediately without
+//! touching shared state) or backed by a shared [`Registry`]. This
+//! keeps the disabled cost at a branch on an `Option`, and lets tests
+//! and bench binaries opt in per component without any global state,
+//! so parallel tests never share a registry by accident.
+//!
+//! ```
+//! use unidrive_obs::{Obs, Registry};
+//!
+//! let obs = Obs::with_registry(Registry::new());
+//! obs.inc("blocks_uploaded");
+//! obs.observe("upload_block_bytes", 4 << 20);
+//! let snap = obs.snapshot().unwrap();
+//! assert_eq!(snap.counter("blocks_uploaded"), 1);
+//! assert!(snap.to_json().contains("blocks_uploaded"));
+//! ```
+//!
+//! Timestamps come from the registry clock, which components install
+//! (`registry.set_clock(move || rt.now().as_nanos())`). The default
+//! clock returns 0 so that even an unclocked registry stays
+//! deterministic — nothing in this crate ever reads wall time.
+
+#![warn(missing_docs)]
+
+mod export;
+mod metrics;
+mod trace;
+
+pub use export::Snapshot;
+pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot};
+pub use trace::{Event, FieldValue, TracedEvent, DEFAULT_TRACE_CAPACITY};
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
+
+/// The shared clock: nanoseconds since some epoch (virtual or real).
+pub type ClockFn = Arc<dyn Fn() -> u64 + Send + Sync>;
+
+/// Central store for metrics and the event trace. Shared via
+/// [`Obs::with_registry`]; all methods take `&self` and are
+/// thread-safe.
+pub struct Registry {
+    clock: Mutex<ClockFn>,
+    counters: Mutex<BTreeMap<String, Arc<Counter>>>,
+    gauges: Mutex<BTreeMap<String, Arc<Gauge>>>,
+    histograms: Mutex<BTreeMap<String, Arc<Histogram>>>,
+    trace: trace::TraceRing,
+    dropped_events: AtomicU64,
+}
+
+impl Registry {
+    /// A registry with the default trace capacity and a zero clock.
+    pub fn new() -> Arc<Registry> {
+        Registry::with_trace_capacity(DEFAULT_TRACE_CAPACITY)
+    }
+
+    /// A registry whose event ring keeps at most `capacity` events
+    /// (oldest dropped first; drops are counted deterministically).
+    pub fn with_trace_capacity(capacity: usize) -> Arc<Registry> {
+        Arc::new(Registry {
+            clock: Mutex::new(Arc::new(|| 0)),
+            counters: Mutex::new(BTreeMap::new()),
+            gauges: Mutex::new(BTreeMap::new()),
+            histograms: Mutex::new(BTreeMap::new()),
+            trace: trace::TraceRing::new(capacity),
+            dropped_events: AtomicU64::new(0),
+        })
+    }
+
+    /// Installs the time source used to stamp events and timers.
+    /// Under simulation pass the virtual clock
+    /// (`move || rt.now().as_nanos()`) so traces are reproducible.
+    pub fn set_clock(&self, clock: impl Fn() -> u64 + Send + Sync + 'static) {
+        *lockp(&self.clock) = Arc::new(clock);
+    }
+
+    /// Current time in nanoseconds according to the installed clock.
+    pub fn now_ns(&self) -> u64 {
+        let clock = lockp(&self.clock).clone();
+        clock()
+    }
+
+    /// The counter named `name`, created on first use.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        get_or_insert(&self.counters, name)
+    }
+
+    /// The gauge named `name`, created on first use.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        get_or_insert(&self.gauges, name)
+    }
+
+    /// The histogram named `name`, created on first use.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        get_or_insert(&self.histograms, name)
+    }
+
+    /// Appends `event` to the trace, stamped with the installed clock.
+    pub fn record(&self, event: Event) {
+        let t_ns = self.now_ns();
+        if self.trace.push(TracedEvent { t_ns, event }) {
+            self.dropped_events.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// A consistent, sorted snapshot of every metric and the trace.
+    pub fn snapshot(&self) -> Snapshot {
+        Snapshot {
+            counters: lockp(&self.counters)
+                .iter()
+                .map(|(k, v)| (k.clone(), v.get()))
+                .collect(),
+            gauges: lockp(&self.gauges)
+                .iter()
+                .map(|(k, v)| (k.clone(), v.get()))
+                .collect(),
+            histograms: lockp(&self.histograms)
+                .iter()
+                .map(|(k, v)| (k.clone(), v.snapshot()))
+                .collect(),
+            events: self.trace.drain_copy(),
+            dropped_events: self.dropped_events.load(Ordering::Relaxed),
+        }
+    }
+}
+
+fn lockp<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+fn get_or_insert<T: Default>(map: &Mutex<BTreeMap<String, Arc<T>>>, name: &str) -> Arc<T> {
+    let mut map = lockp(map);
+    if let Some(v) = map.get(name) {
+        return Arc::clone(v);
+    }
+    let v = Arc::new(T::default());
+    map.insert(name.to_owned(), Arc::clone(&v));
+    v
+}
+
+/// Cheap-clone instrumentation handle: either no-op (default) or
+/// backed by a [`Registry`]. Every method is a single `Option` branch
+/// in the no-op case.
+#[derive(Clone, Default)]
+pub struct Obs {
+    registry: Option<Arc<Registry>>,
+}
+
+impl Obs {
+    /// The disabled handle; all operations are no-ops.
+    pub fn noop() -> Obs {
+        Obs { registry: None }
+    }
+
+    /// A handle recording into `registry`.
+    pub fn with_registry(registry: Arc<Registry>) -> Obs {
+        Obs {
+            registry: Some(registry),
+        }
+    }
+
+    /// Whether a registry is installed.
+    pub fn is_enabled(&self) -> bool {
+        self.registry.is_some()
+    }
+
+    /// The backing registry, if any.
+    pub fn registry(&self) -> Option<&Arc<Registry>> {
+        self.registry.as_ref()
+    }
+
+    /// Increments counter `name` by 1.
+    #[inline]
+    pub fn inc(&self, name: &str) {
+        if let Some(r) = &self.registry {
+            r.counter(name).add(1);
+        }
+    }
+
+    /// Adds `n` to counter `name`.
+    #[inline]
+    pub fn add(&self, name: &str, n: u64) {
+        if let Some(r) = &self.registry {
+            r.counter(name).add(n);
+        }
+    }
+
+    /// Sets gauge `name` to `value`.
+    #[inline]
+    pub fn set_gauge(&self, name: &str, value: f64) {
+        if let Some(r) = &self.registry {
+            r.gauge(name).set(value);
+        }
+    }
+
+    /// Records `value` into histogram `name`.
+    #[inline]
+    pub fn observe(&self, name: &str, value: u64) {
+        if let Some(r) = &self.registry {
+            r.histogram(name).record(value);
+        }
+    }
+
+    /// Appends `event` to the trace. The closure only runs when a
+    /// registry is installed, so building the event is free when
+    /// disabled.
+    #[inline]
+    pub fn event(&self, make: impl FnOnce() -> Event) {
+        if let Some(r) = &self.registry {
+            r.record(make());
+        }
+    }
+
+    /// Starts a scoped timer; on drop the elapsed clock time is
+    /// recorded into histogram `name` (nanoseconds). No-op (and
+    /// allocation-free) when disabled.
+    #[inline]
+    pub fn timer(&self, name: &str) -> TimerGuard {
+        match &self.registry {
+            Some(r) => TimerGuard {
+                inner: Some((Arc::clone(r), r.histogram(name), r.now_ns())),
+            },
+            None => TimerGuard { inner: None },
+        }
+    }
+
+    /// Pre-resolved counter for hot paths: one atomic add per call,
+    /// no map lookup. No-op when disabled.
+    pub fn counter_handle(&self, name: &str) -> CounterHandle {
+        CounterHandle {
+            inner: self.registry.as_ref().map(|r| r.counter(name)),
+        }
+    }
+
+    /// Snapshot of the backing registry, if enabled.
+    pub fn snapshot(&self) -> Option<Snapshot> {
+        self.registry.as_ref().map(|r| r.snapshot())
+    }
+}
+
+impl std::fmt::Debug for Obs {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Obs")
+            .field("enabled", &self.is_enabled())
+            .finish()
+    }
+}
+
+/// Scope guard returned by [`Obs::timer`]; records elapsed nanoseconds
+/// into its histogram when dropped.
+pub struct TimerGuard {
+    inner: Option<(Arc<Registry>, Arc<Histogram>, u64)>,
+}
+
+impl TimerGuard {
+    /// Stops the timer early, recording now; otherwise drop records.
+    pub fn stop(mut self) {
+        self.finish();
+    }
+
+    fn finish(&mut self) {
+        if let Some((registry, hist, start)) = self.inner.take() {
+            hist.record(registry.now_ns().saturating_sub(start));
+        }
+    }
+}
+
+impl Drop for TimerGuard {
+    fn drop(&mut self) {
+        self.finish();
+    }
+}
+
+/// Pre-resolved counter handle for hot loops (see
+/// [`Obs::counter_handle`]).
+#[derive(Clone, Default)]
+pub struct CounterHandle {
+    inner: Option<Arc<Counter>>,
+}
+
+impl CounterHandle {
+    /// Increments by 1 (no-op when disabled).
+    #[inline]
+    pub fn inc(&self) {
+        if let Some(c) = &self.inner {
+            c.add(1);
+        }
+    }
+
+    /// Adds `n` (no-op when disabled).
+    #[inline]
+    pub fn add(&self, n: u64) {
+        if let Some(c) = &self.inner {
+            c.add(n);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn noop_handle_records_nothing() {
+        let obs = Obs::noop();
+        obs.inc("x");
+        obs.observe("h", 5);
+        let _t = obs.timer("t");
+        obs.event(|| panic!("must not be called"));
+        assert!(obs.snapshot().is_none());
+    }
+
+    #[test]
+    fn counters_gauges_histograms_round_trip() {
+        let obs = Obs::with_registry(Registry::new());
+        obs.add("c", 3);
+        obs.inc("c");
+        obs.set_gauge("g", 2.5);
+        obs.observe("h", 100);
+        let snap = obs.snapshot().unwrap();
+        assert_eq!(snap.counter("c"), 4);
+        assert_eq!(snap.gauge("g"), Some(2.5));
+        assert_eq!(snap.histogram("h").unwrap().count, 1);
+    }
+
+    #[test]
+    fn timer_uses_installed_clock() {
+        let reg = Registry::new();
+        let t = Arc::new(AtomicU64::new(1_000));
+        let t2 = Arc::clone(&t);
+        reg.set_clock(move || t2.load(Ordering::SeqCst));
+        let obs = Obs::with_registry(Arc::clone(&reg));
+        {
+            let _guard = obs.timer("lat");
+            t.store(3_500, Ordering::SeqCst);
+        }
+        let h = reg.snapshot().histogram("lat").unwrap().clone();
+        assert_eq!(h.count, 1);
+        assert_eq!(h.sum, 2_500);
+    }
+
+    #[test]
+    fn concurrent_counters_do_not_lose_increments() {
+        let obs = Obs::with_registry(Registry::new());
+        let threads: Vec<_> = (0..8)
+            .map(|_| {
+                let obs = obs.clone();
+                std::thread::spawn(move || {
+                    let hot = obs.counter_handle("hot");
+                    for _ in 0..10_000 {
+                        hot.inc();
+                        obs.inc("cold");
+                        obs.observe("hist", 7);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        let snap = obs.snapshot().unwrap();
+        assert_eq!(snap.counter("hot"), 80_000);
+        assert_eq!(snap.counter("cold"), 80_000);
+        assert_eq!(snap.histogram("hist").unwrap().count, 80_000);
+    }
+
+    #[test]
+    fn events_are_stamped_and_ordered() {
+        let reg = Registry::new();
+        let obs = Obs::with_registry(Arc::clone(&reg));
+        reg.set_clock(|| 42);
+        obs.event(|| Event::RetryAttempt {
+            op: "upload".into(),
+            attempt: 2,
+            backoff_ns: 7,
+        });
+        let snap = reg.snapshot();
+        assert_eq!(snap.events.len(), 1);
+        assert_eq!(snap.events[0].t_ns, 42);
+    }
+}

@@ -1,0 +1,202 @@
+//! Atomic metric primitives: counters, gauges, log₂-bucketed
+//! histograms.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Monotonically increasing counter.
+#[derive(Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// Last-write-wins floating-point gauge (bits stored in an atomic).
+pub struct Gauge {
+    bits: AtomicU64,
+}
+
+impl Default for Gauge {
+    fn default() -> Self {
+        Gauge {
+            bits: AtomicU64::new(f64::NAN.to_bits()),
+        }
+    }
+}
+
+impl Gauge {
+    /// Sets the gauge.
+    #[inline]
+    pub fn set(&self, value: f64) {
+        self.bits.store(value.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Current value; `NaN` until first set.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.bits.load(Ordering::Relaxed))
+    }
+}
+
+/// Number of histogram buckets: bucket 0 holds zeros, bucket `i ≥ 1`
+/// holds values in `[2^(i-1), 2^i)`.
+pub const HISTOGRAM_BUCKETS: usize = 65;
+
+/// Lock-free log₂-bucketed histogram for latencies and sizes.
+///
+/// The bucket of value `v > 0` is `64 - v.leading_zeros()`, i.e. one
+/// plus the position of its highest set bit, so bucket boundaries are
+/// exact powers of two. Alongside the buckets it tracks count, sum,
+/// min and max.
+pub struct Histogram {
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: [(); HISTOGRAM_BUCKETS].map(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }
+    }
+}
+
+impl Histogram {
+    /// Index of the bucket `value` falls into.
+    #[inline]
+    pub fn bucket_index(value: u64) -> usize {
+        (64 - value.leading_zeros()) as usize
+    }
+
+    /// Inclusive lower bound of bucket `i` (0 for the zero bucket).
+    pub fn bucket_lower_bound(i: usize) -> u64 {
+        match i {
+            0 | 1 => i as u64,
+            _ => 1u64 << (i - 1),
+        }
+    }
+
+    /// Records one observation.
+    #[inline]
+    pub fn record(&self, value: u64) {
+        self.buckets[Self::bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+        self.min.fetch_min(value, Ordering::Relaxed);
+        self.max.fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// Consistent-enough copy of the histogram state. (Individual
+    /// atomics are read independently; in quiescent snapshots — the
+    /// only kind the export path takes — the copy is exact.)
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let count = self.count.load(Ordering::Relaxed);
+        HistogramSnapshot {
+            count,
+            sum: self.sum.load(Ordering::Relaxed),
+            min: if count == 0 {
+                0
+            } else {
+                self.min.load(Ordering::Relaxed)
+            },
+            max: self.max.load(Ordering::Relaxed),
+            buckets: self
+                .buckets
+                .iter()
+                .enumerate()
+                .filter_map(|(i, b)| {
+                    let n = b.load(Ordering::Relaxed);
+                    (n > 0).then_some((Self::bucket_lower_bound(i), n))
+                })
+                .collect(),
+        }
+    }
+}
+
+/// Point-in-time copy of a [`Histogram`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Number of observations.
+    pub count: u64,
+    /// Sum of observed values.
+    pub sum: u64,
+    /// Smallest observed value (0 when empty).
+    pub min: u64,
+    /// Largest observed value (0 when empty).
+    pub max: u64,
+    /// Non-empty buckets as `(inclusive lower bound, count)`,
+    /// ascending.
+    pub buckets: Vec<(u64, u64)>,
+}
+
+impl HistogramSnapshot {
+    /// Mean observed value, or 0.0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries_are_powers_of_two() {
+        assert_eq!(Histogram::bucket_index(0), 0);
+        assert_eq!(Histogram::bucket_index(1), 1);
+        assert_eq!(Histogram::bucket_index(2), 2);
+        assert_eq!(Histogram::bucket_index(3), 2);
+        assert_eq!(Histogram::bucket_index(4), 3);
+        assert_eq!(Histogram::bucket_index(1023), 10);
+        assert_eq!(Histogram::bucket_index(1024), 11);
+        assert_eq!(Histogram::bucket_index(u64::MAX), 64);
+        for i in 2..HISTOGRAM_BUCKETS {
+            let lo = Histogram::bucket_lower_bound(i);
+            assert_eq!(Histogram::bucket_index(lo), i, "lower bound of {i}");
+            assert_eq!(Histogram::bucket_index(lo - 1), i - 1);
+        }
+    }
+
+    #[test]
+    fn histogram_tracks_stats() {
+        let h = Histogram::default();
+        for v in [0, 1, 1, 7, 1024] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 5);
+        assert_eq!(s.sum, 1033);
+        assert_eq!(s.min, 0);
+        assert_eq!(s.max, 1024);
+        assert_eq!(s.buckets, vec![(0, 1), (1, 2), (4, 1), (1024, 1)]);
+        assert!((s.mean() - 206.6).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_histogram_min_is_zero() {
+        let s = Histogram::default().snapshot();
+        assert_eq!((s.count, s.min, s.max), (0, 0, 0));
+        assert!(s.buckets.is_empty());
+    }
+}

@@ -1,0 +1,315 @@
+//! Ring-buffered structured event trace.
+
+use std::collections::VecDeque;
+use std::sync::{Mutex, PoisonError};
+
+/// Default event-ring capacity.
+pub const DEFAULT_TRACE_CAPACITY: usize = 8192;
+
+/// One structured event. Variants cover the protocol moments the
+/// paper's evaluation measures; timestamps are added by the registry
+/// clock when recorded (see [`TracedEvent`]).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Event {
+    /// A simulated network flow began (`bytes` to transfer).
+    FlowStarted {
+        /// Engine link the flow runs on.
+        link: usize,
+        /// Total bytes of the flow.
+        bytes: u64,
+    },
+    /// A simulated network flow completed.
+    FlowFinished {
+        /// Engine link the flow ran on.
+        link: usize,
+        /// Total bytes transferred.
+        bytes: u64,
+    },
+    /// The bandwidth model resampled link rates for a new epoch.
+    EpochResampled {
+        /// Index of the new epoch.
+        epoch: u64,
+    },
+    /// A cloud operation failed.
+    CloudOpFailed {
+        /// Cloud (provider) name.
+        cloud: String,
+        /// Operation kind (`"upload"`, `"download"`, …).
+        op: &'static str,
+        /// Payload size, if the operation carried one.
+        bytes: u64,
+        /// Whether the error was transient (retryable).
+        transient: bool,
+    },
+    /// A retry loop is about to re-attempt an operation.
+    RetryAttempt {
+        /// Operation label.
+        op: String,
+        /// 1-based attempt number about to run.
+        attempt: u32,
+        /// Backoff slept before this attempt.
+        backoff_ns: u64,
+    },
+    /// A quorum lock was acquired.
+    LockAcquired {
+        /// Device that acquired the lock.
+        device: String,
+        /// Acquisition rounds needed (1 = uncontended).
+        rounds: u32,
+        /// Virtual time spent acquiring.
+        wait_ns: u64,
+    },
+    /// A lock round failed to reach quorum (contention).
+    LockContended {
+        /// Device that lost the round.
+        device: String,
+        /// Clouds on which this device's lock file won.
+        held: usize,
+        /// Quorum size that was needed.
+        quorum: usize,
+    },
+    /// A stale foreign lock file was broken.
+    LockBroken {
+        /// Device that broke the lock.
+        device: String,
+        /// Owner of the stale lock file.
+        victim: String,
+    },
+    /// A quorum lock was released.
+    LockReleased {
+        /// Device that held the lock.
+        device: String,
+    },
+    /// The scheduler handed a block to a cloud connection.
+    BlockDispatched {
+        /// Target cloud index.
+        cloud: usize,
+        /// Erasure-block index within its segment.
+        index: u16,
+        /// Block size.
+        bytes: u64,
+        /// True when this is an over-provisioned extra replica.
+        extra: bool,
+    },
+    /// A block upload finished successfully.
+    BlockCompleted {
+        /// Cloud that stored the block.
+        cloud: usize,
+        /// Erasure-block index within its segment.
+        index: u16,
+        /// Block size.
+        bytes: u64,
+        /// Transfer duration.
+        elapsed_ns: u64,
+    },
+    /// One client sync round finished.
+    SyncRoundCompleted {
+        /// Device that ran the round.
+        device: String,
+        /// Outcome label (`"committed"`, `"fetched"`, `"clean"`, …).
+        outcome: &'static str,
+        /// Round duration.
+        elapsed_ns: u64,
+    },
+}
+
+impl Event {
+    /// Stable machine-readable name of the variant.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Event::FlowStarted { .. } => "FlowStarted",
+            Event::FlowFinished { .. } => "FlowFinished",
+            Event::EpochResampled { .. } => "EpochResampled",
+            Event::CloudOpFailed { .. } => "CloudOpFailed",
+            Event::RetryAttempt { .. } => "RetryAttempt",
+            Event::LockAcquired { .. } => "LockAcquired",
+            Event::LockContended { .. } => "LockContended",
+            Event::LockBroken { .. } => "LockBroken",
+            Event::LockReleased { .. } => "LockReleased",
+            Event::BlockDispatched { .. } => "BlockDispatched",
+            Event::BlockCompleted { .. } => "BlockCompleted",
+            Event::SyncRoundCompleted { .. } => "SyncRoundCompleted",
+        }
+    }
+
+    /// The variant's fields as `(key, value)` pairs for export,
+    /// in a fixed order.
+    pub fn fields(&self) -> Vec<(&'static str, FieldValue)> {
+        use FieldValue::*;
+        match self {
+            Event::FlowStarted { link, bytes } => {
+                vec![("link", U(*link as u64)), ("bytes", U(*bytes))]
+            }
+            Event::FlowFinished { link, bytes } => {
+                vec![("link", U(*link as u64)), ("bytes", U(*bytes))]
+            }
+            Event::EpochResampled { epoch } => vec![("epoch", U(*epoch))],
+            Event::CloudOpFailed {
+                cloud,
+                op,
+                bytes,
+                transient,
+            } => vec![
+                ("cloud", S(cloud.clone())),
+                ("op", S((*op).to_owned())),
+                ("bytes", U(*bytes)),
+                ("transient", B(*transient)),
+            ],
+            Event::RetryAttempt {
+                op,
+                attempt,
+                backoff_ns,
+            } => vec![
+                ("op", S(op.clone())),
+                ("attempt", U(*attempt as u64)),
+                ("backoff_ns", U(*backoff_ns)),
+            ],
+            Event::LockAcquired {
+                device,
+                rounds,
+                wait_ns,
+            } => vec![
+                ("device", S(device.clone())),
+                ("rounds", U(*rounds as u64)),
+                ("wait_ns", U(*wait_ns)),
+            ],
+            Event::LockContended {
+                device,
+                held,
+                quorum,
+            } => vec![
+                ("device", S(device.clone())),
+                ("held", U(*held as u64)),
+                ("quorum", U(*quorum as u64)),
+            ],
+            Event::LockBroken { device, victim } => vec![
+                ("device", S(device.clone())),
+                ("victim", S(victim.clone())),
+            ],
+            Event::LockReleased { device } => vec![("device", S(device.clone()))],
+            Event::BlockDispatched {
+                cloud,
+                index,
+                bytes,
+                extra,
+            } => vec![
+                ("cloud", U(*cloud as u64)),
+                ("index", U(*index as u64)),
+                ("bytes", U(*bytes)),
+                ("extra", B(*extra)),
+            ],
+            Event::BlockCompleted {
+                cloud,
+                index,
+                bytes,
+                elapsed_ns,
+            } => vec![
+                ("cloud", U(*cloud as u64)),
+                ("index", U(*index as u64)),
+                ("bytes", U(*bytes)),
+                ("elapsed_ns", U(*elapsed_ns)),
+            ],
+            Event::SyncRoundCompleted {
+                device,
+                outcome,
+                elapsed_ns,
+            } => vec![
+                ("device", S(device.clone())),
+                ("outcome", S((*outcome).to_owned())),
+                ("elapsed_ns", U(*elapsed_ns)),
+            ],
+        }
+    }
+}
+
+/// Scalar value of one exported event field.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FieldValue {
+    /// Unsigned integer.
+    U(u64),
+    /// String.
+    S(String),
+    /// Boolean.
+    B(bool),
+}
+
+/// An [`Event`] plus its clock timestamp.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TracedEvent {
+    /// Nanoseconds on the registry clock when recorded.
+    pub t_ns: u64,
+    /// The event payload.
+    pub event: Event,
+}
+
+/// Bounded FIFO of traced events; oldest entries are evicted first.
+pub(crate) struct TraceRing {
+    capacity: usize,
+    events: Mutex<VecDeque<TracedEvent>>,
+}
+
+impl TraceRing {
+    pub(crate) fn new(capacity: usize) -> TraceRing {
+        TraceRing {
+            capacity: capacity.max(1),
+            events: Mutex::new(VecDeque::with_capacity(capacity.min(1024))),
+        }
+    }
+
+    /// Pushes an event; returns `true` when an old event was evicted.
+    pub(crate) fn push(&self, event: TracedEvent) -> bool {
+        let mut q = self.events.lock().unwrap_or_else(PoisonError::into_inner);
+        let dropped = q.len() == self.capacity;
+        if dropped {
+            q.pop_front();
+        }
+        q.push_back(event);
+        dropped
+    }
+
+    /// Copies out the ring contents, oldest first.
+    pub(crate) fn drain_copy(&self) -> Vec<TracedEvent> {
+        self.events
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .iter()
+            .cloned()
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(n: u64) -> TracedEvent {
+        TracedEvent {
+            t_ns: n,
+            event: Event::EpochResampled { epoch: n },
+        }
+    }
+
+    #[test]
+    fn ring_evicts_oldest() {
+        let ring = TraceRing::new(3);
+        assert!(!ring.push(ev(1)));
+        assert!(!ring.push(ev(2)));
+        assert!(!ring.push(ev(3)));
+        assert!(ring.push(ev(4)));
+        let got: Vec<u64> = ring.drain_copy().iter().map(|e| e.t_ns).collect();
+        assert_eq!(got, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn kinds_and_fields_are_stable() {
+        let e = Event::BlockCompleted {
+            cloud: 2,
+            index: 5,
+            bytes: 1024,
+            elapsed_ns: 99,
+        };
+        assert_eq!(e.kind(), "BlockCompleted");
+        let keys: Vec<&str> = e.fields().iter().map(|(k, _)| *k).collect();
+        assert_eq!(keys, vec!["cloud", "index", "bytes", "elapsed_ns"]);
+    }
+}

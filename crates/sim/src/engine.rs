@@ -4,14 +4,25 @@
 //!
 //! Every thread participating in a simulation is an **actor**. Actors run
 //! real Rust code on real OS threads; only their *blocking* goes through
-//! the engine (sleeps, semaphore waits, network flows). The engine keeps a
-//! global invariant: virtual time advances **only when every live actor is
-//! blocked**. The last actor to block performs the advance inline:
+//! the engine (sleeps, semaphore waits, network flows). The engine keeps
+//! two global invariants:
 //!
-//! 1. find the earliest pending event (timer deadline, flow completion
-//!    under current bandwidth sharing, or a link's multiplier re-sample),
-//! 2. integrate all in-flight flows forward to that instant,
-//! 3. fire everything due, waking the affected actors.
+//! * **Cooperative serialization** — at most one actor *executes* at any
+//!   moment. All other runnable actors wait in a FIFO queue for the
+//!   execution token, which is handed over whenever the current actor
+//!   blocks (or exits). Since every wake-up is enqueued in a
+//!   deterministic order (timers by deadline then actor index, flows in
+//!   link/flow order, semaphore waiters FIFO), the entire interleaving —
+//!   and therefore every scheduling decision made by client code — is a
+//!   pure function of the seed. Same seed ⇒ byte-identical run.
+//! * Virtual time advances **only when every live actor is blocked**.
+//!   The last actor to block performs the advance inline:
+//!
+//!   1. find the earliest pending event (timer deadline, flow completion
+//!      under current bandwidth sharing, or a link's multiplier
+//!      re-sample),
+//!   2. integrate all in-flight flows forward to that instant,
+//!   3. fire everything due, enqueueing the affected actors.
 //!
 //! Because flow rates only change at events (a flow starting or ending, or
 //! an epoch boundary), completions can be computed analytically and a
@@ -37,7 +48,8 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
-use parking_lot::{Condvar, Mutex};
+use unidrive_obs::{Event, Obs};
+use unidrive_util::sync::{Condvar, Mutex};
 
 use crate::link::{Flow, LinkId, LinkProfile, LinkState};
 use crate::rng::SimRng;
@@ -92,7 +104,11 @@ struct SemState {
 struct EngineState {
     now_ns: u64,
     actors: Vec<Actor>,
-    running: usize,
+    /// The actor currently holding the execution token (at most one
+    /// actor runs client code at a time; see the module docs).
+    current: Option<usize>,
+    /// Woken/ready actors awaiting the token, granted FIFO.
+    runnable: VecDeque<usize>,
     /// Min-heap of (deadline ns, actor, actor-epoch).
     timers: BinaryHeap<Reverse<(u64, usize, u64)>>,
     sems: Vec<SemState>,
@@ -131,6 +147,10 @@ pub struct SimRuntime {
     /// Back-reference so spawned threads and semaphores can keep the
     /// engine alive without unsafe pointer juggling.
     weak_self: std::sync::Weak<SimRuntime>,
+    /// Observability handle (no-op until [`SimRuntime::install_obs`]).
+    /// Kept outside `state` so recording never nests inside the engine
+    /// lock: the registry clock reads `state` and would deadlock.
+    obs: Mutex<Obs>,
 }
 
 impl std::fmt::Debug for SimRuntime {
@@ -140,7 +160,8 @@ impl std::fmt::Debug for SimRuntime {
             .field("id", &self.id)
             .field("now", &Time::from_nanos(st.now_ns))
             .field("actors", &st.actors.len())
-            .field("running", &st.running)
+            .field("current", &st.current)
+            .field("runnable", &st.runnable.len())
             .finish()
     }
 }
@@ -154,7 +175,8 @@ impl SimRuntime {
             state: Mutex::new(EngineState {
                 now_ns: 0,
                 actors: Vec::new(),
-                running: 0,
+                current: None,
+                runnable: VecDeque::new(),
                 timers: BinaryHeap::new(),
                 sems: Vec::new(),
                 links: Vec::new(),
@@ -162,9 +184,33 @@ impl SimRuntime {
                 rng: SimRng::seed_from_u64(seed),
             }),
             weak_self: weak.clone(),
+            obs: Mutex::new(Obs::noop()),
         });
         rt.register_thread("main");
         rt
+    }
+
+    /// Installs an observability handle. When `obs` is backed by a
+    /// registry, the registry clock is pointed at this engine's virtual
+    /// time (through a weak reference, so the registry can outlive the
+    /// engine), making every recorded event deterministic under a fixed
+    /// seed. The engine then counts flows (`sim.flows_*`,
+    /// `sim.flow_bytes`) and epoch re-samples (`sim.epoch_resamples`)
+    /// and traces `FlowStarted`/`FlowFinished`.
+    pub fn install_obs(&self, obs: Obs) {
+        if let Some(registry) = obs.registry() {
+            let weak = self.weak_self.clone();
+            registry.set_clock(move || {
+                weak.upgrade().map_or(0, |rt| rt.state.lock().now_ns)
+            });
+        }
+        *self.obs.lock() = obs;
+    }
+
+    /// The currently installed observability handle (cheap clone;
+    /// no-op unless [`SimRuntime::install_obs`] was called).
+    pub fn obs(&self) -> Obs {
+        self.obs.lock().clone()
     }
 
     fn strong_self(&self) -> Arc<SimRuntime> {
@@ -188,9 +234,8 @@ impl SimRuntime {
     ///
     /// Panics if the thread is already registered with this runtime.
     pub fn register_thread(&self, name: &str) {
-        let idx = {
+        let (idx, granted) = {
             let mut st = self.state.lock();
-            st.running += 1;
             st.actors.push(Actor {
                 name: name.to_owned(),
                 epoch: 0,
@@ -200,7 +245,16 @@ impl SimRuntime {
                 woken: None,
                 cv: Arc::new(Condvar::new()),
             });
-            st.actors.len() - 1
+            let idx = st.actors.len() - 1;
+            // First-ever actor takes the execution token directly;
+            // anyone registering later queues behind the current holder.
+            if st.current.is_none() && st.runnable.is_empty() {
+                st.current = Some(idx);
+                (idx, true)
+            } else {
+                st.runnable.push_back(idx);
+                (idx, false)
+            }
         };
         CURRENT_ACTOR.with(|c| {
             assert!(
@@ -209,19 +263,23 @@ impl SimRuntime {
             );
             c.set(Some((self.id, idx)));
         });
+        if !granted {
+            self.wait_for_grant(idx);
+        }
     }
 
     /// Deregisters the calling thread. After this, the thread may no
-    /// longer block on the runtime. If it was the last running actor, the
-    /// engine advances time so blocked actors make progress.
+    /// longer block on the runtime. The execution token passes to the
+    /// next runnable actor (advancing time if everyone is blocked).
     pub fn deregister_thread(&self) {
         let me = self.current_actor();
         CURRENT_ACTOR.with(|c| c.set(None));
         let mut st = self.state.lock();
         st.actors[me].alive = false;
         st.actors[me].running = false;
-        st.running -= 1;
-        self.advance_if_stalled(&mut st);
+        debug_assert_eq!(st.current, Some(me));
+        st.current = None;
+        self.schedule_next(&mut st);
     }
 
     /// Derives an independent deterministic RNG stream from the engine
@@ -261,10 +319,13 @@ impl SimRuntime {
     /// Returns [`TransferError::LinkDisabled`] if the link is disabled at
     /// request time.
     pub fn transfer(&self, link: LinkId, bytes: u64) -> Result<(), TransferError> {
+        let obs = self.obs();
         let latency = {
             let mut st = self.state.lock();
             let l = &mut st.links[link.0];
             if !l.enabled {
+                drop(st);
+                obs.inc("sim.flows_rejected");
                 return Err(TransferError::LinkDisabled);
             }
             l.sample_latency()
@@ -275,10 +336,18 @@ impl SimRuntime {
         if bytes == 0 {
             return Ok(());
         }
+        // Events stamp through the registry clock (which reads engine
+        // state), so they must be recorded while the state lock is free.
+        obs.inc("sim.flows_started");
+        obs.add("sim.flow_bytes", bytes);
+        obs.event(|| Event::FlowStarted {
+            link: link.0,
+            bytes,
+        });
         let me = self.current_actor();
         let mut st = self.state.lock();
         let now = st.now_ns;
-        st.links[link.0].maybe_resample(now);
+        let resampled = st.links[link.0].maybe_resample(now);
         let flow_id = st.next_flow_id;
         st.next_flow_id += 1;
         let epoch = {
@@ -293,20 +362,34 @@ impl SimRuntime {
         });
         let reason = self.block_prepared(st, me, epoch, BlockKind::Flow(flow_id));
         debug_assert_eq!(reason, WakeReason::FlowDone);
+        if resampled > 0 {
+            obs.add("sim.epoch_resamples", resampled);
+        }
+        obs.inc("sim.flows_finished");
+        obs.event(|| Event::FlowFinished {
+            link: link.0,
+            bytes,
+        });
         Ok(())
     }
 
     /// Mean rate in bytes/second a fresh single connection would get on
     /// `link` right now (diagnostics / probing oracle in tests).
     pub fn instantaneous_rate(&self, link: LinkId) -> f64 {
-        let mut st = self.state.lock();
-        let now = st.now_ns;
-        let l = &mut st.links[link.0];
-        l.maybe_resample(now);
-        let n = l.flows.len() as f64 + 1.0;
-        let per_conn = l.profile.per_conn_bytes_per_sec * l.multiplier;
-        let agg = l.profile.agg_bytes_per_sec * l.multiplier;
-        per_conn.min(agg / n)
+        let (rate, resampled) = {
+            let mut st = self.state.lock();
+            let now = st.now_ns;
+            let l = &mut st.links[link.0];
+            let resampled = l.maybe_resample(now);
+            let n = l.flows.len() as f64 + 1.0;
+            let per_conn = l.profile.per_conn_bytes_per_sec * l.multiplier;
+            let agg = l.profile.agg_bytes_per_sec * l.multiplier;
+            (per_conn.min(agg / n), resampled)
+        };
+        if resampled > 0 {
+            self.obs().add("sim.epoch_resamples", resampled);
+        }
+        rate
     }
 
     fn current_actor(&self) -> usize {
@@ -322,10 +405,12 @@ impl SimRuntime {
 
     /// Core blocking path. The caller must have already (under `st`)
     /// bumped the actor's epoch to `epoch` and registered whatever will
-    /// eventually wake it (timer entry, semaphore waiter, flow).
+    /// eventually wake it (timer entry, semaphore waiter, flow). Blocking
+    /// releases the execution token; returning means the actor was both
+    /// woken *and* granted the token again.
     fn block_prepared(
         &self,
-        mut st: parking_lot::MutexGuard<'_, EngineState>,
+        mut st: unidrive_util::sync::MutexGuard<'_, EngineState>,
         me: usize,
         epoch: u64,
         kind: BlockKind,
@@ -338,25 +423,49 @@ impl SimRuntime {
             a.block = Some(kind);
             a.woken = None;
         }
-        st.running -= 1;
+        debug_assert_eq!(st.current, Some(me), "blocking without the token");
+        st.current = None;
+        self.schedule_next(&mut st);
         let cv = Arc::clone(&st.actors[me].cv);
         loop {
-            if let Some(reason) = st.actors[me].woken.take() {
+            if st.current == Some(me) {
+                let reason = st.actors[me]
+                    .woken
+                    .take()
+                    .expect("token granted without a wake reason");
                 debug_assert!(st.actors[me].running);
                 return reason;
-            }
-            if st.running == 0 {
-                self.advance(&mut st);
-                continue;
             }
             cv.wait(&mut st);
         }
     }
 
-    /// If every live actor is blocked, advance until at least one wakes.
-    fn advance_if_stalled(&self, st: &mut EngineState) {
-        while st.running == 0 && st.actors.iter().any(|a| a.alive) {
+    /// Hands the execution token to the next runnable actor, advancing
+    /// virtual time first if everyone is blocked. Caller must have
+    /// cleared `current`. Leaves `current == None` only when no live
+    /// actor remains.
+    fn schedule_next(&self, st: &mut EngineState) {
+        debug_assert!(st.current.is_none());
+        loop {
+            if let Some(next) = st.runnable.pop_front() {
+                st.current = Some(next);
+                let cv = Arc::clone(&st.actors[next].cv);
+                cv.notify_all();
+                return;
+            }
+            if !st.actors.iter().any(|a| a.alive && !a.running) {
+                return; // nothing left to run or wake
+            }
             self.advance(st);
+        }
+    }
+
+    /// Parks the calling thread until its actor holds the token.
+    fn wait_for_grant(&self, idx: usize) {
+        let mut st = self.state.lock();
+        let cv = Arc::clone(&st.actors[idx].cv);
+        while st.current != Some(idx) {
+            cv.wait(&mut st);
         }
     }
 
@@ -410,53 +519,52 @@ impl SimRuntime {
         }
         st.now_ns = t_next;
 
-        let mut to_wake: Vec<(usize, WakeReason)> = Vec::new();
-
-        // Fire due timers.
+        // Fire due timers. Woken actors join the runnable queue in
+        // deterministic heap order (deadline, then actor index).
         while let Some(&Reverse((t, actor, epoch))) = st.timers.peek() {
             if t > st.now_ns {
                 break;
             }
             st.timers.pop();
             if Self::timer_valid(st, actor, epoch) {
-                to_wake.push((actor, WakeReason::Timeout));
-                // Mark immediately so duplicate timers for the same actor
-                // are discarded by the validity check.
+                // Marking immediately also discards duplicate timers for
+                // the same actor via the validity check.
                 Self::mark_woken(st, actor, WakeReason::Timeout);
             }
         }
 
         // Epoch boundaries.
         let now_ns = st.now_ns;
+        let mut resampled = 0;
         for l in &mut st.links {
             if !l.flows.is_empty() {
-                l.maybe_resample(now_ns);
+                resampled += l.maybe_resample(now_ns);
             }
         }
+        if resampled > 0 {
+            // Counter only — no clock access, so safe under the state
+            // lock (the separate obs mutex never nests the other way).
+            self.obs().add("sim.epoch_resamples", resampled);
+        }
 
-        // Flow completions.
+        // Flow completions, in link order then flow order — also
+        // deterministic, because flow insertion order is itself a
+        // function of the (serialized) actor schedule.
         const EPS_BYTES: f64 = 0.5;
+        let mut finished: Vec<usize> = Vec::new();
         for l in &mut st.links {
             let mut i = 0;
             while i < l.flows.len() {
                 if l.flows[i].remaining_bytes <= EPS_BYTES {
                     let f = l.flows.swap_remove(i);
-                    to_wake.push((f.actor, WakeReason::FlowDone));
+                    finished.push(f.actor);
                 } else {
                     i += 1;
                 }
             }
         }
-        for &(actor, reason) in &to_wake {
-            if reason == WakeReason::FlowDone {
-                Self::mark_woken(st, actor, reason);
-            }
-        }
-
-        // Notify outside the state mutation pass (still holding the lock,
-        // which parking_lot permits).
-        for (actor, _) in to_wake {
-            st.actors[actor].cv.notify_all();
+        for actor in finished {
+            Self::mark_woken(st, actor, WakeReason::FlowDone);
         }
     }
 
@@ -465,6 +573,9 @@ impl SimRuntime {
         a.alive && !a.running && a.woken.is_none() && a.epoch == epoch
     }
 
+    /// Wakes `actor`: records the reason and appends it to the runnable
+    /// queue. The actual execution grant happens later in FIFO order via
+    /// [`SimRuntime::schedule_next`].
     fn mark_woken(st: &mut EngineState, actor: usize, reason: WakeReason) {
         let a = &mut st.actors[actor];
         if a.woken.is_some() || a.running {
@@ -473,13 +584,7 @@ impl SimRuntime {
         a.woken = Some(reason);
         a.running = true;
         a.block = None;
-        st.running += 1;
-    }
-
-    fn wake_external(&self, st: &mut EngineState, actor: usize, reason: WakeReason) {
-        Self::mark_woken(st, actor, reason);
-        let cv = Arc::clone(&st.actors[actor].cv);
-        cv.notify_all();
+        st.runnable.push_back(actor);
     }
 
     fn sem_acquire(&self, sem: usize, timeout: Option<Duration>) -> bool {
@@ -530,7 +635,7 @@ impl SimRuntime {
             };
             if valid {
                 st.sems[sem].permits -= 1;
-                self.wake_external(&mut st, actor, WakeReason::Acquired);
+                Self::mark_woken(&mut st, actor, WakeReason::Acquired);
             }
         }
     }
@@ -560,10 +665,12 @@ impl Runtime for SimRuntime {
 
     fn spawn_raw(&self, name: &str, f: Box<dyn FnOnce() + Send>) {
         // Register the actor *before* the thread starts so the engine
-        // never advances past its birth.
+        // never advances past its birth. The new actor queues for the
+        // execution token behind the spawner; its thread body waits for
+        // the grant before running `f`, keeping the schedule serial and
+        // deterministic regardless of OS thread startup timing.
         let idx = {
             let mut st = self.state.lock();
-            st.running += 1;
             st.actors.push(Actor {
                 name: name.to_owned(),
                 epoch: 0,
@@ -573,7 +680,9 @@ impl Runtime for SimRuntime {
                 woken: None,
                 cv: Arc::new(Condvar::new()),
             });
-            st.actors.len() - 1
+            let idx = st.actors.len() - 1;
+            st.runnable.push_back(idx);
+            idx
         };
         let engine_id = self.id;
         let this = self.strong_self();
@@ -581,6 +690,7 @@ impl Runtime for SimRuntime {
             .name(name.to_owned())
             .spawn(move || {
                 CURRENT_ACTOR.with(|c| c.set(Some((engine_id, idx))));
+                this.wait_for_grant(idx);
                 let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(f));
                 {
                     let mut st = this.state.lock();
@@ -589,9 +699,10 @@ impl Runtime for SimRuntime {
                     if st.actors[idx].alive {
                         st.actors[idx].alive = false;
                         st.actors[idx].running = false;
-                        st.running -= 1;
+                        debug_assert_eq!(st.current, Some(idx));
+                        st.current = None;
+                        this.schedule_next(&mut st);
                     }
-                    this.advance_if_stalled(&mut st);
                 }
                 if let Err(payload) = result {
                     std::panic::resume_unwind(payload);

@@ -74,7 +74,7 @@ mod tests {
     fn sleepers_wake_in_deadline_order() {
         let sim = SimRuntime::new(2);
         let rt = sim.clone().as_runtime();
-        let order = Arc::new(parking_lot::Mutex::new(Vec::new()));
+        let order = Arc::new(unidrive_util::sync::Mutex::new(Vec::new()));
         let mut tasks = Vec::new();
         for (name, secs) in [("c", 30u64), ("a", 10), ("b", 20)] {
             let rt2 = rt.clone();

@@ -192,12 +192,17 @@ impl LinkState {
         }
     }
 
-    /// Re-samples the epoch multiplier if `now` passed the boundary.
-    pub fn maybe_resample(&mut self, now_ns: u64) {
+    /// Re-samples the epoch multiplier if `now` passed the boundary;
+    /// returns how many epoch boundaries were crossed (for the
+    /// engine's resample accounting).
+    pub fn maybe_resample(&mut self, now_ns: u64) -> u64 {
+        let mut crossed = 0;
         while self.next_resample_ns <= now_ns {
             self.resample();
             self.next_resample_ns += self.profile.epoch.as_nanos() as u64;
+            crossed += 1;
         }
+        crossed
     }
 
     fn resample(&mut self) {

@@ -8,7 +8,7 @@
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use parking_lot::{Condvar, Mutex};
+use unidrive_util::sync::{Condvar, Mutex};
 
 use crate::{Runtime, Semaphore, Time};
 

@@ -12,7 +12,7 @@
 use std::sync::Arc;
 use std::time::Duration;
 
-use parking_lot::Mutex;
+use unidrive_util::sync::Mutex;
 
 use crate::Time;
 

@@ -1,18 +1,21 @@
 //! Workload generators: random file content, batch workloads, and the
 //! synthetic 272-user trial population of §7.3.
 
-use bytes::Bytes;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use unidrive_sim::SimRng;
+use unidrive_util::bytes::Bytes;
 
 use crate::{Provider, Region, Site, EC2_SITES, PLANETLAB_SITES};
 
 /// Deterministic pseudo-random file content ("randomly generated
 /// contents to avoid deduplication and transfer suppression", §7.2).
 pub fn random_bytes(len: usize, seed: u64) -> Bytes {
-    let mut rng = StdRng::seed_from_u64(seed);
-    let mut out = vec![0u8; len];
-    rng.fill(&mut out[..]);
+    let mut rng = SimRng::seed_from_u64(seed);
+    let mut out = Vec::with_capacity(len);
+    while out.len() + 8 <= len {
+        out.extend_from_slice(&rng.next_u64().to_le_bytes());
+    }
+    let rest = len - out.len();
+    out.extend_from_slice(&rng.next_u64().to_le_bytes()[..rest]);
     Bytes::from(out)
 }
 
@@ -103,7 +106,7 @@ pub struct TrialUser {
 /// `scale` (use a small `scale` to keep simulations fast while
 /// preserving the distributions).
 pub fn trial_population(seed: u64, users: usize, files_per_user: usize) -> Vec<TrialUser> {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = SimRng::seed_from_u64(seed);
     // Trial sites: every PlanetLab + EC2 site bar one duplicate ≈ 21
     // sites excluding mainland China (the trial had none there).
     let sites: Vec<Site> = PLANETLAB_SITES
@@ -114,18 +117,18 @@ pub fn trial_population(seed: u64, users: usize, files_per_user: usize) -> Vec<T
         .collect();
     (0..users)
         .map(|id| {
-            let site = sites[rng.gen_range(0..sites.len())];
-            let n_providers = rng.gen_range(3..=5);
+            let site = sites[rng.below(sites.len() as u64) as usize];
+            let n_providers = 3 + rng.below(3) as usize;
             let mut providers = Provider::ALL.to_vec();
             // Fisher-Yates prefix shuffle.
             for i in 0..n_providers {
-                let j = rng.gen_range(i..providers.len());
+                let j = i + rng.below((providers.len() - i) as u64) as usize;
                 providers.swap(i, j);
             }
             providers.truncate(n_providers);
             let files = (0..files_per_user)
                 .map(|_| {
-                    let roll: f64 = rng.gen();
+                    let roll: f64 = rng.next_f64();
                     let kind = if roll < 0.283 {
                         FileKind::Document
                     } else if roll < 0.283 + 0.305 {
@@ -147,18 +150,13 @@ pub fn trial_population(seed: u64, users: usize, files_per_user: usize) -> Vec<T
 }
 
 /// Samples a file size for `kind` (lognormal-ish per-category).
-fn sample_size(kind: FileKind, rng: &mut StdRng) -> u64 {
+fn sample_size(kind: FileKind, rng: &mut SimRng) -> u64 {
     let (median, sigma) = match kind {
         FileKind::Document => (80.0 * 1024.0, 1.3),
         FileKind::Multimedia => (2.5 * 1024.0 * 1024.0, 1.5),
         FileKind::Other => (300.0 * 1024.0, 1.8),
     };
-    let normal: f64 = {
-        // Box-Muller from two uniforms.
-        let u1: f64 = rng.gen_range(1e-12..1.0);
-        let u2: f64 = rng.gen();
-        (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
-    };
+    let normal = rng.standard_normal();
     let size = median * (sigma * normal).exp();
     (size.clamp(1024.0, 256.0 * 1024.0 * 1024.0)) as u64
 }

@@ -4,7 +4,7 @@
 use std::sync::Arc;
 use std::time::Duration;
 
-use bytes::Bytes;
+use unidrive_util::bytes::Bytes;
 use unidrive_cloud::CloudStore;
 use unidrive_sim::{Runtime, SimRuntime};
 use unidrive_workload::{

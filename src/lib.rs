@@ -22,6 +22,7 @@
 //!   scheduler, and [`core::UniDriveClient`]
 //! * [`baseline`] — single-cloud and multi-cloud baselines from the paper
 //! * [`workload`] — network profiles and evaluation workloads
+//! * [`obs`] — virtual-time-aware metrics registry and event trace
 //!
 //! # Quickstart
 //!
@@ -35,5 +36,6 @@ pub use unidrive_core as core;
 pub use unidrive_crypto as crypto;
 pub use unidrive_erasure as erasure;
 pub use unidrive_meta as meta;
+pub use unidrive_obs as obs;
 pub use unidrive_sim as sim;
 pub use unidrive_workload as workload;

@@ -209,7 +209,7 @@ fn remove_then_add_cloud_round_trip() {
         64 * 1024,
     );
     let plane = DataPlane::new(rt.clone(), r.clouds.clone(), config.clone());
-    let data: bytes::Bytes = content(250_000, 9).into();
+    let data: unidrive_util::bytes::Bytes = content(250_000, 9).into();
     let (report, segs) = plane.upload_files(
         vec![UploadRequest {
             path: "x".into(),
@@ -312,7 +312,7 @@ fn quota_exhaustion_fails_over_to_other_clouds() {
         clouds,
         DataPlaneConfig::with_params(RedundancyConfig::new(5, 3, 3, 2).unwrap(), 64 * 1024),
     );
-    let data: bytes::Bytes = content(300_000, 5).into();
+    let data: unidrive_util::bytes::Bytes = content(300_000, 5).into();
     let (report, _) = plane.upload_files(
         vec![UploadRequest {
             path: "f".into(),
