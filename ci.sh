@@ -23,11 +23,11 @@ cargo test --offline --workspace -q
 echo "==> bench binaries compile"
 cargo build --offline -p unidrive-bench --all-targets
 
-echo "==> clippy on the observability crate (deny warnings)"
+echo "==> clippy on the whole workspace (deny warnings)"
 # rustup-managed toolchains ship clippy; if this toolchain has none,
 # report and continue rather than failing an otherwise green run.
 if cargo clippy --offline --version >/dev/null 2>&1; then
-    cargo clippy --offline -p unidrive-obs -- -D warnings
+    cargo clippy --offline --workspace -- -D warnings
 else
     echo "    clippy not installed; skipped"
 fi
@@ -38,5 +38,13 @@ trap 'rm -rf "$out"' EXIT
 ./target/release/fig08_micro quick --metrics-out "$out/a.json" >/dev/null
 ./target/release/fig08_micro quick --metrics-out "$out/b.json" >/dev/null
 cmp "$out/a.json" "$out/b.json"
+
+echo "==> transfer-engine scheduling determinism (same seed => byte-identical)"
+# fig11 drives the full sync protocol plus all three baselines through
+# the shared notifier-parked transfer engine; identical metrics across
+# two runs means worker wake order is reproducible, not just timers.
+./target/release/fig11_batch_sync quick --metrics-out "$out/c.json" >/dev/null
+./target/release/fig11_batch_sync quick --metrics-out "$out/d.json" >/dev/null
+cmp "$out/c.json" "$out/d.json"
 
 echo "CI OK"

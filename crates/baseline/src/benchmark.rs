@@ -5,17 +5,28 @@
 //! scheduling**: every cloud receives exactly its fair share, uploads
 //! wait for the slowest assignment, and downloads fetch a statically
 //! chosen set of `k` blocks.
+//!
+//! Both directions run on the shared [`TransferEngine`]; the policies
+//! here encode the *static* plans (fixed block→cloud assignment, no
+//! reaction to observed speed) that UniDrive's dynamic scheduling
+//! improves on.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
 use std::time::Duration;
 
-use unidrive_util::bytes::Bytes;
-use unidrive_util::sync::Mutex;
-use unidrive_cloud::{retrying, CloudError, CloudSet, RetryPolicy};
+use unidrive_cloud::{CloudError, CloudId, CloudSet, RetryPolicy};
+use unidrive_core::{EngineParams, JobDesc, TransferEngine, TransferPolicy, WireOp};
 use unidrive_erasure::{Codec, RedundancyConfig};
 use unidrive_meta::{block_path, BlockRef, SegmentId};
-use unidrive_sim::{spawn, Runtime};
+use unidrive_obs::Obs;
+use unidrive_sim::{Runtime, Time};
+use unidrive_util::bytes::Bytes;
+use unidrive_util::sync::Mutex;
+
+/// Per-segment `(id, plaintext length, block locations)` — the client's
+/// durable record of where a file's erasure-coded blocks live.
+pub type SegmentManifest = Vec<(SegmentId, u64, Vec<BlockRef>)>;
 
 /// Static erasure-coded multi-cloud client (RACS/DepSky-like).
 pub struct MultiCloudBenchmark {
@@ -26,8 +37,9 @@ pub struct MultiCloudBenchmark {
     connections: usize,
     chunk_size: usize,
     retry: RetryPolicy,
+    obs: Obs,
     /// name → per-segment (id, len, blocks).
-    manifest: Mutex<HashMap<String, Vec<(SegmentId, u64, Vec<BlockRef>)>>>,
+    manifest: Mutex<HashMap<String, SegmentManifest>>,
 }
 
 impl std::fmt::Debug for MultiCloudBenchmark {
@@ -35,6 +47,251 @@ impl std::fmt::Debug for MultiCloudBenchmark {
         f.debug_struct("MultiCloudBenchmark")
             .field("clouds", &self.clouds)
             .finish()
+    }
+}
+
+/// One statically planned block upload. Kept whole as the job token so
+/// a failed block can be re-queued for one more persistent round.
+struct BenchBlock {
+    si: usize,
+    path: String,
+    bytes: Bytes,
+    requeued: bool,
+}
+
+/// Fair-share static upload: per-cloud queues, per-segment ack counts,
+/// availability stamped when every segment has `k` blocks durable.
+struct BenchUploadPolicy {
+    queues: Vec<VecDeque<BenchBlock>>,
+    inflight: usize,
+    acks: Vec<usize>,
+    segs_ready: usize,
+    k: usize,
+    t0: Time,
+    available: Option<Duration>,
+    error: Option<CloudError>,
+    done: bool,
+}
+
+impl BenchUploadPolicy {
+    fn new(queues: Vec<VecDeque<BenchBlock>>, seg_count: usize, k: usize, t0: Time) -> Self {
+        let mut p = BenchUploadPolicy {
+            queues,
+            inflight: 0,
+            acks: vec![0; seg_count],
+            segs_ready: 0,
+            k,
+            t0,
+            available: None,
+            error: None,
+            done: false,
+        };
+        p.settle();
+        p
+    }
+
+    fn settle(&mut self) {
+        self.done = self.inflight == 0 && self.queues.iter().all(VecDeque::is_empty);
+    }
+}
+
+impl TransferPolicy for BenchUploadPolicy {
+    type Token = BenchBlock;
+
+    fn next_job(&mut self, cloud: CloudId) -> Option<JobDesc<BenchBlock>> {
+        let block = self.queues.get_mut(cloud.0)?.pop_front()?;
+        self.inflight += 1;
+        let path = block.path.clone();
+        let bytes = block.bytes.clone();
+        let index = (block.si % u16::MAX as usize) as u16;
+        Some(JobDesc {
+            token: block,
+            index,
+            extra: false,
+            op: WireOp::Upload {
+                path,
+                payload: Box::new(move || bytes),
+            },
+        })
+    }
+
+    fn is_done(&self) -> bool {
+        self.done
+    }
+
+    fn on_success(&mut self, _cloud: CloudId, block: BenchBlock, _data: Option<Bytes>, now: Time) {
+        self.inflight -= 1;
+        self.acks[block.si] += 1;
+        if self.acks[block.si] == self.k {
+            self.segs_ready += 1;
+            if self.segs_ready == self.acks.len() {
+                self.available = Some(now.saturating_duration_since(self.t0));
+            }
+        }
+        self.settle();
+    }
+
+    fn on_failure(&mut self, cloud: CloudId, mut block: BenchBlock, error: CloudError, _now: Time) {
+        self.inflight -= 1;
+        if block.requeued {
+            // Persistent failure: two full retry rounds exhausted.
+            if self.error.is_none() {
+                self.error = Some(error);
+            }
+        } else {
+            block.requeued = true;
+            self.queues[cloud.0].push_back(block);
+        }
+        self.settle();
+    }
+}
+
+/// Static k-of-n download: segments strictly in order; the first `k`
+/// blocks of the current segment are fetched in parallel, falling back
+/// to the remaining blocks only on hard errors, then decoded before the
+/// next segment starts — no reassignment if a chosen cloud is slow.
+struct BenchDownloadPolicy {
+    segments: Vec<(SegmentId, u64, Vec<BlockRef>)>,
+    codec: Arc<Codec>,
+    k: usize,
+    cur: usize,
+    /// (share slot, block) waiting for an idle connection of its cloud.
+    pending: Vec<(usize, BlockRef)>,
+    fallback: Vec<BlockRef>,
+    shares: Vec<Option<(u16, Bytes)>>,
+    filled: usize,
+    inflight: usize,
+    out: Vec<u8>,
+    error: Option<CloudError>,
+    done: bool,
+}
+
+impl BenchDownloadPolicy {
+    fn new(segments: Vec<(SegmentId, u64, Vec<BlockRef>)>, codec: Arc<Codec>, k: usize) -> Self {
+        let mut p = BenchDownloadPolicy {
+            segments,
+            codec,
+            k,
+            cur: 0,
+            pending: Vec::new(),
+            fallback: Vec::new(),
+            shares: Vec::new(),
+            filled: 0,
+            inflight: 0,
+            out: Vec::new(),
+            error: None,
+            done: false,
+        };
+        if p.segments.is_empty() {
+            p.done = true;
+        } else {
+            p.load_segment();
+        }
+        p
+    }
+
+    fn load_segment(&mut self) {
+        let (_, _, blocks) = &self.segments[self.cur];
+        self.pending = blocks.iter().take(self.k).copied().enumerate().collect();
+        self.fallback = blocks.iter().skip(self.k).copied().collect();
+        self.shares = vec![None; self.pending.len()];
+        self.filled = 0;
+    }
+
+    fn fail(&mut self, error: CloudError) {
+        if self.error.is_none() {
+            self.error = Some(error);
+        }
+        // Stop dispatching; done once in-flight work drains.
+        self.pending.clear();
+        self.done = self.inflight == 0;
+    }
+}
+
+impl TransferPolicy for BenchDownloadPolicy {
+    type Token = (usize, BlockRef);
+
+    fn next_job(&mut self, cloud: CloudId) -> Option<JobDesc<(usize, BlockRef)>> {
+        let pos = self
+            .pending
+            .iter()
+            .position(|(_, b)| b.cloud as usize == cloud.0)?;
+        let (slot, block) = self.pending.remove(pos);
+        self.inflight += 1;
+        let id = self.segments[self.cur].0;
+        Some(JobDesc {
+            token: (slot, block),
+            index: block.index,
+            extra: false,
+            op: WireOp::Download {
+                path: block_path(&id, block.index),
+            },
+        })
+    }
+
+    fn is_done(&self) -> bool {
+        self.done
+    }
+
+    fn on_success(
+        &mut self,
+        _cloud: CloudId,
+        (slot, block): (usize, BlockRef),
+        data: Option<Bytes>,
+        _now: Time,
+    ) {
+        self.inflight -= 1;
+        if self.error.is_some() {
+            self.done = self.inflight == 0;
+            return;
+        }
+        self.shares[slot] = Some((block.index, data.expect("download job carries data")));
+        self.filled += 1;
+        if self.filled < self.shares.len() {
+            return;
+        }
+        // Segment complete: decode, then move on (every slot is filled,
+        // so nothing of this segment is still in flight).
+        let collected: Vec<(usize, &[u8])> = self
+            .shares
+            .iter()
+            .map(|s| {
+                let (i, b) = s.as_ref().expect("filled == len");
+                (*i as usize, b.as_ref())
+            })
+            .collect();
+        let len = self.segments[self.cur].1 as usize;
+        match self.codec.decode(&collected, len) {
+            Ok(plain) => {
+                self.out.extend_from_slice(&plain);
+                self.cur += 1;
+                if self.cur == self.segments.len() {
+                    self.done = true;
+                } else {
+                    self.load_segment();
+                }
+            }
+            Err(e) => self.fail(CloudError::transient(format!("decode failed: {e}"))),
+        }
+    }
+
+    fn on_failure(
+        &mut self,
+        _cloud: CloudId,
+        (slot, _block): (usize, BlockRef),
+        error: CloudError,
+        _now: Time,
+    ) {
+        self.inflight -= 1;
+        if self.error.is_some() {
+            self.done = self.inflight == 0;
+            return;
+        }
+        // Hard failure: try a fallback block for the same share slot.
+        match self.fallback.pop() {
+            Some(b) => self.pending.push((slot, b)),
+            None => self.fail(error),
+        }
     }
 }
 
@@ -56,6 +313,7 @@ impl MultiCloudBenchmark {
             connections: connections.max(1),
             chunk_size: 4 * 1024 * 1024,
             retry: RetryPolicy::new(),
+            obs: Obs::noop(),
             manifest: Mutex::new(HashMap::new()),
         }
     }
@@ -64,6 +322,25 @@ impl MultiCloudBenchmark {
     pub fn with_chunk_size(mut self, chunk_size: usize) -> Self {
         self.chunk_size = chunk_size.max(1024);
         self
+    }
+
+    /// Observability for transfer counters and retry traces
+    /// (`bench.upload.*`, `bench.download.*`).
+    #[must_use]
+    pub fn with_obs(mut self, obs: Obs) -> Self {
+        self.obs = obs;
+        self
+    }
+
+    fn engine_params(&self, label: &str) -> EngineParams {
+        EngineParams {
+            connections_per_cloud: self.connections,
+            retry: self.retry.clone(),
+            obs: self.obs.clone(),
+            label: label.to_owned(),
+            probe: None,
+            idle_wait: None,
+        }
     }
 
     /// Uploads `data`: fixed-size segments, each erasure-coded into
@@ -79,7 +356,8 @@ impl MultiCloudBenchmark {
     /// # Errors
     ///
     /// The first block failure after retries (a failed block is retried
-    /// with backoff; only persistent failure surfaces).
+    /// with a second full backoff round; only persistent failure
+    /// surfaces).
     pub fn upload(&self, name: &str, data: Bytes) -> Result<Duration, CloudError> {
         let t0 = self.rt.now();
         let n = self.clouds.len();
@@ -87,18 +365,20 @@ impl MultiCloudBenchmark {
         let fair = self.redundancy.fair_share();
         let seg_count = data.chunks(self.chunk_size).count().max(1);
         let mut segments = Vec::new();
-        // Static plan: per cloud, the list of (segment idx, path, bytes).
-        let mut per_cloud: Vec<Vec<(usize, String, Bytes)>> = vec![Vec::new(); n];
+        // Static plan: per cloud, the queue of (segment, path, bytes).
+        let mut queues: Vec<VecDeque<BenchBlock>> =
+            (0..n).map(|_| VecDeque::new()).collect();
         for (si, chunk) in data.chunks(self.chunk_size).enumerate() {
             let id = SegmentId(unidrive_crypto::Sha1::digest(chunk));
             let mut blocks = Vec::new();
             for i in 0..(fair * n) as u16 {
                 let cloud = (i as usize) % n;
-                per_cloud[cloud].push((
+                queues[cloud].push_back(BenchBlock {
                     si,
-                    block_path(&id, i),
-                    self.codec.encode_block(chunk, i as usize),
-                ));
+                    path: block_path(&id, i),
+                    bytes: self.codec.encode_block(chunk, i as usize),
+                    requeued: false,
+                });
                 blocks.push(BlockRef {
                     index: i,
                     cloud: cloud as u16,
@@ -106,76 +386,15 @@ impl MultiCloudBenchmark {
             }
             segments.push((id, chunk.len() as u64, blocks));
         }
-        // Shared availability accounting: per-segment ack counts and the
-        // instant every segment reached k acks.
-        let acks = Arc::new(Mutex::new((vec![0usize; seg_count], 0usize, None::<Duration>)));
-        let errors: Arc<Mutex<Option<CloudError>>> = Arc::new(Mutex::new(None));
-        let mut tasks = Vec::new();
-        for (cloud_idx, work) in per_cloud.into_iter().enumerate() {
-            let cloud = Arc::clone(self.clouds.get(unidrive_cloud::CloudId(cloud_idx)));
-            let rt = Arc::clone(&self.rt);
-            let retry = self.retry.clone();
-            let errors = Arc::clone(&errors);
-            let acks = Arc::clone(&acks);
-            let conns = self.connections;
-            tasks.push(spawn(&self.rt, &format!("bench-up-{cloud_idx}"), move || {
-                let queue = Arc::new(Mutex::new(work));
-                let mut inner = Vec::new();
-                for w in 0..conns {
-                    let cloud = Arc::clone(&cloud);
-                    let rt2 = Arc::clone(&rt);
-                    let retry = retry.clone();
-                    let queue = Arc::clone(&queue);
-                    let errors = Arc::clone(&errors);
-                    let acks = Arc::clone(&acks);
-                    let t0 = t0;
-                    inner.push(spawn(&rt, &format!("bench-up-{cloud_idx}-{w}"), move || {
-                        loop {
-                            let Some((si, path, bytes)) = queue.lock().pop() else {
-                                break;
-                            };
-                            // Persistent: two bounded retry rounds before
-                            // surfacing the failure.
-                            let mut result =
-                                retrying(&rt2, &retry, || cloud.upload(&path, bytes.clone()));
-                            if result.is_err() {
-                                rt2.sleep(Duration::from_secs(2));
-                                result = retrying(&rt2, &retry, || {
-                                    cloud.upload(&path, bytes.clone())
-                                });
-                            }
-                            match result {
-                                Ok(()) => {
-                                    let mut a = acks.lock();
-                                    a.0[si] += 1;
-                                    if a.0[si] == k {
-                                        a.1 += 1;
-                                        if a.1 == a.0.len() {
-                                            a.2 = Some(
-                                                rt2.now().saturating_duration_since(t0),
-                                            );
-                                        }
-                                    }
-                                }
-                                Err(e) => {
-                                    *errors.lock() = Some(e);
-                                    break;
-                                }
-                            }
-                        }
-                    }));
-                }
-                for t in inner {
-                    t.join();
-                }
-            }));
-        }
-        for t in tasks {
-            t.join();
-        }
-        let available = acks.lock().2;
-        let error = errors.lock().take();
-        match (available, error) {
+        let policy = BenchUploadPolicy::new(queues, seg_count, k, t0);
+        let done = TransferEngine::start(
+            &self.rt,
+            &self.clouds,
+            self.engine_params("bench.upload"),
+            policy,
+        )
+        .join();
+        match (done.available, done.error) {
             // Availability reached: later failures only degrade
             // reliability, not the reported metric.
             (Some(d), _) => {
@@ -205,83 +424,28 @@ impl MultiCloudBenchmark {
             .cloned()
             .ok_or_else(|| CloudError::not_found(name))?;
         let t0 = self.rt.now();
-        let k = self.codec.k();
-        let mut out = Vec::new();
-        // Static plan across all segments; fetch each segment's first k
-        // blocks in parallel, then decode.
-        for (id, len, blocks) in &segments {
-            let chosen: Vec<BlockRef> = blocks.iter().take(k).copied().collect();
-            let fallback: Vec<BlockRef> = blocks.iter().skip(k).copied().collect();
-            let results: Arc<Mutex<Vec<Option<(u16, Bytes)>>>> =
-                Arc::new(Mutex::new(vec![None; chosen.len()]));
-            let fallback = Arc::new(Mutex::new(fallback));
-            let errors: Arc<Mutex<Option<CloudError>>> = Arc::new(Mutex::new(None));
-            let mut tasks = Vec::new();
-            for (slot, block) in chosen.into_iter().enumerate() {
-                let clouds = self.clouds.clone();
-                let rt = Arc::clone(&self.rt);
-                let retry = self.retry.clone();
-                let results = Arc::clone(&results);
-                let fallback = Arc::clone(&fallback);
-                let errors = Arc::clone(&errors);
-                let id = *id;
-                tasks.push(spawn(&self.rt, &format!("bench-dl-{slot}"), move || {
-                    let mut block = block;
-                    loop {
-                        let cloud = clouds.get(unidrive_cloud::CloudId(block.cloud as usize));
-                        match retrying(&rt, &retry, || {
-                            cloud.download(&block_path(&id, block.index))
-                        }) {
-                            Ok(data) => {
-                                results.lock()[slot] = Some((block.index, data));
-                                return;
-                            }
-                            Err(e) => {
-                                // Hard failure: try a fallback block.
-                                let next = fallback.lock().pop();
-                                match next {
-                                    Some(b) => block = b,
-                                    None => {
-                                        *errors.lock() = Some(e);
-                                        return;
-                                    }
-                                }
-                            }
-                        }
-                    }
-                }));
-            }
-            for t in tasks {
-                t.join();
-            }
-            if let Some(e) = errors.lock().take() {
-                return Err(e);
-            }
-            let collected = results.lock();
-            let shares: Vec<(usize, &[u8])> = collected
-                .iter()
-                .map(|s| {
-                    let (i, b) = s.as_ref().expect("no error implies all shares");
-                    (*i as usize, b.as_ref())
-                })
-                .collect();
-            let plain = self
-                .codec
-                .decode(&shares, *len as usize)
-                .map_err(|e| CloudError::transient(format!("decode failed: {e}")))?;
-            out.extend_from_slice(&plain);
+        let policy = BenchDownloadPolicy::new(segments, Arc::clone(&self.codec), self.codec.k());
+        let done = TransferEngine::start(
+            &self.rt,
+            &self.clouds,
+            self.engine_params("bench.download"),
+            policy,
+        )
+        .join();
+        if let Some(e) = done.error {
+            return Err(e);
         }
-        Ok((self.rt.now().saturating_duration_since(t0), out))
+        Ok((self.rt.now().saturating_duration_since(t0), done.out))
     }
 
     /// Known block locations of `name` (for harnesses that kill clouds).
-    pub fn manifest_of(&self, name: &str) -> Option<Vec<(SegmentId, u64, Vec<BlockRef>)>> {
+    pub fn manifest_of(&self, name: &str) -> Option<SegmentManifest> {
         self.manifest.lock().get(name).cloned()
     }
 
     /// Adopts a manifest produced by another client over the same
     /// backing clouds (the sink side of a sync notification).
-    pub fn adopt_manifest(&self, name: &str, manifest: Vec<(SegmentId, u64, Vec<BlockRef>)>) {
+    pub fn adopt_manifest(&self, name: &str, manifest: SegmentManifest) {
         self.manifest.lock().insert(name.to_owned(), manifest);
     }
 }

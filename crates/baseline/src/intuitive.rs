@@ -4,74 +4,124 @@
 //!
 //! There is no redundancy: every part is needed, so the operation
 //! completes only when the **slowest** cloud finishes — exactly the
-//! degradation the paper observes for this design.
+//! degradation the paper observes for this design. The N native apps
+//! are modelled as one shared [`TransferEngine`] run whose static plan
+//! assigns part `i`'s chunks to cloud `i` (same per-cloud chunking and
+//! object paths a [`SingleCloudClient`](crate::SingleCloudClient) per
+//! part would produce).
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
 use std::time::Duration;
 
+use unidrive_cloud::{CloudError, CloudSet, RetryPolicy};
+use unidrive_core::{EngineParams, TransferEngine};
+use unidrive_obs::Obs;
+use unidrive_sim::Runtime;
 use unidrive_util::bytes::Bytes;
 use unidrive_util::sync::Mutex;
-use unidrive_cloud::{CloudError, CloudSet};
-use unidrive_sim::{spawn, Runtime};
 
-use crate::SingleCloudClient;
+use crate::planned::{PlannedJob, PlannedPolicy};
 
-/// The intuitive multi-cloud: N native single-cloud clients, one file
+/// The intuitive multi-cloud: N native single-cloud apps, one file
 /// part each.
 pub struct IntuitiveMultiCloud {
     rt: Arc<dyn Runtime>,
-    natives: Vec<Arc<SingleCloudClient>>,
+    clouds: CloudSet,
+    connections: usize,
+    chunk_size: usize,
+    retry: RetryPolicy,
+    obs: Obs,
+    /// name → total length.
     manifest: Mutex<HashMap<String, u64>>,
 }
 
 impl std::fmt::Debug for IntuitiveMultiCloud {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("IntuitiveMultiCloud")
-            .field("clouds", &self.natives.len())
+            .field("clouds", &self.clouds.len())
             .finish()
     }
 }
 
 impl IntuitiveMultiCloud {
     /// Creates the baseline over `clouds` with `connections` per native
-    /// app.
+    /// app (1 MB chunks, matching the native client).
     pub fn new(rt: Arc<dyn Runtime>, clouds: &CloudSet, connections: usize) -> Self {
-        let natives = clouds
-            .iter()
-            .map(|(_, c)| Arc::new(SingleCloudClient::new(Arc::clone(&rt), Arc::clone(c), connections)))
-            .collect();
         IntuitiveMultiCloud {
             rt,
-            natives,
+            clouds: clouds.clone(),
+            connections: connections.max(1),
+            chunk_size: 1024 * 1024,
+            retry: RetryPolicy::new(),
+            obs: Obs::noop(),
             manifest: Mutex::new(HashMap::new()),
         }
     }
 
-    /// Splits `data` into N equal parts and uploads part `i` through the
-    /// native client of cloud `i`, in parallel. Completes when every
-    /// cloud finishes.
+    /// Observability for transfer counters and retry traces
+    /// (`intuitive.upload.*`, `intuitive.download.*`).
+    #[must_use]
+    pub fn with_obs(mut self, obs: Obs) -> Self {
+        self.obs = obs;
+        self
+    }
+
+    fn engine_params(&self, label: &str) -> EngineParams {
+        EngineParams {
+            connections_per_cloud: self.connections,
+            retry: self.retry.clone(),
+            obs: self.obs.clone(),
+            label: label.to_owned(),
+            probe: None,
+            idle_wait: None,
+        }
+    }
+
+    /// The per-part byte ranges of a `len`-byte file across N clouds.
+    fn part_ranges(&self, len: usize) -> Vec<(usize, usize)> {
+        let n = self.clouds.len();
+        let part_len = len.div_ceil(n).max(1);
+        (0..n)
+            .map(|i| ((i * part_len).min(len), ((i + 1) * part_len).min(len)))
+            .collect()
+    }
+
+    /// Splits `data` into N equal parts and uploads part `i` through
+    /// cloud `i`'s native app, in parallel. Completes when every cloud
+    /// finishes.
     ///
     /// # Errors
     ///
-    /// The first native client failure.
+    /// The first native app failure.
     pub fn upload(&self, name: &str, data: Bytes) -> Result<Duration, CloudError> {
         let t0 = self.rt.now();
-        let n = self.natives.len();
-        let part_len = data.len().div_ceil(n).max(1);
-        let mut tasks = Vec::new();
-        for (i, native) in self.natives.iter().enumerate() {
-            let start = (i * part_len).min(data.len());
-            let end = ((i + 1) * part_len).min(data.len());
+        let mut queues = Vec::new();
+        for (i, (start, end)) in self.part_ranges(data.len()).into_iter().enumerate() {
             let part = data.slice(start..end);
-            let native = Arc::clone(native);
-            let name = format!("{name}.part{i}");
-            tasks.push(spawn(&self.rt, &format!("intuitive-{i}"), move || {
-                native.upload(&name, part)
-            }));
+            queues.push(
+                part.chunks(self.chunk_size)
+                    .map(Bytes::copy_from_slice)
+                    .enumerate()
+                    .map(|(j, chunk)| PlannedJob {
+                        path: format!("native/{name}.part{i}.{j}"),
+                        data: Some(chunk),
+                        slot: 0,
+                        index: j as u16,
+                    })
+                    .collect::<VecDeque<_>>(),
+            );
         }
-        for t in tasks {
-            t.join()?;
+        let policy = PlannedPolicy::new(queues, 0);
+        let done = TransferEngine::start(
+            &self.rt,
+            &self.clouds,
+            self.engine_params("intuitive.upload"),
+            policy,
+        )
+        .join();
+        if let Some(e) = done.error {
+            return Err(e);
         }
         self.manifest
             .lock()
@@ -82,13 +132,6 @@ impl IntuitiveMultiCloud {
     /// Registers `name` as already uploaded without moving traffic (the
     /// sink side of the native apps' change notifications).
     pub fn assume_uploaded(&self, name: &str, len: u64) {
-        let n = self.natives.len();
-        let part_len = (len as usize).div_ceil(n).max(1);
-        for (i, native) in self.natives.iter().enumerate() {
-            let start = (i * part_len).min(len as usize);
-            let end = ((i + 1) * part_len).min(len as usize);
-            native.assume_uploaded(&format!("{name}.part{i}"), (end - start) as u64);
-        }
         self.manifest.lock().insert(name.to_owned(), len);
     }
 
@@ -96,23 +139,45 @@ impl IntuitiveMultiCloud {
     ///
     /// # Errors
     ///
-    /// The first native client failure (there is no redundancy).
+    /// The first native app failure (there is no redundancy).
     pub fn download(&self, name: &str) -> Result<(Duration, Vec<u8>), CloudError> {
-        if !self.manifest.lock().contains_key(name) {
+        let Some(len) = self.manifest.lock().get(name).copied() else {
             return Err(CloudError::not_found(name));
-        }
+        };
         let t0 = self.rt.now();
-        let mut tasks = Vec::new();
-        for (i, native) in self.natives.iter().enumerate() {
-            let native = Arc::clone(native);
-            let name = format!("{name}.part{i}");
-            tasks.push(spawn(&self.rt, &format!("intuitive-dl-{i}"), move || {
-                native.download(&name).map(|(_, d)| d)
-            }));
+        let mut queues = Vec::new();
+        let mut slot = 0;
+        for (i, (start, end)) in self.part_ranges(len as usize).into_iter().enumerate() {
+            let chunk_count = (end - start).div_ceil(self.chunk_size);
+            queues.push(
+                (0..chunk_count)
+                    .map(|j| {
+                        let job = PlannedJob {
+                            path: format!("native/{name}.part{i}.{j}"),
+                            data: None,
+                            slot,
+                            index: j as u16,
+                        };
+                        slot += 1;
+                        job
+                    })
+                    .collect::<VecDeque<_>>(),
+            );
         }
-        let mut out = Vec::new();
-        for t in tasks {
-            out.extend_from_slice(&t.join()?);
+        let policy = PlannedPolicy::new(queues, slot);
+        let done = TransferEngine::start(
+            &self.rt,
+            &self.clouds,
+            self.engine_params("intuitive.download"),
+            policy,
+        )
+        .join();
+        if let Some(e) = done.error {
+            return Err(e);
+        }
+        let mut out = Vec::with_capacity(len as usize);
+        for chunk in &done.results {
+            out.extend_from_slice(chunk.as_ref().expect("no error implies all chunks"));
         }
         Ok((self.rt.now().saturating_duration_since(t0), out))
     }

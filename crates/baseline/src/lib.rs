@@ -11,16 +11,24 @@
 //!   scheduling).
 //! * [`UniDriveTransfer`] — UniDrive's own data plane behind the same
 //!   interface so the harness can compare all four uniformly.
+//!
+//! All three baselines run on the same pull-based
+//! [`TransferEngine`](unidrive_core::TransferEngine) as UniDrive's own
+//! data plane — only their [`TransferPolicy`](unidrive_core::TransferPolicy)
+//! differs (static plans instead of dynamic scheduling), which keeps the
+//! comparison about *scheduling*, not about transfer-loop plumbing, and
+//! gives them the same retry and observability wiring for free.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
 mod benchmark;
 mod intuitive;
+mod planned;
 mod single;
 mod unidrive_transfer;
 
-pub use benchmark::MultiCloudBenchmark;
+pub use benchmark::{MultiCloudBenchmark, SegmentManifest};
 pub use intuitive::IntuitiveMultiCloud;
 pub use single::SingleCloudClient;
 pub use unidrive_transfer::UniDriveTransfer;

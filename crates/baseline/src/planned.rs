@@ -1,0 +1,105 @@
+//! A static per-cloud transfer plan driven through the shared
+//! [`TransferEngine`](unidrive_core::TransferEngine).
+//!
+//! The single-cloud and intuitive baselines both reduce to the same
+//! scheduling "non-policy": every wire operation is assigned to its
+//! cloud up front, idle connections just drain their cloud's queue in
+//! order, and nothing ever reacts to observed speed. That is exactly
+//! what distinguishes them from UniDrive — so they share this one
+//! [`TransferPolicy`] and differ only in how they build the plan.
+
+use std::collections::VecDeque;
+
+use unidrive_cloud::{CloudError, CloudId};
+use unidrive_core::{JobDesc, TransferPolicy, WireOp};
+use unidrive_sim::Time;
+use unidrive_util::bytes::Bytes;
+
+/// One statically planned wire operation.
+pub(crate) struct PlannedJob {
+    /// Object path on the assigned cloud.
+    pub path: String,
+    /// `Some` uploads the bytes; `None` downloads into `slot`.
+    pub data: Option<Bytes>,
+    /// Result slot for downloads (ignored by uploads).
+    pub slot: usize,
+    /// Block/chunk index reported in dispatch events.
+    pub index: u16,
+}
+
+/// Fixed per-cloud queues, first-error reporting, no rescheduling.
+pub(crate) struct PlannedPolicy {
+    queues: Vec<VecDeque<PlannedJob>>,
+    inflight: usize,
+    /// Downloaded bytes by slot (empty for pure-upload plans).
+    pub results: Vec<Option<Bytes>>,
+    /// First hard failure, if any.
+    pub error: Option<CloudError>,
+    done: bool,
+}
+
+impl PlannedPolicy {
+    /// `queues[c]` is the plan for cloud `c`; `result_slots` sizes the
+    /// download result vector.
+    pub fn new(queues: Vec<VecDeque<PlannedJob>>, result_slots: usize) -> Self {
+        let mut p = PlannedPolicy {
+            queues,
+            inflight: 0,
+            results: vec![None; result_slots],
+            error: None,
+            done: false,
+        };
+        p.settle();
+        p
+    }
+
+    fn settle(&mut self) {
+        self.done = self.inflight == 0 && self.queues.iter().all(VecDeque::is_empty);
+    }
+}
+
+impl TransferPolicy for PlannedPolicy {
+    type Token = usize;
+
+    fn next_job(&mut self, cloud: CloudId) -> Option<JobDesc<usize>> {
+        let job = self.queues.get_mut(cloud.0)?.pop_front()?;
+        self.inflight += 1;
+        let op = match job.data {
+            Some(bytes) => WireOp::Upload {
+                path: job.path,
+                payload: Box::new(move || bytes),
+            },
+            None => WireOp::Download { path: job.path },
+        };
+        Some(JobDesc {
+            token: job.slot,
+            index: job.index,
+            extra: false,
+            op,
+        })
+    }
+
+    fn is_done(&self) -> bool {
+        self.done
+    }
+
+    fn on_success(&mut self, _cloud: CloudId, slot: usize, data: Option<Bytes>, _now: Time) {
+        self.inflight -= 1;
+        if let Some(bytes) = data {
+            self.results[slot] = Some(bytes);
+        }
+        self.settle();
+    }
+
+    fn on_failure(&mut self, cloud: CloudId, _slot: usize, error: CloudError, _now: Time) {
+        self.inflight -= 1;
+        // A hard failure (retries exhausted) parks the rest of that
+        // cloud's plan: a static client has no other cloud to bounce
+        // work to, so more attempts only delay the error report.
+        self.queues[cloud.0].clear();
+        if self.error.is_none() {
+            self.error = Some(error);
+        }
+        self.settle();
+    }
+}

@@ -5,16 +5,21 @@
 //! chunked, multi-connection upload/download to one cloud — is what the
 //! paper's comparison measures. `SingleCloudClient` reproduces that:
 //! files are split into fixed-size chunks pushed over up to
-//! `connections` parallel streams to a single cloud.
+//! `connections` parallel streams to a single cloud, driven by the
+//! shared [`TransferEngine`] with a one-cloud static plan.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
 use std::time::Duration;
 
+use unidrive_cloud::{CloudError, CloudSet, CloudStore, RetryPolicy};
+use unidrive_core::{EngineParams, TransferEngine};
+use unidrive_obs::Obs;
+use unidrive_sim::Runtime;
 use unidrive_util::bytes::Bytes;
 use unidrive_util::sync::Mutex;
-use unidrive_cloud::{retrying, CloudError, CloudStore, RetryPolicy};
-use unidrive_sim::{spawn, Runtime};
+
+use crate::planned::{PlannedJob, PlannedPolicy};
 
 /// Chunked parallel transfer client bound to one cloud.
 pub struct SingleCloudClient {
@@ -23,6 +28,7 @@ pub struct SingleCloudClient {
     connections: usize,
     chunk_size: usize,
     retry: RetryPolicy,
+    obs: Obs,
     /// name → (total length, chunk count).
     manifest: Mutex<HashMap<String, (u64, usize)>>,
 }
@@ -49,13 +55,33 @@ impl SingleCloudClient {
             connections: connections.max(1),
             chunk_size: 1024 * 1024,
             retry: RetryPolicy::new(),
+            obs: Obs::noop(),
             manifest: Mutex::new(HashMap::new()),
         }
+    }
+
+    /// Observability for transfer counters and retry traces
+    /// (`single.upload.*`, `single.download.*`).
+    #[must_use]
+    pub fn with_obs(mut self, obs: Obs) -> Self {
+        self.obs = obs;
+        self
     }
 
     /// The cloud this client talks to.
     pub fn cloud_name(&self) -> &str {
         self.cloud.name()
+    }
+
+    fn engine_params(&self, label: &str) -> EngineParams {
+        EngineParams {
+            connections_per_cloud: self.connections,
+            retry: self.retry.clone(),
+            obs: self.obs.clone(),
+            label: label.to_owned(),
+            probe: None,
+            idle_wait: None,
+        }
     }
 
     /// Uploads `data` as chunked objects under `name`.
@@ -65,37 +91,28 @@ impl SingleCloudClient {
     /// The first chunk error after retries.
     pub fn upload(&self, name: &str, data: Bytes) -> Result<Duration, CloudError> {
         let t0 = self.rt.now();
-        let chunks: Vec<(usize, Bytes)> = data
+        let queue: VecDeque<PlannedJob> = data
             .chunks(self.chunk_size)
             .map(Bytes::copy_from_slice)
             .enumerate()
+            .map(|(i, chunk)| PlannedJob {
+                path: format!("native/{name}.{i}"),
+                data: Some(chunk),
+                slot: i,
+                index: i as u16,
+            })
             .collect();
-        let chunk_count = chunks.len();
-        let queue = Arc::new(Mutex::new(chunks));
-        let errors: Arc<Mutex<Option<CloudError>>> = Arc::new(Mutex::new(None));
-        let mut workers = Vec::new();
-        for w in 0..self.connections.min(chunk_count.max(1)) {
-            let rt = Arc::clone(&self.rt);
-            let cloud = Arc::clone(&self.cloud);
-            let queue = Arc::clone(&queue);
-            let errors = Arc::clone(&errors);
-            let retry = self.retry.clone();
-            let name = name.to_owned();
-            workers.push(spawn(&self.rt, &format!("single-up-{w}"), move || loop {
-                let Some((i, chunk)) = queue.lock().pop() else {
-                    break;
-                };
-                let path = format!("native/{name}.{i}");
-                if let Err(e) = retrying(&rt, &retry, || cloud.upload(&path, chunk.clone())) {
-                    *errors.lock() = Some(e);
-                    break;
-                }
-            }));
-        }
-        for w in workers {
-            w.join();
-        }
-        if let Some(e) = errors.lock().take() {
+        let chunk_count = queue.len();
+        let clouds = CloudSet::new(vec![Arc::clone(&self.cloud)]);
+        let policy = PlannedPolicy::new(vec![queue], 0);
+        let done = TransferEngine::start(
+            &self.rt,
+            &clouds,
+            self.engine_params("single.upload"),
+            policy,
+        )
+        .join();
+        if let Some(e) = done.error {
             return Err(e);
         }
         self.manifest
@@ -127,43 +144,28 @@ impl SingleCloudClient {
             .copied()
             .ok_or_else(|| CloudError::not_found(name))?;
         let t0 = self.rt.now();
-        let queue = Arc::new(Mutex::new((0..chunk_count).collect::<Vec<_>>()));
-        let results: Arc<Mutex<Vec<Option<Bytes>>>> =
-            Arc::new(Mutex::new(vec![None; chunk_count]));
-        let errors: Arc<Mutex<Option<CloudError>>> = Arc::new(Mutex::new(None));
-        let mut workers = Vec::new();
-        for w in 0..self.connections.min(chunk_count.max(1)) {
-            let rt = Arc::clone(&self.rt);
-            let cloud = Arc::clone(&self.cloud);
-            let queue = Arc::clone(&queue);
-            let results = Arc::clone(&results);
-            let errors = Arc::clone(&errors);
-            let retry = self.retry.clone();
-            let name = name.to_owned();
-            workers.push(spawn(&self.rt, &format!("single-down-{w}"), move || loop {
-                let Some(i) = queue.lock().pop() else {
-                    break;
-                };
-                let path = format!("native/{name}.{i}");
-                match retrying(&rt, &retry, || cloud.download(&path)) {
-                    Ok(data) => {
-                        results.lock()[i] = Some(data);
-                    }
-                    Err(e) => {
-                        *errors.lock() = Some(e);
-                        break;
-                    }
-                }
-            }));
-        }
-        for w in workers {
-            w.join();
-        }
-        if let Some(e) = errors.lock().take() {
+        let queue: VecDeque<PlannedJob> = (0..chunk_count)
+            .map(|i| PlannedJob {
+                path: format!("native/{name}.{i}"),
+                data: None,
+                slot: i,
+                index: i as u16,
+            })
+            .collect();
+        let clouds = CloudSet::new(vec![Arc::clone(&self.cloud)]);
+        let policy = PlannedPolicy::new(vec![queue], chunk_count);
+        let done = TransferEngine::start(
+            &self.rt,
+            &clouds,
+            self.engine_params("single.download"),
+            policy,
+        )
+        .join();
+        if let Some(e) = done.error {
             return Err(e);
         }
         let mut out = Vec::with_capacity(len as usize);
-        for chunk in results.lock().iter() {
+        for chunk in &done.results {
             out.extend_from_slice(chunk.as_ref().expect("no error implies all chunks"));
         }
         Ok((self.rt.now().saturating_duration_since(t0), out))
@@ -229,5 +231,25 @@ mod tests {
         assert!(client
             .upload("f", Bytes::from(vec![0u8; 1024]))
             .is_err());
+    }
+
+    #[test]
+    fn transfer_counters_flow_through_obs() {
+        let sim = SimRuntime::new(4);
+        let cloud = Arc::new(SimCloud::new(
+            &sim,
+            "c",
+            SimCloudConfig::steady(1e6, 4e6),
+        ));
+        let registry = unidrive_obs::Registry::new();
+        let client = SingleCloudClient::new(sim.clone().as_runtime(), cloud, 2)
+            .with_obs(Obs::with_registry(Arc::clone(&registry)));
+        client
+            .upload("f", Bytes::from(vec![1u8; 3 * 1024 * 1024]))
+            .unwrap();
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("single.upload.blocks_dispatched"), 3);
+        assert_eq!(snap.counter("single.upload.blocks_completed"), 3);
+        assert_eq!(snap.counter("single.upload.cloud.c.blocks"), 3);
     }
 }

@@ -13,11 +13,13 @@ use unidrive_core::{DataPlane, DataPlaneConfig, SegmentFetch, UploadRequest};
 use unidrive_meta::{BlockRef, SegmentId};
 use unidrive_sim::Runtime;
 
+use crate::benchmark::SegmentManifest;
+
 /// UniDrive's data plane behind the uniform transfer interface.
 pub struct UniDriveTransfer {
     plane: DataPlane,
     /// name → ordered (segment, len) plus block locations.
-    manifest: Mutex<HashMap<String, Vec<(SegmentId, u64, Vec<BlockRef>)>>>,
+    manifest: Mutex<HashMap<String, SegmentManifest>>,
 }
 
 impl std::fmt::Debug for UniDriveTransfer {

@@ -235,8 +235,8 @@ fn main() {
                         &files,
                         sinks,
                         move |_, path, data| {
-                            let ok = src.upload(path, data).is_ok();
-                            ok
+                            
+                            src.upload(path, data).is_ok()
                         },
                         {
                             let source = Arc::clone(&source);

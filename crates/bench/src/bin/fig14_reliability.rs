@@ -38,13 +38,10 @@ fn main() {
         let mut times = Vec::new();
         let mut successes = 0usize;
         for _ in 0..repeats {
-            match sys.unidrive.download("payload") {
-                Ok((took, restored)) => {
-                    assert_eq!(restored, data.to_vec(), "integrity");
-                    successes += 1;
-                    times.push(took.as_secs_f64());
-                }
-                Err(_) => {}
+            if let Ok((took, restored)) = sys.unidrive.download("payload") {
+                assert_eq!(restored, data.to_vec(), "integrity");
+                successes += 1;
+                times.push(took.as_secs_f64());
             }
             sim.sleep(Duration::from_secs(300));
         }

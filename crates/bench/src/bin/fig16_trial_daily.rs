@@ -37,7 +37,7 @@ fn main() {
         };
         let client = UniDriveTransfer::new(sim.clone().as_runtime(), clouds, config);
         let mut daily_means = Vec::new();
-        for day in 0..days {
+        for (day, row) in rows.iter_mut().enumerate().take(days) {
             let mut samples = Vec::new();
             for u in 0..uploads_per_day {
                 // Medium-sized files: 100 KB - 1 MB.
@@ -50,7 +50,7 @@ fn main() {
             }
             let mean = samples.iter().sum::<f64>() / samples.len().max(1) as f64;
             daily_means.push(mean);
-            rows[day].push(format!("{mean:.1}"));
+            row.push(format!("{mean:.1}"));
         }
         if let Some(s) = Summary::of(&daily_means) {
             site_cvs.push((name, s.std_dev() / s.mean, s.mean));

@@ -350,9 +350,8 @@ impl SimCloud {
                 self.name
             )));
         }
-        self.do_transfer(link, total).map_err(|e| {
+        self.do_transfer(link, total).inspect_err(|_e| {
             self.count_failure(op, payload, false);
-            e
         })?;
         counter.fetch_add(total, Ordering::Relaxed);
         self.counters.ok_requests.fetch_add(1, Ordering::Relaxed);

@@ -15,20 +15,15 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use unidrive_util::bytes::Bytes;
-use unidrive_util::sync::Mutex;
-use unidrive_cloud::{retrying_observed, CloudError, CloudSet};
+use unidrive_cloud::{CloudError, CloudId, CloudSet};
 use unidrive_erasure::Codec;
 use unidrive_meta::{block_path, BlockRef, SegmentId};
-use unidrive_obs::{Event, Obs};
-use unidrive_sim::{spawn, Runtime, Time};
+use unidrive_obs::Obs;
+use unidrive_sim::{Runtime, Time};
 
+use crate::engine::{EngineParams, JobDesc, TransferEngine, TransferPolicy, WireOp};
 use crate::plan::DataPlaneConfig;
 use crate::probe::BandwidthProbe;
-
-const IDLE_POLL: Duration = Duration::from_millis(5);
-/// Probing duplication threshold: duplicate a block in flight on a
-/// cloud at least this many times slower than the idle cloud.
-const DUP_SPEED_RATIO: f64 = 1.5;
 
 /// One segment to fetch: its identity, plaintext length, and known
 /// block locations (from the metadata's segment pool).
@@ -117,6 +112,11 @@ struct FetchState {
     over_requests: usize,
     /// Which cloud each in-flight request is on: index → cloud.
     inflight: HashMap<u16, usize>,
+    /// Failed attempts per block index. A block whose holder keeps
+    /// erroring without reporting itself unavailable (a deleted
+    /// directory reads as `NotFound`, not `Unavailable`) would
+    /// otherwise be re-queued forever.
+    bounces: HashMap<u16, u32>,
     /// Blocks received.
     have: HashMap<u16, Bytes>,
     /// Decode attempts that failed the content hash (corrupt blocks).
@@ -151,7 +151,7 @@ pub fn run_download(
     let n_clouds = clouds.len();
     let k = codec.k();
 
-    let state = Arc::new(Mutex::new(DownloadState {
+    let st = DownloadState {
         fetches: fetches
             .iter()
             .map(|f| {
@@ -168,6 +168,7 @@ pub fn run_download(
                     requested: HashSet::new(),
                     over_requests: 0,
                     inflight: HashMap::new(),
+                    bounces: HashMap::new(),
                     have: HashMap::new(),
                     integrity_retries: 0,
                     done: false,
@@ -178,146 +179,153 @@ pub fn run_download(
         cloud_alive: vec![true; n_clouds],
         finished: fetches.is_empty(),
         timeline: Vec::new(),
-    }));
-    let segments: Arc<Mutex<HashMap<SegmentId, Vec<u8>>>> = Arc::new(Mutex::new(HashMap::new()));
-    let failures: Arc<Mutex<Vec<DownloadError>>> = Arc::new(Mutex::new(Vec::new()));
+    };
 
-    let mut workers = Vec::new();
-    for (cloud_id, cloud) in clouds.iter() {
-        for conn in 0..config.connections_per_cloud {
-            let rt2 = Arc::clone(rt);
-            let cloud = Arc::clone(cloud);
-            let codec = Arc::clone(codec);
-            let state = Arc::clone(&state);
-            let probe = Arc::clone(probe);
-            let segments = Arc::clone(&segments);
-            let failures = Arc::clone(&failures);
-            let config = config.clone();
-            let obs = config.obs.clone();
-            let retry_label = format!("download:{}", cloud.name());
-            let cloud_blocks = format!("download.cloud.{}.blocks", cloud.name());
-            workers.push(spawn(
-                rt,
-                &format!("down-{}-{}", cloud.name(), conn),
-                move || loop {
-                    let job = {
-                        let mut st = state.lock();
-                        if st.finished {
-                            break;
-                        }
-                        next_job(&mut st, cloud_id.0, k, config.probing, &probe, &obs)
-                    };
-                    let Some(job) = job else {
-                        rt2.sleep(IDLE_POLL);
-                        continue;
-                    };
-                    let seg_id = { state.lock().fetches[job.fetch].id };
-                    let path = block_path(&seg_id, job.index);
-                    obs.inc("download.blocks_dispatched");
-                    obs.event(|| Event::BlockDispatched {
-                        cloud: cloud_id.0,
-                        index: job.index,
-                        bytes: 0, // size unknown until the block arrives
-                        extra: false,
-                    });
-                    let t0 = rt2.now();
-                    let result = retrying_observed(&rt2, &config.retry, &obs, &retry_label, || {
-                        cloud.download(&path)
-                    });
-                    let elapsed = rt2.now().saturating_duration_since(t0);
-                    if let Ok(data) = &result {
-                        probe.record(cloud_id, data.len() as u64, elapsed);
-                        obs.inc("download.blocks_completed");
-                        obs.add("download.block_bytes", data.len() as u64);
-                        obs.inc(&cloud_blocks);
-                        obs.observe("download.block_elapsed_ns", elapsed.as_nanos() as u64);
-                        obs.event(|| Event::BlockCompleted {
-                            cloud: cloud_id.0,
-                            index: job.index,
-                            bytes: data.len() as u64,
-                            elapsed_ns: elapsed.as_nanos() as u64,
-                        });
-                    } else {
-                        obs.inc("download.block_failures");
-                    }
-                    let mut st = state.lock();
-                    let fetch = &mut st.fetches[job.fetch];
-                    if fetch.inflight.get(&job.index) == Some(&cloud_id.0) {
-                        fetch.inflight.remove(&job.index);
-                    }
-                    match result {
-                        Ok(data) => {
-                            fetch.have.entry(job.index).or_insert(data);
-                            if !fetch.done && fetch.have.len() >= k {
-                                match decode_segment(&codec, fetch, k) {
-                                    Ok(plain) => {
-                                        fetch.done = true;
-                                        let now = rt2.now();
-                                        st.timeline.push((now, seg_id));
-                                        segments.lock().insert(seg_id, plain);
-                                    }
-                                    Err(e @ DownloadError::IntegrityMismatch { .. }) => {
-                                        // One of the k blocks is corrupt
-                                        // (we cannot tell which): discard
-                                        // this combination and refetch
-                                        // from the remaining candidates
-                                        // — over-provisioned spares exist
-                                        // precisely for moments like
-                                        // this. Give up after a few
-                                        // combinations.
-                                        fetch.integrity_retries += 1;
-                                        if fetch.integrity_retries > 3 {
-                                            fetch.done = true;
-                                            failures.lock().push(e);
-                                        } else {
-                                            let used: Vec<u16> =
-                                                fetch.have.keys().copied().collect();
-                                            for idx in used {
-                                                fetch.have.remove(&idx);
-                                                for c in &mut fetch.candidates {
-                                                    c.retain(|i| *i != idx);
-                                                }
-                                            }
-                                        }
-                                    }
-                                    Err(e) => {
-                                        fetch.done = true;
-                                        failures.lock().push(e);
-                                    }
-                                }
-                            }
-                        }
-                        Err(e) => {
-                            fetch.requested.remove(&job.index);
-                            if matches!(e, CloudError::Unavailable { .. }) {
-                                st.cloud_alive[cloud_id.0] = false;
-                            }
-                        }
-                    }
-                    finish_check(&mut st, k, &failures);
-                },
-            ));
-        }
-    }
-    // Handle the possibility that nothing is fetchable at all.
-    {
-        let mut st = state.lock();
-        finish_check(&mut st, k, &failures);
-    }
-    for w in workers {
-        w.join();
-    }
+    let mut policy = DownloadPolicy {
+        st,
+        segments: HashMap::new(),
+        failures: Vec::new(),
+        codec: Arc::clone(codec),
+        probe: Arc::clone(probe),
+        obs: config.obs.clone(),
+        k,
+        probing: config.probing,
+        dup_speed_ratio: config.dup_speed_ratio,
+        max_block_bounces: config.max_block_bounces,
+    };
+    // Handle the possibility that nothing is fetchable at all — the
+    // batch must be born finished then (engine deadlock-safety
+    // invariant: no work, nothing in flight, done).
+    finish_check(&mut policy.st, k, &mut policy.failures);
+
+    let params = EngineParams {
+        connections_per_cloud: config.connections_per_cloud,
+        retry: config.retry.clone(),
+        obs: config.obs.clone(),
+        label: "download".into(),
+        probe: Some(Arc::clone(probe)),
+        idle_wait: config.idle_wait,
+    };
+    let policy = TransferEngine::start(rt, clouds, params, policy).join();
 
     let finished = rt.now();
-    let timeline = state.lock().timeline.clone();
-    let segments_out = std::mem::take(&mut *segments.lock());
-    let failed_out = std::mem::take(&mut *failures.lock());
     DownloadReport {
-        segments: segments_out,
-        failed: failed_out,
+        segments: policy.segments,
+        failed: policy.failures,
         started,
         finished,
-        timeline,
+        timeline: policy.st.timeline,
+    }
+}
+
+/// Download-side scheduling brain: earliest-unfinished-segment
+/// dispatch, probing-gated primaries, and tail duplication, driven by
+/// the shared engine.
+struct DownloadPolicy {
+    st: DownloadState,
+    segments: HashMap<SegmentId, Vec<u8>>,
+    failures: Vec<DownloadError>,
+    codec: Arc<Codec>,
+    probe: Arc<BandwidthProbe>,
+    obs: Obs,
+    k: usize,
+    probing: bool,
+    dup_speed_ratio: f64,
+    max_block_bounces: u32,
+}
+
+impl TransferPolicy for DownloadPolicy {
+    type Token = Job;
+
+    fn next_job(&mut self, cloud: CloudId) -> Option<JobDesc<Job>> {
+        let job = next_job(
+            &mut self.st,
+            cloud.0,
+            self.k,
+            self.probing,
+            self.dup_speed_ratio,
+            &self.probe,
+            &self.obs,
+        )?;
+        let path = block_path(&self.st.fetches[job.fetch].id, job.index);
+        Some(JobDesc {
+            index: job.index,
+            extra: false,
+            op: WireOp::Download { path },
+            token: job,
+        })
+    }
+
+    fn is_done(&self) -> bool {
+        self.st.finished
+    }
+
+    fn on_success(&mut self, cloud: CloudId, job: Job, data: Option<Bytes>, now: Time) {
+        let data = data.expect("download job completed without data");
+        let fetch = &mut self.st.fetches[job.fetch];
+        let seg_id = fetch.id;
+        if fetch.inflight.get(&job.index) == Some(&cloud.0) {
+            fetch.inflight.remove(&job.index);
+        }
+        fetch.have.entry(job.index).or_insert(data);
+        if !fetch.done && fetch.have.len() >= self.k {
+            match decode_segment(&self.codec, fetch, self.k) {
+                Ok(plain) => {
+                    fetch.done = true;
+                    self.st.timeline.push((now, seg_id));
+                    self.segments.insert(seg_id, plain);
+                }
+                Err(e @ DownloadError::IntegrityMismatch { .. }) => {
+                    // One of the k blocks is corrupt (we cannot tell
+                    // which): discard this combination and refetch from
+                    // the remaining candidates — over-provisioned
+                    // spares exist precisely for moments like this.
+                    // Give up after a few combinations.
+                    fetch.integrity_retries += 1;
+                    if fetch.integrity_retries > 3 {
+                        fetch.done = true;
+                        self.failures.push(e);
+                    } else {
+                        let used: Vec<u16> = fetch.have.keys().copied().collect();
+                        for idx in used {
+                            fetch.have.remove(&idx);
+                            for c in &mut fetch.candidates {
+                                c.retain(|i| *i != idx);
+                            }
+                        }
+                    }
+                }
+                Err(e) => {
+                    fetch.done = true;
+                    self.failures.push(e);
+                }
+            }
+        }
+        finish_check(&mut self.st, self.k, &mut self.failures);
+    }
+
+    fn on_failure(&mut self, cloud: CloudId, job: Job, error: CloudError, _now: Time) {
+        let fetch = &mut self.st.fetches[job.fetch];
+        if fetch.inflight.get(&job.index) == Some(&cloud.0) {
+            fetch.inflight.remove(&job.index);
+        }
+        let bounces = fetch.bounces.entry(job.index).or_insert(0);
+        *bounces += 1;
+        if *bounces >= self.max_block_bounces {
+            // The block's holder keeps failing without going
+            // unavailable: stop chasing it so the batch can settle
+            // (finish_check then completes from other blocks or
+            // reports NotEnoughBlocks instead of looping forever).
+            for c in &mut fetch.candidates {
+                c.retain(|i| *i != job.index);
+            }
+        } else {
+            fetch.requested.remove(&job.index);
+        }
+        if matches!(error, CloudError::Unavailable { .. }) {
+            self.st.cloud_alive[cloud.0] = false;
+        }
+        finish_check(&mut self.st, self.k, &mut self.failures);
     }
 }
 
@@ -357,6 +365,7 @@ fn next_job(
     cloud: usize,
     k: usize,
     probing: bool,
+    dup_speed_ratio: f64,
     probe: &BandwidthProbe,
     obs: &Obs,
 ) -> Option<Job> {
@@ -408,7 +417,7 @@ fn next_job(
         if probing && outstanding > 0 && fetch.over_requests < k {
             let stuck_on_slow = fetch.inflight.iter().any(|(_, &other)| {
                 other != cloud
-                    && my_speed > DUP_SPEED_RATIO * probe.speed(unidrive_cloud::CloudId(other))
+                    && my_speed > dup_speed_ratio * probe.speed(unidrive_cloud::CloudId(other))
             });
             if stuck_on_slow {
                 let fetch = &mut st.fetches[fi];
@@ -426,11 +435,7 @@ fn next_job(
 
 /// Detects completion: every fetch is done, or stuck fetches cannot make
 /// progress (no reachable unrequested candidates and nothing in flight).
-fn finish_check(
-    st: &mut DownloadState,
-    k: usize,
-    failures: &Arc<Mutex<Vec<DownloadError>>>,
-) {
+fn finish_check(st: &mut DownloadState, k: usize, failures: &mut Vec<DownloadError>) {
     if st.finished {
         return;
     }
@@ -456,7 +461,7 @@ fn finish_check(
             continue;
         }
         // Stuck: record the failure.
-        failures.lock().push(DownloadError::NotEnoughBlocks {
+        failures.push(DownloadError::NotEnoughBlocks {
             segment: fetch.id,
             got: fetch.have.len(),
             need: k,
@@ -709,6 +714,65 @@ mod tests {
             report.failed
         );
         assert_eq!(report.segments[&id], data);
+    }
+
+    #[test]
+    fn missing_blocks_bounce_out_instead_of_looping() {
+        // Deleting objects from a cloud makes its downloads fail with
+        // NotFound — the cloud never reports Unavailable, so only the
+        // bounce limit stops the scheduler from re-queuing those blocks
+        // forever. The batch must terminate and reconstruct from the
+        // surviving blocks.
+        let r = rig(8, &[1e6; 5]);
+        let (id, data, blocks) = upload_one(&r, 300_000, 17);
+        // Erase every stored block on two clouds (ransack, not outage).
+        for b in blocks.iter().filter(|b| b.cloud <= 1) {
+            let cloud = r.clouds.get(unidrive_cloud::CloudId(b.cloud as usize));
+            cloud.delete(&block_path(&id, b.index)).unwrap();
+        }
+        let report = run_download(
+            &r.rt,
+            &r.clouds,
+            &r.codec,
+            &r.config,
+            &r.probe,
+            vec![SegmentFetch {
+                id,
+                len: data.len() as u64,
+                blocks,
+            }],
+        );
+        assert!(report.is_complete(), "failures: {:?}", report.failed);
+        assert_eq!(report.segments[&id], data);
+    }
+
+    #[test]
+    fn unreachable_batch_terminates_with_failure() {
+        // Erase so many blocks that reconstruction is impossible: the
+        // batch must settle on NotEnoughBlocks, not hang.
+        let r = rig(9, &[1e6; 5]);
+        let (id, data, blocks) = upload_one(&r, 200_000, 19);
+        for b in blocks.iter().filter(|b| b.cloud <= 3) {
+            let cloud = r.clouds.get(unidrive_cloud::CloudId(b.cloud as usize));
+            cloud.delete(&block_path(&id, b.index)).unwrap();
+        }
+        let report = run_download(
+            &r.rt,
+            &r.clouds,
+            &r.codec,
+            &r.config,
+            &r.probe,
+            vec![SegmentFetch {
+                id,
+                len: data.len() as u64,
+                blocks,
+            }],
+        );
+        assert!(!report.is_complete());
+        assert!(matches!(
+            report.failed[0],
+            DownloadError::NotEnoughBlocks { .. }
+        ));
     }
 
     #[test]

@@ -1,0 +1,384 @@
+//! The shared pull-based transfer engine (paper §6.2).
+//!
+//! The paper's data plane is one idea applied everywhere: an idle
+//! (cloud, connection) pair *pulls* the next best block, so a faster
+//! cloud — whose connections go idle more often — naturally receives
+//! more work. This module implements that dispatch loop exactly once.
+//! What differs between upload, download, and the baseline clients is
+//! only *which* block an idle connection should take and *what* to do
+//! when it lands: that is a [`TransferPolicy`].
+//!
+//! The engine owns everything the five former hand-rolled loops
+//! duplicated: the worker pool (one actor per cloud connection),
+//! [`retrying_observed`] around every wire call, `unidrive-obs`
+//! counters and `BlockDispatched`/`BlockCompleted` events, feeding the
+//! [`BandwidthProbe`], and idle parking. Workers park on a
+//! [`Notifier`] (an eventcount) instead of polling: each completion or
+//! failure broadcasts, so an idle connection re-polls its policy only
+//! when the schedulable state may actually have changed — no timer
+//! churn in the simulator, no busy-wait under wall clock.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use unidrive_cloud::{retrying_observed, CloudError, CloudId, CloudSet, RetryPolicy};
+use unidrive_obs::{Event, Obs};
+use unidrive_sim::{spawn, Notifier, Runtime, Task, Time};
+use unidrive_util::bytes::Bytes;
+use unidrive_util::sync::Mutex;
+
+use crate::probe::BandwidthProbe;
+
+/// What the engine should do on the wire for one job.
+pub enum WireOp {
+    /// Upload `payload()` to `path`. The payload is produced lazily by
+    /// the worker, outside the policy lock — block encoding is the CPU
+    /// cost here and must not serialize the scheduler.
+    Upload {
+        /// Object path on the cloud.
+        path: String,
+        /// Produces the bytes to upload.
+        payload: Box<dyn FnOnce() -> Bytes + Send>,
+    },
+    /// Download the object at `path`.
+    Download {
+        /// Object path on the cloud.
+        path: String,
+    },
+}
+
+impl std::fmt::Debug for WireOp {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireOp::Upload { path, .. } => f.debug_struct("Upload").field("path", path).finish(),
+            WireOp::Download { path } => f.debug_struct("Download").field("path", path).finish(),
+        }
+    }
+}
+
+/// One job handed out by a policy: the wire operation plus the
+/// bookkeeping the policy needs back on completion.
+#[derive(Debug)]
+pub struct JobDesc<T> {
+    /// Opaque policy state returned via `on_success`/`on_failure`.
+    pub token: T,
+    /// Block index (for the dispatch/completion events).
+    pub index: u16,
+    /// Whether this is an over-provisioned extra (event + counter tag).
+    pub extra: bool,
+    /// What to do on the wire.
+    pub op: WireOp,
+}
+
+/// The scheduling brain driven by the [`TransferEngine`].
+///
+/// All methods are called under the engine's policy lock; they must not
+/// block (no wire calls, no sleeps) — heavy work belongs in the
+/// [`WireOp`] payload closure or in the caller.
+///
+/// Deadlock-safety invariant: whenever nothing is in flight and
+/// `next_job` would return `None` for every cloud, `is_done` must be
+/// `true` — the engine parks idle workers until a completion notifies
+/// them, so a policy that is "not done" yet hands out no work with
+/// nothing in flight would park everyone forever. Policies uphold this
+/// by re-deriving their finished flag after every completion (and once
+/// at construction, for empty batches).
+pub trait TransferPolicy: Send + 'static {
+    /// Per-job bookkeeping round-tripped through the engine.
+    type Token: Send;
+
+    /// Picks the next job for an idle connection of `cloud`, or `None`
+    /// if that cloud has nothing useful to do right now.
+    fn next_job(&mut self, cloud: CloudId) -> Option<JobDesc<Self::Token>>;
+
+    /// Whether the batch is over (workers exit their loops).
+    fn is_done(&self) -> bool;
+
+    /// A job finished. `data` carries downloaded bytes (`None` for
+    /// uploads); `now` is the runtime clock right after the transfer.
+    fn on_success(&mut self, cloud: CloudId, token: Self::Token, data: Option<Bytes>, now: Time);
+
+    /// A job failed after retries.
+    fn on_failure(&mut self, cloud: CloudId, token: Self::Token, error: CloudError, now: Time);
+}
+
+/// Engine wiring shared by every policy.
+#[derive(Debug, Clone)]
+pub struct EngineParams {
+    /// Worker actors per cloud.
+    pub connections_per_cloud: usize,
+    /// Retry policy wrapped around every wire call.
+    pub retry: RetryPolicy,
+    /// Observability handle (counters, events, retry trace).
+    pub obs: Obs,
+    /// Counter/event namespace: counters are `{label}.blocks_dispatched`
+    /// etc., retry traces `{label}:{cloud}`.
+    pub label: String,
+    /// Feed completed transfers into this probe as in-channel bandwidth
+    /// measurements.
+    pub probe: Option<Arc<BandwidthProbe>>,
+    /// Upper bound on idle parking before an extra re-poll; `None`
+    /// parks until notified (see `DataPlaneConfig::idle_wait`).
+    pub idle_wait: Option<Duration>,
+}
+
+impl EngineParams {
+    /// Minimal wiring: one connection per cloud, default retries, no
+    /// observability, no probe.
+    pub fn new(label: impl Into<String>) -> Self {
+        EngineParams {
+            connections_per_cloud: 1,
+            retry: RetryPolicy::new(),
+            obs: Obs::noop(),
+            label: label.into(),
+            probe: None,
+            idle_wait: None,
+        }
+    }
+}
+
+/// Counter names formatted once per engine, not once per block.
+struct CounterNames {
+    dispatched: String,
+    extra_dispatched: String,
+    completed: String,
+    block_bytes: String,
+    block_elapsed: String,
+    failures: String,
+}
+
+impl CounterNames {
+    fn new(label: &str) -> Self {
+        CounterNames {
+            dispatched: format!("{label}.blocks_dispatched"),
+            extra_dispatched: format!("{label}.extra_blocks_dispatched"),
+            completed: format!("{label}.blocks_completed"),
+            block_bytes: format!("{label}.block_bytes"),
+            block_elapsed: format!("{label}.block_elapsed_ns"),
+            failures: format!("{label}.block_failures"),
+        }
+    }
+}
+
+/// A running worker pool driving one [`TransferPolicy`].
+///
+/// Workers spawn on [`TransferEngine::start`] and run until the policy
+/// reports done; the caller then either [`join`](TransferEngine::join)s
+/// (returning the policy with all its results) or
+/// [`detach`](TransferEngine::detach)es after
+/// [`wait_until`](TransferEngine::wait_until) some milestone (the
+/// availability-first upload path).
+pub struct TransferEngine<P: TransferPolicy> {
+    policy: Arc<Mutex<P>>,
+    signal: Arc<dyn Notifier>,
+    workers: Vec<Task<()>>,
+}
+
+impl<P: TransferPolicy> std::fmt::Debug for TransferEngine<P> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TransferEngine")
+            .field("workers", &self.workers.len())
+            .finish()
+    }
+}
+
+impl<P: TransferPolicy> TransferEngine<P> {
+    /// Spawns `connections_per_cloud` workers per cloud, each pulling
+    /// jobs from `policy` until it is done.
+    pub fn start(
+        rt: &Arc<dyn Runtime>,
+        clouds: &CloudSet,
+        params: EngineParams,
+        policy: P,
+    ) -> Self {
+        let policy = Arc::new(Mutex::new(policy));
+        let signal = rt.notifier();
+        let names = Arc::new(CounterNames::new(&params.label));
+        let mut workers = Vec::new();
+        for (cloud_id, cloud) in clouds.iter() {
+            for conn in 0..params.connections_per_cloud {
+                let rt2 = Arc::clone(rt);
+                let cloud = Arc::clone(cloud);
+                let policy = Arc::clone(&policy);
+                let signal = Arc::clone(&signal);
+                let params = params.clone();
+                let names = Arc::clone(&names);
+                let retry_label = format!("{}:{}", params.label, cloud.name());
+                let cloud_blocks = format!("{}.cloud.{}.blocks", params.label, cloud.name());
+                workers.push(spawn(
+                    rt,
+                    &format!("{}-{}-{}", params.label, cloud.name(), conn),
+                    move || {
+                        worker_loop(
+                            &rt2,
+                            cloud_id,
+                            &*cloud,
+                            &policy,
+                            &signal,
+                            &params,
+                            &names,
+                            &retry_label,
+                            &cloud_blocks,
+                        );
+                    },
+                ));
+            }
+        }
+        TransferEngine {
+            policy,
+            signal,
+            workers,
+        }
+    }
+
+    /// Runs `f` under the policy lock (snapshots, milestone stamps).
+    pub fn with<R>(&self, f: impl FnOnce(&mut P) -> R) -> R {
+        f(&mut self.policy.lock())
+    }
+
+    /// Blocks the calling actor until `cond` holds or the policy is
+    /// done, re-checking on every completion broadcast.
+    pub fn wait_until(&self, mut cond: impl FnMut(&mut P) -> bool) {
+        loop {
+            let seen = self.signal.generation();
+            {
+                let mut p = self.policy.lock();
+                if cond(&mut p) || p.is_done() {
+                    return;
+                }
+            }
+            self.signal.wait(seen);
+        }
+    }
+
+    /// Waits for every worker to exit and returns the policy.
+    pub fn join(self) -> P {
+        for w in self.workers {
+            w.join();
+        }
+        Arc::try_unwrap(self.policy)
+            .unwrap_or_else(|_| panic!("policy still shared after workers exited"))
+            .into_inner()
+    }
+
+    /// Drops the worker handles; the pool keeps running on its own
+    /// actors until the policy is done (reliability-second background
+    /// work).
+    pub fn detach(self) {
+        drop(self.workers);
+    }
+}
+
+/// The single dispatch loop every transfer in the workspace now runs.
+#[allow(clippy::too_many_arguments)]
+fn worker_loop<P: TransferPolicy>(
+    rt: &Arc<dyn Runtime>,
+    cloud_id: CloudId,
+    cloud: &dyn unidrive_cloud::CloudStore,
+    policy: &Arc<Mutex<P>>,
+    signal: &Arc<dyn Notifier>,
+    params: &EngineParams,
+    names: &CounterNames,
+    retry_label: &str,
+    cloud_blocks: &str,
+) {
+    let obs = &params.obs;
+    loop {
+        // Eventcount protocol: read the generation before polling the
+        // policy so a completion landing between the poll and the wait
+        // still wakes us (no lost wake-ups).
+        let seen = signal.generation();
+        let job = {
+            let mut p = policy.lock();
+            if p.is_done() {
+                break;
+            }
+            p.next_job(cloud_id)
+        };
+        let Some(JobDesc {
+            token,
+            index,
+            extra,
+            op,
+        }) = job
+        else {
+            match params.idle_wait {
+                Some(bound) => {
+                    signal.wait_timeout(seen, bound);
+                }
+                None => signal.wait(seen),
+            }
+            continue;
+        };
+        // Events stamp through the obs registry clock (which reads the
+        // sim engine state), so everything below runs lock-free with
+        // respect to the policy.
+        let t0;
+        let (result, bytes_len) = match op {
+            WireOp::Upload { path, payload } => {
+                let data = payload();
+                let bytes_len = data.len() as u64;
+                obs.inc(&names.dispatched);
+                if extra {
+                    obs.inc(&names.extra_dispatched);
+                }
+                obs.event(|| Event::BlockDispatched {
+                    cloud: cloud_id.0,
+                    index,
+                    bytes: bytes_len,
+                    extra,
+                });
+                t0 = rt.now();
+                let r = retrying_observed(rt, &params.retry, obs, retry_label, || {
+                    cloud.upload(&path, data.clone())
+                });
+                (r.map(|()| None), bytes_len)
+            }
+            WireOp::Download { path } => {
+                obs.inc(&names.dispatched);
+                obs.event(|| Event::BlockDispatched {
+                    cloud: cloud_id.0,
+                    index,
+                    bytes: 0, // size unknown until the block arrives
+                    extra: false,
+                });
+                t0 = rt.now();
+                let r = retrying_observed(rt, &params.retry, obs, retry_label, || {
+                    cloud.download(&path)
+                });
+                let len = r.as_ref().map_or(0, |d| d.len() as u64);
+                (r.map(Some), len)
+            }
+        };
+        let now = rt.now();
+        let elapsed = now.saturating_duration_since(t0);
+        match &result {
+            Ok(_) => {
+                if let Some(probe) = &params.probe {
+                    probe.record(cloud_id, bytes_len, elapsed);
+                }
+                obs.inc(&names.completed);
+                obs.add(&names.block_bytes, bytes_len);
+                obs.inc(cloud_blocks);
+                obs.observe(&names.block_elapsed, elapsed.as_nanos() as u64);
+                obs.event(|| Event::BlockCompleted {
+                    cloud: cloud_id.0,
+                    index,
+                    bytes: bytes_len,
+                    elapsed_ns: elapsed.as_nanos() as u64,
+                });
+            }
+            Err(_) => obs.inc(&names.failures),
+        }
+        {
+            let mut p = policy.lock();
+            match result {
+                Ok(data) => p.on_success(cloud_id, token, data, now),
+                Err(e) => p.on_failure(cloud_id, token, e, now),
+            }
+        }
+        // The schedulable state changed: wake every parked connection
+        // to re-poll (and to observe is_done on the final completion).
+        signal.notify_all();
+    }
+}

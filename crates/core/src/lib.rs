@@ -30,6 +30,7 @@ mod client;
 mod control;
 mod dataplane;
 mod download;
+mod engine;
 mod folder;
 mod lock;
 mod maintenance;
@@ -42,6 +43,7 @@ pub use client::{ClientConfig, SyncError, SyncReport, UniDriveClient};
 pub use control::{newer, MetaError, MetadataStore, RemoteState};
 pub use dataplane::{DataPlane, FileSegmentation, UploadRequest};
 pub use download::{run_download, DownloadError, DownloadReport, SegmentFetch};
+pub use engine::{EngineParams, JobDesc, TransferEngine, TransferPolicy, WireOp};
 pub use folder::{
     scan_changes, DirFolder, FolderError, LocalChange, LocalStat, MemFolder, SyncFolder,
 };

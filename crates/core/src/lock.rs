@@ -504,9 +504,11 @@ mod tests {
             )
             .unwrap();
         }
-        let mut config = LockConfig::default();
-        config.stale_after = Duration::from_secs(120);
-        config.max_attempts = 40;
+        let config = LockConfig {
+            stale_after: Duration::from_secs(120),
+            max_attempts: 40,
+            ..LockConfig::default()
+        };
         let lock = QuorumLock::new(
             rt,
             clouds,

@@ -1,5 +1,6 @@
 //! Shared data-plane configuration and block-assignment planning.
 
+use std::time::Duration;
 
 use unidrive_chunker::ChunkerConfig;
 use unidrive_cloud::RetryPolicy;
@@ -26,6 +27,17 @@ pub struct DataPlaneConfig {
     /// Enable in-channel probing (download tail duplication onto faster
     /// clouds). Disabling reduces downloads to plain idle-pull.
     pub probing: bool,
+    /// Give up on placing a block after this many failed placements
+    /// across the batch (each failure re-queues it elsewhere first).
+    pub max_block_bounces: u32,
+    /// Download tail-duplication threshold: an idle cloud duplicates a
+    /// block in flight on a cloud at least this many times slower.
+    pub dup_speed_ratio: f64,
+    /// Upper bound on how long an idle transfer-engine worker parks
+    /// before re-polling its policy. `None` (the default) parks until a
+    /// completion or failure actually notifies it — the former 5 ms
+    /// `IDLE_POLL` constant, kept sweepable for ablations.
+    pub idle_wait: Option<Duration>,
     /// Observability handle threaded through the schedulers, retries,
     /// and the bandwidth probe (no-op by default; see `unidrive-obs`).
     pub obs: Obs,
@@ -43,6 +55,9 @@ impl DataPlaneConfig {
             overprovisioning: true,
             two_phase: true,
             probing: true,
+            max_block_bounces: 8,
+            dup_speed_ratio: 1.5,
+            idle_wait: None,
             obs: Obs::noop(),
         }
     }

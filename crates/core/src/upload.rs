@@ -2,9 +2,10 @@
 //! onto idle fast clouds, and the **availability-first /
 //! reliability-second** two-phase principle for batches (paper §6.2).
 //!
-//! The scheduler is pull-based: one worker thread per (cloud,
-//! connection) asks for its next block whenever it goes idle. Because a
-//! faster cloud's connections go idle more often, it is handed more
+//! The scheduler is pull-based: the shared [`TransferEngine`] runs one
+//! worker per (cloud, connection) that asks this module's
+//! [`TransferPolicy`] for its next block whenever it goes idle. Because
+//! a faster cloud's connections go idle more often, it is handed more
 //! blocks — the network utilization of each cloud ends up proportional
 //! to its performance exactly as the paper intends, with every completed
 //! transfer doubling as an in-channel bandwidth probe.
@@ -15,19 +16,14 @@ use std::time::Duration;
 
 use unidrive_util::bytes::Bytes;
 use unidrive_util::sync::Mutex;
-use unidrive_cloud::{retrying_observed, CloudError, CloudId, CloudSet};
+use unidrive_cloud::{CloudError, CloudId, CloudSet};
 use unidrive_erasure::Codec;
 use unidrive_meta::{block_path, BlockRef, SegmentId};
-use unidrive_obs::Event;
-use unidrive_sim::{spawn, Runtime, Time};
+use unidrive_sim::{Runtime, Time};
 
+use crate::engine::{EngineParams, JobDesc, TransferEngine, TransferPolicy, WireOp};
 use crate::plan::{normal_assignment, DataPlaneConfig, SegmentData};
 use crate::probe::BandwidthProbe;
-
-/// How often an idle worker re-checks for work (virtual or wall time).
-const IDLE_POLL: Duration = Duration::from_millis(5);
-/// Give up on a block after this many failed placements.
-const MAX_BLOCK_BOUNCES: u32 = 8;
 
 /// One file to upload, already segmented.
 #[derive(Debug, Clone)]
@@ -251,144 +247,75 @@ pub fn run_upload_opts(
         files.push((file.path.clone(), plan_ids, None));
     }
 
-    let state = Arc::new(Mutex::new(UploadState {
+    let mut st = UploadState {
         segs,
         files,
         cloud_alive: vec![true; n_clouds],
         finished: false,
         unplaced: 0,
         timeline: Vec::new(),
-    }));
+    };
 
     // Files with no segments (empty, or fully deduplicated) are
-    // available immediately.
-    {
-        let mut st = state.lock();
-        st.refresh_availability(k, started);
-        maybe_finish(&mut st, cap);
-    }
+    // available immediately — and an empty batch must be born finished
+    // (the engine's deadlock-safety invariant).
+    st.refresh_availability(k, started);
+    maybe_finish(&mut st, cap);
 
-    let mut workers = Vec::new();
-    for (cloud_id, cloud) in clouds.iter() {
-        for conn in 0..config.connections_per_cloud {
-            let rt2 = Arc::clone(rt);
-            let cloud = Arc::clone(cloud);
-            let codec = Arc::clone(codec);
-            let state = Arc::clone(&state);
-            let probe = Arc::clone(probe);
-            let config = config.clone();
-            let sink = options.sink.clone();
-            let obs = config.obs.clone();
-            let retry_label = format!("upload:{}", cloud.name());
-            let cloud_blocks = format!("upload.cloud.{}.blocks", cloud.name());
-            workers.push(spawn(
-                rt,
-                &format!("up-{}-{}", cloud.name(), conn),
-                move || loop {
-                    let job = {
-                        let mut st = state.lock();
-                        if st.finished {
-                            break;
-                        }
-                        next_job(&mut st, cloud_id.0, k, cap, &config)
-                    };
-                    let Some(job) = job else {
-                        rt2.sleep(IDLE_POLL);
-                        continue;
-                    };
-                    let (seg_id, block) = {
-                        let st = state.lock();
-                        (st.segs[job.seg].id, st.segs[job.seg].data.clone())
-                    };
-                    let encoded = codec.encode_block(&block, job.index as usize);
-                    let path = block_path(&seg_id, job.index);
-                    let bytes_len = encoded.len() as u64;
-                    let extra = job.index >= normal_total;
-                    obs.inc("upload.blocks_dispatched");
-                    if extra {
-                        obs.inc("upload.extra_blocks_dispatched");
-                    }
-                    obs.event(|| Event::BlockDispatched {
-                        cloud: cloud_id.0,
-                        index: job.index,
-                        bytes: bytes_len,
-                        extra,
-                    });
-                    let t0 = rt2.now();
-                    let result = retrying_observed(&rt2, &config.retry, &obs, &retry_label, || {
-                        cloud.upload(&path, encoded.clone())
-                    });
-                    let elapsed = rt2.now().saturating_duration_since(t0);
-                    if result.is_ok() {
-                        // Recorded outside the scheduler lock: events
-                        // stamp through the (engine-backed) clock.
-                        probe.record(cloud_id, bytes_len, elapsed);
-                        obs.inc("upload.blocks_completed");
-                        obs.add("upload.block_bytes", bytes_len);
-                        obs.inc(&cloud_blocks);
-                        obs.observe("upload.block_elapsed_ns", elapsed.as_nanos() as u64);
-                        obs.event(|| Event::BlockCompleted {
-                            cloud: cloud_id.0,
-                            index: job.index,
-                            bytes: bytes_len,
-                            elapsed_ns: elapsed.as_nanos() as u64,
-                        });
-                    } else {
-                        obs.inc("upload.block_failures");
-                    }
-                    let mut st = state.lock();
-                    st.segs[job.seg].inflight[cloud_id.0] -= 1;
-                    match result {
-                        Ok(()) => {
-                            let placed = BlockRef {
-                                index: job.index,
-                                cloud: cloud_id.0 as u16,
-                            };
-                            st.segs[job.seg].done.push(placed);
-                            if let Some(sink) = &sink {
-                                sink.lock().push((st.segs[job.seg].id, placed));
-                            }
-                            let now = rt2.now();
-                            st.refresh_availability(k, now);
-                        }
-                        Err(e) => {
-                            handle_failure(&mut st, job, cloud_id, e, cap);
-                        }
-                    }
-                    maybe_finish(&mut st, cap);
-                },
-            ));
-        }
-    }
+    let policy = UploadPolicy {
+        st,
+        config: config.clone(),
+        codec: Arc::clone(codec),
+        sink: options.sink.clone(),
+        k,
+        cap,
+        normal_total,
+    };
+    let params = EngineParams {
+        connections_per_cloud: config.connections_per_cloud,
+        retry: config.retry.clone(),
+        obs: config.obs.clone(),
+        label: "upload".into(),
+        probe: Some(Arc::clone(probe)),
+        idle_wait: config.idle_wait,
+    };
+    let engine = TransferEngine::start(rt, clouds, params, policy);
+
+    let fair = config.redundancy.fair_share();
     if options.detach_after_availability {
         // Wait only until every file is available (or nothing more can
         // make progress); the reliability work continues on the detached
         // workers and reports through the sink.
-        loop {
-            {
-                let mut st = state.lock();
-                let all_avail = st.files.iter().all(|(_, _, at)| at.is_some())
-                    || st.all_available(k);
-                if st.finished || all_avail {
-                    // Stamp availability in case the check above hit the
-                    // computed path.
-                    let now = rt.now();
-                    st.refresh_availability(k, now);
-                    break;
-                }
+        let rt2 = Arc::clone(rt);
+        engine.wait_until(move |p| {
+            let all_avail =
+                p.st.files.iter().all(|(_, _, at)| at.is_some()) || p.st.all_available(p.k);
+            if all_avail {
+                // Stamp availability in case the check above hit the
+                // computed path.
+                let now = rt2.now();
+                p.st.refresh_availability(p.k, now);
             }
-            rt.sleep(IDLE_POLL);
-        }
-        drop(workers); // detach: tasks keep running on their own threads
+            all_avail
+        });
+        let finished = rt.now();
+        let report = engine.with(|p| build_report(&p.st, n_clouds, fair, started, finished));
+        engine.detach(); // tasks keep running on their own threads
+        report
     } else {
-        for w in workers {
-            w.join();
-        }
+        let policy = engine.join();
+        let finished = rt.now();
+        build_report(&policy.st, n_clouds, fair, started, finished)
     }
+}
 
-    let finished = rt.now();
-    let st = state.lock();
-    let fair = config.redundancy.fair_share();
+fn build_report(
+    st: &UploadState,
+    n_clouds: usize,
+    fair: usize,
+    started: Time,
+    finished: Time,
+) -> UploadReport {
     let report_files = st
         .files
         .iter()
@@ -396,7 +323,8 @@ pub fn run_upload_opts(
             let reliable = plan_ids.iter().all(|&p| {
                 let seg = &st.segs[p];
                 (0..n_clouds).all(|c| {
-                    !st.cloud_alive[c] || seg.done.iter().filter(|b| b.cloud as usize == c).count() >= fair
+                    !st.cloud_alive[c]
+                        || seg.done.iter().filter(|b| b.cloud as usize == c).count() >= fair
                 })
             });
             FileUploadResult {
@@ -418,6 +346,65 @@ pub fn run_upload_opts(
         started,
         finished,
         timeline: st.timeline.clone(),
+    }
+}
+
+/// Upload-side scheduling brain: two-phase batching, fair-share
+/// placement, and over-provisioning, driven by the shared engine.
+struct UploadPolicy {
+    st: UploadState,
+    config: DataPlaneConfig,
+    codec: Arc<Codec>,
+    sink: Option<BlockSink>,
+    k: usize,
+    cap: usize,
+    normal_total: u16,
+}
+
+impl TransferPolicy for UploadPolicy {
+    type Token = Job;
+
+    fn next_job(&mut self, cloud: CloudId) -> Option<JobDesc<Job>> {
+        let job = next_job(&mut self.st, cloud.0, self.k, self.cap, &self.config)?;
+        let seg = &self.st.segs[job.seg];
+        let path = block_path(&seg.id, job.index);
+        let data = seg.data.clone();
+        let codec = Arc::clone(&self.codec);
+        let index = job.index;
+        Some(JobDesc {
+            index,
+            extra: index >= self.normal_total,
+            // Encoding runs on the worker, outside this policy's lock.
+            op: WireOp::Upload {
+                path,
+                payload: Box::new(move || codec.encode_block(&data, index as usize)),
+            },
+            token: job,
+        })
+    }
+
+    fn is_done(&self) -> bool {
+        self.st.finished
+    }
+
+    fn on_success(&mut self, cloud: CloudId, job: Job, _data: Option<Bytes>, now: Time) {
+        self.st.segs[job.seg].inflight[cloud.0] -= 1;
+        let placed = BlockRef {
+            index: job.index,
+            cloud: cloud.0 as u16,
+        };
+        self.st.segs[job.seg].done.push(placed);
+        if let Some(sink) = &self.sink {
+            sink.lock().push((self.st.segs[job.seg].id, placed));
+        }
+        self.st.refresh_availability(self.k, now);
+        maybe_finish(&mut self.st, self.cap);
+    }
+
+    fn on_failure(&mut self, cloud: CloudId, job: Job, error: CloudError, _now: Time) {
+        self.st.segs[job.seg].inflight[cloud.0] -= 1;
+        handle_failure(&mut self.st, job, cloud, error, self.config.max_block_bounces);
+        maybe_finish(&mut self.st, self.cap);
     }
 }
 
@@ -571,7 +558,13 @@ fn mint_extra(st: &mut UploadState, p: usize, cloud: usize, cap: usize) -> Optio
     Some(Job { seg: p, index })
 }
 
-fn handle_failure(st: &mut UploadState, job: Job, cloud: CloudId, error: CloudError, cap: usize) {
+fn handle_failure(
+    st: &mut UploadState,
+    job: Job,
+    cloud: CloudId,
+    error: CloudError,
+    max_bounces: u32,
+) {
     let fatal = matches!(
         error,
         CloudError::Unavailable { .. } | CloudError::QuotaExceeded { .. }
@@ -586,12 +579,11 @@ fn handle_failure(st: &mut UploadState, job: Job, cloud: CloudId, error: CloudEr
     }
     let seg = &mut st.segs[job.seg];
     seg.bounces += 1;
-    if seg.bounces <= MAX_BLOCK_BOUNCES {
+    if seg.bounces <= max_bounces {
         seg.reassign.push_back(job.index);
     } else {
         st.unplaced += 1;
     }
-    let _ = cap;
 }
 
 /// Declares the batch finished when no work remains or none of what
@@ -647,17 +639,16 @@ mod tests {
         }
     }
 
-    fn setup(
-        seed: u64,
-        rates: &[f64],
-    ) -> (
+    type TestRig = (
         Arc<SimRuntime>,
         Arc<dyn Runtime>,
         CloudSet,
         Arc<Codec>,
         DataPlaneConfig,
         Arc<BandwidthProbe>,
-    ) {
+    );
+
+    fn setup(seed: u64, rates: &[f64]) -> TestRig {
         let sim = SimRuntime::new(seed);
         let clouds = CloudSet::new(
             rates

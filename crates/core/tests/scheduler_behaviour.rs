@@ -49,7 +49,10 @@ fn content(len: usize, tag: u8) -> Bytes {
     Bytes::from((0..len).map(|i| (i as u8).wrapping_add(tag)).collect::<Vec<u8>>())
 }
 
-fn upload_one(rig: &Rig, tag: u8) -> (Vec<(SegmentId, u64)>, Vec<(SegmentId, BlockRef)>) {
+/// The segments `(id, len)` and placed blocks of one uploaded file.
+type UploadOutcome = (Vec<(SegmentId, u64)>, Vec<(SegmentId, BlockRef)>);
+
+fn upload_one(rig: &Rig, tag: u8) -> UploadOutcome {
     let data = content(200_000, tag);
     let (report, segs) = rig.plane.upload_files(
         vec![UploadRequest {

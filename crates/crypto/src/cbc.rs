@@ -121,7 +121,7 @@ impl MetadataCipher {
     /// [`DecryptError`] on malformed length or padding (typically a wrong
     /// passphrase).
     pub fn decrypt(&self, ciphertext: &[u8]) -> Result<Vec<u8>, DecryptError> {
-        if ciphertext.len() < 16 || ciphertext.len() % 8 != 0 {
+        if ciphertext.len() < 16 || !ciphertext.len().is_multiple_of(8) {
             return Err(DecryptError::BadLength {
                 len: ciphertext.len(),
             });

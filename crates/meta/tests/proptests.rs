@@ -219,7 +219,7 @@ fn block_bookkeeping() {
             let index = rng.below(8) as u16;
             let cloud = rng.below(4) as u16;
             let block = BlockRef { index, cloud };
-            if op % 2 == 0 {
+            if op.is_multiple_of(2) {
                 assert_eq!(image.record_block(id, block), model.insert((index, cloud)));
             } else {
                 assert_eq!(image.remove_block(&id, block), model.remove(&(index, cloud)));

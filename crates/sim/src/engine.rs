@@ -53,7 +53,7 @@ use unidrive_util::sync::{Condvar, Mutex};
 
 use crate::link::{Flow, LinkId, LinkProfile, LinkState};
 use crate::rng::SimRng;
-use crate::{Runtime, Semaphore, Time};
+use crate::{Notifier, Runtime, Semaphore, Time};
 
 static NEXT_ENGINE_ID: AtomicU64 = AtomicU64::new(1);
 
@@ -71,6 +71,8 @@ enum WakeReason {
     Acquired,
     /// Its network flow completed.
     FlowDone,
+    /// A notifier it waited on was broadcast.
+    Notified,
 }
 
 /// What an actor is currently blocked on (used to validate wake-ups).
@@ -79,6 +81,7 @@ enum BlockKind {
     Sleep,
     Sem(usize),
     Flow(u64),
+    Notify(usize),
 }
 
 #[derive(Debug)]
@@ -101,6 +104,12 @@ struct SemState {
 }
 
 #[derive(Debug)]
+struct NotifyState {
+    generation: u64,
+    waiters: VecDeque<(usize, u64)>,
+}
+
+#[derive(Debug)]
 struct EngineState {
     now_ns: u64,
     actors: Vec<Actor>,
@@ -112,6 +121,7 @@ struct EngineState {
     /// Min-heap of (deadline ns, actor, actor-epoch).
     timers: BinaryHeap<Reverse<(u64, usize, u64)>>,
     sems: Vec<SemState>,
+    notifies: Vec<NotifyState>,
     links: Vec<LinkState>,
     next_flow_id: u64,
     rng: SimRng,
@@ -179,6 +189,7 @@ impl SimRuntime {
                 runnable: VecDeque::new(),
                 timers: BinaryHeap::new(),
                 sems: Vec::new(),
+                notifies: Vec::new(),
                 links: Vec::new(),
                 next_flow_id: 0,
                 rng: SimRng::seed_from_u64(seed),
@@ -258,7 +269,7 @@ impl SimRuntime {
         };
         CURRENT_ACTOR.with(|c| {
             assert!(
-                c.get().map_or(true, |(eid, _)| eid != self.id),
+                c.get().is_none_or(|(eid, _)| eid != self.id),
                 "thread already registered with this SimRuntime"
             );
             c.set(Some((self.id, idx)));
@@ -611,7 +622,60 @@ impl SimRuntime {
         match reason {
             WakeReason::Acquired => true,
             WakeReason::Timeout => false,
-            WakeReason::FlowDone => unreachable!("flow wake on semaphore wait"),
+            other => unreachable!("{other:?} wake on semaphore wait"),
+        }
+    }
+
+    fn notify_generation(&self, idx: usize) -> u64 {
+        self.state.lock().notifies[idx].generation
+    }
+
+    /// Blocks the calling actor until the notifier's generation moves
+    /// past `seen` (no-op if it already has). Returns `false` only on
+    /// timeout. Waiters wake in FIFO registration order, keeping the
+    /// schedule deterministic.
+    fn notify_wait(&self, idx: usize, seen: u64, timeout: Option<Duration>) -> bool {
+        let me = self.current_actor();
+        let mut st = self.state.lock();
+        if st.notifies[idx].generation != seen {
+            return true; // a broadcast already landed; never lose it
+        }
+        let epoch = {
+            let a = &mut st.actors[me];
+            a.epoch += 1;
+            a.epoch
+        };
+        st.notifies[idx].waiters.push_back((me, epoch));
+        if let Some(t) = timeout {
+            let deadline = st.now_ns + t.as_nanos() as u64;
+            st.timers.push(Reverse((deadline, me, epoch)));
+        }
+        let reason = self.block_prepared(st, me, epoch, BlockKind::Notify(idx));
+        match reason {
+            WakeReason::Notified => true,
+            WakeReason::Timeout => false,
+            other => unreachable!("{other:?} wake on notifier wait"),
+        }
+    }
+
+    fn notify_broadcast(&self, idx: usize) {
+        let mut st = self.state.lock();
+        st.notifies[idx].generation += 1;
+        // Wake everyone currently parked, FIFO. Entries staled by a
+        // timeout wake are filtered by the epoch/block check.
+        let waiters = std::mem::take(&mut st.notifies[idx].waiters);
+        for (actor, epoch) in waiters {
+            let valid = {
+                let a = &st.actors[actor];
+                a.alive
+                    && !a.running
+                    && a.woken.is_none()
+                    && a.epoch == epoch
+                    && a.block == Some(BlockKind::Notify(idx))
+            };
+            if valid {
+                Self::mark_woken(&mut st, actor, WakeReason::Notified);
+            }
         }
     }
 
@@ -725,6 +789,21 @@ impl Runtime for SimRuntime {
             idx,
         })
     }
+
+    fn notifier(&self) -> Arc<dyn Notifier> {
+        let idx = {
+            let mut st = self.state.lock();
+            st.notifies.push(NotifyState {
+                generation: 0,
+                waiters: VecDeque::new(),
+            });
+            st.notifies.len() - 1
+        };
+        Arc::new(SimNotifier {
+            engine: self.strong_self(),
+            idx,
+        })
+    }
 }
 
 /// Error returned by [`SimRuntime::transfer`].
@@ -769,5 +848,29 @@ impl Semaphore for SimSemaphore {
 
     fn permits(&self) -> usize {
         self.engine.state.lock().sems[self.idx].permits
+    }
+}
+
+struct SimNotifier {
+    engine: Arc<SimRuntime>,
+    idx: usize,
+}
+
+impl Notifier for SimNotifier {
+    fn generation(&self) -> u64 {
+        self.engine.notify_generation(self.idx)
+    }
+
+    fn wait(&self, seen: u64) {
+        let ok = self.engine.notify_wait(self.idx, seen, None);
+        debug_assert!(ok);
+    }
+
+    fn wait_timeout(&self, seen: u64, timeout: Duration) -> bool {
+        self.engine.notify_wait(self.idx, seen, Some(timeout))
+    }
+
+    fn notify_all(&self) {
+        self.engine.notify_broadcast(self.idx);
     }
 }

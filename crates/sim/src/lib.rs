@@ -52,7 +52,7 @@ pub use engine::{SimRuntime, TransferError};
 pub use link::{LinkId, LinkProfile};
 pub use real::RealRuntime;
 pub use rng::{SimRng, SplitMix64};
-pub use runtime::{spawn, Runtime, RuntimeHandle, Semaphore, SimQueue, Task};
+pub use runtime::{spawn, Notifier, Runtime, RuntimeHandle, Semaphore, SimQueue, Task};
 pub use time::Time;
 
 #[cfg(test)]
@@ -168,6 +168,98 @@ mod tests {
         assert!(sem.acquire_timeout(Duration::from_secs(100)));
         assert_eq!(sim.now(), Time::from_secs(1));
         releaser.join();
+    }
+
+    #[test]
+    fn notifier_wakes_waiters_in_fifo_order() {
+        // Same shape twice: the wake (and therefore append) order of
+        // parked waiters must be their registration order, every run.
+        let run = |seed| {
+            let sim = SimRuntime::new(seed);
+            let rt = sim.clone().as_runtime();
+            let cell = rt.notifier();
+            let order = Arc::new(unidrive_util::sync::Mutex::new(Vec::new()));
+            let mut tasks = Vec::new();
+            for i in 0..8u32 {
+                let cell2 = Arc::clone(&cell);
+                let order2 = Arc::clone(&order);
+                tasks.push(spawn(&rt, &format!("w{i}"), move || {
+                    let seen = cell2.generation();
+                    cell2.wait(seen);
+                    order2.lock().push(i);
+                }));
+            }
+            // Broadcast from an actor behind a virtual-time sleep:
+            // virtual time only advances once every waiter is parked,
+            // so the single broadcast is guaranteed to find all eight
+            // registered, in spawn order.
+            let cell3 = Arc::clone(&cell);
+            let rt2 = rt.clone();
+            tasks.push(spawn(&rt, "poker", move || {
+                rt2.sleep(Duration::from_secs(1));
+                cell3.notify_all();
+            }));
+            for t in tasks {
+                t.join();
+            }
+            Arc::try_unwrap(order).unwrap().into_inner()
+        };
+        assert_eq!(run(41), (0..8).collect::<Vec<_>>());
+        assert_eq!(run(42), (0..8).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn notifier_never_loses_a_wakeup() {
+        // A broadcast that lands between reading the generation and
+        // calling wait() must make wait() return immediately.
+        let sim = SimRuntime::new(43);
+        let rt = sim.clone().as_runtime();
+        let cell = rt.notifier();
+        let seen = cell.generation();
+        cell.notify_all(); // no waiters parked: only the generation moves
+        cell.wait(seen); // must not block — a block here would deadlock
+        assert_eq!(cell.generation(), seen + 1);
+    }
+
+    #[test]
+    fn notifier_timeout_elapses_in_virtual_time() {
+        let sim = SimRuntime::new(44);
+        let rt = sim.clone().as_runtime();
+        let cell = rt.notifier();
+        let t0 = sim.now();
+        assert!(!cell.wait_timeout(cell.generation(), Duration::from_secs(3)));
+        assert_eq!(sim.now() - t0, Duration::from_secs(3));
+    }
+
+    #[test]
+    fn notifier_broadcast_wakes_before_timeout() {
+        let sim = SimRuntime::new(45);
+        let rt = sim.clone().as_runtime();
+        let cell = rt.notifier();
+        let cell2 = Arc::clone(&cell);
+        let rt2 = rt.clone();
+        let notifier = spawn(&rt, "notifier", move || {
+            rt2.sleep(Duration::from_secs(2));
+            cell2.notify_all();
+        });
+        assert!(cell.wait_timeout(cell.generation(), Duration::from_secs(100)));
+        assert_eq!(sim.now(), Time::from_secs(2));
+        notifier.join();
+    }
+
+    #[test]
+    fn notifier_works_under_real_runtime() {
+        let rt: Arc<dyn Runtime> = Arc::new(RealRuntime::new());
+        let cell = rt.notifier();
+        let seen = cell.generation();
+        cell.notify_all();
+        cell.wait(seen); // already notified: returns immediately
+        assert!(!cell.wait_timeout(cell.generation(), Duration::from_millis(10)));
+        let seen = cell.generation();
+        let cell2 = Arc::clone(&cell);
+        let t = spawn(&rt, "poker", move || cell2.notify_all());
+        cell.wait(seen); // robust whether the poker beats us here or not
+        t.join();
     }
 
     #[test]

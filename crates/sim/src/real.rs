@@ -10,7 +10,7 @@ use std::time::{Duration, Instant};
 
 use unidrive_util::sync::{Condvar, Mutex};
 
-use crate::{Runtime, Semaphore, Time};
+use crate::{Notifier, Runtime, Semaphore, Time};
 
 /// A [`Runtime`] backed by the operating system clock and scheduler.
 ///
@@ -72,6 +72,13 @@ impl Runtime for RealRuntime {
             cv: Condvar::new(),
         })
     }
+
+    fn notifier(&self) -> Arc<dyn Notifier> {
+        Arc::new(RealNotifier {
+            generation: Mutex::new(0),
+            cv: Condvar::new(),
+        })
+    }
 }
 
 /// Condvar-based counting semaphore.
@@ -124,6 +131,43 @@ impl Semaphore for RealSemaphore {
 
     fn permits(&self) -> usize {
         *self.state.lock()
+    }
+}
+
+/// Condvar-based eventcount; see [`Notifier`].
+#[derive(Debug)]
+struct RealNotifier {
+    generation: Mutex<u64>,
+    cv: Condvar,
+}
+
+impl Notifier for RealNotifier {
+    fn generation(&self) -> u64 {
+        *self.generation.lock()
+    }
+
+    fn wait(&self, seen: u64) {
+        let mut gen = self.generation.lock();
+        while *gen == seen {
+            self.cv.wait(&mut gen);
+        }
+    }
+
+    fn wait_timeout(&self, seen: u64, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        let mut gen = self.generation.lock();
+        while *gen == seen {
+            if self.cv.wait_until(&mut gen, deadline).timed_out() {
+                return *gen != seen;
+            }
+        }
+        true
+    }
+
+    fn notify_all(&self) {
+        let mut gen = self.generation.lock();
+        *gen += 1;
+        self.cv.notify_all();
     }
 }
 

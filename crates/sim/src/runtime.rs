@@ -39,6 +39,38 @@ pub trait Semaphore: Send + Sync {
     fn permits(&self) -> usize;
 }
 
+/// A broadcast wait/notify cell (an *eventcount*), the primitive behind
+/// pull-based worker pools: an idle worker parks until state it polls
+/// may have changed, without holding any lock across the wait and
+/// without missing a wake-up.
+///
+/// The protocol prevents lost wake-ups by versioning notifications:
+///
+/// 1. read `seen = generation()`,
+/// 2. check the predicate (under whatever lock guards it),
+/// 3. if not satisfied, call `wait(seen)` — which returns immediately
+///    if any `notify_all` landed after step 1.
+///
+/// Under a [`SimRuntime`](crate::SimRuntime) waiters wake in FIFO order
+/// on the virtual clock (deterministic); under a
+/// [`RealRuntime`](crate::RealRuntime) it is a condvar broadcast.
+pub trait Notifier: Send + Sync {
+    /// Current notification generation; bumped by every
+    /// [`notify_all`](Notifier::notify_all).
+    fn generation(&self) -> u64;
+
+    /// Blocks until the generation advances past `seen`. Returns
+    /// immediately if it already has.
+    fn wait(&self, seen: u64);
+
+    /// Like [`wait`](Notifier::wait) but gives up after `timeout`.
+    /// Returns `true` if woken by a notification, `false` on timeout.
+    fn wait_timeout(&self, seen: u64, timeout: Duration) -> bool;
+
+    /// Advances the generation and wakes every current waiter.
+    fn notify_all(&self);
+}
+
 /// The execution environment UniDrive runs in.
 ///
 /// See the crate docs for the actor rules that apply under the simulated
@@ -58,6 +90,9 @@ pub trait Runtime: Send + Sync {
 
     /// Creates a counting semaphore with `permits` initial permits.
     fn semaphore(&self, permits: usize) -> Arc<dyn Semaphore>;
+
+    /// Creates a wait/notify cell; see [`Notifier`].
+    fn notifier(&self) -> Arc<dyn Notifier>;
 }
 
 /// Shared handle to a runtime.

@@ -1,7 +1,6 @@
 //! Tests of the multi-site shared-backing substrate and the per-site
 //! profile behaviours the experiments rely on.
 
-use std::sync::Arc;
 use std::time::Duration;
 
 use unidrive_util::bytes::Bytes;

@@ -93,7 +93,7 @@ fn main() {
     //    never enough on one cloud to reconstruct (security, K_s = 2).
     println!("\nblock placement per cloud (fast -> slow):");
     let image = desktop.image();
-    let mut per_cloud = vec![0usize; 5];
+    let mut per_cloud = [0usize; 5];
     for (_, entry) in image.segments() {
         for b in &entry.blocks {
             per_cloud[b.cloud as usize] += 1;
