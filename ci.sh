@@ -47,4 +47,14 @@ echo "==> transfer-engine scheduling determinism (same seed => byte-identical)"
 ./target/release/fig11_batch_sync quick --metrics-out "$out/d.json" >/dev/null
 cmp "$out/c.json" "$out/d.json"
 
+echo "==> span trace determinism + Chrome trace-event shape"
+# Two same-seed runs must export byte-identical Chrome traces, and the
+# trace must be well-formed: non-negative ts/dur, unique span ids, and
+# every parent id present (trace_report --validate exits non-zero
+# otherwise).
+./target/release/fig11_batch_sync quick --trace-out "$out/t1.json" >/dev/null
+./target/release/fig11_batch_sync quick --trace-out "$out/t2.json" >/dev/null
+cmp "$out/t1.json" "$out/t2.json"
+./target/release/trace_report --validate "$out/t1.json"
+
 echo "CI OK"

@@ -19,7 +19,7 @@ use unidrive_cloud::{CloudError, CloudId, CloudSet, RetryPolicy};
 use unidrive_core::{EngineParams, JobDesc, TransferEngine, TransferPolicy, WireOp};
 use unidrive_erasure::{Codec, RedundancyConfig};
 use unidrive_meta::{block_path, BlockRef, SegmentId};
-use unidrive_obs::Obs;
+use unidrive_obs::{Obs, SpanId};
 use unidrive_sim::{Runtime, Time};
 use unidrive_util::bytes::Bytes;
 use unidrive_util::sync::Mutex;
@@ -108,6 +108,7 @@ impl TransferPolicy for BenchUploadPolicy {
             token: block,
             index,
             extra: false,
+            parent_span: None,
             op: WireOp::Upload {
                 path,
                 payload: Box::new(move || bytes),
@@ -223,6 +224,7 @@ impl TransferPolicy for BenchDownloadPolicy {
             token: (slot, block),
             index: block.index,
             extra: false,
+            parent_span: None,
             op: WireOp::Download {
                 path: block_path(&id, block.index),
             },
@@ -332,7 +334,7 @@ impl MultiCloudBenchmark {
         self
     }
 
-    fn engine_params(&self, label: &str) -> EngineParams {
+    fn engine_params(&self, label: &str, batch_span: Option<SpanId>) -> EngineParams {
         EngineParams {
             connections_per_cloud: self.connections,
             retry: self.retry.clone(),
@@ -340,6 +342,8 @@ impl MultiCloudBenchmark {
             label: label.to_owned(),
             probe: None,
             idle_wait: None,
+            batch_span,
+            watchdog: None,
         }
     }
 
@@ -387,13 +391,17 @@ impl MultiCloudBenchmark {
             segments.push((id, chunk.len() as u64, blocks));
         }
         let policy = BenchUploadPolicy::new(queues, seg_count, k, t0);
+        let mut batch = self.obs.span("engine.batch", None);
+        batch.attr_str("label", "bench.upload");
+        batch.attr_u64("segments", seg_count as u64);
         let done = TransferEngine::start(
             &self.rt,
             &self.clouds,
-            self.engine_params("bench.upload"),
+            self.engine_params("bench.upload", batch.id()),
             policy,
         )
         .join();
+        batch.end();
         match (done.available, done.error) {
             // Availability reached: later failures only degrade
             // reliability, not the reported metric.
@@ -424,14 +432,19 @@ impl MultiCloudBenchmark {
             .cloned()
             .ok_or_else(|| CloudError::not_found(name))?;
         let t0 = self.rt.now();
+        let seg_count = segments.len();
         let policy = BenchDownloadPolicy::new(segments, Arc::clone(&self.codec), self.codec.k());
+        let mut batch = self.obs.span("engine.batch", None);
+        batch.attr_str("label", "bench.download");
+        batch.attr_u64("segments", seg_count as u64);
         let done = TransferEngine::start(
             &self.rt,
             &self.clouds,
-            self.engine_params("bench.download"),
+            self.engine_params("bench.download", batch.id()),
             policy,
         )
         .join();
+        batch.end();
         if let Some(e) = done.error {
             return Err(e);
         }

@@ -16,7 +16,7 @@ use std::time::Duration;
 
 use unidrive_cloud::{CloudError, CloudSet, RetryPolicy};
 use unidrive_core::{EngineParams, TransferEngine};
-use unidrive_obs::Obs;
+use unidrive_obs::{Obs, SpanId};
 use unidrive_sim::Runtime;
 use unidrive_util::bytes::Bytes;
 use unidrive_util::sync::Mutex;
@@ -67,7 +67,7 @@ impl IntuitiveMultiCloud {
         self
     }
 
-    fn engine_params(&self, label: &str) -> EngineParams {
+    fn engine_params(&self, label: &str, batch_span: Option<SpanId>) -> EngineParams {
         EngineParams {
             connections_per_cloud: self.connections,
             retry: self.retry.clone(),
@@ -75,6 +75,8 @@ impl IntuitiveMultiCloud {
             label: label.to_owned(),
             probe: None,
             idle_wait: None,
+            batch_span,
+            watchdog: None,
         }
     }
 
@@ -113,13 +115,17 @@ impl IntuitiveMultiCloud {
             );
         }
         let policy = PlannedPolicy::new(queues, 0);
+        let mut batch = self.obs.span("engine.batch", None);
+        batch.attr_str("label", "intuitive.upload");
+        batch.attr_u64("files", 1);
         let done = TransferEngine::start(
             &self.rt,
             &self.clouds,
-            self.engine_params("intuitive.upload"),
+            self.engine_params("intuitive.upload", batch.id()),
             policy,
         )
         .join();
+        batch.end();
         if let Some(e) = done.error {
             return Err(e);
         }
@@ -165,13 +171,17 @@ impl IntuitiveMultiCloud {
             );
         }
         let policy = PlannedPolicy::new(queues, slot);
+        let mut batch = self.obs.span("engine.batch", None);
+        batch.attr_str("label", "intuitive.download");
+        batch.attr_u64("segments", slot as u64);
         let done = TransferEngine::start(
             &self.rt,
             &self.clouds,
-            self.engine_params("intuitive.download"),
+            self.engine_params("intuitive.download", batch.id()),
             policy,
         )
         .join();
+        batch.end();
         if let Some(e) = done.error {
             return Err(e);
         }

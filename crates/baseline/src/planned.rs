@@ -75,6 +75,9 @@ impl TransferPolicy for PlannedPolicy {
             token: job.slot,
             index: job.index,
             extra: false,
+            // Static plans carry no per-job span context: every block
+            // parents to the engine's batch span.
+            parent_span: None,
             op,
         })
     }

@@ -14,7 +14,7 @@ use std::time::Duration;
 
 use unidrive_cloud::{CloudError, CloudSet, CloudStore, RetryPolicy};
 use unidrive_core::{EngineParams, TransferEngine};
-use unidrive_obs::Obs;
+use unidrive_obs::{Obs, SpanId};
 use unidrive_sim::Runtime;
 use unidrive_util::bytes::Bytes;
 use unidrive_util::sync::Mutex;
@@ -73,7 +73,7 @@ impl SingleCloudClient {
         self.cloud.name()
     }
 
-    fn engine_params(&self, label: &str) -> EngineParams {
+    fn engine_params(&self, label: &str, batch_span: Option<SpanId>) -> EngineParams {
         EngineParams {
             connections_per_cloud: self.connections,
             retry: self.retry.clone(),
@@ -81,6 +81,8 @@ impl SingleCloudClient {
             label: label.to_owned(),
             probe: None,
             idle_wait: None,
+            batch_span,
+            watchdog: None,
         }
     }
 
@@ -105,13 +107,17 @@ impl SingleCloudClient {
         let chunk_count = queue.len();
         let clouds = CloudSet::new(vec![Arc::clone(&self.cloud)]);
         let policy = PlannedPolicy::new(vec![queue], 0);
+        let mut batch = self.obs.span("engine.batch", None);
+        batch.attr_str("label", "single.upload");
+        batch.attr_u64("files", 1);
         let done = TransferEngine::start(
             &self.rt,
             &clouds,
-            self.engine_params("single.upload"),
+            self.engine_params("single.upload", batch.id()),
             policy,
         )
         .join();
+        batch.end();
         if let Some(e) = done.error {
             return Err(e);
         }
@@ -154,13 +160,17 @@ impl SingleCloudClient {
             .collect();
         let clouds = CloudSet::new(vec![Arc::clone(&self.cloud)]);
         let policy = PlannedPolicy::new(vec![queue], chunk_count);
+        let mut batch = self.obs.span("engine.batch", None);
+        batch.attr_str("label", "single.download");
+        batch.attr_u64("segments", chunk_count as u64);
         let done = TransferEngine::start(
             &self.rt,
             &clouds,
-            self.engine_params("single.download"),
+            self.engine_params("single.download", batch.id()),
             policy,
         )
         .join();
+        batch.end();
         if let Some(e) = done.error {
             return Err(e);
         }

@@ -198,6 +198,11 @@ fn main() {
             let secs = (last - t0).as_secs_f64();
             means[0].push(secs);
             cells.push(format!("{secs:.0}{}", if complete { "" } else { "*" }));
+            // Drain the uploader's detached reliability work before the
+            // world is dropped: an abandoned world leaks its parked
+            // workers, and any engine.batch span still open in them
+            // would never record (a dangling parent id in the trace).
+            sim.sleep(Duration::from_secs(3600));
         }
 
         // --- Baselines, each in a fresh world (same seeds/profiles). ---

@@ -7,7 +7,7 @@ use std::time::Duration;
 
 use unidrive_util::sync::Mutex;
 use unidrive_baseline::{IntuitiveMultiCloud, MultiCloudBenchmark, SingleCloudClient};
-use unidrive_bench::ExperimentScale;
+use unidrive_bench::{metrics_out, ExperimentScale};
 use unidrive_cloud::CloudId;
 use unidrive_core::{ClientConfig, DataPlaneConfig, MemFolder, SyncFolder, UniDriveClient};
 use unidrive_erasure::RedundancyConfig;
@@ -16,6 +16,7 @@ use unidrive_workload::{batch, build_multicloud_shared, site_by_name, TextTable}
 
 fn main() {
     let scale = ExperimentScale::from_args();
+    let metrics = metrics_out::from_args();
     let (count, size) = scale.batch;
     let oregon = site_by_name("Oregon").expect("site");
     let virginia = site_by_name("Virginia").expect("site");
@@ -30,13 +31,18 @@ fn main() {
     // --- UniDrive, real protocol with progressive drops. ---
     {
         let sim = SimRuntime::new(1212);
-        let (sets, _) = build_multicloud_shared(&sim, &[oregon, virginia]);
+        let (sets, handles) = build_multicloud_shared(&sim, &[oregon, virginia]);
+        for handle in handles.iter().flatten() {
+            handle.install_obs(metrics.obs.clone());
+        }
         let rt = sim.clone().as_runtime();
         let files = batch(count, size, 1212);
-        let config = |device: &str| {
+        let obs = metrics.obs.clone();
+        let config = move |device: &str| {
             let mut c = ClientConfig::paper_default(device);
             c.data = DataPlaneConfig {
                 connections_per_cloud: 5,
+                obs: obs.clone(),
                 ..DataPlaneConfig::with_params(
                     RedundancyConfig::new(5, 3, 3, 2).expect("valid"),
                     scale.theta,
@@ -95,6 +101,11 @@ fn main() {
             let _ = uploader.sync_once();
         }
         series.push(("UniDrive".into(), downloader.join()));
+        // Drain the uploader's detached reliability work before the
+        // world is dropped: an abandoned world leaks its parked
+        // workers, and any engine.batch span still open in them would
+        // never record (a dangling parent id in the trace).
+        sim.sleep(Duration::from_secs(3600));
     }
 
     // --- Baselines: pipelined per-file, sink records completion times. ---
@@ -212,5 +223,8 @@ fn main() {
         }
     }
     println!("(paper: UniDrive readies files fastest with an almost constant slope)");
+    if let Some(path) = metrics.write() {
+        println!("metrics snapshot written to {path}");
+    }
     let _ = Time::ZERO;
 }

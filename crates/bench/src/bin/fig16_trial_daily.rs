@@ -5,7 +5,7 @@
 use std::time::Duration;
 
 use unidrive_baseline::UniDriveTransfer;
-use unidrive_bench::{mbps, ExperimentScale};
+use unidrive_bench::{mbps, metrics_out, ExperimentScale};
 use unidrive_core::DataPlaneConfig;
 use unidrive_erasure::RedundancyConfig;
 use unidrive_sim::{Runtime, SimRuntime};
@@ -13,6 +13,7 @@ use unidrive_workload::{build_multicloud, random_bytes, site_by_name, Summary, T
 
 fn main() {
     let scale = ExperimentScale::from_args();
+    let metrics = metrics_out::from_args();
     let sites = ["Princeton", "London", "Tokyo", "Sydney"];
     let days = 7;
     let uploads_per_day = if scale.repeats >= 5 { 24 } else { 8 };
@@ -27,9 +28,13 @@ fn main() {
     for (si, name) in sites.iter().enumerate() {
         let site = site_by_name(name).expect("site exists");
         let sim = SimRuntime::new(1600 + si as u64);
-        let (clouds, _) = build_multicloud(&sim, site);
+        let (clouds, handles) = build_multicloud(&sim, site);
+        for handle in &handles {
+            handle.install_obs(metrics.obs.clone());
+        }
         let config = DataPlaneConfig {
             connections_per_cloud: 5,
+            obs: metrics.obs.clone(),
             ..DataPlaneConfig::with_params(
                 RedundancyConfig::new(5, 3, 3, 2).expect("valid"),
                 scale.theta,
@@ -64,4 +69,7 @@ fn main() {
         println!("{name:10} weekly mean {mean:5.1} Mbit/s, day-to-day cv {cv:.2}");
     }
     println!("(paper: stable across the week and similar across the four sites)");
+    if let Some(path) = metrics.write() {
+        println!("metrics snapshot written to {path}");
+    }
 }

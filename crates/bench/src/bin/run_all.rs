@@ -2,11 +2,28 @@
 //! (with whatever scale argument was passed through) and prints each
 //! one's output with a banner. Useful for regenerating EXPERIMENTS.md.
 //!
+//! `--metrics-out <path>` / `--trace-out <path>` are treated as base
+//! paths: each experiment writes to its own derived file (the
+//! experiment name is inserted before the extension, e.g.
+//! `out.json` → `out.fig11_batch_sync.json`), so the exports don't
+//! clobber each other.
+//!
 //! ```sh
 //! cargo run --release -p unidrive-bench --bin run_all quick
 //! ```
 
 use std::process::Command;
+
+/// `out.json` + `fig11_batch_sync` → `out.fig11_batch_sync.json`.
+fn derive_path(base: &str, name: &str) -> String {
+    match base.rfind('.') {
+        // Only treat a dot in the final component as an extension.
+        Some(pos) if !base[pos..].contains('/') => {
+            format!("{}.{name}{}", &base[..pos], &base[pos..])
+        }
+        _ => format!("{base}.{name}"),
+    }
+}
 
 const EXPERIMENTS: [&str; 17] = [
     "fig01_spatial",
@@ -29,15 +46,37 @@ const EXPERIMENTS: [&str; 17] = [
 ];
 
 fn main() {
-    let passthrough: Vec<String> = std::env::args().skip(1).collect();
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    // Pull the output flags out of the passthrough; their paths become
+    // per-experiment bases.
+    let mut passthrough = Vec::new();
+    let mut metrics_base = None;
+    let mut trace_base = None;
+    let mut it = raw.into_iter();
+    while let Some(arg) = it.next() {
+        if arg == "--metrics-out" {
+            metrics_base = it.next();
+        } else if arg == "--trace-out" {
+            trace_base = it.next();
+        } else {
+            passthrough.push(arg);
+        }
+    }
     let this_exe = std::env::current_exe().expect("own path");
     let bin_dir = this_exe.parent().expect("bin dir");
     let mut failures = Vec::new();
     for name in EXPERIMENTS {
         println!("\n================ {name} ================\n");
-        let status = Command::new(bin_dir.join(name))
-            .args(&passthrough)
-            .status();
+        let mut args = passthrough.clone();
+        if let Some(base) = &metrics_base {
+            args.push("--metrics-out".into());
+            args.push(derive_path(base, name));
+        }
+        if let Some(base) = &trace_base {
+            args.push("--trace-out".into());
+            args.push(derive_path(base, name));
+        }
+        let status = Command::new(bin_dir.join(name)).args(&args).status();
         match status {
             Ok(s) if s.success() => {}
             Ok(s) => {
@@ -55,5 +94,19 @@ fn main() {
     } else {
         eprintln!("\nfailed: {failures:?}");
         std::process::exit(1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::derive_path;
+
+    #[test]
+    fn derive_path_inserts_name_before_extension() {
+        assert_eq!(derive_path("out.json", "fig11"), "out.fig11.json");
+        assert_eq!(derive_path("a/b/out.csv", "tab03"), "a/b/out.tab03.csv");
+        assert_eq!(derive_path("noext", "fig11"), "noext.fig11");
+        // A dot in a directory name is not an extension.
+        assert_eq!(derive_path("a.b/out", "fig11"), "a.b/out.fig11");
     }
 }

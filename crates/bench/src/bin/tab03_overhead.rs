@@ -16,7 +16,7 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use unidrive_baseline::{IntuitiveMultiCloud, MultiCloudBenchmark, SingleCloudClient};
-use unidrive_bench::ExperimentScale;
+use unidrive_bench::{metrics_out, ExperimentScale};
 use unidrive_cloud::CloudId;
 use unidrive_core::{ClientConfig, DataPlaneConfig, MemFolder, SyncFolder, UniDriveClient};
 use unidrive_erasure::RedundancyConfig;
@@ -71,6 +71,7 @@ impl unidrive_cloud::CloudStore for ContentCounter {
 
 fn main() {
     let scale = ExperimentScale::from_args();
+    let metrics = metrics_out::from_args();
     let (count, size) = scale.batch;
     let oregon = site_by_name("Oregon").expect("site");
     let virginia = site_by_name("Virginia").expect("site");
@@ -106,10 +107,14 @@ fn main() {
             .collect();
         match sys_idx {
             0 => {
+                for handle in handles.iter().flatten() {
+                    handle.install_obs(metrics.obs.clone());
+                }
                 let config = |device: &str| {
                     let mut c = ClientConfig::paper_default(device);
                     c.data = DataPlaneConfig {
                         connections_per_cloud: 5,
+                        obs: metrics.obs.clone(),
                         ..DataPlaneConfig::with_params(redundancy, scale.theta)
                     };
                     c
@@ -215,5 +220,8 @@ fn main() {
     println!(
         "(paper: UniDrive 1.04%, benchmark 1.01%, intuitive 14.93%, natives 0.70-7.07%)"
     );
+    if let Some(path) = metrics.write() {
+        println!("metrics snapshot written to {path}");
+    }
     let _ = Provider::ALL;
 }

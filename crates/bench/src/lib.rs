@@ -226,14 +226,16 @@ pub mod microbench {
     }
 }
 
-/// `--metrics-out <path>` support shared by the experiment binaries:
-/// when the flag is present the binary records the run into a
-/// registry-backed [`Obs`] and writes the canonicalized snapshot to
-/// `path` on exit (JSON, or CSV when the path ends in `.csv`).
-/// Without the flag the returned handle is a no-op and the run pays
-/// only an `Option` branch per instrumentation site.
+/// `--metrics-out <path>` / `--trace-out <path>` support shared by the
+/// experiment binaries: when either flag is present the binary records
+/// the run into a registry-backed [`Obs`] and on exit writes the
+/// canonicalized snapshot to the `--metrics-out` path (JSON, or CSV
+/// when the path ends in `.csv`) and/or the Chrome trace-event export
+/// (Perfetto-loadable) to the `--trace-out` path. Without either flag
+/// the returned handle is a no-op and the run pays only an `Option`
+/// branch per instrumentation site.
 pub mod metrics_out {
-    use unidrive_obs::{Obs, Registry};
+    use unidrive_obs::{HistogramSnapshot, Obs, Registry};
 
     /// Event-ring capacity used for exported runs: large enough that a
     /// full figure run keeps every event, so the export (and therefore
@@ -241,46 +243,76 @@ pub mod metrics_out {
     /// order between racing actors.
     pub const EXPORT_TRACE_CAPACITY: usize = 1 << 16;
 
-    /// Parsed `--metrics-out` state; obtain via [`from_args`].
+    /// Parsed `--metrics-out` / `--trace-out` state; obtain via
+    /// [`from_args`].
     #[derive(Debug)]
     pub struct MetricsOut {
         /// Handle to thread through [`crate::systems_at_observed`] or
         /// `DataPlaneConfig.obs` / `SimCloud::install_obs` directly.
         pub obs: Obs,
         path: Option<String>,
+        trace_path: Option<String>,
     }
 
-    /// Reads `--metrics-out <path>` from the process arguments.
+    /// Reads `--metrics-out <path>` and `--trace-out <path>` from the
+    /// process arguments.
     pub fn from_args() -> MetricsOut {
         let mut args = std::env::args();
         let mut path = None;
+        let mut trace_path = None;
         while let Some(arg) = args.next() {
             if arg == "--metrics-out" {
                 path = args.next();
+            } else if arg == "--trace-out" {
+                trace_path = args.next();
             }
         }
-        match path {
-            Some(path) => MetricsOut {
-                obs: Obs::with_registry(Registry::with_trace_capacity(EXPORT_TRACE_CAPACITY)),
-                path: Some(path),
-            },
-            None => MetricsOut {
-                obs: Obs::noop(),
-                path: None,
-            },
+        let obs = if path.is_some() || trace_path.is_some() {
+            Obs::with_registry(Registry::with_trace_capacity(EXPORT_TRACE_CAPACITY))
+        } else {
+            Obs::noop()
+        };
+        MetricsOut {
+            obs,
+            path,
+            trace_path,
         }
     }
 
+    /// `p50/p95/p99` of a latency histogram, rendered in milliseconds.
+    pub fn fmt_quantiles_ms(h: &HistogramSnapshot) -> String {
+        let ms = |ns: u64| ns as f64 / 1e6;
+        format!(
+            "p50={:.1}ms p95={:.1}ms p99={:.1}ms (n={})",
+            ms(h.p50()),
+            ms(h.p95()),
+            ms(h.p99()),
+            h.count
+        )
+    }
+
     impl MetricsOut {
-        /// Writes the canonicalized snapshot to the requested path.
-        /// Returns the path written, or `None` when the flag was
-        /// absent. I/O errors are reported on stderr, not fatal: the
-        /// figure output already printed.
+        /// Writes the canonicalized snapshot to the `--metrics-out`
+        /// path and the Chrome trace to the `--trace-out` path, then
+        /// prints a `p50/p95/p99` summary of every latency histogram.
+        /// Returns the metrics path written, or `None` when that flag
+        /// was absent. I/O errors are reported on stderr, not fatal:
+        /// the figure output already printed.
         pub fn write(&self) -> Option<String> {
-            let (Some(path), Some(mut snap)) = (self.path.clone(), self.obs.snapshot()) else {
-                return None;
-            };
+            let mut snap = self.obs.snapshot()?;
             snap.canonicalize();
+            for (name, h) in &snap.histograms {
+                if name.ends_with("_ns") && h.count > 0 {
+                    println!("{name}: {}", fmt_quantiles_ms(h));
+                }
+            }
+            if let Some(path) = &self.trace_path {
+                match std::fs::write(path, snap.to_chrome_trace()) {
+                    Ok(()) => println!("chrome trace written to {path}"),
+                    Err(e) => eprintln!("failed to write --trace-out {path}: {e}"),
+                }
+            }
+            let path = self.path.clone()?;
             let body = if path.ends_with(".csv") {
                 snap.to_csv()
             } else {

@@ -33,7 +33,7 @@ mod wrappers;
 pub use error::CloudError;
 pub use local::LocalDirCloud;
 pub use mem::MemCloud;
-pub use retry::{retrying, retrying_observed, RetryPolicy};
+pub use retry::{retrying, retrying_observed, retrying_traced, RetryPolicy};
 pub use sim_cloud::{FailureProfile, SimCloud, SimCloudConfig, TrafficCounters, TrafficSnapshot};
 pub use store::{split_path, validate_path, CloudId, CloudSet, CloudStore, ObjectInfo};
 pub use wrappers::{CountingCloud, FaultyCloud, ThrottledCloud};

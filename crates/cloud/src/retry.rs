@@ -9,7 +9,7 @@
 use std::sync::Arc;
 use std::time::Duration;
 
-use unidrive_obs::{Event, Obs};
+use unidrive_obs::{Event, Obs, SpanId};
 use unidrive_sim::Runtime;
 
 use crate::CloudError;
@@ -119,11 +119,42 @@ pub fn retrying_observed<T>(
     policy: &RetryPolicy,
     obs: &Obs,
     op_label: &str,
+    op: impl FnMut() -> Result<T, CloudError>,
+) -> Result<T, CloudError> {
+    retrying_traced(rt, policy, obs, op_label, None, 0, op)
+}
+
+/// [`retrying_observed`] with span causality: every wire attempt is a
+/// `wire.attempt` span parented to `parent` (e.g. the engine's
+/// per-block span), rendered on display lane `track`, carrying the
+/// operation label, the 1-based attempt number, and the outcome. With
+/// a no-op [`Obs`] this is exactly [`retrying`].
+///
+/// # Errors
+///
+/// Returns the last error once attempts are exhausted, or immediately
+/// for non-retryable errors.
+pub fn retrying_traced<T>(
+    rt: &Arc<dyn Runtime>,
+    policy: &RetryPolicy,
+    obs: &Obs,
+    op_label: &str,
+    parent: Option<SpanId>,
+    track: u32,
     mut op: impl FnMut() -> Result<T, CloudError>,
 ) -> Result<T, CloudError> {
     let mut attempt = 1;
     loop {
-        match op() {
+        let result = {
+            let mut span = obs.span("wire.attempt", parent);
+            span.set_track(track);
+            span.attr_str("op", op_label);
+            span.attr_u64("attempt", attempt as u64);
+            let result = op();
+            span.attr_bool("ok", result.is_ok());
+            result
+        };
+        match result {
             Ok(v) => {
                 if attempt > 1 {
                     obs.inc("retry.recovered");
@@ -222,6 +253,45 @@ mod tests {
         assert_eq!(snap.counter("retry.recovered"), 1);
         assert_eq!(snap.counter("retry.exhausted"), 1);
         assert_eq!(snap.event_count("RetryAttempt"), 4);
+    }
+
+    #[test]
+    fn traced_retries_emit_parented_attempt_spans() {
+        use unidrive_obs::{FieldValue, Registry};
+        let rt: Arc<dyn Runtime> = Arc::new(RealRuntime::new());
+        let obs = Obs::with_registry(Registry::new());
+        let policy = RetryPolicy {
+            max_attempts: 3,
+            initial_backoff: Duration::from_millis(1),
+            max_backoff: Duration::from_millis(1),
+        };
+        let parent = obs.span("engine.block", None);
+        let parent_id = parent.id().unwrap();
+        let mut calls = 0;
+        let r = retrying_traced(&rt, &policy, &obs, "upload", Some(parent_id), 4, || {
+            calls += 1;
+            if calls < 2 {
+                Err(CloudError::transient("hiccup"))
+            } else {
+                Ok(())
+            }
+        });
+        r.unwrap();
+        parent.end();
+        let snap = obs.snapshot().unwrap();
+        let attempts: Vec<_> = snap
+            .spans
+            .iter()
+            .filter(|s| s.name == "wire.attempt")
+            .collect();
+        assert_eq!(attempts.len(), 2);
+        for (i, s) in attempts.iter().enumerate() {
+            assert_eq!(s.parent, parent_id.0);
+            assert_eq!(s.track, 4);
+            assert_eq!(s.attr("attempt"), Some(&FieldValue::U(i as u64 + 1)));
+        }
+        assert_eq!(attempts[0].attr("ok"), Some(&FieldValue::B(false)));
+        assert_eq!(attempts[1].attr("ok"), Some(&FieldValue::B(true)));
     }
 
     #[test]

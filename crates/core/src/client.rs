@@ -20,7 +20,7 @@ use unidrive_cloud::CloudSet;
 use unidrive_meta::{
     merge3, DeltaLog, SegmentId, Snapshot, SyncFolderImage, VersionStamp,
 };
-use unidrive_obs::Event;
+use unidrive_obs::{Event, SpanId};
 use unidrive_sim::{Runtime, SimRng};
 
 use crate::control::{newer, MetaError, MetadataStore, RemoteState};
@@ -340,7 +340,13 @@ impl UniDriveClient {
     /// client state is unchanged on error and the pass can be retried.
     pub fn sync_once(&mut self) -> Result<SyncReport, SyncError> {
         let t0 = self.rt.now();
-        let result = self.sync_pass();
+        // Root of the causal chain: everything this pass does — lock
+        // rounds, metadata reads/merges/commits, transfer batches and
+        // their per-block spans — parents (transitively) to this span.
+        let mut rspan = self.config.data.obs.span("sync.round", None);
+        rspan.attr_str("device", self.config.device.as_str());
+        let round = rspan.id();
+        let result = self.sync_pass(round);
         let elapsed_ns = self.rt.now().saturating_duration_since(t0).as_nanos() as u64;
         let outcome = match &result {
             Ok(r) if !r.uploaded.is_empty() || !r.deleted_remotely.is_empty() => "committed",
@@ -348,6 +354,8 @@ impl UniDriveClient {
             Ok(_) => "clean",
             Err(_) => "error",
         };
+        rspan.attr_str("outcome", outcome);
+        rspan.end();
         let obs = &self.config.data.obs;
         obs.inc("client.sync_rounds");
         obs.inc(&format!("client.sync_rounds.{outcome}"));
@@ -360,13 +368,13 @@ impl UniDriveClient {
         result
     }
 
-    fn sync_pass(&mut self) -> Result<SyncReport, SyncError> {
+    fn sync_pass(&mut self, round: Option<SpanId>) -> Result<SyncReport, SyncError> {
         let changes = self.scan_local_changes().map_err(SyncError::Folder)?;
         let has_pending_blocks = !self.pending_blocks.lock().is_empty();
         if !changes.is_empty() || has_pending_blocks {
-            self.commit_local_update(changes)
+            self.commit_local_update(changes, round)
         } else {
-            self.check_cloud_update()
+            self.check_cloud_update(round)
         }
     }
 
@@ -424,6 +432,7 @@ impl UniDriveClient {
     fn commit_local_update(
         &mut self,
         changes: Vec<(LocalChange, Option<Bytes>)>,
+        round: Option<SpanId>,
     ) -> Result<SyncReport, SyncError> {
         let mut report = SyncReport::default();
 
@@ -452,6 +461,7 @@ impl UniDriveClient {
             UploadOptions {
                 detach_after_availability: true,
                 sink: Some(std::sync::Arc::clone(&self.pending_blocks)),
+                parent_span: round,
             },
         );
 
@@ -507,16 +517,20 @@ impl UniDriveClient {
         }
 
         // 3. Lock, merge with any cloud update, commit (lines 4–14).
-        let mut guard = self.lock.acquire()?;
+        let obs = self.config.data.obs.clone();
+        let mut guard = self.lock.acquire_in(round)?;
         // Fast path: the tiny version file tells us whether a cloud
         // update exists at all; if not, the cached delta from our last
         // read/commit is current and the base + delta downloads are
         // skipped entirely (the point of the version-file design, §5.2).
+        let mut read_span = obs.span("meta.read", round);
+        read_span.attr_str("device", self.config.device.as_str());
         let version_now = self.store.read_version();
         let unchanged = version_now
             .as_ref()
             .is_none_or(|v| *v == self.original.version);
         let remote = if unchanged {
+            read_span.attr_bool("cached", true);
             self.cached_delta
                 .clone()
                 .map(|(delta, base_bytes)| RemoteState {
@@ -525,8 +539,12 @@ impl UniDriveClient {
                     base_bytes,
                 })
         } else {
+            read_span.attr_bool("cached", false);
             self.store.read_remote()?
         };
+        read_span.end();
+        let mut merge_span = obs.span("meta.merge", round);
+        merge_span.attr_str("device", self.config.device.as_str());
         let (merged, had_cloud_update) = match &remote {
             Some(state) if state.image.version != self.original.version => {
                 let out = merge3(
@@ -542,6 +560,9 @@ impl UniDriveClient {
             }
             _ => (local.clone(), false),
         };
+        merge_span.attr_bool("cloud_update", had_cloud_update);
+        merge_span.attr_u64("conflicts", report.conflicts.len() as u64);
+        merge_span.end();
         let mut to_commit = merged;
         let garbage = to_commit.collect_garbage();
         self.counter = self
@@ -578,7 +599,12 @@ impl UniDriveClient {
             None => (Some(&to_commit), DeltaLog::new(stamp.clone())),
         };
         guard.refresh();
-        self.store.write_remote(new_base, &delta, &stamp)?;
+        let mut commit_span = obs.span("meta.commit", round);
+        commit_span.attr_str("device", self.config.device.as_str());
+        commit_span.attr_bool("compacted", new_base.is_some());
+        let committed_meta = self.store.write_remote(new_base, &delta, &stamp);
+        commit_span.end();
+        committed_meta?;
         guard.release();
         let base_bytes = match (new_base, &remote) {
             // Rough but adequate: ciphertext ≈ plaintext + padding + IV.
@@ -604,7 +630,7 @@ impl UniDriveClient {
             }
         }
         if had_cloud_update {
-            self.materialize_cloud_changes(&local, &committed, &mut report)?;
+            self.materialize_cloud_changes(&local, &committed, &mut report, round)?;
         }
         self.original = committed;
         self.plane.delete_blocks(&garbage);
@@ -612,26 +638,34 @@ impl UniDriveClient {
     }
 
     /// Poll path of Algorithm 1 (lines 15–18).
-    fn check_cloud_update(&mut self) -> Result<SyncReport, SyncError> {
+    fn check_cloud_update(&mut self, round: Option<SpanId>) -> Result<SyncReport, SyncError> {
         let mut report = SyncReport::default();
+        let obs = self.config.data.obs.clone();
+        let mut read_span = obs.span("meta.read", round);
+        read_span.attr_str("device", self.config.device.as_str());
         let Some(version) = self.store.read_version() else {
+            read_span.attr_bool("cached", true);
             return Ok(report);
         };
         if version == self.original.version || !newer(&version, &self.original.version) {
+            read_span.attr_bool("cached", true);
             return Ok(report);
         }
+        read_span.attr_bool("cached", false);
+        let remote = self.store.read_remote();
+        read_span.end();
         let Some(RemoteState {
             image,
             delta,
             base_bytes,
-        }) = self.store.read_remote()?
+        }) = remote?
         else {
             return Ok(report);
         };
         self.cached_delta = Some((delta, base_bytes));
         let committed = image;
         let previous = self.original.clone();
-        self.materialize_cloud_changes(&previous, &committed, &mut report)?;
+        self.materialize_cloud_changes(&previous, &committed, &mut report, round)?;
         self.original = committed;
         Ok(report)
     }
@@ -643,6 +677,7 @@ impl UniDriveClient {
         from: &SyncFolderImage,
         to: &SyncFolderImage,
         report: &mut SyncReport,
+        round: Option<SpanId>,
     ) -> Result<(), SyncError> {
         let delta = unidrive_meta::diff(from, to);
         // Gather every changed file's segments into ONE download batch:
@@ -676,7 +711,7 @@ impl UniDriveClient {
             }
         }
         if !to_write.is_empty() {
-            let mut dl = self.plane.download_segments(fetches);
+            let mut dl = self.plane.download_segments_in(fetches, round);
             if let Some(err) = dl.failed.pop() {
                 return Err(SyncError::Download(err));
             }

@@ -10,7 +10,7 @@ use unidrive_erasure::Codec;
 use unidrive_meta::{block_path, SegmentId, SyncFolderImage};
 use unidrive_sim::Runtime;
 
-use crate::download::{run_download, DownloadReport, SegmentFetch};
+use crate::download::{run_download_in, DownloadReport, SegmentFetch};
 use crate::plan::{DataPlaneConfig, SegmentData};
 use crate::probe::BandwidthProbe;
 use crate::upload::{run_upload_opts, FileUpload, UploadOptions, UploadReport};
@@ -170,13 +170,25 @@ impl DataPlane {
 
     /// Downloads and reconstructs the given segments.
     pub fn download_segments(&self, fetches: Vec<SegmentFetch>) -> DownloadReport {
-        run_download(
+        self.download_segments_in(fetches, None)
+    }
+
+    /// [`download_segments`](DataPlane::download_segments) with span
+    /// causality: the batch span is parented to `parent` (usually a
+    /// `sync.round` span).
+    pub fn download_segments_in(
+        &self,
+        fetches: Vec<SegmentFetch>,
+        parent: Option<unidrive_obs::SpanId>,
+    ) -> DownloadReport {
+        run_download_in(
             &self.rt,
             &self.clouds,
             &self.codec,
             &self.config,
             &self.probe,
             fetches,
+            parent,
         )
     }
 

@@ -18,7 +18,7 @@ use unidrive_util::bytes::Bytes;
 use unidrive_cloud::{CloudError, CloudId, CloudSet};
 use unidrive_erasure::Codec;
 use unidrive_meta::{block_path, BlockRef, SegmentId};
-use unidrive_obs::Obs;
+use unidrive_obs::{Obs, SpanGuard, SpanId};
 use unidrive_sim::{Runtime, Time};
 
 use crate::engine::{EngineParams, JobDesc, TransferEngine, TransferPolicy, WireOp};
@@ -130,6 +130,9 @@ struct DownloadState {
     cloud_alive: Vec<bool>,
     finished: bool,
     timeline: Vec<(Time, SegmentId)>,
+    /// Live `engine.batch` span; dropped (= ended) when `finished`
+    /// flips so it stamps the true batch completion time.
+    batch_guard: Option<SpanGuard>,
 }
 
 struct Job {
@@ -147,9 +150,30 @@ pub fn run_download(
     probe: &Arc<BandwidthProbe>,
     fetches: Vec<SegmentFetch>,
 ) -> DownloadReport {
+    run_download_in(rt, clouds, codec, config, probe, fetches, None)
+}
+
+/// [`run_download`] with span causality: the batch's `engine.batch`
+/// span is parented to `parent` (usually a client's `sync.round`
+/// span).
+#[allow(clippy::too_many_arguments)]
+pub fn run_download_in(
+    rt: &Arc<dyn Runtime>,
+    clouds: &CloudSet,
+    codec: &Arc<Codec>,
+    config: &DataPlaneConfig,
+    probe: &Arc<BandwidthProbe>,
+    fetches: Vec<SegmentFetch>,
+    parent: Option<SpanId>,
+) -> DownloadReport {
     let started = rt.now();
     let n_clouds = clouds.len();
     let k = codec.k();
+
+    let mut batch_guard = config.obs.span("engine.batch", parent);
+    batch_guard.attr_str("label", "download");
+    batch_guard.attr_u64("segments", fetches.len() as u64);
+    let batch_span = batch_guard.id();
 
     let st = DownloadState {
         fetches: fetches
@@ -179,6 +203,7 @@ pub fn run_download(
         cloud_alive: vec![true; n_clouds],
         finished: fetches.is_empty(),
         timeline: Vec::new(),
+        batch_guard: Some(batch_guard),
     };
 
     let mut policy = DownloadPolicy {
@@ -192,6 +217,7 @@ pub fn run_download(
         probing: config.probing,
         dup_speed_ratio: config.dup_speed_ratio,
         max_block_bounces: config.max_block_bounces,
+        batch_span,
     };
     // Handle the possibility that nothing is fetchable at all — the
     // batch must be born finished then (engine deadlock-safety
@@ -205,6 +231,8 @@ pub fn run_download(
         label: "download".into(),
         probe: Some(Arc::clone(probe)),
         idle_wait: config.idle_wait,
+        batch_span,
+        watchdog: config.watchdog.clone(),
     };
     let policy = TransferEngine::start(rt, clouds, params, policy).join();
 
@@ -232,6 +260,7 @@ struct DownloadPolicy {
     probing: bool,
     dup_speed_ratio: f64,
     max_block_bounces: u32,
+    batch_span: Option<SpanId>,
 }
 
 impl TransferPolicy for DownloadPolicy {
@@ -251,6 +280,7 @@ impl TransferPolicy for DownloadPolicy {
         Some(JobDesc {
             index: job.index,
             extra: false,
+            parent_span: self.batch_span,
             op: WireOp::Download { path },
             token: job,
         })
@@ -470,6 +500,8 @@ fn finish_check(st: &mut DownloadState, k: usize, failures: &mut Vec<DownloadErr
     }
     if all_settled {
         st.finished = true;
+        // End the batch span at settle time, not at `join` time.
+        st.batch_guard.take();
     }
 }
 

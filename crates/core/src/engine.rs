@@ -10,19 +10,20 @@
 //!
 //! The engine owns everything the five former hand-rolled loops
 //! duplicated: the worker pool (one actor per cloud connection),
-//! [`retrying_observed`] around every wire call, `unidrive-obs`
-//! counters and `BlockDispatched`/`BlockCompleted` events, feeding the
+//! [`retrying_traced`] around every wire call, `unidrive-obs`
+//! counters, spans, and `BlockDispatched`/`BlockCompleted` events, feeding the
 //! [`BandwidthProbe`], and idle parking. Workers park on a
 //! [`Notifier`] (an eventcount) instead of polling: each completion or
 //! failure broadcasts, so an idle connection re-polls its policy only
 //! when the schedulable state may actually have changed — no timer
 //! churn in the simulator, no busy-wait under wall clock.
 
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
-use unidrive_cloud::{retrying_observed, CloudError, CloudId, CloudSet, RetryPolicy};
-use unidrive_obs::{Event, Obs};
+use unidrive_cloud::{retrying_traced, CloudError, CloudId, CloudSet, RetryPolicy};
+use unidrive_obs::{Event, Obs, SpanId};
 use unidrive_sim::{spawn, Notifier, Runtime, Task, Time};
 use unidrive_util::bytes::Bytes;
 use unidrive_util::sync::Mutex;
@@ -66,6 +67,12 @@ pub struct JobDesc<T> {
     pub index: u16,
     /// Whether this is an over-provisioned extra (event + counter tag).
     pub extra: bool,
+    /// Causal parent for this job's `engine.block` span — how span
+    /// context crosses the policy-lock boundary: whichever worker ends
+    /// up executing the job keeps parentage to the batch (or segment)
+    /// span the policy minted it under. `None` falls back to the
+    /// engine's batch span.
+    pub parent_span: Option<SpanId>,
     /// What to do on the wire.
     pub op: WireOp,
 }
@@ -120,11 +127,18 @@ pub struct EngineParams {
     /// Upper bound on idle parking before an extra re-poll; `None`
     /// parks until notified (see `DataPlaneConfig::idle_wait`).
     pub idle_wait: Option<Duration>,
+    /// Batch-level span: parent for `engine.worker` spans and the
+    /// fallback parent for `engine.block` spans whose [`JobDesc`]
+    /// carries none.
+    pub batch_span: Option<SpanId>,
+    /// Stall watchdog + flight recorder; `None` (the default) changes
+    /// nothing about engine behavior.
+    pub watchdog: Option<WatchdogConfig>,
 }
 
 impl EngineParams {
     /// Minimal wiring: one connection per cloud, default retries, no
-    /// observability, no probe.
+    /// observability, no probe, no watchdog.
     pub fn new(label: impl Into<String>) -> Self {
         EngineParams {
             connections_per_cloud: 1,
@@ -133,6 +147,146 @@ impl EngineParams {
             label: label.into(),
             probe: None,
             idle_wait: None,
+            batch_span: None,
+            watchdog: None,
+        }
+    }
+}
+
+/// Deadline + dump destination for the engine's stall watchdog.
+///
+/// When configured, every engine run carries a deadline (virtual time
+/// under sim, wall time otherwise). If the policy is not done when it
+/// expires — the signature of the PR 2 bounce-loop class of hang,
+/// where every worker parks forever on the notifier — the watchdog
+/// dumps a flight record (last spans/events plus per-worker state) to
+/// `dump_path`, aborts the workers, and lets `join` return instead of
+/// hanging silently. A hard block failure (retries exhausted) also
+/// triggers the dump, so the record captures the state that led up to
+/// a failing batch.
+#[derive(Debug, Clone)]
+pub struct WatchdogConfig {
+    /// How long the batch may run before it is declared stalled.
+    pub deadline: Duration,
+    /// File the flight-recorder JSON is written to.
+    pub dump_path: String,
+}
+
+/// Diagnostic state of one engine worker, captured in flight dumps.
+#[derive(Debug, Clone)]
+struct WorkerState {
+    cloud: String,
+    conn: usize,
+    state: &'static str,
+    current_path: String,
+    completed: u64,
+    failed: u64,
+    since_ns: u64,
+}
+
+/// How many trailing spans/events a flight dump keeps.
+const FLIGHT_RECORD_TAIL: usize = 256;
+
+/// Shared stall/failure recorder: worker states, the abort flag the
+/// watchdog trips, and the once-only dump.
+struct FlightRecorder {
+    config: WatchdogConfig,
+    label: String,
+    obs: Obs,
+    aborted: AtomicBool,
+    dumped: AtomicBool,
+    workers: Mutex<Vec<WorkerState>>,
+}
+
+impl FlightRecorder {
+    fn new(config: WatchdogConfig, label: String, obs: Obs, slots: Vec<(String, usize)>) -> Self {
+        FlightRecorder {
+            config,
+            label,
+            obs,
+            aborted: AtomicBool::new(false),
+            dumped: AtomicBool::new(false),
+            workers: Mutex::new(
+                slots
+                    .into_iter()
+                    .map(|(cloud, conn)| WorkerState {
+                        cloud,
+                        conn,
+                        state: "idle",
+                        current_path: String::new(),
+                        completed: 0,
+                        failed: 0,
+                        since_ns: 0,
+                    })
+                    .collect(),
+            ),
+        }
+    }
+
+    fn set_state(&self, slot: usize, state: &'static str, path: &str, now_ns: u64) {
+        let mut w = self.workers.lock();
+        if let Some(s) = w.get_mut(slot) {
+            s.state = state;
+            s.current_path.clear();
+            s.current_path.push_str(path);
+            s.since_ns = now_ns;
+        }
+    }
+
+    fn count_outcome(&self, slot: usize, ok: bool) {
+        let mut w = self.workers.lock();
+        if let Some(s) = w.get_mut(slot) {
+            if ok {
+                s.completed += 1;
+            } else {
+                s.failed += 1;
+            }
+        }
+    }
+
+    /// Writes the flight record once; later triggers are no-ops.
+    fn dump(&self, reason: &str, now_ns: u64) {
+        if self.dumped.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        let mut out = String::with_capacity(4096);
+        out.push_str("{\n\"flight_record\": \"unidrive/v1\",\n");
+        out.push_str(&format!("\"reason\": \"{reason}\",\n"));
+        out.push_str(&format!("\"label\": \"{}\",\n", self.label));
+        out.push_str(&format!("\"t_ns\": {now_ns},\n\"workers\": ["));
+        for (i, w) in self.workers.lock().iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\n{{\"cloud\": \"{}\", \"conn\": {}, \"state\": \"{}\", \"path\": \"{}\", \
+                 \"completed\": {}, \"failed\": {}, \"since_ns\": {}}}",
+                w.cloud, w.conn, w.state, w.current_path, w.completed, w.failed, w.since_ns
+            ));
+        }
+        out.push_str("\n],\n\"snapshot\": ");
+        match self.obs.snapshot() {
+            Some(mut snap) => {
+                snap.canonicalize();
+                let keep_ev = snap.events.len().saturating_sub(FLIGHT_RECORD_TAIL);
+                snap.events.drain(..keep_ev);
+                let keep_sp = snap.spans.len().saturating_sub(FLIGHT_RECORD_TAIL);
+                snap.spans.drain(..keep_sp);
+                out.push_str(&snap.to_json());
+            }
+            None => out.push_str("null\n"),
+        }
+        out.push_str("}\n");
+        if let Err(e) = std::fs::write(&self.config.dump_path, out) {
+            eprintln!(
+                "flight recorder: failed to write {}: {e}",
+                self.config.dump_path
+            );
+        } else {
+            eprintln!(
+                "flight recorder: {} ({reason}) dumped to {}",
+                self.label, self.config.dump_path
+            );
         }
     }
 }
@@ -191,10 +345,26 @@ impl<P: TransferPolicy> TransferEngine<P> {
         params: EngineParams,
         policy: P,
     ) -> Self {
+        let born_done = policy.is_done();
         let policy = Arc::new(Mutex::new(policy));
         let signal = rt.notifier();
         let names = Arc::new(CounterNames::new(&params.label));
+        let recorder = params.watchdog.clone().map(|config| {
+            let mut slots = Vec::new();
+            for (_, cloud) in clouds.iter() {
+                for conn in 0..params.connections_per_cloud {
+                    slots.push((cloud.name().to_owned(), conn));
+                }
+            }
+            Arc::new(FlightRecorder::new(
+                config,
+                params.label.clone(),
+                params.obs.clone(),
+                slots,
+            ))
+        });
         let mut workers = Vec::new();
+        let mut slot = 0usize;
         for (cloud_id, cloud) in clouds.iter() {
             for conn in 0..params.connections_per_cloud {
                 let rt2 = Arc::clone(rt);
@@ -205,6 +375,14 @@ impl<P: TransferPolicy> TransferEngine<P> {
                 let names = Arc::clone(&names);
                 let retry_label = format!("{}:{}", params.label, cloud.name());
                 let cloud_blocks = format!("{}.cloud.{}.blocks", params.label, cloud.name());
+                let ctx = WorkerCtx {
+                    slot,
+                    conn,
+                    // Track 0 is the client/control lane; worker lanes
+                    // start at 1 in (cloud, connection) order.
+                    track: slot as u32 + 1,
+                    recorder: recorder.clone(),
+                };
                 workers.push(spawn(
                     rt,
                     &format!("{}-{}-{}", params.label, cloud.name(), conn),
@@ -219,10 +397,24 @@ impl<P: TransferPolicy> TransferEngine<P> {
                             &names,
                             &retry_label,
                             &cloud_blocks,
+                            ctx,
                         );
                     },
                 ));
+                slot += 1;
             }
+        }
+        // The watchdog only makes sense for batches that do work: a
+        // born-done policy never notifies, so the watchdog would sleep
+        // out its whole deadline and stall `join` instead of guarding
+        // it.
+        if let Some(rec) = recorder.filter(|_| !born_done) {
+            let rt2 = Arc::clone(rt);
+            let policy = Arc::clone(&policy);
+            let signal = Arc::clone(&signal);
+            workers.push(spawn(rt, &format!("{}-watchdog", rec.label), move || {
+                watchdog_loop(&rt2, &policy, &signal, &rec);
+            }));
         }
         TransferEngine {
             policy,
@@ -269,6 +461,44 @@ impl<P: TransferPolicy> TransferEngine<P> {
     }
 }
 
+/// Per-worker identity: flight-recorder slot, connection number, and
+/// span display lane.
+struct WorkerCtx {
+    slot: usize,
+    conn: usize,
+    track: u32,
+    recorder: Option<Arc<FlightRecorder>>,
+}
+
+/// The stall watchdog: parks on the same eventcount as the workers,
+/// re-checking the policy on every completion broadcast, and trips the
+/// flight recorder if the batch outlives its deadline.
+fn watchdog_loop<P: TransferPolicy>(
+    rt: &Arc<dyn Runtime>,
+    policy: &Arc<Mutex<P>>,
+    signal: &Arc<dyn Notifier>,
+    rec: &Arc<FlightRecorder>,
+) {
+    let deadline_at = rt.now() + rec.config.deadline;
+    loop {
+        let seen = signal.generation();
+        if policy.lock().is_done() || rec.aborted.load(Ordering::SeqCst) {
+            return;
+        }
+        let now = rt.now();
+        if now >= deadline_at {
+            rec.dump("stall", now.as_nanos());
+            rec.aborted.store(true, Ordering::SeqCst);
+            // Wake every parked worker so it can observe the abort and
+            // exit; without this, `join` would hang exactly the way the
+            // watchdog exists to prevent.
+            signal.notify_all();
+            return;
+        }
+        signal.wait_timeout(seen, deadline_at.saturating_duration_since(now));
+    }
+}
+
 /// The single dispatch loop every transfer in the workspace now runs.
 #[allow(clippy::too_many_arguments)]
 fn worker_loop<P: TransferPolicy>(
@@ -281,9 +511,22 @@ fn worker_loop<P: TransferPolicy>(
     names: &CounterNames,
     retry_label: &str,
     cloud_blocks: &str,
+    ctx: WorkerCtx,
 ) {
     let obs = &params.obs;
+    let mut wspan = obs.span("engine.worker", params.batch_span);
+    wspan.set_track(ctx.track);
+    wspan.attr_str("label", params.label.as_str());
+    wspan.attr_str("cloud", cloud.name());
+    wspan.attr_u64("conn", ctx.conn as u64);
+    let mut jobs_run = 0u64;
     loop {
+        if let Some(rec) = &ctx.recorder {
+            if rec.aborted.load(Ordering::SeqCst) {
+                rec.set_state(ctx.slot, "aborted", "", rt.now().as_nanos());
+                break;
+            }
+        }
         // Eventcount protocol: read the generation before polling the
         // policy so a completion landing between the poll and the wait
         // still wakes us (no lost wake-ups).
@@ -299,6 +542,7 @@ fn worker_loop<P: TransferPolicy>(
             token,
             index,
             extra,
+            parent_span,
             op,
         }) = job
         else {
@@ -310,9 +554,15 @@ fn worker_loop<P: TransferPolicy>(
             }
             continue;
         };
+        jobs_run += 1;
         // Events stamp through the obs registry clock (which reads the
         // sim engine state), so everything below runs lock-free with
         // respect to the policy.
+        let mut bspan = obs.span("engine.block", parent_span.or(params.batch_span));
+        bspan.set_track(ctx.track);
+        bspan.attr_u64("cloud", cloud_id.0 as u64);
+        bspan.attr_u64("index", index as u64);
+        bspan.attr_bool("extra", extra);
         let t0;
         let (result, bytes_len) = match op {
             WireOp::Upload { path, payload } => {
@@ -329,9 +579,18 @@ fn worker_loop<P: TransferPolicy>(
                     extra,
                 });
                 t0 = rt.now();
-                let r = retrying_observed(rt, &params.retry, obs, retry_label, || {
-                    cloud.upload(&path, data.clone())
-                });
+                if let Some(rec) = &ctx.recorder {
+                    rec.set_state(ctx.slot, "transferring", &path, t0.as_nanos());
+                }
+                let r = retrying_traced(
+                    rt,
+                    &params.retry,
+                    obs,
+                    retry_label,
+                    bspan.id(),
+                    ctx.track,
+                    || cloud.upload(&path, data.clone()),
+                );
                 (r.map(|()| None), bytes_len)
             }
             WireOp::Download { path } => {
@@ -343,15 +602,31 @@ fn worker_loop<P: TransferPolicy>(
                     extra: false,
                 });
                 t0 = rt.now();
-                let r = retrying_observed(rt, &params.retry, obs, retry_label, || {
-                    cloud.download(&path)
-                });
+                if let Some(rec) = &ctx.recorder {
+                    rec.set_state(ctx.slot, "transferring", &path, t0.as_nanos());
+                }
+                let r = retrying_traced(
+                    rt,
+                    &params.retry,
+                    obs,
+                    retry_label,
+                    bspan.id(),
+                    ctx.track,
+                    || cloud.download(&path),
+                );
                 let len = r.as_ref().map_or(0, |d| d.len() as u64);
                 (r.map(Some), len)
             }
         };
         let now = rt.now();
         let elapsed = now.saturating_duration_since(t0);
+        bspan.attr_bool("ok", result.is_ok());
+        bspan.attr_u64("bytes", bytes_len);
+        bspan.end();
+        if let Some(rec) = &ctx.recorder {
+            rec.count_outcome(ctx.slot, result.is_ok());
+            rec.set_state(ctx.slot, "idle", "", now.as_nanos());
+        }
         match &result {
             Ok(_) => {
                 if let Some(probe) = &params.probe {
@@ -368,7 +643,15 @@ fn worker_loop<P: TransferPolicy>(
                     elapsed_ns: elapsed.as_nanos() as u64,
                 });
             }
-            Err(_) => obs.inc(&names.failures),
+            Err(_) => {
+                obs.inc(&names.failures);
+                // A hard failure (retries exhausted) is the precursor
+                // of most stalls: capture the state now, while the
+                // other workers are still mid-flight.
+                if let Some(rec) = &ctx.recorder {
+                    rec.dump("block_failure", now.as_nanos());
+                }
+            }
         }
         {
             let mut p = policy.lock();
@@ -381,4 +664,5 @@ fn worker_loop<P: TransferPolicy>(
         // to re-poll (and to observe is_done on the final completion).
         signal.notify_all();
     }
+    wspan.attr_u64("jobs", jobs_run);
 }

@@ -42,8 +42,12 @@ mod upload;
 pub use client::{ClientConfig, SyncError, SyncReport, UniDriveClient};
 pub use control::{newer, MetaError, MetadataStore, RemoteState};
 pub use dataplane::{DataPlane, FileSegmentation, UploadRequest};
-pub use download::{run_download, DownloadError, DownloadReport, SegmentFetch};
-pub use engine::{EngineParams, JobDesc, TransferEngine, TransferPolicy, WireOp};
+pub use download::{
+    run_download, run_download_in, DownloadError, DownloadReport, SegmentFetch,
+};
+pub use engine::{
+    EngineParams, JobDesc, TransferEngine, TransferPolicy, WatchdogConfig, WireOp,
+};
 pub use folder::{
     scan_changes, DirFolder, FolderError, LocalChange, LocalStat, MemFolder, SyncFolder,
 };

@@ -22,7 +22,7 @@ use std::time::Duration;
 use unidrive_util::sync::Mutex;
 use unidrive_cloud::{CloudError, CloudSet};
 use unidrive_meta::{lock_file_name, parse_lock_name, LOCK_DIR};
-use unidrive_obs::{Event, Obs};
+use unidrive_obs::{Event, Obs, SpanId};
 use unidrive_sim::{Runtime, SimRng, Time};
 
 /// Tunables of the lock protocol.
@@ -111,6 +111,9 @@ pub struct LockGuard<'a> {
     lock: &'a QuorumLock,
     lock_name: String,
     released: bool,
+    /// The (ended) `lock.acquire` span: causal parent for the
+    /// `lock.refresh` / `lock.release` spans of this hold.
+    span: Option<SpanId>,
 }
 
 impl QuorumLock {
@@ -153,12 +156,27 @@ impl QuorumLock {
     /// [`LockError::QuorumUnreachable`] if a majority of clouds cannot
     /// even be contacted.
     pub fn acquire(&self) -> Result<LockGuard<'_>, LockError> {
+        self.acquire_in(None)
+    }
+
+    /// [`acquire`](QuorumLock::acquire) with span causality: the
+    /// attempt is recorded as a `lock.acquire` span (device, rounds,
+    /// outcome) parented to `parent`, and any `lock.break` performed
+    /// along the way parents to that span.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`acquire`](QuorumLock::acquire).
+    pub fn acquire_in(&self, parent: Option<SpanId>) -> Result<LockGuard<'_>, LockError> {
         let quorum = self.clouds.quorum();
         let t0 = self.rt.now();
+        let mut span = self.obs.span("lock.acquire", parent);
+        span.attr_str("device", self.device.as_str());
+        let span_id = span.id();
         for attempt in 0..self.config.max_attempts {
             let lock_name =
                 lock_file_name(&self.device, self.rt.now().as_nanos() + attempt as u64);
-            match self.try_round(&lock_name) {
+            match self.try_round(&lock_name, span_id) {
                 RoundOutcome::Won => {
                     let wait_ns =
                         self.rt.now().saturating_duration_since(t0).as_nanos() as u64;
@@ -169,10 +187,14 @@ impl QuorumLock {
                         rounds: attempt + 1,
                         wait_ns,
                     });
+                    span.attr_u64("rounds", (attempt + 1) as u64);
+                    span.attr_bool("ok", true);
+                    span.end();
                     return Ok(LockGuard {
                         lock: self,
                         lock_name,
                         released: false,
+                        span: span_id,
                     });
                 }
                 RoundOutcome::Lost { held } => {
@@ -194,19 +216,24 @@ impl QuorumLock {
                 RoundOutcome::Unreachable { reachable } => {
                     self.obs.inc("lock.unreachable");
                     self.withdraw(&lock_name);
+                    span.attr_u64("rounds", (attempt + 1) as u64);
+                    span.attr_bool("ok", false);
                     return Err(LockError::QuorumUnreachable { reachable, quorum });
                 }
             }
         }
         self.obs.inc("lock.exhausted");
+        span.attr_u64("rounds", self.config.max_attempts as u64);
+        span.attr_bool("ok", false);
         Err(LockError::Contended {
             attempts: self.config.max_attempts,
         })
     }
 
     /// One acquisition round: upload our lock file everywhere, then list
-    /// and count clouds where ours is the only live lock.
-    fn try_round(&self, lock_name: &str) -> RoundOutcome {
+    /// and count clouds where ours is the only live lock. `parent` is
+    /// the enclosing `lock.acquire` span (for `lock.break` spans).
+    fn try_round(&self, lock_name: &str, parent: Option<SpanId>) -> RoundOutcome {
         let quorum = self.clouds.quorum();
         let path = format!("{LOCK_DIR}/{lock_name}");
         // Lock files go out to all clouds concurrently (the client opens
@@ -264,7 +291,11 @@ impl QuorumLock {
                 }
                 if self.is_stale(id.0, &entry.name) {
                     // Lock breaking: delete the abandoned lock file.
+                    let mut bspan = self.obs.span("lock.break", parent);
+                    bspan.attr_str("device", self.device.as_str());
+                    bspan.attr_str("victim", device);
                     let _ = cloud.delete(&format!("{LOCK_DIR}/{}", entry.name));
+                    bspan.end();
                     self.obs.inc("lock.broken");
                     self.obs.event(|| Event::LockBroken {
                         device: self.device.clone(),
@@ -340,6 +371,8 @@ impl LockGuard<'_> {
         if new_name == self.lock_name {
             return;
         }
+        let mut span = self.lock.obs.span("lock.refresh", self.span);
+        span.attr_str("device", self.lock.device.as_str());
         let new_path = format!("{LOCK_DIR}/{new_name}");
         let tasks: Vec<_> = self
             .lock
@@ -362,12 +395,20 @@ impl LockGuard<'_> {
 
     /// Releases the lock by deleting our lock files everywhere.
     pub fn release(mut self) {
+        let mut span = self.lock.obs.span("lock.release", self.span);
+        span.attr_str("device", self.lock.device.as_str());
         self.lock.withdraw(&self.lock_name);
         self.released = true;
         self.lock.obs.inc("lock.released");
         self.lock.obs.event(|| Event::LockReleased {
             device: self.lock.device.clone(),
         });
+    }
+
+    /// The `lock.acquire` span of this hold (causal parent for work
+    /// done under the lock), if tracing is enabled.
+    pub fn span(&self) -> Option<SpanId> {
+        self.span
     }
 
     /// The current lock file name (diagnostics).
@@ -379,6 +420,8 @@ impl LockGuard<'_> {
 impl Drop for LockGuard<'_> {
     fn drop(&mut self) {
         if !self.released {
+            let mut span = self.lock.obs.span("lock.release", self.span);
+            span.attr_str("device", self.lock.device.as_str());
             self.lock.withdraw(&self.lock_name);
             self.lock.obs.inc("lock.released");
             self.lock.obs.event(|| Event::LockReleased {

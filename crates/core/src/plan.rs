@@ -41,6 +41,10 @@ pub struct DataPlaneConfig {
     /// Observability handle threaded through the schedulers, retries,
     /// and the bandwidth probe (no-op by default; see `unidrive-obs`).
     pub obs: Obs,
+    /// Stall watchdog + flight recorder for every transfer-engine run
+    /// (see [`WatchdogConfig`](crate::WatchdogConfig)). `None` (the
+    /// default) leaves engine behavior untouched.
+    pub watchdog: Option<crate::engine::WatchdogConfig>,
 }
 
 impl DataPlaneConfig {
@@ -59,6 +63,7 @@ impl DataPlaneConfig {
             dup_speed_ratio: 1.5,
             idle_wait: None,
             obs: Obs::noop(),
+            watchdog: None,
         }
     }
 

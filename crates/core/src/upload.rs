@@ -17,6 +17,7 @@ use std::time::Duration;
 use unidrive_util::bytes::Bytes;
 use unidrive_util::sync::Mutex;
 use unidrive_cloud::{CloudError, CloudId, CloudSet};
+use unidrive_obs::{SpanGuard, SpanId};
 use unidrive_erasure::Codec;
 use unidrive_meta::{block_path, BlockRef, SegmentId};
 use unidrive_sim::{Runtime, Time};
@@ -51,6 +52,9 @@ pub struct UploadOptions {
     /// Receives every successful placement (including those after
     /// detach).
     pub sink: Option<BlockSink>,
+    /// Causal parent for this batch's `engine.batch` span (usually the
+    /// client's `sync.round` span); `None` makes the batch a root span.
+    pub parent_span: Option<SpanId>,
 }
 
 /// Outcome for one uploaded file.
@@ -148,6 +152,9 @@ struct UploadState {
     finished: bool,
     unplaced: usize,
     timeline: Vec<(Time, usize)>,
+    /// Live `engine.batch` span; dropped (= ended) when `finished`
+    /// flips, so detached uploads stamp their true completion time.
+    batch_guard: Option<SpanGuard>,
 }
 
 impl UploadState {
@@ -247,6 +254,11 @@ pub fn run_upload_opts(
         files.push((file.path.clone(), plan_ids, None));
     }
 
+    let mut batch_guard = config.obs.span("engine.batch", options.parent_span);
+    batch_guard.attr_str("label", "upload");
+    batch_guard.attr_u64("files", uploads.len() as u64);
+    let batch_span = batch_guard.id();
+
     let mut st = UploadState {
         segs,
         files,
@@ -254,6 +266,7 @@ pub fn run_upload_opts(
         finished: false,
         unplaced: 0,
         timeline: Vec::new(),
+        batch_guard: Some(batch_guard),
     };
 
     // Files with no segments (empty, or fully deduplicated) are
@@ -270,6 +283,7 @@ pub fn run_upload_opts(
         k,
         cap,
         normal_total,
+        batch_span,
     };
     let params = EngineParams {
         connections_per_cloud: config.connections_per_cloud,
@@ -278,6 +292,8 @@ pub fn run_upload_opts(
         label: "upload".into(),
         probe: Some(Arc::clone(probe)),
         idle_wait: config.idle_wait,
+        batch_span,
+        watchdog: config.watchdog.clone(),
     };
     let engine = TransferEngine::start(rt, clouds, params, policy);
 
@@ -359,6 +375,7 @@ struct UploadPolicy {
     k: usize,
     cap: usize,
     normal_total: u16,
+    batch_span: Option<SpanId>,
 }
 
 impl TransferPolicy for UploadPolicy {
@@ -374,6 +391,7 @@ impl TransferPolicy for UploadPolicy {
         Some(JobDesc {
             index,
             extra: index >= self.normal_total,
+            parent_span: self.batch_span,
             // Encoding runs on the worker, outside this policy's lock.
             op: WireOp::Upload {
                 path,
@@ -618,6 +636,10 @@ fn maybe_finish(st: &mut UploadState, cap: usize) {
         seg.reassign.clear();
     }
     st.finished = true;
+    // Ending the batch span here — not when `run_upload_opts` returns —
+    // stamps the true completion time even for detached uploads whose
+    // reliability phase outlives the call.
+    st.batch_guard.take();
 }
 
 #[cfg(test)]

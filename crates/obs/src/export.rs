@@ -7,10 +7,11 @@
 //! produce byte-identical exports.
 
 use crate::metrics::HistogramSnapshot;
+use crate::span::SpanRecord;
 use crate::trace::{FieldValue, TracedEvent};
 
 /// Point-in-time copy of a registry: every metric plus the event
-/// trace.
+/// trace and the completed-span ring.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Snapshot {
     /// Counters, sorted by name.
@@ -23,6 +24,10 @@ pub struct Snapshot {
     pub events: Vec<TracedEvent>,
     /// Events evicted from the ring before this snapshot.
     pub dropped_events: u64,
+    /// Completed spans, oldest (by end time) first.
+    pub spans: Vec<SpanRecord>,
+    /// Spans evicted from the span ring before this snapshot.
+    pub dropped_spans: u64,
 }
 
 impl Snapshot {
@@ -66,11 +71,22 @@ impl Snapshot {
         self.events.iter().filter(|e| e.event.kind() == kind).count()
     }
 
+    /// The span record with the given id, if present.
+    pub fn span(&self, id: u64) -> Option<&SpanRecord> {
+        self.spans.iter().find(|s| s.id == id)
+    }
+
+    /// Number of completed spans with the given name.
+    pub fn span_count(&self, name: &str) -> usize {
+        self.spans.iter().filter(|s| s.name == name).count()
+    }
+
     /// Sorts the trace into a canonical order: by timestamp, then
-    /// event kind, then field values. Actors that become runnable at
-    /// the same virtual instant may record their events in either
-    /// order; canonicalizing before export makes same-seed runs
-    /// byte-identical regardless of that benign race.
+    /// event kind, then field values (spans by start time, end time,
+    /// name, id). Actors that become runnable at the same virtual
+    /// instant may record their events in either order; canonicalizing
+    /// before export makes same-seed runs byte-identical regardless of
+    /// that benign race.
     pub fn canonicalize(&mut self) {
         self.events.sort_by_cached_key(|e| {
             let mut key = format!("{:020}|{}", e.t_ns, e.event.kind());
@@ -86,13 +102,16 @@ impl Snapshot {
             }
             key
         });
+        self.spans.sort_by_cached_key(|s| {
+            format!("{:020}|{:020}|{}|{:020}", s.start_ns, s.end_ns, s.name, s.id)
+        });
     }
 
     /// Serializes the snapshot as pretty-stable JSON (see module docs
     /// for the determinism guarantee).
     pub fn to_json(&self) -> String {
         let mut out = String::with_capacity(4096);
-        out.push_str("{\n  \"schema\": \"unidrive-obs/v1\",\n  \"counters\": {");
+        out.push_str("{\n  \"schema\": \"unidrive-obs/v2\",\n  \"counters\": {");
         for (i, (name, value)) in self.counters.iter().enumerate() {
             if i > 0 {
                 out.push(',');
@@ -147,15 +166,96 @@ impl Snapshot {
                 out.push_str(", ");
                 json_string(&mut out, key);
                 out.push_str(": ");
-                match value {
-                    FieldValue::U(v) => out.push_str(&v.to_string()),
-                    FieldValue::B(v) => out.push_str(if v { "true" } else { "false" }),
-                    FieldValue::S(v) => json_string(&mut out, &v),
-                }
+                json_field_value(&mut out, &value);
+            }
+            out.push('}');
+        }
+        out.push_str(&format!(
+            "\n  ],\n  \"dropped_spans\": {},\n  \"spans\": [",
+            self.dropped_spans
+        ));
+        for (i, s) in self.spans.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\n    {{\"id\": {}, \"parent\": {}, \"name\": \"{}\", \"track\": {}, \
+                 \"start_ns\": {}, \"end_ns\": {}",
+                s.id, s.parent, s.name, s.track, s.start_ns, s.end_ns
+            ));
+            for (key, value) in &s.attrs {
+                out.push_str(", ");
+                json_string(&mut out, key);
+                out.push_str(": ");
+                json_field_value(&mut out, value);
             }
             out.push('}');
         }
         out.push_str("\n  ]\n}\n");
+        out
+    }
+
+    /// Serializes the spans (plus events as instants) in Chrome
+    /// trace-event JSON: open the file in Perfetto
+    /// (<https://ui.perfetto.dev>) or `chrome://tracing`. Spans become
+    /// complete (`"ph": "X"`) events with microsecond `ts`/`dur`;
+    /// parent links and typed attributes ride in `args`. The writer is
+    /// deterministic: canonicalize first and same-seed runs produce
+    /// byte-identical files.
+    pub fn to_chrome_trace(&self) -> String {
+        let mut out = String::with_capacity(4096);
+        out.push_str("{\n\"displayTimeUnit\": \"ms\",\n");
+        out.push_str(&format!(
+            "\"droppedSpans\": {},\n\"droppedEvents\": {},\n\"traceEvents\": [",
+            self.dropped_spans, self.dropped_events
+        ));
+        let mut first = true;
+        for s in &self.spans {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push_str(&format!(
+                "\n{{\"name\": \"{}\", \"cat\": \"unidrive\", \"ph\": \"X\", \"pid\": 1, \
+                 \"tid\": {}, \"ts\": {}, \"dur\": {}, \"args\": {{\"span_id\": {}, \
+                 \"parent\": {}",
+                s.name,
+                s.track,
+                micros(s.start_ns),
+                micros(s.duration_ns()),
+                s.id,
+                s.parent
+            ));
+            for (key, value) in &s.attrs {
+                out.push_str(", ");
+                json_string(&mut out, key);
+                out.push_str(": ");
+                json_field_value(&mut out, value);
+            }
+            out.push_str("}}");
+        }
+        for e in &self.events {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push_str(&format!(
+                "\n{{\"name\": \"{}\", \"cat\": \"event\", \"ph\": \"i\", \"s\": \"g\", \
+                 \"pid\": 1, \"tid\": 0, \"ts\": {}, \"args\": {{",
+                e.event.kind(),
+                micros(e.t_ns)
+            ));
+            for (i, (key, value)) in e.event.fields().iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                json_string(&mut out, key);
+                out.push_str(": ");
+                json_field_value(&mut out, value);
+            }
+            out.push_str("}}");
+        }
+        out.push_str("\n]\n}\n");
         out
     }
 
@@ -180,6 +280,21 @@ impl Snapshot {
             }
         }
         out
+    }
+}
+
+/// Nanoseconds rendered as a microsecond decimal (`123.456`), the unit
+/// Chrome trace-event `ts`/`dur` fields use. Integer math keeps the
+/// rendering deterministic.
+fn micros(ns: u64) -> String {
+    format!("{}.{:03}", ns / 1_000, ns % 1_000)
+}
+
+fn json_field_value(out: &mut String, value: &FieldValue) {
+    match value {
+        FieldValue::U(v) => out.push_str(&v.to_string()),
+        FieldValue::B(v) => out.push_str(if *v { "true" } else { "false" }),
+        FieldValue::S(v) => json_string(out, v),
     }
 }
 
@@ -249,6 +364,27 @@ mod tests {
                 },
             }],
             dropped_events: 0,
+            spans: vec![
+                SpanRecord {
+                    id: 1,
+                    parent: 0,
+                    name: "sync.round",
+                    track: 0,
+                    start_ns: 5,
+                    end_ns: 2_000,
+                    attrs: vec![("device", FieldValue::S("dev".into()))],
+                },
+                SpanRecord {
+                    id: 2,
+                    parent: 1,
+                    name: "engine.block",
+                    track: 3,
+                    start_ns: 100,
+                    end_ns: 1_500,
+                    attrs: vec![("cloud", FieldValue::S("c0".into())), ("extra", FieldValue::B(false))],
+                },
+            ],
+            dropped_spans: 0,
         }
     }
 
@@ -257,11 +393,31 @@ mod tests {
         let a = sample().to_json();
         let b = sample().to_json();
         assert_eq!(a, b);
-        assert!(a.contains("\"schema\": \"unidrive-obs/v1\""));
+        assert!(a.contains("\"schema\": \"unidrive-obs/v2\""));
         assert!(a.contains("\"a\": 1"));
         assert!(a.contains("\"whole\": 2.0"));
         assert!(a.contains("dev-\\\"a\\\""));
         assert!(a.contains("[4, 1]"));
+        assert!(a.contains("\"spans\": ["));
+        assert!(a.contains("\"name\": \"engine.block\""));
+        assert!(a.contains("\"parent\": 1"));
+    }
+
+    #[test]
+    fn chrome_trace_has_complete_events_in_micros() {
+        let trace = sample().to_chrome_trace();
+        assert!(trace.contains("\"traceEvents\": ["));
+        // Span 1: 5 ns start, 1995 ns duration -> 0.005 / 1.995 µs.
+        assert!(trace.contains("\"ph\": \"X\""));
+        assert!(trace.contains("\"ts\": 0.005"));
+        assert!(trace.contains("\"dur\": 1.995"));
+        // Child rides its worker track and keeps parentage in args.
+        assert!(trace.contains("\"tid\": 3"));
+        assert!(trace.contains("\"span_id\": 2, \"parent\": 1"));
+        // Events become global instants.
+        assert!(trace.contains("\"ph\": \"i\""));
+        assert!(trace.contains("\"name\": \"LockReleased\""));
+        assert_eq!(sample().to_chrome_trace(), trace);
     }
 
     #[test]
@@ -285,10 +441,12 @@ mod tests {
         });
         let mut b = a.clone();
         b.events.reverse();
+        b.spans.reverse();
         a.canonicalize();
         b.canonicalize();
         assert_eq!(a, b);
         assert_eq!(a.events[0].t_ns, 5);
+        assert_eq!(a.spans[0].id, 1, "spans sort by start time");
         assert_eq!(a.to_json(), b.to_json());
     }
 

@@ -36,10 +36,12 @@
 
 mod export;
 mod metrics;
+mod span;
 mod trace;
 
 pub use export::Snapshot;
 pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot};
+pub use span::{SpanId, SpanRecord, DEFAULT_SPAN_CAPACITY};
 pub use trace::{Event, FieldValue, TracedEvent, DEFAULT_TRACE_CAPACITY};
 
 use std::collections::BTreeMap;
@@ -59,6 +61,9 @@ pub struct Registry {
     histograms: Mutex<BTreeMap<String, Arc<Histogram>>>,
     trace: trace::TraceRing,
     dropped_events: AtomicU64,
+    spans: span::SpanRing,
+    next_span: AtomicU64,
+    dropped_spans: AtomicU64,
 }
 
 impl Registry {
@@ -67,8 +72,9 @@ impl Registry {
         Registry::with_trace_capacity(DEFAULT_TRACE_CAPACITY)
     }
 
-    /// A registry whose event ring keeps at most `capacity` events
-    /// (oldest dropped first; drops are counted deterministically).
+    /// A registry whose event ring and span ring each keep at most
+    /// `capacity` entries (oldest dropped first; drops are counted
+    /// deterministically).
     pub fn with_trace_capacity(capacity: usize) -> Arc<Registry> {
         Arc::new(Registry {
             clock: Mutex::new(Arc::new(|| 0)),
@@ -77,6 +83,9 @@ impl Registry {
             histograms: Mutex::new(BTreeMap::new()),
             trace: trace::TraceRing::new(capacity),
             dropped_events: AtomicU64::new(0),
+            spans: span::SpanRing::new(capacity),
+            next_span: AtomicU64::new(1),
+            dropped_spans: AtomicU64::new(0),
         })
     }
 
@@ -116,6 +125,18 @@ impl Registry {
         }
     }
 
+    /// Allocates a fresh span id (monotonic, never 0).
+    pub fn alloc_span_id(&self) -> SpanId {
+        SpanId(self.next_span.fetch_add(1, Ordering::Relaxed))
+    }
+
+    /// Appends a completed span to the span ring.
+    pub fn record_span(&self, span: SpanRecord) {
+        if self.spans.push(span) {
+            self.dropped_spans.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
     /// A consistent, sorted snapshot of every metric and the trace.
     pub fn snapshot(&self) -> Snapshot {
         Snapshot {
@@ -133,6 +154,8 @@ impl Registry {
                 .collect(),
             events: self.trace.drain_copy(),
             dropped_events: self.dropped_events.load(Ordering::Relaxed),
+            spans: self.spans.drain_copy(),
+            dropped_spans: self.dropped_spans.load(Ordering::Relaxed),
         }
     }
 }
@@ -237,6 +260,29 @@ impl Obs {
         }
     }
 
+    /// Opens a causal span named `name` under `parent` (`None` starts
+    /// a root span). The returned guard records the span into the
+    /// registry's span ring when dropped (or ended explicitly); start
+    /// and end are stamped through the installed clock. No-op and
+    /// allocation-free when disabled.
+    #[inline]
+    pub fn span(&self, name: &'static str, parent: Option<SpanId>) -> SpanGuard {
+        match &self.registry {
+            Some(r) => SpanGuard {
+                inner: Some(SpanGuardInner {
+                    id: r.alloc_span_id().0,
+                    parent: parent.map_or(0, |p| p.0),
+                    name,
+                    track: 0,
+                    start_ns: r.now_ns(),
+                    attrs: Vec::new(),
+                    registry: Arc::clone(r),
+                }),
+            },
+            None => SpanGuard { inner: None },
+        }
+    }
+
     /// Pre-resolved counter for hot paths: one atomic add per call,
     /// no map lookup. No-op when disabled.
     pub fn counter_handle(&self, name: &str) -> CounterHandle {
@@ -284,6 +330,92 @@ impl Drop for TimerGuard {
     }
 }
 
+struct SpanGuardInner {
+    id: u64,
+    parent: u64,
+    name: &'static str,
+    track: u32,
+    start_ns: u64,
+    attrs: Vec<(&'static str, FieldValue)>,
+    registry: Arc<Registry>,
+}
+
+/// Scope guard returned by [`Obs::span`]: an open span. Dropping it
+/// (or calling [`end`](SpanGuard::end)) stamps the end time and
+/// records the completed span.
+pub struct SpanGuard {
+    inner: Option<SpanGuardInner>,
+}
+
+impl SpanGuard {
+    /// This span's id, for parenting children (`None` when disabled).
+    pub fn id(&self) -> Option<SpanId> {
+        self.inner.as_ref().map(|i| SpanId(i.id))
+    }
+
+    /// Sets the display lane used by the Chrome-trace export (`tid`).
+    pub fn set_track(&mut self, track: u32) {
+        if let Some(i) = &mut self.inner {
+            i.track = track;
+        }
+    }
+
+    /// The display lane (0 when unset or disabled).
+    pub fn track(&self) -> u32 {
+        self.inner.as_ref().map_or(0, |i| i.track)
+    }
+
+    /// Attaches an unsigned-integer attribute.
+    pub fn attr_u64(&mut self, key: &'static str, value: u64) {
+        if let Some(i) = &mut self.inner {
+            i.attrs.push((key, FieldValue::U(value)));
+        }
+    }
+
+    /// Attaches a string attribute. The value is only materialized
+    /// when the span is enabled.
+    pub fn attr_str(&mut self, key: &'static str, value: impl Into<String>) {
+        if let Some(i) = &mut self.inner {
+            i.attrs.push((key, FieldValue::S(value.into())));
+        }
+    }
+
+    /// Attaches a boolean attribute.
+    pub fn attr_bool(&mut self, key: &'static str, value: bool) {
+        if let Some(i) = &mut self.inner {
+            i.attrs.push((key, FieldValue::B(value)));
+        }
+    }
+
+    /// Ends the span now (equivalent to dropping it).
+    pub fn end(self) {}
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if let Some(i) = self.inner.take() {
+            let end_ns = i.registry.now_ns();
+            i.registry.record_span(SpanRecord {
+                id: i.id,
+                parent: i.parent,
+                name: i.name,
+                track: i.track,
+                start_ns: i.start_ns,
+                end_ns,
+                attrs: i.attrs,
+            });
+        }
+    }
+}
+
+impl std::fmt::Debug for SpanGuard {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SpanGuard")
+            .field("id", &self.inner.as_ref().map(|i| i.id))
+            .finish()
+    }
+}
+
 /// Pre-resolved counter handle for hot loops (see
 /// [`Obs::counter_handle`]).
 #[derive(Clone, Default)]
@@ -320,7 +452,58 @@ mod tests {
         obs.observe("h", 5);
         let _t = obs.timer("t");
         obs.event(|| panic!("must not be called"));
+        let mut s = obs.span("noop", None);
+        assert_eq!(s.id(), None);
+        s.attr_u64("k", 1);
+        s.end();
         assert!(obs.snapshot().is_none());
+    }
+
+    #[test]
+    fn spans_nest_and_stamp_through_the_clock() {
+        let reg = Registry::new();
+        let t = Arc::new(AtomicU64::new(100));
+        let t2 = Arc::clone(&t);
+        reg.set_clock(move || t2.load(Ordering::SeqCst));
+        let obs = Obs::with_registry(Arc::clone(&reg));
+
+        let mut root = obs.span("sync.round", None);
+        root.attr_str("device", "dev-a");
+        let mut child = obs.span("engine.batch", root.id());
+        child.set_track(3);
+        child.attr_u64("blocks", 5);
+        t.store(250, Ordering::SeqCst);
+        child.end();
+        t.store(400, Ordering::SeqCst);
+        drop(root);
+
+        let snap = reg.snapshot();
+        assert_eq!(snap.spans.len(), 2);
+        // The ring holds spans in end order: child first.
+        let (child, root) = (&snap.spans[0], &snap.spans[1]);
+        assert_eq!(child.name, "engine.batch");
+        assert_eq!(child.parent, root.id);
+        assert_eq!((child.start_ns, child.end_ns), (100, 250));
+        assert_eq!(child.track, 3);
+        assert_eq!((root.start_ns, root.end_ns), (100, 400));
+        assert_eq!(root.parent, 0);
+        assert_eq!(root.attr("device"), Some(&FieldValue::S("dev-a".into())));
+        assert_eq!(snap.dropped_spans, 0);
+    }
+
+    #[test]
+    fn span_ring_eviction_is_counted() {
+        let reg = Registry::with_trace_capacity(2);
+        let obs = Obs::with_registry(Arc::clone(&reg));
+        for _ in 0..3 {
+            obs.span("s", None).end();
+        }
+        let snap = reg.snapshot();
+        assert_eq!(snap.spans.len(), 2);
+        assert_eq!(snap.dropped_spans, 1);
+        // Ids keep increasing even across evictions.
+        assert_eq!(snap.spans[0].id, 2);
+        assert_eq!(snap.spans[1].id, 3);
     }
 
     #[test]

@@ -155,6 +155,43 @@ impl HistogramSnapshot {
             self.sum as f64 / self.count as f64
         }
     }
+
+    /// Estimated `q`-quantile (`0.0 ..= 1.0`) from the log₂ buckets:
+    /// the inclusive upper bound of the bucket containing the rank-`q`
+    /// observation, clamped to the observed `[min, max]`. Exact to
+    /// within one power of two, 0 when empty, and fully deterministic.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut cumulative = 0u64;
+        for &(lo, n) in &self.buckets {
+            cumulative += n;
+            if cumulative >= rank {
+                // Bucket [2^(i-1), 2^i) has inclusive upper bound
+                // 2*lo - 1; the two singleton buckets are exact.
+                let hi = if lo <= 1 { lo } else { 2 * lo - 1 };
+                return hi.clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Median estimate (see [`quantile`](HistogramSnapshot::quantile)).
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    /// 95th-percentile estimate.
+    pub fn p95(&self) -> u64 {
+        self.quantile(0.95)
+    }
+
+    /// 99th-percentile estimate.
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
 }
 
 #[cfg(test)]
@@ -198,5 +235,32 @@ mod tests {
         let s = Histogram::default().snapshot();
         assert_eq!((s.count, s.min, s.max), (0, 0, 0));
         assert!(s.buckets.is_empty());
+        assert_eq!((s.p50(), s.p95(), s.p99()), (0, 0, 0));
+    }
+
+    #[test]
+    fn percentiles_walk_the_buckets() {
+        let h = Histogram::default();
+        // 90 fast observations around 1 ms, 10 slow around 1 s.
+        for _ in 0..90 {
+            h.record(1_000_000);
+        }
+        for _ in 0..10 {
+            h.record(1_000_000_000);
+        }
+        let s = h.snapshot();
+        // p50 lands in the 1 ms bucket; the upper bound clamps to max
+        // of that region's observations within one power of two.
+        assert!(s.p50() >= 1_000_000 && s.p50() < 2_097_152, "p50 = {}", s.p50());
+        assert!(s.p95() >= 536_870_912, "p95 = {}", s.p95());
+        assert_eq!(s.p99(), s.quantile(0.99));
+        assert!(s.p99() <= s.max && s.p95() <= s.max);
+        assert!(s.p50() <= s.p95() && s.p95() <= s.p99());
+
+        // Single-value histograms are exact at every percentile.
+        let one = Histogram::default();
+        one.record(7);
+        let os = one.snapshot();
+        assert_eq!((os.p50(), os.p95(), os.p99()), (7, 7, 7));
     }
 }

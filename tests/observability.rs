@@ -157,3 +157,59 @@ fn same_seed_two_device_sync_exports_identical_snapshots() {
     assert_eq!(first.injected, second.injected);
     assert_eq!(first.json, second.json, "same-seed exports diverged");
 }
+
+#[test]
+fn spans_form_a_causal_tree_rooted_at_sync_rounds() {
+    let r = run_scenario(0xb5);
+    let s = &r.snapshot;
+    assert_eq!(s.dropped_spans, 0, "span ring evicted; raise capacity");
+
+    let by_id: std::collections::HashMap<u64, &unidrive::obs::SpanRecord> =
+        s.spans.iter().map(|sp| (sp.id, sp)).collect();
+    let parent_name = |sp: &unidrive::obs::SpanRecord| -> &'static str {
+        by_id
+            .get(&sp.parent)
+            .unwrap_or_else(|| panic!("{} span {} has unrecorded parent {}", sp.name, sp.id, sp.parent))
+            .name
+    };
+
+    // Every block attempt parents to a transfer batch, every batch to
+    // the sync round that issued it, and every wire attempt to its
+    // block — the full causal chain of Algorithm 1's data path.
+    let mut blocks = 0;
+    for sp in &s.spans {
+        match sp.name {
+            "engine.block" => {
+                blocks += 1;
+                assert_eq!(parent_name(sp), "engine.batch");
+                let batch = by_id[&sp.parent];
+                assert_eq!(parent_name(batch), "sync.round");
+            }
+            "engine.batch" => assert_eq!(parent_name(sp), "sync.round"),
+            "engine.worker" => assert_eq!(parent_name(sp), "engine.batch"),
+            "wire.attempt" => assert_eq!(parent_name(sp), "engine.block"),
+            "lock.acquire" | "meta.read" | "meta.merge" | "meta.commit" => {
+                assert_eq!(parent_name(sp), "sync.round");
+            }
+            "lock.refresh" | "lock.release" | "lock.break" => {
+                assert_eq!(parent_name(sp), "lock.acquire");
+            }
+            "sync.round" => assert_eq!(sp.parent, 0, "sync.round must be a root"),
+            other => panic!("span name {other} missing from the taxonomy check"),
+        }
+        assert!(sp.end_ns >= sp.start_ns, "{} runs backwards", sp.name);
+    }
+    assert!(blocks > 0, "scenario moved no blocks");
+    assert!(s.span_count("sync.round") >= 2, "both devices synced");
+    assert!(s.span_count("meta.merge") > 0, "commit path never merged");
+}
+
+#[test]
+fn same_seed_runs_export_identical_chrome_traces() {
+    let first = run_scenario(0xb5);
+    let second = run_scenario(0xb5);
+    let t1 = first.snapshot.to_chrome_trace();
+    let t2 = second.snapshot.to_chrome_trace();
+    assert!(!t1.is_empty());
+    assert_eq!(t1, t2, "same-seed Chrome traces diverged");
+}
