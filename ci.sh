@@ -20,8 +20,11 @@ fi
 echo "==> workspace tests (all crates)"
 cargo test --offline --workspace -q
 
-echo "==> bench binaries compile"
+echo "==> bench binaries compile (debug) and build (release)"
 cargo build --offline -p unidrive-bench --all-targets
+# The determinism and microbench steps below run the release binaries;
+# the root release build alone does not produce them.
+cargo build --offline --release -p unidrive-bench
 
 echo "==> clippy on the whole workspace (deny warnings)"
 # rustup-managed toolchains ship clippy; if this toolchain has none,
@@ -46,6 +49,24 @@ echo "==> transfer-engine scheduling determinism (same seed => byte-identical)"
 ./target/release/fig11_batch_sync quick --metrics-out "$out/c.json" >/dev/null
 ./target/release/fig11_batch_sync quick --metrics-out "$out/d.json" >/dev/null
 cmp "$out/c.json" "$out/d.json"
+
+echo "==> kernel microbenchmarks (quick) + deterministic export shape"
+# Throughput numbers vary with the machine; what CI pins down is that
+# every kernel runs to completion and the JSON schema stays stable
+# (fixed key set, rows in fixed order). The checked-in
+# BENCH_kernels.json at the repo root is a full-mode snapshot.
+./target/release/bench_kernels --quick --out "$out/bench_kernels.json"
+python3 - "$out/bench_kernels.json" <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+assert doc["bench_kernels"] == "unidrive/v1", doc
+kernels = [r["kernel"] for r in doc["rows"]]
+for expected in ["sha1", "rabin_roll", "chunker_cut_points", "rs_encode", "rs_decode", "ingest"]:
+    assert expected in kernels, f"missing kernel row: {expected}"
+for r in doc["rows"]:
+    assert set(r) == {"kernel", "bytes", "threads", "iters", "mb_per_s", "mean_ns", "p50_ns", "p95_ns"}, r
+    assert r["iters"] > 0 and r["mb_per_s"] > 0, r
+EOF
 
 echo "==> span trace determinism + Chrome trace-event shape"
 # Two same-seed runs must export byte-identical Chrome traces, and the

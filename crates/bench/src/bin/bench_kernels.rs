@@ -1,0 +1,229 @@
+//! **bench_kernels** — throughput of the client-side ingest kernels.
+//!
+//! The ingest path (content-defined chunking → SHA-1 content
+//! addressing → Reed-Solomon block generation) is the client's CPU
+//! cost per synced byte; this binary records its perf trajectory so
+//! every PR inherits a measured kernel baseline. Rows:
+//!
+//! - `sha1` — one-shot digest, several sizes
+//! - `rabin_roll` — rolling-hash slide across a buffer
+//! - `chunker_cut_points` — content-defined segmentation (no hashing)
+//! - `rs_encode` / `rs_decode` — (255, 3) non-systematic codec,
+//!   full 5-block stripe per iteration (the paper's N = 5)
+//! - `ingest` — end-to-end chunk + hash + encode at 1/2/4/8 worker
+//!   threads through `unidrive_util::pool::WorkerPool`
+//!
+//! Timing runs through the `unidrive-obs` timer/histogram machinery
+//! (per-iteration nanoseconds recorded into log₂ histograms; p50/p95
+//! from the same quantile code the experiment summaries use). Results
+//! export as JSON with a fixed schema and row order — values are wall
+//! clock and vary run to run, the *shape* never does.
+//!
+//! Usage: `bench_kernels [--quick|quick] [--out PATH]`
+//! (default out: `BENCH_kernels.json`).
+
+use std::fmt::Write as _;
+use std::hint::black_box;
+use std::time::Instant;
+
+use unidrive_chunker::{cut_points, ChunkerConfig, RabinHash};
+use unidrive_crypto::Sha1;
+use unidrive_erasure::Codec;
+use unidrive_obs::{Obs, Registry};
+use unidrive_util::bytes::Bytes;
+use unidrive_util::pool::WorkerPool;
+use unidrive_workload::random_bytes;
+
+/// One measured row of the report.
+struct Row {
+    kernel: &'static str,
+    bytes: usize,
+    threads: usize,
+    iters: u64,
+    mb_per_s: f64,
+    mean_ns: u64,
+    p50_ns: u64,
+    p95_ns: u64,
+}
+
+struct Harness {
+    obs: Obs,
+    /// Per-row time budget.
+    budget: std::time::Duration,
+    rows: Vec<Row>,
+}
+
+impl Harness {
+    fn new(quick: bool) -> Self {
+        let registry = Registry::new();
+        let epoch = Instant::now();
+        registry.set_clock(move || epoch.elapsed().as_nanos() as u64);
+        Harness {
+            obs: Obs::with_registry(registry),
+            budget: std::time::Duration::from_millis(if quick { 120 } else { 500 }),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Times `f` until the row budget is spent (≥ 3 iterations), with
+    /// one untimed warm-up. `bytes` is the payload a single iteration
+    /// processes; `threads` is a reporting tag.
+    fn row<T>(
+        &mut self,
+        kernel: &'static str,
+        bytes: usize,
+        threads: usize,
+        mut f: impl FnMut() -> T,
+    ) {
+        black_box(f());
+        let name = format!("bench.{kernel}.{bytes}.{threads}");
+        let start = Instant::now();
+        let mut iters = 0u64;
+        while iters < 3 || (start.elapsed() < self.budget && iters < 10_000) {
+            let timer = self.obs.timer(&name);
+            black_box(f());
+            timer.stop();
+            iters += 1;
+        }
+        let snap = self
+            .obs
+            .snapshot()
+            .expect("registry-backed obs")
+            .histograms
+            .iter()
+            .find(|(n, _)| n == &name)
+            .map(|(_, h)| h.clone())
+            .expect("row histogram recorded");
+        let mean_ns = snap.mean();
+        let row = Row {
+            kernel,
+            bytes,
+            threads,
+            iters,
+            mb_per_s: bytes as f64 / (mean_ns / 1e9).max(1e-12) / (1024.0 * 1024.0),
+            mean_ns: mean_ns as u64,
+            p50_ns: snap.p50(),
+            p95_ns: snap.p95(),
+        };
+        println!(
+            "{:<24} {:>10} B {:>2} thr {:>6} it {:>10.1} MiB/s  (mean {:>9} ns, p50 {:>9}, p95 {:>9})",
+            row.kernel, row.bytes, row.threads, row.iters, row.mb_per_s, row.mean_ns, row.p50_ns,
+            row.p95_ns
+        );
+        self.rows.push(row);
+    }
+
+    fn to_json(&self, mode: &str) -> String {
+        let mut out = String::with_capacity(4096);
+        out.push_str("{\n\"bench_kernels\": \"unidrive/v1\",\n");
+        let _ = writeln!(out, "\"mode\": \"{mode}\",");
+        out.push_str("\"rows\": [");
+        for (i, r) in self.rows.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "\n{{\"kernel\": \"{}\", \"bytes\": {}, \"threads\": {}, \"iters\": {}, \
+                 \"mb_per_s\": {:.2}, \"mean_ns\": {}, \"p50_ns\": {}, \"p95_ns\": {}}}",
+                r.kernel, r.bytes, r.threads, r.iters, r.mb_per_s, r.mean_ns, r.p50_ns, r.p95_ns
+            );
+        }
+        out.push_str("\n]\n}\n");
+        out
+    }
+}
+
+/// The full pipeline one upload performs per file before any network
+/// traffic: content-defined cuts, then per-segment SHA-1 + a 5-block
+/// RS stripe, fanned across `pool`.
+fn ingest(data: &Bytes, config: &ChunkerConfig, codec: &Codec, pool: &WorkerPool) -> usize {
+    let cuts = cut_points(data, config);
+    let outputs = pool.par_map_indexed(&cuts, |_, &(offset, len)| {
+        let seg = data.slice(offset..offset + len);
+        let digest = Sha1::digest(&seg);
+        let blocks = codec.encode_blocks(&seg, &[0, 1, 2, 3, 4]);
+        (digest, blocks)
+    });
+    outputs.len()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick" || a == "quick");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_kernels.json".to_owned());
+    let mode = if quick { "quick" } else { "full" };
+    println!("bench_kernels ({mode} mode)\n");
+
+    let mut h = Harness::new(quick);
+
+    let sha_sizes: &[usize] = if quick {
+        &[256 * 1024, 1024 * 1024]
+    } else {
+        &[256 * 1024, 1024 * 1024, 8 * 1024 * 1024]
+    };
+    for &size in sha_sizes {
+        let data = random_bytes(size, 0xC0FFEE ^ size as u64);
+        h.row("sha1", size, 1, || Sha1::digest(&data));
+    }
+
+    let roll_size = if quick { 1024 * 1024 } else { 4 * 1024 * 1024 };
+    let data = random_bytes(roll_size, 0xAB1E);
+    h.row("rabin_roll", roll_size, 1, || {
+        let mut hash = RabinHash::new(48);
+        for &b in &data[..48] {
+            hash.push(b);
+        }
+        let mut acc = 0u64;
+        for i in 48..data.len() {
+            hash.roll(data[i - 48], data[i]);
+            acc ^= hash.fingerprint();
+        }
+        acc
+    });
+
+    let chunk_size = if quick { 4 * 1024 * 1024 } else { 16 * 1024 * 1024 };
+    let theta = chunk_size / 16;
+    let data = random_bytes(chunk_size, 0x5E6);
+    let config = ChunkerConfig::new(theta);
+    h.row("chunker_cut_points", chunk_size, 1, || {
+        cut_points(&data, &config)
+    });
+
+    let rs_size = if quick { 1024 * 1024 } else { 4 * 1024 * 1024 };
+    let data = random_bytes(rs_size, 0xEC0DE);
+    let codec = Codec::non_systematic(255, 3).expect("paper parameters");
+    h.row("rs_encode", rs_size, 1, || {
+        codec.encode_blocks(&data, &[0, 1, 2, 3, 4])
+    });
+    let stripe = codec.encode_blocks(&data, &[0, 1, 2, 3, 4]);
+    let shares: Vec<(usize, &[u8])> = [0usize, 2, 4]
+        .iter()
+        .map(|&i| (i, stripe[i].as_ref()))
+        .collect();
+    h.row("rs_decode", rs_size, 1, || {
+        codec.decode(&shares, data.len()).expect("k shares decode")
+    });
+
+    let ingest_size = if quick { 4 * 1024 * 1024 } else { 16 * 1024 * 1024 };
+    let data = random_bytes(ingest_size, 0x1265);
+    let config = ChunkerConfig::new(ingest_size / 16);
+    for threads in [1usize, 2, 4, 8] {
+        let pool = WorkerPool::new(threads);
+        h.row("ingest", ingest_size, threads, || {
+            ingest(&data, &config, &codec, &pool)
+        });
+    }
+
+    let json = h.to_json(mode);
+    std::fs::write(&out_path, &json).unwrap_or_else(|e| {
+        eprintln!("bench_kernels: cannot write {out_path}: {e}");
+        std::process::exit(1);
+    });
+    println!("\nwrote {out_path}");
+}

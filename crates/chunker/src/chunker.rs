@@ -127,12 +127,17 @@ pub fn cut_points(data: &[u8], config: &ChunkerConfig) -> Vec<(usize, usize)> {
         for &b in &data[prime_from..start + min] {
             hash.push(b);
         }
-        for pos in start + min..start + max {
+        // Walk expiring/arriving bytes as a pair of zipped slices so the
+        // inner loop carries no per-byte bounds checks (the loop guard
+        // guarantees `start + max < data.len()`).
+        let expiring = &data[prime_from..start + max - config.window];
+        let arriving = &data[start + min..start + max];
+        for (i, (&old, &new)) in expiring.iter().zip(arriving).enumerate() {
             if hash.fingerprint() & mask == mask {
-                cut = pos;
+                cut = start + min + i;
                 break;
             }
-            hash.roll(data[pos - config.window], data[pos]);
+            hash.roll(old, new);
         }
         out.push((start, cut - start));
         start = cut;
@@ -271,6 +276,81 @@ mod tests {
     #[test]
     fn empty_input_has_no_segments() {
         assert!(segment_bytes(&[], &cfg()).is_empty());
+    }
+
+    #[test]
+    fn property_every_byte_covered_once_across_seeds_and_thetas() {
+        // Coverage invariant: for any input and any θ, segments tile
+        // the input exactly — contiguous, non-overlapping, complete.
+        for theta in [1024usize, 4 * 1024, 64 * 1024] {
+            let config = ChunkerConfig::new(theta);
+            for seed in 0..8u64 {
+                let len = 10_000 + (seed as usize * 7919) % 90_000;
+                let data = pseudo_random(len, seed.wrapping_mul(97) + 5);
+                let segs = segment_bytes(&data, &config);
+                let mut pos = 0usize;
+                for s in &segs {
+                    assert_eq!(s.offset, pos, "theta={theta} seed={seed}");
+                    assert!(s.len > 0, "theta={theta} seed={seed}: empty segment");
+                    pos += s.len;
+                }
+                assert_eq!(pos, data.len(), "theta={theta} seed={seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn property_sizes_within_half_to_three_half_theta() {
+        // Size invariant: every non-final segment lands in
+        // [0.5 θ, 1.5 θ); the final one only has the upper bound.
+        for theta in [1024usize, 8 * 1024, 32 * 1024] {
+            let config = ChunkerConfig::new(theta);
+            for seed in 20..26u64 {
+                let data = pseudo_random(40 * theta, seed);
+                let segs = segment_bytes(&data, &config);
+                for (i, s) in segs.iter().enumerate() {
+                    assert!(s.len <= config.max_size(), "theta={theta} seed={seed} seg {i}");
+                    if i + 1 < segs.len() {
+                        assert!(
+                            s.len >= config.min_size(),
+                            "theta={theta} seed={seed} seg {i}: {} < {}",
+                            s.len,
+                            config.min_size()
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn property_boundaries_stable_under_prefix_edit() {
+        // Stability invariant: editing bytes inside the first segment
+        // leaves every later boundary untouched — the content-defined
+        // cuts downstream of the edit depend only on local windows.
+        let config = ChunkerConfig::new(8 * 1024);
+        for seed in 40..46u64 {
+            let data = pseudo_random(300_000, seed);
+            let before = segment_bytes(&data, &config);
+            assert!(before.len() > 3, "seed={seed}");
+            let mut edited = data.clone();
+            // Scribble over a run near the start (inside segment 0, past
+            // the rolling window so segment 0's own cut can re-settle).
+            for b in &mut edited[100..200] {
+                *b ^= 0x5A;
+            }
+            let after = segment_bytes(&edited, &config);
+            // All boundaries at or after the end of the edited segment
+            // must be byte-identical.
+            let stable_from = before[0].offset + before[0].len.max(after[0].len);
+            let cuts = |segs: &[Segment]| {
+                segs.iter()
+                    .map(|s| s.offset + s.len)
+                    .filter(|&c| c > stable_from)
+                    .collect::<Vec<_>>()
+            };
+            assert_eq!(cuts(&before), cuts(&after), "seed={seed}");
+        }
     }
 
     #[test]

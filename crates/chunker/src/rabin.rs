@@ -102,11 +102,13 @@ impl RabinHash {
     }
 
     /// Current fingerprint (valid once `window` bytes were pushed).
+    #[inline]
     pub fn fingerprint(&self) -> u64 {
         self.fingerprint
     }
 
     /// Appends a byte without expiring one (used to fill the window).
+    #[inline]
     pub fn push(&mut self, byte: u8) {
         let top = self.fingerprint >> (self.deg - 8);
         self.fingerprint = (((self.fingerprint & self.low_mask) << 8) | byte as u64)
@@ -114,6 +116,7 @@ impl RabinHash {
     }
 
     /// Slides the window: expires `oldest`, appends `newest`.
+    #[inline]
     pub fn roll(&mut self, oldest: u8, newest: u8) {
         self.push(newest);
         self.fingerprint ^= self.remove_table[oldest as usize];

@@ -5,7 +5,10 @@ use std::collections::HashSet;
 use std::sync::Arc;
 
 use unidrive_util::bytes::Bytes;
+use unidrive_util::pool::WorkerPool;
+use unidrive_chunker::Segment;
 use unidrive_cloud::CloudSet;
+use unidrive_crypto::Sha1;
 use unidrive_erasure::Codec;
 use unidrive_meta::{block_path, SegmentId, SyncFolderImage};
 use unidrive_sim::Runtime;
@@ -44,6 +47,7 @@ pub struct DataPlane {
     config: DataPlaneConfig,
     codec: Arc<Codec>,
     probe: Arc<BandwidthProbe>,
+    ingest_pool: WorkerPool,
 }
 
 impl std::fmt::Debug for DataPlane {
@@ -72,13 +76,32 @@ impl DataPlane {
         let probe = Arc::new(
             BandwidthProbe::new(clouds.len(), 1_000_000.0).with_obs(config.obs.clone()),
         );
+        let ingest_pool = WorkerPool::new(config.ingest_threads);
         DataPlane {
             rt,
             clouds,
             config,
             codec,
             probe,
+            ingest_pool,
         }
+    }
+
+    /// Content-defined segmentation with the per-segment hashing fanned
+    /// out across the ingest pool. Cut points are computed serially
+    /// (they are an inherently sequential rolling scan), then each
+    /// segment's SHA-1 runs on a worker, with results collected by
+    /// index — output is byte-for-byte what
+    /// [`unidrive_chunker::segment_bytes`] returns, at any thread
+    /// count.
+    fn segment_parallel(&self, data: &[u8]) -> Vec<Segment> {
+        let cuts = unidrive_chunker::cut_points(data, &self.config.chunker);
+        self.ingest_pool
+            .par_map_indexed(&cuts, |_, &(offset, len)| Segment {
+                offset,
+                len,
+                digest: Sha1::digest(&data[offset..offset + len]),
+            })
     }
 
     /// The configuration in effect.
@@ -98,7 +121,8 @@ impl DataPlane {
 
     /// Content-defined segmentation of one file (no network traffic).
     pub fn segment_file(&self, path: &str, data: &[u8]) -> FileSegmentation {
-        let segments = unidrive_chunker::segment_bytes(data, &self.config.chunker)
+        let segments = self
+            .segment_parallel(data)
             .into_iter()
             .map(|s| (SegmentId(s.digest), s.len as u64))
             .collect();
@@ -133,7 +157,7 @@ impl DataPlane {
         let mut uploads = Vec::new();
         let mut scheduled: HashSet<SegmentId> = HashSet::new();
         for req in &requests {
-            let cuts = unidrive_chunker::segment_bytes(&req.data, &self.config.chunker);
+            let cuts = self.segment_parallel(&req.data);
             let mut seg_meta = Vec::new();
             let mut to_send = Vec::new();
             for s in cuts {
@@ -259,6 +283,10 @@ mod tests {
     use unidrive_sim::SimRuntime;
 
     fn plane(seed: u64) -> (Arc<SimRuntime>, DataPlane) {
+        plane_with_threads(seed, 1)
+    }
+
+    fn plane_with_threads(seed: u64, ingest_threads: usize) -> (Arc<SimRuntime>, DataPlane) {
         let sim = SimRuntime::new(seed);
         let clouds = CloudSet::new(
             (0..5)
@@ -271,10 +299,11 @@ mod tests {
                 })
                 .collect(),
         );
-        let config = DataPlaneConfig::with_params(
+        let mut config = DataPlaneConfig::with_params(
             RedundancyConfig::new(5, 3, 3, 2).unwrap(),
             64 * 1024,
         );
+        config.ingest_threads = ingest_threads;
         let rt = sim.clone().as_runtime();
         (sim, DataPlane::new(rt, clouds, config))
     }
@@ -378,6 +407,46 @@ mod tests {
                     .get(unidrive_cloud::CloudId(b.cloud as usize));
                 assert!(!cloud.exists(&block_path(id, b.index)).unwrap());
             }
+        }
+    }
+
+    #[test]
+    fn parallel_ingest_segmentation_matches_serial() {
+        // The determinism contract of the ingest pool: any thread count
+        // yields the exact segmentation the serial chunker computes.
+        let data = content(700_000, 31);
+        let (_sim, serial) = plane_with_threads(10, 1);
+        let reference = serial.segment_file("f", &data);
+        assert!(reference.segments.len() > 5, "want a multi-segment file");
+        for threads in [2usize, 8] {
+            let (_sim, parallel) = plane_with_threads(10, threads);
+            let got = parallel.segment_file("f", &data);
+            assert_eq!(got.segments, reference.segments, "threads={threads}");
+            assert_eq!(got.size, reference.size);
+        }
+    }
+
+    #[test]
+    fn parallel_ingest_upload_is_byte_identical() {
+        // Full upload path at 1/2/8 ingest threads on same-seed sims:
+        // the placements, segmentations, and virtual-time outcomes must
+        // not see the thread count at all.
+        let data = content(500_000, 33);
+        let run = |threads: usize| {
+            let (_sim, plane) = plane_with_threads(11, threads);
+            let (report, segs) = plane.upload_files(
+                vec![UploadRequest {
+                    path: "par.bin".into(),
+                    data: data.clone(),
+                }],
+                &HashSet::new(),
+            );
+            assert!(report.all_available(), "threads={threads}");
+            (report.blocks, report.timeline, segs[0].segments.clone())
+        };
+        let reference = run(1);
+        for threads in [2usize, 8] {
+            assert_eq!(run(threads), reference, "threads={threads}");
         }
     }
 

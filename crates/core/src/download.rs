@@ -77,8 +77,10 @@ impl std::error::Error for DownloadError {}
 /// Outcome of a download batch.
 #[derive(Debug)]
 pub struct DownloadReport {
-    /// Successfully reconstructed segments.
-    pub segments: HashMap<SegmentId, Vec<u8>>,
+    /// Successfully reconstructed segments. Shared [`Bytes`] so callers
+    /// can fan a segment out (file reassembly, re-encode, caching)
+    /// without copying the plaintext again.
+    pub segments: HashMap<SegmentId, Bytes>,
     /// Segments that failed, with the reason.
     pub failed: Vec<DownloadError>,
     /// When the batch started / finished.
@@ -251,7 +253,7 @@ pub fn run_download_in(
 /// the shared engine.
 struct DownloadPolicy {
     st: DownloadState,
-    segments: HashMap<SegmentId, Vec<u8>>,
+    segments: HashMap<SegmentId, Bytes>,
     failures: Vec<DownloadError>,
     codec: Arc<Codec>,
     probe: Arc<BandwidthProbe>,
@@ -363,7 +365,7 @@ fn decode_segment(
     codec: &Codec,
     fetch: &FetchState,
     k: usize,
-) -> Result<Vec<u8>, DownloadError> {
+) -> Result<Bytes, DownloadError> {
     // Sort for determinism: HashMap iteration order would make the
     // chosen k-subset (and thus replayed experiment traces) vary run to
     // run.
@@ -386,7 +388,7 @@ fn decode_segment(
     if digest != fetch.id.0 {
         return Err(DownloadError::IntegrityMismatch { segment: fetch.id });
     }
-    Ok(plain)
+    Ok(Bytes::from(plain))
 }
 
 /// Picks the next block an idle connection of `cloud` should fetch.

@@ -38,6 +38,13 @@ pub struct DataPlaneConfig {
     /// completion or failure actually notifies it — the former 5 ms
     /// `IDLE_POLL` constant, kept sweepable for ablations.
     pub idle_wait: Option<Duration>,
+    /// Worker threads for the CPU-bound ingest pipeline (content-defined
+    /// chunking + per-segment hashing) in
+    /// [`DataPlane::upload_files`](crate::DataPlane::upload_files).
+    /// Results are collected by input index, so plans, metrics, and
+    /// traces are byte-identical at any width — only wall clock changes.
+    /// 1 (the default) runs strictly inline on the calling thread.
+    pub ingest_threads: usize,
     /// Observability handle threaded through the schedulers, retries,
     /// and the bandwidth probe (no-op by default; see `unidrive-obs`).
     pub obs: Obs,
@@ -62,6 +69,7 @@ impl DataPlaneConfig {
             max_block_bounces: 8,
             dup_speed_ratio: 1.5,
             idle_wait: None,
+            ingest_threads: 1,
             obs: Obs::noop(),
             watchdog: None,
         }

@@ -9,6 +9,118 @@
 
 use std::fmt;
 
+/// SHA-NI (`sha1rnds4`/`sha1nexte`/`sha1msg1`/`sha1msg2`) compression,
+/// four rounds per instruction with the message schedule computed in
+/// xmm registers. Follows Intel's published round grouping; used only
+/// when the CPU reports the `sha` feature at runtime, with the scalar
+/// [`Sha1::compress`] as the portable fallback. Output is
+/// bit-identical (both implement FIPS 180-1).
+#[cfg(target_arch = "x86_64")]
+mod shani {
+    use std::arch::x86_64::{
+        __m128i, _mm_add_epi32, _mm_extract_epi32, _mm_loadu_si128, _mm_set_epi32,
+        _mm_set_epi64x, _mm_setzero_si128, _mm_sha1msg1_epu32, _mm_sha1msg2_epu32,
+        _mm_sha1nexte_epu32, _mm_sha1rnds4_epu32, _mm_shuffle_epi32, _mm_shuffle_epi8,
+        _mm_storeu_si128, _mm_xor_si128,
+    };
+
+    /// Whether the SHA-NI kernel may be used on this CPU.
+    #[inline]
+    pub fn available() -> bool {
+        std::arch::is_x86_feature_detected!("sha")
+            && std::arch::is_x86_feature_detected!("ssse3")
+            && std::arch::is_x86_feature_detected!("sse4.1")
+    }
+
+    /// Compresses every 64-byte block of `blocks` into `state`.
+    ///
+    /// # Safety
+    ///
+    /// The CPU must support SHA-NI, SSSE3 and SSE4.1 (check
+    /// [`available`]). `blocks.len()` must be a multiple of 64.
+    #[target_feature(enable = "sha,ssse3,sse4.1")]
+    // The uniform four-round macro leaves dead schedule writes in the
+    // last three groups (see its comment); keeping the macro uniform
+    // beats special-casing the tail.
+    #[allow(unused_assignments)]
+    pub unsafe fn compress_blocks(state: &mut [u32; 5], blocks: &[u8]) {
+        debug_assert_eq!(blocks.len() % 64, 0);
+        // Byte shuffle turning little-endian loads into the big-endian
+        // words FIPS 180-1 specifies.
+        let be_mask = _mm_set_epi64x(0x0001020304050607, 0x08090a0b0c0d0e0f);
+        // SAFETY (all intrinsic calls below): `state` is 5 valid u32s
+        // (the first 4 loaded/stored as one unaligned vector) and every
+        // block pointer offset stays within `blocks` by the length
+        // precondition; unaligned loads/stores are used throughout.
+        let mut abcd = _mm_loadu_si128(state.as_ptr().cast::<__m128i>());
+        abcd = _mm_shuffle_epi32::<0x1B>(abcd);
+        let mut e0 = _mm_set_epi32(state[4] as i32, 0, 0, 0);
+        let mut e1;
+        let mut msg0 = _mm_setzero_si128();
+        let mut msg1 = _mm_setzero_si128();
+        let mut msg2 = _mm_setzero_si128();
+        let mut msg3 = _mm_setzero_si128();
+
+        for block in blocks.chunks_exact(64) {
+            let p = block.as_ptr();
+            let abcd_save = abcd;
+            let e_save = e0;
+
+            // One macro invocation = four rounds. `$m0` is this
+            // group's schedule words; the trailing msg1/msg2/xor ops
+            // prepare the words three groups ahead (they run on dead
+            // values in the last groups, which is harmless).
+            macro_rules! qround {
+                ($ecur:ident, $eoth:ident, $m0:ident, $m1:ident, $m2:ident, $m3:ident,
+                 $k:literal) => {
+                    $ecur = _mm_sha1nexte_epu32($ecur, $m0);
+                    $eoth = abcd;
+                    $m1 = _mm_sha1msg2_epu32($m1, $m0);
+                    abcd = _mm_sha1rnds4_epu32::<$k>(abcd, $ecur);
+                    $m3 = _mm_sha1msg1_epu32($m3, $m0);
+                    $m2 = _mm_xor_si128($m2, $m0);
+                };
+            }
+
+            // Rounds 0-3: the initial e is added, not sha1nexte'd.
+            msg0 = _mm_shuffle_epi8(_mm_loadu_si128(p.cast::<__m128i>()), be_mask);
+            e0 = _mm_add_epi32(e0, msg0);
+            e1 = abcd;
+            abcd = _mm_sha1rnds4_epu32::<0>(abcd, e0);
+
+            msg1 = _mm_shuffle_epi8(_mm_loadu_si128(p.add(16).cast::<__m128i>()), be_mask);
+            qround!(e1, e0, msg1, msg2, msg3, msg0, 0);
+            msg2 = _mm_shuffle_epi8(_mm_loadu_si128(p.add(32).cast::<__m128i>()), be_mask);
+            qround!(e0, e1, msg2, msg3, msg0, msg1, 0);
+            msg3 = _mm_shuffle_epi8(_mm_loadu_si128(p.add(48).cast::<__m128i>()), be_mask);
+            qround!(e1, e0, msg3, msg0, msg1, msg2, 0);
+            qround!(e0, e1, msg0, msg1, msg2, msg3, 0);
+            qround!(e1, e0, msg1, msg2, msg3, msg0, 1);
+            qround!(e0, e1, msg2, msg3, msg0, msg1, 1);
+            qround!(e1, e0, msg3, msg0, msg1, msg2, 1);
+            qround!(e0, e1, msg0, msg1, msg2, msg3, 1);
+            qround!(e1, e0, msg1, msg2, msg3, msg0, 1);
+            qround!(e0, e1, msg2, msg3, msg0, msg1, 2);
+            qround!(e1, e0, msg3, msg0, msg1, msg2, 2);
+            qround!(e0, e1, msg0, msg1, msg2, msg3, 2);
+            qround!(e1, e0, msg1, msg2, msg3, msg0, 2);
+            qround!(e0, e1, msg2, msg3, msg0, msg1, 2);
+            qround!(e1, e0, msg3, msg0, msg1, msg2, 3);
+            qround!(e0, e1, msg0, msg1, msg2, msg3, 3);
+            qround!(e1, e0, msg1, msg2, msg3, msg0, 3);
+            qround!(e0, e1, msg2, msg3, msg0, msg1, 3);
+            qround!(e1, e0, msg3, msg0, msg1, msg2, 3);
+
+            e0 = _mm_sha1nexte_epu32(e0, e_save);
+            abcd = _mm_add_epi32(abcd, abcd_save);
+        }
+
+        abcd = _mm_shuffle_epi32::<0x1B>(abcd);
+        _mm_storeu_si128(state.as_mut_ptr().cast::<__m128i>(), abcd);
+        state[4] = _mm_extract_epi32::<3>(e0) as u32;
+    }
+}
+
 /// A 160-bit SHA-1 digest.
 ///
 /// # Examples
@@ -108,17 +220,16 @@ impl Sha1 {
             rest = &rest[take..];
             if self.buffer_len == 64 {
                 let block = self.buffer;
-                self.compress(&block);
+                self.compress_many(&block);
                 self.buffer_len = 0;
             }
         }
-        while rest.len() >= 64 {
-            let (block, tail) = rest.split_at(64);
-            let mut arr = [0u8; 64];
-            arr.copy_from_slice(block);
-            self.compress(&arr);
-            rest = tail;
+        let aligned_len = rest.len() - rest.len() % 64;
+        let (aligned, tail) = rest.split_at(aligned_len);
+        if !aligned.is_empty() {
+            self.compress_many(aligned);
         }
+        rest = tail;
         if !rest.is_empty() {
             self.buffer[..rest.len()].copy_from_slice(rest);
             self.buffer_len = rest.len();
@@ -128,15 +239,18 @@ impl Sha1 {
     /// Finishes and returns the digest.
     pub fn finalize(mut self) -> Digest {
         let bit_len = self.total_len.wrapping_mul(8);
-        self.update(&[0x80]);
-        // `update` above adjusted total_len; we only care about padding.
-        while self.buffer_len != 56 {
-            self.update(&[0]);
+        // Pad on the stack: 0x80, zeros, then the big-endian bit length
+        // in the last 8 bytes — spilling into a second block when fewer
+        // than 8 length bytes remain after the 0x80 marker.
+        let mut block = [0u8; 64];
+        block[..self.buffer_len].copy_from_slice(&self.buffer[..self.buffer_len]);
+        block[self.buffer_len] = 0x80;
+        if self.buffer_len >= 56 {
+            self.compress_many(&block);
+            block = [0u8; 64];
         }
-        self.total_len = 0; // silence further accounting; we pad manually
-        let mut block = self.buffer;
         block[56..64].copy_from_slice(&bit_len.to_be_bytes());
-        self.compress(&block);
+        self.compress_many(&block);
         let mut out = [0u8; 20];
         for (i, word) in self.state.iter().enumerate() {
             out[4 * i..4 * i + 4].copy_from_slice(&word.to_be_bytes());
@@ -144,34 +258,170 @@ impl Sha1 {
         Digest(out)
     }
 
+    /// Compresses a run of whole 64-byte blocks, dispatching to the
+    /// SHA-NI kernel when the CPU supports it (`len % 64 == 0` holds at
+    /// every call site by construction).
+    fn compress_many(&mut self, blocks: &[u8]) {
+        debug_assert_eq!(blocks.len() % 64, 0);
+        #[cfg(target_arch = "x86_64")]
+        if shani::available() {
+            // SAFETY: `available()` just confirmed the required CPU
+            // features, and the length precondition is the caller's.
+            unsafe { shani::compress_blocks(&mut self.state, blocks) };
+            return;
+        }
+        for block in blocks.chunks_exact(64) {
+            self.compress(block.try_into().expect("64-byte chunk"));
+        }
+    }
+
+    // The final rounds' schedule stores are dead by construction; the
+    // `sch!` macro stays uniform instead of special-casing them.
+    #[allow(unused_assignments)]
     fn compress(&mut self, block: &[u8; 64]) {
-        let mut w = [0u32; 80];
+        // Rolling 16-word message schedule: w[i] for i ≥ 16 only ever
+        // reads words from the previous 16 positions, so the schedule
+        // lives in 16 registers-worth of state instead of an 80-word
+        // array, and the rounds are fully unrolled with the working
+        // variables rotating through fixed names (no per-round
+        // shuffle, no per-round stage dispatch).
+        let mut w = [0u32; 16];
         for (i, chunk) in block.chunks_exact(4).enumerate() {
             w[i] = u32::from_be_bytes(chunk.try_into().expect("4-byte chunk"));
         }
-        for i in 16..80 {
-            w[i] = (w[i - 3] ^ w[i - 8] ^ w[i - 14] ^ w[i - 16]).rotate_left(1);
-        }
         let [mut a, mut b, mut c, mut d, mut e] = self.state;
-        for (i, &wi) in w.iter().enumerate() {
-            let (f, k) = match i {
-                0..=19 => ((b & c) | ((!b) & d), 0x5A827999),
-                20..=39 => (b ^ c ^ d, 0x6ED9EBA1),
-                40..=59 => ((b & c) | (b & d) | (c & d), 0x8F1BBCDC),
-                _ => (b ^ c ^ d, 0xCA62C1D6),
-            };
-            let tmp = a
-                .rotate_left(5)
-                .wrapping_add(f)
-                .wrapping_add(e)
-                .wrapping_add(k)
-                .wrapping_add(wi);
-            e = d;
-            d = c;
-            c = b.rotate_left(30);
-            b = a;
-            a = tmp;
+
+        // Schedule word i (i ≥ 16), stored back into the rolling window.
+        macro_rules! sch {
+            ($i:expr) => {{
+                let t = (w[($i + 13) & 15] ^ w[($i + 8) & 15] ^ w[($i + 2) & 15] ^ w[$i & 15])
+                    .rotate_left(1);
+                w[$i & 15] = t;
+                t
+            }};
         }
+        macro_rules! step {
+            ($a:ident, $b:ident, $c:ident, $d:ident, $e:ident, $f:expr, $k:expr, $wi:expr) => {{
+                let wi = $wi;
+                $e = $e
+                    .wrapping_add($a.rotate_left(5))
+                    .wrapping_add($f)
+                    .wrapping_add($k)
+                    .wrapping_add(wi);
+                $b = $b.rotate_left(30);
+            }};
+        }
+        macro_rules! r {
+            // Ch and Maj in their 3-operation forms:
+            // (b&c)|(!b&d) = d ^ (b & (c^d));
+            // (b&c)|(b&d)|(c&d) = (b&c) | (d & (b^c)).
+            (ch $a:ident $b:ident $c:ident $d:ident $e:ident, $wi:expr) => {
+                step!($a, $b, $c, $d, $e, $d ^ ($b & ($c ^ $d)), 0x5A827999u32, $wi)
+            };
+            (p1 $a:ident $b:ident $c:ident $d:ident $e:ident, $wi:expr) => {
+                step!($a, $b, $c, $d, $e, $b ^ $c ^ $d, 0x6ED9EBA1u32, $wi)
+            };
+            (maj $a:ident $b:ident $c:ident $d:ident $e:ident, $wi:expr) => {
+                step!(
+                    $a,
+                    $b,
+                    $c,
+                    $d,
+                    $e,
+                    ($b & $c) | ($d & ($b ^ $c)),
+                    0x8F1BBCDCu32,
+                    $wi
+                )
+            };
+            (p2 $a:ident $b:ident $c:ident $d:ident $e:ident, $wi:expr) => {
+                step!($a, $b, $c, $d, $e, $b ^ $c ^ $d, 0xCA62C1D6u32, $wi)
+            };
+        }
+
+        r!(ch a b c d e, w[0]);
+        r!(ch e a b c d, w[1]);
+        r!(ch d e a b c, w[2]);
+        r!(ch c d e a b, w[3]);
+        r!(ch b c d e a, w[4]);
+        r!(ch a b c d e, w[5]);
+        r!(ch e a b c d, w[6]);
+        r!(ch d e a b c, w[7]);
+        r!(ch c d e a b, w[8]);
+        r!(ch b c d e a, w[9]);
+        r!(ch a b c d e, w[10]);
+        r!(ch e a b c d, w[11]);
+        r!(ch d e a b c, w[12]);
+        r!(ch c d e a b, w[13]);
+        r!(ch b c d e a, w[14]);
+        r!(ch a b c d e, w[15]);
+        r!(ch e a b c d, sch!(16));
+        r!(ch d e a b c, sch!(17));
+        r!(ch c d e a b, sch!(18));
+        r!(ch b c d e a, sch!(19));
+
+        r!(p1 a b c d e, sch!(20));
+        r!(p1 e a b c d, sch!(21));
+        r!(p1 d e a b c, sch!(22));
+        r!(p1 c d e a b, sch!(23));
+        r!(p1 b c d e a, sch!(24));
+        r!(p1 a b c d e, sch!(25));
+        r!(p1 e a b c d, sch!(26));
+        r!(p1 d e a b c, sch!(27));
+        r!(p1 c d e a b, sch!(28));
+        r!(p1 b c d e a, sch!(29));
+        r!(p1 a b c d e, sch!(30));
+        r!(p1 e a b c d, sch!(31));
+        r!(p1 d e a b c, sch!(32));
+        r!(p1 c d e a b, sch!(33));
+        r!(p1 b c d e a, sch!(34));
+        r!(p1 a b c d e, sch!(35));
+        r!(p1 e a b c d, sch!(36));
+        r!(p1 d e a b c, sch!(37));
+        r!(p1 c d e a b, sch!(38));
+        r!(p1 b c d e a, sch!(39));
+
+        r!(maj a b c d e, sch!(40));
+        r!(maj e a b c d, sch!(41));
+        r!(maj d e a b c, sch!(42));
+        r!(maj c d e a b, sch!(43));
+        r!(maj b c d e a, sch!(44));
+        r!(maj a b c d e, sch!(45));
+        r!(maj e a b c d, sch!(46));
+        r!(maj d e a b c, sch!(47));
+        r!(maj c d e a b, sch!(48));
+        r!(maj b c d e a, sch!(49));
+        r!(maj a b c d e, sch!(50));
+        r!(maj e a b c d, sch!(51));
+        r!(maj d e a b c, sch!(52));
+        r!(maj c d e a b, sch!(53));
+        r!(maj b c d e a, sch!(54));
+        r!(maj a b c d e, sch!(55));
+        r!(maj e a b c d, sch!(56));
+        r!(maj d e a b c, sch!(57));
+        r!(maj c d e a b, sch!(58));
+        r!(maj b c d e a, sch!(59));
+
+        r!(p2 a b c d e, sch!(60));
+        r!(p2 e a b c d, sch!(61));
+        r!(p2 d e a b c, sch!(62));
+        r!(p2 c d e a b, sch!(63));
+        r!(p2 b c d e a, sch!(64));
+        r!(p2 a b c d e, sch!(65));
+        r!(p2 e a b c d, sch!(66));
+        r!(p2 d e a b c, sch!(67));
+        r!(p2 c d e a b, sch!(68));
+        r!(p2 b c d e a, sch!(69));
+        r!(p2 a b c d e, sch!(70));
+        r!(p2 e a b c d, sch!(71));
+        r!(p2 d e a b c, sch!(72));
+        r!(p2 c d e a b, sch!(73));
+        r!(p2 b c d e a, sch!(74));
+        r!(p2 a b c d e, sch!(75));
+        r!(p2 e a b c d, sch!(76));
+        r!(p2 d e a b c, sch!(77));
+        r!(p2 c d e a b, sch!(78));
+        r!(p2 b c d e a, sch!(79));
+
         self.state[0] = self.state[0].wrapping_add(a);
         self.state[1] = self.state[1].wrapping_add(b);
         self.state[2] = self.state[2].wrapping_add(c);
@@ -230,6 +480,24 @@ mod tests {
             h.update(&data[..split]);
             h.update(&data[split..]);
             assert_eq!(h.finalize(), Sha1::digest(&data), "split {split}");
+        }
+    }
+
+    #[test]
+    fn padding_boundary_lengths() {
+        // Messages whose final block leaves 0..8 bytes after the 0x80
+        // marker exercise the two-block padding spill; references from
+        // Python's hashlib.
+        let cases = [
+            (55, "c1c8bbdc22796e28c0e15163d20899b65621d65a"),
+            (56, "c2db330f6083854c99d4b5bfb6e8f29f201be699"),
+            (57, "f08f24908d682555111be7ff6f004e78283d989a"),
+            (63, "03f09f5b158a7a8cdad920bddc29b81c18a551f5"),
+            (64, "0098ba824b5c16427bd7a1122a5a442a25ec644d"),
+            (65, "11655326c708d70319be2610e8a57d9a5b959d3b"),
+        ];
+        for (len, expect) in cases {
+            assert_eq!(Sha1::digest(&vec![b'a'; len]).to_hex(), expect, "len {len}");
         }
     }
 

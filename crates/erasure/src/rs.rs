@@ -10,11 +10,29 @@
 //! of a segment only when over-provisioning decides to send it.
 
 use std::fmt;
+use std::sync::OnceLock;
 
 use unidrive_util::bytes::Bytes;
 
 use crate::matrix::Matrix;
 use crate::{gf256, RedundancyConfig};
+
+/// How one generator-row coefficient multiplies a shard into the
+/// output: nothing, a u64-wide XOR, or one product-table lookup per
+/// byte. Built lazily once per row and cached on the [`Codec`], so the
+/// two-lookup log/exp multiply leaves the encode inner loop entirely.
+#[derive(Debug, Clone)]
+enum CoeffKernel {
+    Zero,
+    One,
+    Table(Box<gf256::MulTable>),
+}
+
+/// Shares smaller than this decode via the plain log/exp multiply; at
+/// or above it, building a 256-byte product table per matrix entry
+/// amortizes to a clear win.
+const DECODE_TABLE_THRESHOLD: usize = 512;
+
 
 /// Error from [`Codec`] operations.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -99,6 +117,8 @@ pub struct Codec {
     k: usize,
     generator: Matrix,
     systematic: bool,
+    /// Lazily built per-row [`CoeffKernel`]s (one slot per block index).
+    kernels: Vec<OnceLock<Vec<CoeffKernel>>>,
 }
 
 impl Codec {
@@ -116,6 +136,7 @@ impl Codec {
             k,
             generator: Matrix::vandermonde(&points, k),
             systematic: false,
+            kernels: (0..n).map(|_| OnceLock::new()).collect(),
         })
     }
 
@@ -142,6 +163,7 @@ impl Codec {
             k,
             generator: v.mul(&top_inv),
             systematic: true,
+            kernels: (0..n).map(|_| OnceLock::new()).collect(),
         })
     }
 
@@ -187,6 +209,50 @@ impl Codec {
         data_len.div_ceil(self.k)
     }
 
+    /// The cached multiply kernels for generator row `index`.
+    fn row_kernels(&self, index: usize) -> &[CoeffKernel] {
+        self.kernels[index].get_or_init(|| {
+            self.generator
+                .row(index)
+                .iter()
+                .map(|&c| match c {
+                    0 => CoeffKernel::Zero,
+                    1 => CoeffKernel::One,
+                    c => CoeffKernel::Table(Box::new(gf256::mul_table(c))),
+                })
+                .collect()
+        })
+    }
+
+    /// Encodes block `index` into `slot`, which must be zero-filled and
+    /// exactly one block long. The first contributing shard
+    /// *initializes* the slot (a copy or a straight table map) instead
+    /// of accumulating into the zeroes, so freshly calloc-zeroed pages
+    /// are written once, never read-modify-written.
+    fn encode_block_into(&self, data: &[u8], index: usize, slot: &mut [u8]) {
+        let len = slot.len();
+        let mut initialized = false;
+        for (j, kernel) in self.row_kernels(index).iter().enumerate() {
+            let start = j * len;
+            if start >= data.len() {
+                break; // zero-padded shard contributes nothing
+            }
+            let end = (start + len).min(data.len());
+            let shard = &data[start..end];
+            let dst = &mut slot[..shard.len()];
+            match kernel {
+                CoeffKernel::Zero => continue,
+                CoeffKernel::One if initialized => gf256::xor_slice(dst, shard),
+                CoeffKernel::One => dst.copy_from_slice(shard),
+                CoeffKernel::Table(t) if initialized => {
+                    gf256::mul_add_slice_with_table(dst, shard, t);
+                }
+                CoeffKernel::Table(t) => gf256::mul_slice_with_table(dst, shard, t),
+            }
+            initialized = true;
+        }
+    }
+
     /// Generates block `index` (0-based) for `data`.
     ///
     /// # Panics
@@ -197,28 +263,32 @@ impl Codec {
         assert!(!data.is_empty(), "cannot encode an empty segment");
         let len = self.block_len(data.len());
         let mut out = vec![0u8; len];
-        let row = self.generator.row(index);
-        for (j, &coeff) in row.iter().enumerate() {
-            let start = j * len;
-            if start >= data.len() {
-                break; // zero-padded shard contributes nothing
-            }
-            let end = (start + len).min(data.len());
-            let shard = &data[start..end];
-            gf256::mul_add_slice(&mut out[..shard.len()], shard, coeff);
-        }
+        self.encode_block_into(data, index, &mut out);
         Bytes::from(out)
     }
 
-    /// Generates the given block indices for `data`.
+    /// Generates the given block indices for `data`, deriving the
+    /// per-segment state (block length, row kernels) once and encoding
+    /// the whole stripe into a single allocation; each returned block
+    /// is a zero-copy window of it.
     ///
     /// # Panics
     ///
     /// As for [`encode_block`](Codec::encode_block).
     pub fn encode_blocks(&self, data: &[u8], indices: &[usize]) -> Vec<Bytes> {
-        indices
-            .iter()
-            .map(|&i| self.encode_block(data, i))
+        if indices.is_empty() {
+            return Vec::new();
+        }
+        assert!(!data.is_empty(), "cannot encode an empty segment");
+        let len = self.block_len(data.len());
+        let mut stripe = vec![0u8; len * indices.len()];
+        for (slot, &i) in stripe.chunks_exact_mut(len).zip(indices) {
+            assert!(i < self.n, "block index {i} out of range");
+            self.encode_block_into(data, i, slot);
+        }
+        let stripe = Bytes::from(stripe);
+        (0..indices.len())
+            .map(|j| stripe.slice(j * len..(j + 1) * len))
             .collect()
     }
 
@@ -266,7 +336,12 @@ impl Codec {
         for j in 0..self.k {
             let dst = &mut data[j * block_len..(j + 1) * block_len];
             for (i, &(_, share)) in chosen.iter().enumerate() {
-                gf256::mul_add_slice(dst, share, inv.get(j, i));
+                let c = inv.get(j, i);
+                if c > 1 && block_len >= DECODE_TABLE_THRESHOLD {
+                    gf256::mul_add_slice_with_table(dst, share, &gf256::mul_table(c));
+                } else {
+                    gf256::mul_add_slice(dst, share, c);
+                }
             }
         }
         data.truncate(data_len);

@@ -3,31 +3,54 @@
 //! API-compatible (for the subset this workspace uses) with the
 //! `bytes` crate: `Bytes::new/from/from_static/copy_from_slice`,
 //! zero-copy `slice(range)`, `Deref<Target = [u8]>`, and conversions
-//! from `Vec<u8>` and iterators. Backed by `Arc<[u8]>` plus a window,
-//! so clones and sub-slices are O(1) and never copy the payload.
+//! from `Vec<u8>` and iterators. Backed by an `Arc<[u8]>` — or a
+//! borrowed `&'static [u8]` for [`Bytes::from_static`] — plus a
+//! window, so clones and sub-slices are O(1) and never copy the
+//! payload.
 
 use std::ops::{Bound, Deref, RangeBounds};
 use std::sync::Arc;
 
+/// The backing storage: refcounted heap bytes, or a borrowed static
+/// slice (no allocation, no refcount traffic).
+#[derive(Clone)]
+enum Data {
+    Shared(Arc<[u8]>),
+    Static(&'static [u8]),
+}
+
+impl Data {
+    fn as_slice(&self) -> &[u8] {
+        match self {
+            Data::Shared(a) => a,
+            Data::Static(s) => s,
+        }
+    }
+}
+
 /// Immutable shared byte buffer; clones and `slice()` are O(1).
 #[derive(Clone)]
 pub struct Bytes {
-    data: Arc<[u8]>,
+    data: Data,
     start: usize,
     end: usize,
 }
 
 impl Bytes {
-    /// The empty buffer (no allocation beyond a shared empty `Arc`).
+    /// The empty buffer (no allocation at all).
     pub fn new() -> Self {
-        Bytes::from_vec(Vec::new())
+        Bytes::from_static(&[])
     }
 
-    /// Wraps a static slice. (Copies once into an `Arc`; the `bytes`
-    /// crate avoids that copy, but callers only use this for tiny
-    /// literals.)
+    /// Wraps a static slice without copying: the buffer borrows the
+    /// slice for the program's lifetime, so construction, clones, and
+    /// sub-slices never allocate.
     pub fn from_static(data: &'static [u8]) -> Self {
-        Bytes::copy_from_slice(data)
+        Bytes {
+            data: Data::Static(data),
+            start: 0,
+            end: data.len(),
+        }
     }
 
     /// Copies `data` into a fresh buffer.
@@ -36,10 +59,9 @@ impl Bytes {
     }
 
     fn from_vec(v: Vec<u8>) -> Self {
-        let data: Arc<[u8]> = v.into();
-        let end = data.len();
+        let end = v.len();
         Bytes {
-            data,
+            data: Data::Shared(v.into()),
             start: 0,
             end,
         }
@@ -77,7 +99,7 @@ impl Bytes {
             "slice range {begin}..{end} out of bounds for Bytes of length {len}"
         );
         Bytes {
-            data: Arc::clone(&self.data),
+            data: self.data.clone(),
             start: self.start + begin,
             end: self.start + end,
         }
@@ -89,7 +111,7 @@ impl Bytes {
     }
 
     fn as_slice(&self) -> &[u8] {
-        &self.data[self.start..self.end]
+        &self.data.as_slice()[self.start..self.end]
     }
 }
 
@@ -225,7 +247,28 @@ mod tests {
         let s2 = s.slice(1..=2);
         assert_eq!(&s2[..], &[3, 4]);
         assert_eq!(s2.len(), 2);
-        assert!(Arc::ptr_eq(&b.data, &s2.data));
+        // Same allocation: s2's first byte is b's byte 3 in memory.
+        assert!(std::ptr::eq(&b[3], &s2[0]));
+        match (&b.data, &s2.data) {
+            (Data::Shared(a), Data::Shared(c)) => assert!(Arc::ptr_eq(a, c)),
+            _ => panic!("vec-backed Bytes must stay Shared"),
+        }
+    }
+
+    #[test]
+    fn from_static_borrows_without_copying() {
+        static PAYLOAD: &[u8] = b"immutable static payload";
+        let b = Bytes::from_static(PAYLOAD);
+        // Genuinely zero-copy: the buffer points at the static itself.
+        assert!(std::ptr::eq(PAYLOAD.as_ptr(), b.as_slice().as_ptr()));
+        // And slicing it stays on the static — no allocation appears.
+        let s = b.slice(10..16);
+        assert_eq!(&s[..], b"static");
+        assert!(std::ptr::eq(&PAYLOAD[10], &s[0]));
+        assert!(matches!(s.data, Data::Static(_)));
+        // The empty buffer rides the same path.
+        assert!(matches!(Bytes::new().data, Data::Static(_)));
+        assert!(Bytes::new().is_empty());
     }
 
     #[test]
@@ -243,5 +286,31 @@ mod tests {
     #[should_panic]
     fn out_of_bounds_slice_panics() {
         Bytes::from(vec![1, 2, 3]).slice(1..9);
+    }
+
+    #[test]
+    fn slice_edge_cases_match_native_slicing() {
+        // Empty, full-range, and nested slices must agree with what the
+        // same ranges produce on a plain &[u8], including at the ends.
+        let raw: Vec<u8> = (0..=255u8).collect();
+        let b = Bytes::from(raw.clone());
+        assert_eq!(b.slice(..), raw[..]);
+        assert_eq!(b.slice(0..0).len(), 0);
+        assert_eq!(b.slice(256..256).len(), 0);
+        assert_eq!(b.slice(..=255), raw[..]);
+        assert_eq!(b.slice(100..100), raw[100..100][..]);
+        // Nested re-slicing composes like nested range indexing.
+        let outer = b.slice(16..240);
+        let mid = outer.slice(10..200);
+        let inner = mid.slice(5..=5);
+        assert_eq!(mid, raw[26..216][..]);
+        assert_eq!(inner, raw[31..32][..]);
+        // A zero-length slice of a slice, at its very end.
+        let empty = mid.slice(mid.len()..);
+        assert!(empty.is_empty());
+        assert_eq!(empty.to_vec(), Vec::<u8>::new());
+        // Slicing an empty buffer by its full (empty) range works.
+        assert!(Bytes::new().slice(..).is_empty());
+        assert!(Bytes::new().slice(0..0).is_empty());
     }
 }

@@ -6,14 +6,19 @@
 //! two pieces of third-party API the codebase leans on:
 //!
 //! - [`crate::bytes::Bytes`] — an immutable, cheaply-cloneable byte buffer
-//!   over `Arc<[u8]>` with zero-copy `slice()`.
+//!   over `Arc<[u8]>` (or a borrowed `&'static` slice) with zero-copy
+//!   `slice()`.
 //! - [`sync`] — `Mutex`/`RwLock`/`Condvar` wrappers over `std::sync`
 //!   with the ergonomics the code was written against: `lock()` returns
 //!   the guard directly (poisoning is transparently ignored — a
 //!   panicked holder does not poison unrelated readers) and
 //!   `Condvar::wait` takes the guard by `&mut`.
+//! - [`pool`] — a worker pool whose order-preserving
+//!   `par_map_indexed` parallelizes CPU-bound batch work (the ingest
+//!   pipeline) without perturbing deterministic outputs.
 
 #![warn(missing_docs)]
 
 pub mod bytes;
+pub mod pool;
 pub mod sync;
