@@ -78,4 +78,18 @@ echo "==> span trace determinism + Chrome trace-event shape"
 cmp "$out/t1.json" "$out/t2.json"
 ./target/release/trace_report --validate "$out/t1.json"
 
+echo "==> chaos soak: invariants hold, lethal plan minimizes, same seed => byte-identical"
+# Randomized (but seeded) fault schedules must never violate an
+# invariant; the deliberately lethal schedule must, and must shrink to
+# a minimal still-failing plan. The verdict, minimized plan, and
+# flight record are all derived from virtual time only, so two
+# same-seed runs must be byte-identical — the fig11 gate's analogue
+# for the fault-injection layer.
+./target/release/chaos_soak quick --out "$out/cs1.json" >/dev/null
+./target/release/chaos_soak quick --out "$out/cs2.json" >/dev/null
+cmp "$out/cs1.json" "$out/cs2.json"
+cmp "$out/cs1.minplan.json" "$out/cs2.minplan.json"
+cmp "$out/cs1.flight.json" "$out/cs2.flight.json"
+grep -q '"verdict": "PASS"' "$out/cs1.json"
+
 echo "CI OK"

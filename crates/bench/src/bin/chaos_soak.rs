@@ -1,0 +1,453 @@
+//! **Chaos soak** — N rounds of multi-device sync under seeded,
+//! randomized [`FaultPlan`]s, with Jepsen-style invariant checks after
+//! every round (§3.2, §7.3: UniDrive must stay correct while individual
+//! CCSs fail):
+//!
+//! * **durability** — no acknowledged-then-lost data: every file a
+//!   `sync_once` reported as uploaded is readable, byte-identical, on
+//!   every device after the soak;
+//! * **lock** — at most one quorum-lock holder at any instant (scanned
+//!   from the `LockAcquired`/`LockReleased`/`LockBroken` trace);
+//! * **convergence** — once the fault horizon closes, every device's
+//!   `SyncFolderImage` converges to the same encoded bytes;
+//! * **refcounts** — each converged image's segment refcounts match a
+//!   from-scratch recount.
+//!
+//! The randomized plans draw only from *masked* fault kinds (transient
+//! bursts, outages, latency spikes, quota, torn uploads) — faults the
+//! protocol claims to absorb — so every soak round must pass. A final
+//! **lethal** round schedules what the protocol cannot absorb
+//! (delayed-visibility on a lock quorum, plus a torn-upload cloud) and
+//! must *fail*; the failing schedule is then greedily minimized by
+//! dropping events and replaying, and the smallest still-failing plan
+//! is emitted as JSON alongside a flight record of the failing round.
+//!
+//! Everything runs in virtual time from fixed seeds: same-seed runs
+//! produce byte-identical verdict files (checked in CI, like fig11).
+//!
+//! Usage: `chaos_soak [quick] [--out verdict.json]`.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use std::time::Duration;
+
+use unidrive_cloud::{
+    ChaosCloud, CloudSet, CloudStore, FaultEvent, FaultKind, FaultPlan, MemCloud, SimCloud,
+    SimCloudConfig,
+};
+use unidrive_core::{ClientConfig, DataPlaneConfig, MemFolder, SyncFolder, UniDriveClient};
+use unidrive_erasure::RedundancyConfig;
+use unidrive_obs::{Event, Obs, Registry};
+use unidrive_sim::{spawn, SimRng, SimRuntime};
+
+const CLOUDS: usize = 5;
+const DEVICES: usize = 3;
+/// Per-device sync instants (seconds). Devices 0 and 1 write and sync
+/// at the *same* instant so their lock acquisitions genuinely race.
+const SYNC_TIMES: [[u64; 5]; DEVICES] = [
+    [5, 65, 125, 185, 245],
+    [5, 67, 123, 187, 243],
+    [20, 80, 140, 200, 260],
+];
+/// All fault windows close before this (seconds); convergence runs after.
+const HORIZON_SECS: u64 = 300;
+
+/// What one soak round observed.
+struct RoundOutcome {
+    /// Invariants violated (empty = round passed).
+    failed: Vec<&'static str>,
+    /// Files acknowledged as uploaded during the soak.
+    acked: usize,
+    /// `sync_once` errors tolerated during the soak + convergence.
+    sync_errors: usize,
+    /// Faults the chaos layer injected.
+    injected: u64,
+    /// Canonicalized obs snapshot of the round, when requested.
+    flight: Option<String>,
+}
+
+fn deterministic_bytes(seed: u64, len: usize) -> Vec<u8> {
+    let mut rng = SimRng::derive(seed, "chaos_soak/payload");
+    (0..len).map(|_| (rng.next_u64() & 0xff) as u8).collect()
+}
+
+/// Runs one full soak round under `plan`: builds a fresh 5-cloud /
+/// 3-device world seeded by `plan.seed`, soaks it through the fault
+/// horizon, converges, and checks every invariant.
+fn run_round(plan: &FaultPlan, want_flight: bool) -> RoundOutcome {
+    let sim = SimRuntime::new(plan.seed);
+    let rt = sim.clone().as_runtime();
+    let obs = Obs::with_registry(Registry::with_trace_capacity(1 << 16));
+    sim.install_obs(obs.clone());
+
+    // Five providers, each one shared backing store with a per-device
+    // network frontend — faults are injected per device handle, so a
+    // visibility anomaly hides *other* devices' writes, not your own.
+    let backings: Vec<Arc<MemCloud>> = (0..CLOUDS)
+        .map(|i| Arc::new(MemCloud::new(format!("b{i}"))))
+        .collect();
+    let mut chaos_handles: Vec<Arc<ChaosCloud>> = Vec::new();
+    let mut device_sets = Vec::new();
+    for d in 0..DEVICES {
+        let members: Vec<Arc<dyn CloudStore>> = (0..CLOUDS)
+            .map(|i| {
+                let inner = Arc::new(SimCloud::with_backing(
+                    &sim,
+                    format!("c{i}"),
+                    SimCloudConfig::steady(2e6, 8e6),
+                    Arc::clone(&backings[i]),
+                ));
+                inner.install_obs(obs.clone());
+                let chaos = Arc::new(ChaosCloud::with_label(
+                    inner as Arc<dyn CloudStore>,
+                    rt.clone(),
+                    plan,
+                    &format!("dev{d}"),
+                ));
+                chaos.install_obs(obs.clone());
+                chaos_handles.push(Arc::clone(&chaos));
+                chaos as Arc<dyn CloudStore>
+            })
+            .collect();
+        device_sets.push(CloudSet::new(members));
+    }
+
+    let folders: Vec<Arc<MemFolder>> = (0..DEVICES).map(|_| MemFolder::new()).collect();
+    let client = |d: usize| {
+        let mut config = ClientConfig::paper_default(format!("dev{d}"));
+        config.data = DataPlaneConfig {
+            obs: obs.clone(),
+            ..DataPlaneConfig::with_params(
+                RedundancyConfig::new(5, 3, 3, 2).expect("valid"),
+                64 * 1024,
+            )
+        };
+        UniDriveClient::new(
+            rt.clone(),
+            device_sets[d].clone(),
+            Arc::clone(&folders[d]) as Arc<dyn SyncFolder>,
+            config,
+            SimRng::derive(plan.seed, &format!("chaos_soak/client{d}")),
+        )
+    };
+
+    // Soak phase: each device syncs on its own schedule in a spawned
+    // task; devices 0 and 1 write fresh files before their first two
+    // rounds. A sync error under faults is tolerated (the daemon just
+    // retries next round), but every *acknowledged* upload is recorded
+    // with its exact bytes for the durability check.
+    let mut tasks = Vec::new();
+    for d in 0..DEVICES {
+        let mut c = client(d);
+        let folder = Arc::clone(&folders[d]);
+        let rt2 = rt.clone();
+        let seed = plan.seed;
+        tasks.push(spawn(&rt, &format!("soak-dev{d}"), move || {
+            let mut written: BTreeMap<String, Vec<u8>> = BTreeMap::new();
+            let mut acked: Vec<(String, Vec<u8>)> = Vec::new();
+            let mut errors = 0usize;
+            for (i, &t) in SYNC_TIMES[d].iter().enumerate() {
+                let target = t * 1_000_000_000;
+                let now = rt2.now().as_nanos();
+                if target > now {
+                    rt2.sleep(Duration::from_nanos(target - now));
+                }
+                if d < 2 && i < 2 {
+                    let path = format!("dev{d}/f{i}.bin");
+                    let data = deterministic_bytes(
+                        seed ^ ((d as u64) << 8) ^ i as u64,
+                        96 * 1024 + d * 4096,
+                    );
+                    folder.write(&path, &data, (i + 1) as u64).expect("mem write");
+                    written.insert(path, data);
+                }
+                match c.sync_once() {
+                    Ok(report) => {
+                        for p in report.uploaded {
+                            if let Some(data) = written.get(&p) {
+                                acked.push((p, data.clone()));
+                            }
+                        }
+                    }
+                    Err(_) => errors += 1,
+                }
+            }
+            (c, acked, errors)
+        }));
+    }
+    let mut clients = Vec::new();
+    let mut acked: Vec<(String, Vec<u8>)> = Vec::new();
+    let mut sync_errors = 0usize;
+    for t in tasks {
+        let (c, a, e) = t.join();
+        clients.push(c);
+        acked.extend(a);
+        sync_errors += e;
+    }
+
+    // Convergence phase: all fault windows have closed; poll every
+    // device until one full pass where everyone reports a no-op sync.
+    let horizon = HORIZON_SECS * 1_000_000_000;
+    let now = rt.now().as_nanos();
+    if horizon > now {
+        rt.sleep(Duration::from_nanos(horizon - now));
+    }
+    let mut converged = false;
+    for _ in 0..15 {
+        let mut all_noop = true;
+        for c in &mut clients {
+            match c.sync_once() {
+                Ok(report) => all_noop &= report.is_noop(),
+                Err(_) => {
+                    sync_errors += 1;
+                    all_noop = false;
+                }
+            }
+        }
+        if all_noop {
+            converged = true;
+            break;
+        }
+        rt.sleep(Duration::from_secs(10));
+    }
+
+    // Invariant checks.
+    let mut failed = Vec::new();
+    let images: Vec<_> = clients.iter().map(|c| c.image().encode()).collect();
+    if !converged || images.windows(2).any(|w| w[0] != w[1]) {
+        failed.push("convergence");
+    }
+    if acked.iter().any(|(path, data)| {
+        folders
+            .iter()
+            .any(|f| f.read(path).map(|d| d.as_ref() != &data[..]).unwrap_or(true))
+    }) {
+        failed.push("durability");
+    }
+    let snap = obs.snapshot().expect("registry snapshot");
+    let mut holders: Vec<String> = Vec::new();
+    let mut two_holders = false;
+    for e in &snap.events {
+        match &e.event {
+            Event::LockAcquired { device, .. } => {
+                if !holders.is_empty() && !holders.iter().any(|h| h == device) {
+                    two_holders = true;
+                }
+                if !holders.iter().any(|h| h == device) {
+                    holders.push(device.clone());
+                }
+            }
+            Event::LockReleased { device } => holders.retain(|h| h != device),
+            Event::LockBroken { victim, .. } => holders.retain(|h| h != victim),
+            _ => {}
+        }
+    }
+    if two_holders {
+        failed.push("lock");
+    }
+    if clients.iter().any(|c| {
+        let mut recounted = c.image().clone();
+        recounted.recompute_refcounts();
+        recounted.encode() != c.image().encode()
+    }) {
+        failed.push("refcounts");
+    }
+
+    let flight = want_flight.then(|| {
+        let mut snap = snap;
+        snap.canonicalize();
+        snap.to_json()
+    });
+    RoundOutcome {
+        failed,
+        acked: acked.len(),
+        sync_errors,
+        injected: chaos_handles.iter().map(|h| h.injected_faults()).sum(),
+        flight,
+    }
+}
+
+/// A randomized per-round schedule drawn only from fault kinds the
+/// protocol is supposed to mask. `DelayedVisibility` is deliberately
+/// excluded: it breaks the quorum lock's read-after-write assumption
+/// (that is what the lethal round is for).
+fn random_plan(seed: u64) -> FaultPlan {
+    let mut rng = SimRng::derive(seed, "chaos_soak/plan");
+    let mut plan = FaultPlan::new(seed);
+    let events = 3 + rng.below(3);
+    for _ in 0..events {
+        let cloud = format!("c{}", rng.below(CLOUDS as u64));
+        let start = rng.below(230);
+        let end = (start + 10 + rng.below(40)).min(280);
+        let kind = match rng.below(5) {
+            0 => FaultKind::TransientBurst {
+                probability: 0.3 + 0.4 * rng.next_f64(),
+            },
+            1 => FaultKind::Outage,
+            2 => FaultKind::QuotaExhausted,
+            3 => FaultKind::LatencySpike {
+                extra_ms: 200 + rng.below(1800),
+            },
+            _ => FaultKind::TornUpload {
+                probability: 0.5 + 0.5 * rng.next_f64(),
+            },
+        };
+        plan.push(FaultEvent::always(cloud, kind).window_secs(start, end));
+    }
+    plan
+}
+
+/// The deliberately lethal schedule: delayed visibility on three of
+/// five clouds lets two devices each assemble a 3/5 lock quorum that
+/// cannot see the other's lock files, while cloud 3 tears every upload
+/// and cloud 4 flaps — quorum-lock loss plus torn uploads.
+fn lethal_plan(seed: u64) -> FaultPlan {
+    FaultPlan::with_events(
+        seed,
+        vec![
+            FaultEvent::always("c0", FaultKind::DelayedVisibility).window_secs(0, 280),
+            FaultEvent::always("c1", FaultKind::DelayedVisibility).window_secs(0, 280),
+            FaultEvent::always("c2", FaultKind::DelayedVisibility).window_secs(0, 280),
+            FaultEvent::always("c3", FaultKind::TornUpload { probability: 1.0 })
+                .window_secs(0, 280),
+            FaultEvent::always("c3", FaultKind::LatencySpike { extra_ms: 800 })
+                .window_secs(0, 280),
+            FaultEvent::always("c4", FaultKind::TransientBurst { probability: 0.4 })
+                .window_secs(0, 280),
+        ],
+    )
+}
+
+/// Greedy schedule minimization: repeatedly try dropping each event and
+/// replaying the round from the same seed; keep any removal that still
+/// violates an invariant. Returns the minimal plan and replay count.
+fn minimize(plan: &FaultPlan) -> (FaultPlan, usize) {
+    let mut best = plan.clone();
+    let mut replays = 0usize;
+    loop {
+        let mut shrunk = false;
+        let mut i = 0;
+        while i < best.events.len() {
+            let candidate = best.without_event(i);
+            replays += 1;
+            if run_round(&candidate, false).failed.is_empty() {
+                i += 1;
+            } else {
+                best = candidate;
+                shrunk = true;
+            }
+        }
+        if !shrunk {
+            break;
+        }
+    }
+    (best, replays)
+}
+
+fn json_str_list(items: &[&str]) -> String {
+    let quoted: Vec<String> = items.iter().map(|s| format!("\"{s}\"")).collect();
+    format!("[{}]", quoted.join(","))
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "quick" || a == "--quick");
+    let out = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+    let rounds = if quick { 3 } else { 8 };
+    println!(
+        "Chaos soak: {rounds} randomized rounds + 1 lethal round, {DEVICES} devices x {CLOUDS} clouds\n"
+    );
+
+    let mut soak_json = Vec::new();
+    let mut soak_ok = true;
+    println!("{:>5}  {:>10}  {:>6}  {:>5}  {:>8}  {:>6}  failed", "round", "seed", "events", "acked", "injected", "errors");
+    for round in 0..rounds {
+        let plan = random_plan(0x0ddba11 + round as u64);
+        let outcome = run_round(&plan, false);
+        soak_ok &= outcome.failed.is_empty();
+        println!(
+            "{round:>5}  {:>10}  {:>6}  {:>5}  {:>8}  {:>6}  {}",
+            plan.seed,
+            plan.events.len(),
+            outcome.acked,
+            outcome.injected,
+            outcome.sync_errors,
+            if outcome.failed.is_empty() { "-".to_owned() } else { outcome.failed.join(",") },
+        );
+        soak_json.push(format!(
+            "{{\"seed\":{},\"events\":{},\"acked\":{},\"injected\":{},\"sync_errors\":{},\"failed\":{}}}",
+            plan.seed,
+            plan.events.len(),
+            outcome.acked,
+            outcome.injected,
+            outcome.sync_errors,
+            json_str_list(&outcome.failed),
+        ));
+    }
+
+    // The lethal round must fail, and its minimized schedule must still
+    // fail — that is the evidence the invariant checker has teeth.
+    let lethal = lethal_plan(0xdead);
+    let lethal_outcome = run_round(&lethal, true);
+    println!(
+        "\nlethal round (seed {}): {} events, invariants violated: {}",
+        lethal.seed,
+        lethal.events.len(),
+        if lethal_outcome.failed.is_empty() { "NONE (expected a failure!)".to_owned() } else { lethal_outcome.failed.join(",") },
+    );
+    let (minimized, replays) = if lethal_outcome.failed.is_empty() {
+        (lethal.clone(), 0)
+    } else {
+        minimize(&lethal)
+    };
+    let minimized_outcome = run_round(&minimized, false);
+    println!(
+        "minimized to {} events in {replays} replays; still failing: {}",
+        minimized.events.len(),
+        if minimized_outcome.failed.is_empty() { "NO".to_owned() } else { minimized_outcome.failed.join(",") },
+    );
+
+    let pass = soak_ok && !lethal_outcome.failed.is_empty() && !minimized_outcome.failed.is_empty();
+    let verdict = format!(
+        "{{\n\"chaos_soak\": \"unidrive/v1\",\n\"mode\": \"{}\",\n\"soak_rounds\": [{}],\n\"soak_ok\": {},\n\"lethal\": {{\"seed\": {}, \"initial_events\": {}, \"failed\": {}, \"minimize_replays\": {}, \"minimized_failed\": {}, \"minimized_plan\": {}}},\n\"verdict\": \"{}\"\n}}\n",
+        if quick { "quick" } else { "full" },
+        soak_json.join(","),
+        soak_ok,
+        lethal.seed,
+        lethal.events.len(),
+        json_str_list(&lethal_outcome.failed),
+        replays,
+        json_str_list(&minimized_outcome.failed),
+        minimized.to_json(),
+        if pass { "PASS" } else { "FAIL" },
+    );
+    println!("\nchaos_soak verdict: {}", if pass { "PASS" } else { "FAIL" });
+
+    if let Some(path) = out {
+        let stem = path.strip_suffix(".json").unwrap_or(&path);
+        let minplan_path = format!("{stem}.minplan.json");
+        let flight_path = format!("{stem}.flight.json");
+        let mut writes = vec![
+            (path.clone(), verdict.clone()),
+            (minplan_path, minimized.to_json()),
+        ];
+        if let Some(flight) = &lethal_outcome.flight {
+            writes.push((flight_path, flight.clone()));
+        }
+        for (p, body) in writes {
+            match std::fs::write(&p, body) {
+                Ok(()) => println!("written {p}"),
+                Err(e) => eprintln!("failed to write {p}: {e}"),
+            }
+        }
+    } else {
+        println!("\n{verdict}");
+    }
+    if !pass {
+        std::process::exit(1);
+    }
+}

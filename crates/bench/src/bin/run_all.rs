@@ -25,7 +25,7 @@ fn derive_path(base: &str, name: &str) -> String {
     }
 }
 
-const EXPERIMENTS: [&str; 17] = [
+const EXPERIMENTS: [&str; 18] = [
     "fig01_spatial",
     "fig02_filesize_throughput",
     "fig03_temporal",
@@ -43,6 +43,7 @@ const EXPERIMENTS: [&str; 17] = [
     "fig15_trial_throughput",
     "fig16_trial_daily",
     "ablations",
+    "chaos_soak",
 ];
 
 fn main() {

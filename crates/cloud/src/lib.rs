@@ -11,10 +11,12 @@
 //!   bandwidth, latency, size-dependent transient failures, degraded
 //!   windows, quotas, and outage switches (the evaluation substrate).
 //! * [`LocalDirCloud`] — a directory on disk (real-bytes examples).
-//! * [`FaultyCloud`], [`ThrottledCloud`], [`CountingCloud`] — composable
-//!   decorators for failure injection, bandwidth limiting, and traffic
-//!   accounting.
-//! * [`retrying`] / [`RetryPolicy`] — bounded-backoff retries for
+//! * [`ChaosCloud`] / [`FaultPlan`] — deterministic scheduled fault
+//!   injection (transient bursts, outages, quota exhaustion, latency
+//!   spikes, torn uploads, delayed visibility) over any store.
+//! * [`ThrottledCloud`], [`CountingCloud`] — composable decorators for
+//!   bandwidth limiting and traffic accounting.
+//! * [`Retry`] / [`RetryPolicy`] — bounded-backoff retries for
 //!   transient Web API failures.
 //!
 //! See the crate-level example on [`CloudStore`].
@@ -23,6 +25,7 @@
 #![warn(missing_debug_implementations)]
 
 mod error;
+pub mod fault;
 mod local;
 mod mem;
 mod retry;
@@ -30,10 +33,15 @@ mod sim_cloud;
 mod store;
 mod wrappers;
 
-pub use error::CloudError;
+pub use error::{CloudError, CloudOp};
+pub use fault::{ChaosCloud, FaultEvent, FaultKind, FaultPlan};
 pub use local::LocalDirCloud;
 pub use mem::MemCloud;
-pub use retry::{retrying, retrying_observed, retrying_traced, RetryPolicy};
+#[allow(deprecated)]
+pub use retry::{retrying, retrying_observed, retrying_traced};
+pub use retry::{Retry, RetryPolicy};
 pub use sim_cloud::{FailureProfile, SimCloud, SimCloudConfig, TrafficCounters, TrafficSnapshot};
 pub use store::{split_path, validate_path, CloudId, CloudSet, CloudStore, ObjectInfo};
-pub use wrappers::{CountingCloud, FaultyCloud, ThrottledCloud};
+#[allow(deprecated)]
+pub use wrappers::FaultyCloud;
+pub use wrappers::{CountingCloud, ThrottledCloud};

@@ -5,6 +5,12 @@
 //! UniDrive retries transient failures with bounded exponential backoff;
 //! anything else (outage, quota) is surfaced so the scheduler can fail
 //! over to a different cloud.
+//!
+//! The entry point is the builder-style [`Retry`]: construct it with a
+//! runtime and policy, optionally attach observability and span
+//! causality, then [`run`](Retry::run) the operation. The former free
+//! functions `retrying` / `retrying_observed` / `retrying_traced` remain
+//! as deprecated shims for one release.
 
 use std::sync::Arc;
 use std::time::Duration;
@@ -68,24 +74,32 @@ impl Default for RetryPolicy {
     }
 }
 
-/// Runs `op`, retrying retryable [`CloudError`]s per `policy`, sleeping
-/// on `rt` between attempts.
+/// Builder-style retry loop: runs an operation under a [`RetryPolicy`],
+/// sleeping on a [`Runtime`] between attempts, with optional
+/// observability and span causality.
 ///
-/// # Errors
+/// * [`obs`](Retry::obs) — each re-attempt increments `retry.attempts`,
+///   records the backoff into the `retry.backoff_ns` histogram, and
+///   traces an [`Event::RetryAttempt`] labeled with the operation label;
+///   `retry.recovered` / `retry.exhausted` count how retried operations
+///   ended.
+/// * [`span`](Retry::span) — every wire attempt becomes a `wire.attempt`
+///   span parented to the given span (e.g. the engine's per-block span),
+///   rendered on the given display lane, carrying the operation label,
+///   the 1-based attempt number, and the outcome.
 ///
-/// Returns the last error once attempts are exhausted, or immediately
-/// for non-retryable errors.
+/// Without `obs`, the loop is silent (a no-op [`Obs`] is used).
 ///
 /// # Examples
 ///
 /// ```
 /// use std::sync::Arc;
-/// use unidrive_cloud::{retrying, CloudError, RetryPolicy};
+/// use unidrive_cloud::{CloudError, Retry, RetryPolicy};
 /// use unidrive_sim::{RealRuntime, Runtime};
 ///
 /// let rt: Arc<dyn Runtime> = Arc::new(RealRuntime::new());
 /// let mut calls = 0;
-/// let result: Result<u32, CloudError> = retrying(&rt, &RetryPolicy::new(), || {
+/// let result: Result<u32, CloudError> = Retry::new(&rt, &RetryPolicy::new()).run(|| {
 ///     calls += 1;
 ///     if calls < 3 {
 ///         Err(CloudError::transient("hiccup"))
@@ -96,24 +110,133 @@ impl Default for RetryPolicy {
 /// assert_eq!(result.unwrap(), 99);
 /// assert_eq!(calls, 3);
 /// ```
-pub fn retrying<T>(
-    rt: &Arc<dyn Runtime>,
-    policy: &RetryPolicy,
-    op: impl FnMut() -> Result<T, CloudError>,
-) -> Result<T, CloudError> {
-    retrying_observed(rt, policy, &Obs::noop(), "op", op)
+#[must_use = "Retry does nothing until .run(op) is called"]
+pub struct Retry<'a> {
+    rt: &'a Arc<dyn Runtime>,
+    policy: &'a RetryPolicy,
+    obs: Option<&'a Obs>,
+    label: &'a str,
+    parent: Option<SpanId>,
+    track: u32,
 }
 
-/// [`retrying`] with observability: each re-attempt increments
-/// `retry.attempts`, records the backoff into the `retry.backoff_ns`
-/// histogram, and traces an [`Event::RetryAttempt`] labeled `op_label`;
-/// `retry.recovered` / `retry.exhausted` count how retried operations
-/// ended. With a no-op [`Obs`] this is exactly [`retrying`].
+impl std::fmt::Debug for Retry<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Retry")
+            .field("policy", self.policy)
+            .field("label", &self.label)
+            .field("observed", &self.obs.is_some())
+            .finish()
+    }
+}
+
+impl<'a> Retry<'a> {
+    /// Starts a retry builder over `rt` with `policy`.
+    pub fn new(rt: &'a Arc<dyn Runtime>, policy: &'a RetryPolicy) -> Retry<'a> {
+        Retry {
+            rt,
+            policy,
+            obs: None,
+            label: "op",
+            parent: None,
+            track: 0,
+        }
+    }
+
+    /// Attaches observability: retry counters, backoff histogram, and
+    /// [`Event::RetryAttempt`] events labeled `label`.
+    pub fn obs(mut self, obs: &'a Obs, label: &'a str) -> Retry<'a> {
+        self.obs = Some(obs);
+        self.label = label;
+        self
+    }
+
+    /// Attaches span causality: each attempt becomes a `wire.attempt`
+    /// span parented to `parent` on display lane `track`. Only effective
+    /// together with [`obs`](Retry::obs).
+    pub fn span(mut self, parent: Option<SpanId>, track: u32) -> Retry<'a> {
+        self.parent = parent;
+        self.track = track;
+        self
+    }
+
+    /// Runs `op`, retrying retryable [`CloudError`]s per the policy.
+    ///
+    /// # Errors
+    ///
+    /// Returns the last error once attempts are exhausted, or immediately
+    /// for non-retryable errors.
+    pub fn run<T>(self, mut op: impl FnMut() -> Result<T, CloudError>) -> Result<T, CloudError> {
+        let noop = Obs::noop();
+        let obs = self.obs.unwrap_or(&noop);
+        let mut attempt = 1;
+        loop {
+            let result = {
+                let mut span = obs.span("wire.attempt", self.parent);
+                span.set_track(self.track);
+                span.attr_str("op", self.label);
+                span.attr_u64("attempt", attempt as u64);
+                let result = op();
+                span.attr_bool("ok", result.is_ok());
+                result
+            };
+            match result {
+                Ok(v) => {
+                    if attempt > 1 {
+                        obs.inc("retry.recovered");
+                    }
+                    return Ok(v);
+                }
+                Err(e) if e.is_retryable() && attempt < self.policy.max_attempts => {
+                    attempt += 1;
+                    let backoff = self.policy.backoff_before(attempt);
+                    obs.inc("retry.attempts");
+                    obs.observe("retry.backoff_ns", backoff.as_nanos() as u64);
+                    obs.event(|| Event::RetryAttempt {
+                        op: self.label.to_owned(),
+                        attempt,
+                        backoff_ns: backoff.as_nanos() as u64,
+                    });
+                    if backoff > Duration::ZERO {
+                        self.rt.sleep(backoff);
+                    }
+                }
+                Err(e) => {
+                    if attempt > 1 {
+                        obs.inc("retry.exhausted");
+                    }
+                    return Err(e);
+                }
+            }
+        }
+    }
+}
+
+/// Runs `op`, retrying retryable [`CloudError`]s per `policy`.
 ///
 /// # Errors
 ///
 /// Returns the last error once attempts are exhausted, or immediately
 /// for non-retryable errors.
+#[deprecated(since = "0.5.0", note = "use `Retry::new(rt, policy).run(op)`")]
+pub fn retrying<T>(
+    rt: &Arc<dyn Runtime>,
+    policy: &RetryPolicy,
+    op: impl FnMut() -> Result<T, CloudError>,
+) -> Result<T, CloudError> {
+    Retry::new(rt, policy).run(op)
+}
+
+/// Retry with observability.
+///
+/// # Errors
+///
+/// Returns the last error once attempts are exhausted, or immediately
+/// for non-retryable errors.
+#[deprecated(
+    since = "0.5.0",
+    note = "use `Retry::new(rt, policy).obs(obs, label).run(op)`"
+)]
 pub fn retrying_observed<T>(
     rt: &Arc<dyn Runtime>,
     policy: &RetryPolicy,
@@ -121,19 +244,19 @@ pub fn retrying_observed<T>(
     op_label: &str,
     op: impl FnMut() -> Result<T, CloudError>,
 ) -> Result<T, CloudError> {
-    retrying_traced(rt, policy, obs, op_label, None, 0, op)
+    Retry::new(rt, policy).obs(obs, op_label).run(op)
 }
 
-/// [`retrying_observed`] with span causality: every wire attempt is a
-/// `wire.attempt` span parented to `parent` (e.g. the engine's
-/// per-block span), rendered on display lane `track`, carrying the
-/// operation label, the 1-based attempt number, and the outcome. With
-/// a no-op [`Obs`] this is exactly [`retrying`].
+/// Retry with observability and span causality.
 ///
 /// # Errors
 ///
 /// Returns the last error once attempts are exhausted, or immediately
 /// for non-retryable errors.
+#[deprecated(
+    since = "0.5.0",
+    note = "use `Retry::new(rt, policy).obs(obs, label).span(parent, track).run(op)`"
+)]
 pub fn retrying_traced<T>(
     rt: &Arc<dyn Runtime>,
     policy: &RetryPolicy,
@@ -141,48 +264,12 @@ pub fn retrying_traced<T>(
     op_label: &str,
     parent: Option<SpanId>,
     track: u32,
-    mut op: impl FnMut() -> Result<T, CloudError>,
+    op: impl FnMut() -> Result<T, CloudError>,
 ) -> Result<T, CloudError> {
-    let mut attempt = 1;
-    loop {
-        let result = {
-            let mut span = obs.span("wire.attempt", parent);
-            span.set_track(track);
-            span.attr_str("op", op_label);
-            span.attr_u64("attempt", attempt as u64);
-            let result = op();
-            span.attr_bool("ok", result.is_ok());
-            result
-        };
-        match result {
-            Ok(v) => {
-                if attempt > 1 {
-                    obs.inc("retry.recovered");
-                }
-                return Ok(v);
-            }
-            Err(e) if e.is_retryable() && attempt < policy.max_attempts => {
-                attempt += 1;
-                let backoff = policy.backoff_before(attempt);
-                obs.inc("retry.attempts");
-                obs.observe("retry.backoff_ns", backoff.as_nanos() as u64);
-                obs.event(|| Event::RetryAttempt {
-                    op: op_label.to_owned(),
-                    attempt,
-                    backoff_ns: backoff.as_nanos() as u64,
-                });
-                if backoff > Duration::ZERO {
-                    rt.sleep(backoff);
-                }
-            }
-            Err(e) => {
-                if attempt > 1 {
-                    obs.inc("retry.exhausted");
-                }
-                return Err(e);
-            }
-        }
-    }
+    Retry::new(rt, policy)
+        .obs(obs, op_label)
+        .span(parent, track)
+        .run(op)
 }
 
 #[cfg(test)]
@@ -236,7 +323,7 @@ mod tests {
             max_backoff: Duration::from_millis(1),
         };
         let mut calls = 0;
-        let r = retrying_observed(&rt, &policy, &obs, "upload", || {
+        let r = Retry::new(&rt, &policy).obs(&obs, "upload").run(|| {
             calls += 1;
             if calls < 3 {
                 Err(CloudError::transient("hiccup"))
@@ -245,9 +332,9 @@ mod tests {
             }
         });
         assert_eq!(r.unwrap(), 7);
-        let _: Result<(), _> = retrying_observed(&rt, &policy, &obs, "upload", || {
-            Err(CloudError::transient("always"))
-        });
+        let _: Result<(), _> = Retry::new(&rt, &policy)
+            .obs(&obs, "upload")
+            .run(|| Err(CloudError::transient("always")));
         let snap = obs.snapshot().unwrap();
         assert_eq!(snap.counter("retry.attempts"), 4); // 2 + 2 re-attempts
         assert_eq!(snap.counter("retry.recovered"), 1);
@@ -268,14 +355,17 @@ mod tests {
         let parent = obs.span("engine.block", None);
         let parent_id = parent.id().unwrap();
         let mut calls = 0;
-        let r = retrying_traced(&rt, &policy, &obs, "upload", Some(parent_id), 4, || {
-            calls += 1;
-            if calls < 2 {
-                Err(CloudError::transient("hiccup"))
-            } else {
-                Ok(())
-            }
-        });
+        let r = Retry::new(&rt, &policy)
+            .obs(&obs, "upload")
+            .span(Some(parent_id), 4)
+            .run(|| {
+                calls += 1;
+                if calls < 2 {
+                    Err(CloudError::transient("hiccup"))
+                } else {
+                    Ok(())
+                }
+            });
         r.unwrap();
         parent.end();
         let snap = obs.snapshot().unwrap();
@@ -303,7 +393,7 @@ mod tests {
             max_backoff: Duration::from_millis(1),
         };
         let mut calls = 0;
-        let r: Result<(), _> = retrying(&rt, &policy, || {
+        let r: Result<(), _> = Retry::new(&rt, &policy).run(|| {
             calls += 1;
             Err(CloudError::transient("always"))
         });
@@ -315,9 +405,9 @@ mod tests {
     fn non_retryable_errors_fail_fast() {
         let rt: Arc<dyn Runtime> = Arc::new(RealRuntime::new());
         let mut calls = 0;
-        let r: Result<(), _> = retrying(&rt, &RetryPolicy::new(), || {
+        let r: Result<(), _> = Retry::new(&rt, &RetryPolicy::new()).run(|| {
             calls += 1;
-            Err(CloudError::Unavailable { cloud: "c".into() })
+            Err(CloudError::unavailable("c"))
         });
         assert!(r.is_err());
         assert_eq!(calls, 1);
@@ -334,8 +424,34 @@ mod tests {
         };
         let t0 = sim.now();
         let _: Result<(), _> =
-            retrying(&rt, &policy, || Err(CloudError::transient("x")));
+            Retry::new(&rt, &policy).run(|| Err(CloudError::transient("x")));
         // Backoffs: 1 s + 2 s = 3 s.
         assert_eq!((sim.now() - t0).as_secs_f64(), 3.0);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shims_delegate_to_the_builder() {
+        let rt: Arc<dyn Runtime> = Arc::new(RealRuntime::new());
+        let policy = RetryPolicy {
+            max_attempts: 2,
+            initial_backoff: Duration::from_millis(1),
+            max_backoff: Duration::from_millis(1),
+        };
+        let mut calls = 0;
+        let r: Result<u32, _> = retrying(&rt, &policy, || {
+            calls += 1;
+            if calls < 2 {
+                Err(CloudError::transient("hiccup"))
+            } else {
+                Ok(5)
+            }
+        });
+        assert_eq!(r.unwrap(), 5);
+        let obs = Obs::noop();
+        let r: Result<u32, _> = retrying_observed(&rt, &policy, &obs, "op", || Ok(1));
+        assert_eq!(r.unwrap(), 1);
+        let r: Result<u32, _> = retrying_traced(&rt, &policy, &obs, "op", None, 0, || Ok(2));
+        assert_eq!(r.unwrap(), 2);
     }
 }

@@ -317,9 +317,7 @@ impl SimCloud {
             Ok(())
         } else {
             self.count_failure(op, 0, false);
-            Err(CloudError::Unavailable {
-                cloud: self.name.clone(),
-            })
+            Err(CloudError::unavailable(self.name.clone()))
         }
     }
 
@@ -366,9 +364,7 @@ impl SimCloud {
 
     fn do_transfer(&self, link: LinkId, bytes: u64) -> Result<(), CloudError> {
         self.sim.transfer(link, bytes).map_err(|e| match e {
-            TransferError::LinkDisabled => CloudError::Unavailable {
-                cloud: self.name.clone(),
-            },
+            TransferError::LinkDisabled => CloudError::unavailable(self.name.clone()),
         })
     }
 }

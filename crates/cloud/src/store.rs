@@ -201,9 +201,18 @@ impl CloudSet {
     ///
     /// # Panics
     ///
-    /// Panics if `id` is out of range.
+    /// Panics if `id` is out of range. Call sites that index with ids
+    /// taken from validated block metadata or from [`ids`](CloudSet::ids)
+    /// of this same set rely on that as an invariant; use
+    /// [`try_get`](CloudSet::try_get) when the id comes from anywhere
+    /// else (external input, a differently-sized set).
     pub fn get(&self, id: CloudId) -> &Arc<dyn CloudStore> {
         &self.clouds[id.0]
+    }
+
+    /// The cloud with the given id, or `None` if `id` is out of range.
+    pub fn try_get(&self, id: CloudId) -> Option<&Arc<dyn CloudStore>> {
+        self.clouds.get(id.0)
     }
 
     /// Iterates over `(CloudId, cloud)` pairs.
@@ -238,10 +247,19 @@ impl CloudSet {
     ///
     /// Panics if `id` is out of range or the set would become empty.
     pub fn with_removed(&self, id: CloudId) -> CloudSet {
-        assert!(self.clouds.len() > 1, "cannot remove the last cloud");
+        self.try_with_removed(id)
+            .expect("with_removed: id out of range or set would become empty")
+    }
+
+    /// Returns a new set with the cloud at `id` removed, or `None` if
+    /// `id` is out of range or the set would become empty.
+    pub fn try_with_removed(&self, id: CloudId) -> Option<CloudSet> {
+        if id.0 >= self.clouds.len() || self.clouds.len() <= 1 {
+            return None;
+        }
         let mut clouds = self.clouds.clone();
         clouds.remove(id.0);
-        CloudSet { clouds }
+        Some(CloudSet { clouds })
     }
 }
 
@@ -306,5 +324,79 @@ mod tests {
     #[should_panic(expected = "at least one cloud")]
     fn empty_set_rejected() {
         let _ = CloudSet::new(Vec::new());
+    }
+
+    #[test]
+    fn try_get_is_fallible() {
+        let set = CloudSet::new(vec![
+            Arc::new(MemCloud::new("a")) as Arc<dyn CloudStore>,
+            Arc::new(MemCloud::new("b")),
+        ]);
+        assert_eq!(set.try_get(CloudId(1)).unwrap().name(), "b");
+        assert!(set.try_get(CloudId(2)).is_none());
+    }
+
+    #[test]
+    fn try_with_removed_refuses_bad_removals() {
+        let two = CloudSet::new(vec![
+            Arc::new(MemCloud::new("a")) as Arc<dyn CloudStore>,
+            Arc::new(MemCloud::new("b")),
+        ]);
+        let one = two.try_with_removed(CloudId(0)).unwrap();
+        assert_eq!(one.len(), 1);
+        assert_eq!(one.get(CloudId(0)).name(), "b");
+        // Out of range.
+        assert!(two.try_with_removed(CloudId(5)).is_none());
+        // Would empty the set.
+        assert!(one.try_with_removed(CloudId(0)).is_none());
+    }
+
+    /// A store whose `list` always fails transiently, to exercise the
+    /// error path of the `exists` default impl.
+    struct ListFails;
+
+    impl CloudStore for ListFails {
+        fn name(&self) -> &str {
+            "listfails"
+        }
+        fn upload(&self, _: &str, _: unidrive_util::bytes::Bytes) -> Result<(), CloudError> {
+            Ok(())
+        }
+        fn download(&self, p: &str) -> Result<unidrive_util::bytes::Bytes, CloudError> {
+            Err(CloudError::not_found(p))
+        }
+        fn create_dir(&self, _: &str) -> Result<(), CloudError> {
+            Ok(())
+        }
+        fn list(&self, p: &str) -> Result<Vec<ObjectInfo>, CloudError> {
+            Err(CloudError::transient_op("flaky", crate::CloudOp::List, p))
+        }
+        fn delete(&self, _: &str) -> Result<(), CloudError> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn exists_default_impl_edge_cases() {
+        use unidrive_util::bytes::Bytes;
+        let c = MemCloud::new("m");
+        c.upload("top.bin", Bytes::from_static(b"x")).unwrap();
+        c.upload("dir/nested.bin", Bytes::from_static(b"y")).unwrap();
+        // Plain hits at the root and nested.
+        assert!(c.exists("top.bin").unwrap());
+        assert!(c.exists("dir/nested.bin").unwrap());
+        assert!(c.exists("dir").unwrap());
+        // The root path itself: the five-op API can only probe a parent
+        // listing, so the root — which has no parent entry — reports
+        // absent rather than erroring.
+        assert!(!c.exists("").unwrap());
+        // Missing parent directory folds to "does not exist"…
+        assert!(!c.exists("no/such/file").unwrap());
+        assert!(!c.exists("dir/ghost").unwrap());
+        // …but a *transient* listing failure must propagate, not be
+        // mistaken for absence.
+        let flaky = ListFails;
+        let err = flaky.exists("dir/f").unwrap_err();
+        assert!(err.is_retryable(), "{err}");
     }
 }

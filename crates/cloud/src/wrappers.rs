@@ -1,7 +1,8 @@
 //! Composable decorators over any [`CloudStore`].
 //!
-//! * [`FaultyCloud`] — deterministic failure injection for tests of the
-//!   retry/failover paths.
+//! * [`ChaosCloud`](crate::ChaosCloud) (in [`fault`](crate::fault)) —
+//!   deterministic scheduled fault injection; `FaultyCloud` remains as a
+//!   deprecated shim over it.
 //! * [`ThrottledCloud`] — token-bucket bandwidth limiting under any
 //!   [`Runtime`]; gives the real-directory examples cloud-like speeds.
 //! * [`CountingCloud`] — traffic and operation accounting used by the
@@ -11,111 +12,88 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
-use unidrive_obs::{Event, Obs};
+use unidrive_obs::Obs;
+use unidrive_sim::{RealRuntime, Runtime};
 use unidrive_util::bytes::Bytes;
 use unidrive_util::sync::Mutex;
-use unidrive_sim::{Runtime, SimRng};
 
+use crate::fault::{ChaosCloud, FaultPlan};
 use crate::{CloudError, CloudStore, ObjectInfo, TrafficSnapshot};
 
 /// Wraps a store, failing a configurable fraction of requests.
 ///
-/// Failures are deterministic given the seed, so tests of UniDrive's
-/// failover logic are reproducible.
+/// Deprecated shim: this is now a flat-probability [`ChaosCloud`] with
+/// an empty [`FaultPlan`]. Injected failures count into
+/// `chaos.{name}.injected` and trace `FaultInjected` events (the old
+/// `cloud.{name}.injected_failures` counter and `CloudOpFailed` event
+/// are gone with the consolidation).
+#[deprecated(
+    since = "0.5.0",
+    note = "use `ChaosCloud` with `set_flat_probability` (or a scheduled `FaultPlan`)"
+)]
 pub struct FaultyCloud {
-    inner: Arc<dyn CloudStore>,
-    rng: Mutex<SimRng>,
-    failure_prob: Mutex<f64>,
-    injected: AtomicU64,
-    obs: Mutex<Obs>,
+    chaos: ChaosCloud,
 }
 
+#[allow(deprecated)]
 impl std::fmt::Debug for FaultyCloud {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("FaultyCloud")
-            .field("inner", &self.inner.name())
-            .field("failure_prob", &*self.failure_prob.lock())
-            .finish()
+        f.debug_struct("FaultyCloud").field("chaos", &self.chaos).finish()
     }
 }
 
+#[allow(deprecated)]
 impl FaultyCloud {
     /// Wraps `inner`, failing each request with probability `p`.
     pub fn new(inner: Arc<dyn CloudStore>, p: f64, seed: u64) -> Self {
-        FaultyCloud {
-            inner,
-            rng: Mutex::new(SimRng::seed_from_u64(seed)),
-            failure_prob: Mutex::new(p),
-            injected: AtomicU64::new(0),
-            obs: Mutex::new(Obs::noop()),
-        }
+        // An empty plan never consults the clock, so a wall-clock
+        // runtime keeps the shim deterministic.
+        let rt: Arc<dyn Runtime> = Arc::new(RealRuntime::new());
+        let chaos = ChaosCloud::new(inner, rt, &FaultPlan::new(seed));
+        chaos.set_flat_probability(p);
+        FaultyCloud { chaos }
     }
 
     /// Adjusts the failure probability at runtime.
     pub fn set_failure_prob(&self, p: f64) {
-        *self.failure_prob.lock() = p;
+        self.chaos.set_flat_probability(p);
     }
 
-    /// Installs an observability handle: every injected failure then
-    /// increments `cloud.{name}.injected_failures` and traces an
-    /// [`Event::CloudOpFailed`], so tests can reconcile retries against
-    /// the exact number of faults injected.
+    /// Installs an observability handle for injection counters/events.
     pub fn install_obs(&self, obs: Obs) {
-        *self.obs.lock() = obs;
+        self.chaos.install_obs(obs);
     }
 
     /// How many failures this wrapper has injected so far.
     pub fn injected_failures(&self) -> u64 {
-        self.injected.load(Ordering::Relaxed)
-    }
-
-    fn roll(&self, op: &'static str) -> Result<(), CloudError> {
-        let p = *self.failure_prob.lock();
-        if self.rng.lock().chance(p) {
-            self.injected.fetch_add(1, Ordering::Relaxed);
-            let obs = self.obs.lock().clone();
-            obs.inc(&format!("cloud.{}.injected_failures", self.inner.name()));
-            obs.event(|| Event::CloudOpFailed {
-                cloud: self.inner.name().to_owned(),
-                op,
-                bytes: 0,
-                transient: true,
-            });
-            Err(CloudError::transient("injected failure"))
-        } else {
-            Ok(())
-        }
+        self.chaos.injected_faults()
     }
 }
 
+#[allow(deprecated)]
 impl CloudStore for FaultyCloud {
     fn name(&self) -> &str {
-        self.inner.name()
+        self.chaos.name()
     }
 
     fn upload(&self, path: &str, data: Bytes) -> Result<(), CloudError> {
-        self.roll("upload")?;
-        self.inner.upload(path, data)
+        self.chaos.upload(path, data)
     }
 
     fn download(&self, path: &str) -> Result<Bytes, CloudError> {
-        self.roll("download")?;
-        self.inner.download(path)
+        self.chaos.download(path)
     }
 
     fn create_dir(&self, path: &str) -> Result<(), CloudError> {
-        self.roll("create_dir")?;
-        self.inner.create_dir(path)
+        self.chaos.create_dir(path)
     }
 
     fn list(&self, path: &str) -> Result<Vec<ObjectInfo>, CloudError> {
-        self.roll("list")?;
-        self.inner.list(path)
+        self.chaos.list(path)
     }
 
     fn delete(&self, path: &str) -> Result<(), CloudError> {
-        self.roll("delete")?;
-        self.inner.delete(path)
+        self.chaos.delete(path)
     }
 }
 
@@ -322,20 +300,18 @@ mod tests {
     }
 
     #[test]
-    fn faulty_cloud_fails_roughly_at_rate() {
+    #[allow(deprecated)]
+    fn faulty_cloud_shim_behaves_like_flat_chaos() {
         let c = FaultyCloud::new(mem(), 0.3, 11);
         let fails = (0..1000)
-            .filter(|_| c.upload("x", Bytes::new()).is_err())
+            .filter(|_| c.upload("x", Bytes::from_static(b"d")).is_err())
             .count();
         assert!((200..400).contains(&fails), "fails {fails}");
-    }
-
-    #[test]
-    fn faulty_cloud_rate_can_change() {
-        let c = FaultyCloud::new(mem(), 1.0, 12);
-        assert!(c.upload("x", Bytes::new()).is_err());
+        assert_eq!(c.injected_failures(), fails as u64);
         c.set_failure_prob(0.0);
-        assert!(c.upload("x", Bytes::new()).is_ok());
+        assert!(c.upload("x", Bytes::from_static(b"d")).is_ok());
+        c.set_failure_prob(1.0);
+        assert!(c.upload("x", Bytes::from_static(b"d")).is_err());
     }
 
     #[test]
@@ -376,5 +352,60 @@ mod tests {
         assert_eq!(t.downloaded_bytes, 100);
         assert_eq!(t.ok_requests, 2);
         assert_eq!(t.failed_requests, 1);
+    }
+
+    /// Drives all five ops through a wrapper and checks they reach the
+    /// shared inner store with results intact.
+    fn all_five_ops_pass_through(wrapped: &dyn CloudStore, inner: &Arc<dyn CloudStore>) {
+        wrapped.create_dir("d/sub").unwrap();
+        wrapped
+            .upload("d/f.bin", Bytes::from_static(b"payload"))
+            .unwrap();
+        assert_eq!(
+            wrapped.download("d/f.bin").unwrap(),
+            Bytes::from_static(b"payload")
+        );
+        let names: Vec<String> = wrapped
+            .list("d")
+            .unwrap()
+            .into_iter()
+            .map(|e| e.name)
+            .collect();
+        assert!(names.contains(&"f.bin".to_owned()) && names.contains(&"sub".to_owned()));
+        wrapped.delete("d/f.bin").unwrap();
+        assert!(matches!(
+            inner.download("d/f.bin"),
+            Err(CloudError::NotFound { .. })
+        ));
+        // The directory created through the wrapper is on the inner store.
+        assert!(inner.list("d/sub").is_ok());
+    }
+
+    #[test]
+    fn throttled_cloud_passes_all_five_ops_through() {
+        let sim = SimRuntime::new(21);
+        let rt = sim.clone().as_runtime();
+        let inner = mem();
+        let c = ThrottledCloud::new(Arc::clone(&inner), Arc::clone(&rt), 1e9);
+        all_five_ops_pass_through(&c, &inner);
+        // Metadata ops are unthrottled: they consume no tokens and no
+        // virtual time.
+        let t0 = sim.now();
+        c.create_dir("meta").unwrap();
+        c.list("").unwrap();
+        c.delete("meta").unwrap();
+        assert_eq!((sim.now() - t0).as_secs_f64(), 0.0);
+    }
+
+    #[test]
+    fn counting_cloud_passes_all_five_ops_through() {
+        let inner = mem();
+        let c = CountingCloud::new(Arc::clone(&inner));
+        all_five_ops_pass_through(&c, &inner);
+        let t = c.traffic();
+        assert_eq!(t.ok_requests, 5);
+        assert_eq!(t.failed_requests, 0);
+        assert_eq!(t.uploaded_bytes, 7);
+        assert_eq!(t.downloaded_bytes, 7);
     }
 }

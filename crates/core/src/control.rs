@@ -12,7 +12,7 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use unidrive_cloud::{retrying, CloudSet, RetryPolicy};
+use unidrive_cloud::{CloudSet, Retry, RetryPolicy};
 use unidrive_crypto::MetadataCipher;
 use unidrive_meta::{DeltaLog, SyncFolderImage, VersionStamp, BASE_PATH, DELTA_PATH, VERSION_PATH};
 use unidrive_sim::Runtime;
@@ -109,7 +109,9 @@ impl MetadataStore {
                 let rt = Arc::clone(&self.rt);
                 let retry = self.retry.clone();
                 unidrive_sim::spawn(&self.rt, "meta-ver", move || {
-                    retrying(&rt, &retry, || cloud.download(VERSION_PATH)).ok()
+                    Retry::new(&rt, &retry)
+                        .run(|| cloud.download(VERSION_PATH))
+                        .ok()
                 })
             })
             .collect();
@@ -139,7 +141,7 @@ impl MetadataStore {
         // Prefer clouds advertising the target version, but fall back to
         // any cloud: stale copies lose to the version check below.
         for (_, cloud) in self.clouds.iter() {
-            let Ok(base_ct) = retrying(&self.rt, &self.retry, || cloud.download(BASE_PATH))
+            let Ok(base_ct) = Retry::new(&self.rt, &self.retry).run(|| cloud.download(BASE_PATH))
             else {
                 continue;
             };
@@ -149,7 +151,7 @@ impl MetadataStore {
             let Ok(mut image) = SyncFolderImage::decode(&base_pt) else {
                 continue;
             };
-            let delta = match retrying(&self.rt, &self.retry, || cloud.download(DELTA_PATH)) {
+            let delta = match Retry::new(&self.rt, &self.retry).run(|| cloud.download(DELTA_PATH)) {
                 Ok(delta_ct) => {
                     let Ok(delta_pt) = self.cipher.decrypt(&delta_ct) else {
                         continue;
@@ -223,12 +225,13 @@ impl MetadataStore {
                 unidrive_sim::spawn(&self.rt, "meta-write", move || {
                     (|| -> Result<(), unidrive_cloud::CloudError> {
                         if let Some(base) = &base_ct {
-                            retrying(&rt, &retry, || cloud.upload(BASE_PATH, base.clone()))?;
+                            Retry::new(&rt, &retry)
+                                .run(|| cloud.upload(BASE_PATH, base.clone()))?;
                         }
-                        retrying(&rt, &retry, || cloud.upload(DELTA_PATH, delta_ct.clone()))?;
-                        retrying(&rt, &retry, || {
-                            cloud.upload(VERSION_PATH, version_bytes.clone())
-                        })?;
+                        Retry::new(&rt, &retry)
+                            .run(|| cloud.upload(DELTA_PATH, delta_ct.clone()))?;
+                        Retry::new(&rt, &retry)
+                            .run(|| cloud.upload(VERSION_PATH, version_bytes.clone()))?;
                         Ok(())
                     })()
                     .is_ok()
@@ -254,7 +257,7 @@ impl MetadataStore {
 mod tests {
     use super::*;
     use std::sync::Arc;
-    use unidrive_cloud::{CloudStore, FaultyCloud, MemCloud};
+    use unidrive_cloud::{ChaosCloud, CloudStore, FaultPlan, MemCloud};
     use unidrive_crypto::Sha1;
     use unidrive_meta::{SegmentId, Snapshot};
     use unidrive_sim::RealRuntime;
@@ -382,11 +385,15 @@ mod tests {
 
     #[test]
     fn quorum_write_failure_detected() {
+        let rt: Arc<dyn unidrive_sim::Runtime> = Arc::new(unidrive_sim::RealRuntime::new());
         let mut members: Vec<Arc<dyn CloudStore>> = Vec::new();
         for i in 0..5 {
             let inner: Arc<dyn CloudStore> = Arc::new(MemCloud::new(format!("c{i}")));
             if i < 3 {
-                members.push(Arc::new(FaultyCloud::new(inner, 1.0, i as u64)));
+                let chaos =
+                    ChaosCloud::new(inner, Arc::clone(&rt), &FaultPlan::new(i as u64));
+                chaos.set_flat_probability(1.0);
+                members.push(Arc::new(chaos));
             } else {
                 members.push(inner);
             }

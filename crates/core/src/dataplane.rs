@@ -268,7 +268,13 @@ impl DataPlane {
     pub fn delete_blocks(&self, garbage: &[(SegmentId, unidrive_meta::SegmentEntry)]) {
         for (id, entry) in garbage {
             for b in &entry.blocks {
-                let cloud = self.clouds.get(unidrive_cloud::CloudId(b.cloud as usize));
+                // Metadata can reference a cloud that has since been
+                // removed from the set (§6.2, removing a CCS); its
+                // blocks are unreachable, not a crash.
+                let Some(cloud) = self.clouds.try_get(unidrive_cloud::CloudId(b.cloud as usize))
+                else {
+                    continue;
+                };
                 let _ = cloud.delete(&block_path(id, b.index));
             }
         }

@@ -299,8 +299,22 @@ impl TransferPolicy for DownloadPolicy {
         if fetch.inflight.get(&job.index) == Some(&cloud.0) {
             fetch.inflight.remove(&job.index);
         }
+        // Torn blocks must be surfaced, not masked: a block whose length
+        // differs from the codec's share length (e.g. a torn upload that
+        // persisted only a prefix) can never decode, and feeding it in
+        // would burn an integrity retry on the whole combination. Reject
+        // it here, stop chasing that index, and let the fetch proceed
+        // from the remaining candidates.
+        if data.len() != self.codec.block_len(fetch.len) {
+            self.obs.inc("download.truncated_blocks");
+            for c in &mut fetch.candidates {
+                c.retain(|i| *i != job.index);
+            }
+            finish_check(&mut self.st, self.k, &mut self.failures);
+            return;
+        }
         fetch.have.entry(job.index).or_insert(data);
-        if !fetch.done && fetch.have.len() >= self.k {
+        while !fetch.done && fetch.have.len() >= self.k {
             match decode_segment(&self.codec, fetch, self.k) {
                 Ok(plain) => {
                     fetch.done = true;
@@ -308,17 +322,22 @@ impl TransferPolicy for DownloadPolicy {
                     self.segments.insert(seg_id, plain);
                 }
                 Err(e @ DownloadError::IntegrityMismatch { .. }) => {
-                    // One of the k blocks is corrupt (we cannot tell
-                    // which): discard this combination and refetch from
-                    // the remaining candidates — over-provisioned
-                    // spares exist precisely for moments like this.
-                    // Give up after a few combinations.
+                    // One of the k blocks decode just used is corrupt
+                    // (we cannot tell which): discard exactly that
+                    // combination — the sorted first k, matching
+                    // decode_segment's choice — and keep any other
+                    // gathered blocks; over-provisioned spares exist
+                    // precisely for moments like this. Looping retries
+                    // the decode right away if enough spares are
+                    // already in hand. Give up after a few combinations.
                     fetch.integrity_retries += 1;
                     if fetch.integrity_retries > 3 {
                         fetch.done = true;
                         self.failures.push(e);
                     } else {
-                        let used: Vec<u16> = fetch.have.keys().copied().collect();
+                        let mut used: Vec<u16> = fetch.have.keys().copied().collect();
+                        used.sort_unstable();
+                        used.truncate(self.k);
                         for idx in used {
                             fetch.have.remove(&idx);
                             for c in &mut fetch.candidates {

@@ -10,7 +10,7 @@
 //!
 //! The engine owns everything the five former hand-rolled loops
 //! duplicated: the worker pool (one actor per cloud connection),
-//! [`retrying_traced`] around every wire call, `unidrive-obs`
+//! a traced [`Retry`] around every wire call, `unidrive-obs`
 //! counters, spans, and `BlockDispatched`/`BlockCompleted` events, feeding the
 //! [`BandwidthProbe`], and idle parking. Workers park on a
 //! [`Notifier`] (an eventcount) instead of polling: each completion or
@@ -22,7 +22,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
-use unidrive_cloud::{retrying_traced, CloudError, CloudId, CloudSet, RetryPolicy};
+use unidrive_cloud::{CloudError, CloudId, CloudSet, Retry, RetryPolicy};
 use unidrive_obs::{Event, Obs, SpanId};
 use unidrive_sim::{spawn, Notifier, Runtime, Task, Time};
 use unidrive_util::bytes::Bytes;
@@ -582,15 +582,10 @@ fn worker_loop<P: TransferPolicy>(
                 if let Some(rec) = &ctx.recorder {
                     rec.set_state(ctx.slot, "transferring", &path, t0.as_nanos());
                 }
-                let r = retrying_traced(
-                    rt,
-                    &params.retry,
-                    obs,
-                    retry_label,
-                    bspan.id(),
-                    ctx.track,
-                    || cloud.upload(&path, data.clone()),
-                );
+                let r = Retry::new(rt, &params.retry)
+                    .obs(obs, retry_label)
+                    .span(bspan.id(), ctx.track)
+                    .run(|| cloud.upload(&path, data.clone()));
                 (r.map(|()| None), bytes_len)
             }
             WireOp::Download { path } => {
@@ -605,15 +600,10 @@ fn worker_loop<P: TransferPolicy>(
                 if let Some(rec) = &ctx.recorder {
                     rec.set_state(ctx.slot, "transferring", &path, t0.as_nanos());
                 }
-                let r = retrying_traced(
-                    rt,
-                    &params.retry,
-                    obs,
-                    retry_label,
-                    bspan.id(),
-                    ctx.track,
-                    || cloud.download(&path),
-                );
+                let r = Retry::new(rt, &params.retry)
+                    .obs(obs, retry_label)
+                    .span(bspan.id(), ctx.track)
+                    .run(|| cloud.download(&path));
                 let len = r.as_ref().map_or(0, |d| d.len() as u64);
                 (r.map(Some), len)
             }

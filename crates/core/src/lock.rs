@@ -267,6 +267,8 @@ impl QuorumLock {
         let mut reachable = 0usize;
         let mut held = 0usize;
         for (id, entries) in listings {
+            // Invariant: `id` came from iterating this same set above,
+            // so the panicking `get` cannot fire.
             let cloud = std::sync::Arc::clone(self.clouds.get(id));
             let Some(entries) = entries else {
                 continue;
@@ -569,22 +571,31 @@ mod tests {
         guard.release();
     }
 
-    #[test]
-    fn quorum_survives_minority_outage() {
-        let rt: Arc<dyn Runtime> = Arc::new(RealRuntime::new());
-        let sims: Vec<Arc<unidrive_cloud::SimCloud>> = Vec::new();
-        drop(sims);
-        // Use FaultyCloud with 100% failure on 2 of 5 clouds.
+    /// `n` MemClouds, the first `dead` of which fail every request
+    /// (a `ChaosCloud` with certain transient failure).
+    fn clouds_with_dead(rt: &Arc<dyn Runtime>, n: usize, dead: usize) -> CloudSet {
         let mut members: Vec<Arc<dyn CloudStore>> = Vec::new();
-        for i in 0..5 {
+        for i in 0..n {
             let inner: Arc<dyn CloudStore> = Arc::new(MemCloud::new(format!("c{i}")));
-            if i < 2 {
-                members.push(Arc::new(unidrive_cloud::FaultyCloud::new(inner, 1.0, i as u64)));
+            if i < dead {
+                let chaos = unidrive_cloud::ChaosCloud::new(
+                    inner,
+                    Arc::clone(rt),
+                    &unidrive_cloud::FaultPlan::new(i as u64),
+                );
+                chaos.set_flat_probability(1.0);
+                members.push(Arc::new(chaos));
             } else {
                 members.push(inner);
             }
         }
-        let clouds = CloudSet::new(members);
+        CloudSet::new(members)
+    }
+
+    #[test]
+    fn quorum_survives_minority_outage() {
+        let rt: Arc<dyn Runtime> = Arc::new(RealRuntime::new());
+        let clouds = clouds_with_dead(&rt, 5, 2);
         let lock = lock_on(rt, clouds, "dev-a", 8);
         let guard = lock.acquire().expect("3 of 5 clouds suffice");
         guard.release();
@@ -593,16 +604,7 @@ mod tests {
     #[test]
     fn majority_outage_fails_fast() {
         let rt: Arc<dyn Runtime> = Arc::new(RealRuntime::new());
-        let mut members: Vec<Arc<dyn CloudStore>> = Vec::new();
-        for i in 0..5 {
-            let inner: Arc<dyn CloudStore> = Arc::new(MemCloud::new(format!("c{i}")));
-            if i < 3 {
-                members.push(Arc::new(unidrive_cloud::FaultyCloud::new(inner, 1.0, i as u64)));
-            } else {
-                members.push(inner);
-            }
-        }
-        let clouds = CloudSet::new(members);
+        let clouds = clouds_with_dead(&rt, 5, 3);
         let lock = lock_on(rt, clouds, "dev-a", 9);
         assert!(matches!(
             lock.acquire().unwrap_err(),

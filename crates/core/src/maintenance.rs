@@ -56,10 +56,14 @@ pub fn trim_overprovisioned(
 ) -> usize {
     let plan = trim_plan(image, redundancy);
     for (id, block) in &plan {
-        let cloud = plane
+        // A block on a cloud no longer in the set cannot be deleted
+        // remotely, but it should still leave the image.
+        if let Some(cloud) = plane
             .clouds()
-            .get(unidrive_cloud::CloudId(block.cloud as usize));
-        let _ = cloud.delete(&unidrive_meta::block_path(id, block.index));
+            .try_get(unidrive_cloud::CloudId(block.cloud as usize))
+        {
+            let _ = cloud.delete(&unidrive_meta::block_path(id, block.index));
+        }
         image.remove_block(id, *block);
     }
     plan.len()

@@ -159,6 +159,7 @@ pub fn remove_cloud(
                 break; // cap-saturated; reliability is degraded but valid
             };
             let data = codec.encode_block(&plain, block.index as usize);
+            // Invariant: slots were built from this set's own ids.
             let target = clouds.get(CloudId(slot.0));
             if target.upload(&block_path(&id, block.index), data).is_ok() {
                 slot.1 += 1;
@@ -246,6 +247,8 @@ pub fn add_cloud(
                 continue;
             }
             let data = grown_codec.encode_block(&plain, index as usize);
+            // Invariant: `newcomer` indexes the cloud just appended to
+            // `new_clouds`, so it is always in range.
             let target = new_clouds.get(CloudId(newcomer as usize));
             if target.upload(&block_path(&id, index), data).is_ok() {
                 out.record_block(

@@ -41,6 +41,17 @@ pub enum Event {
         /// Whether the error was transient (retryable).
         transient: bool,
     },
+    /// A fault-injection wrapper (`ChaosCloud`) injected a scheduled
+    /// fault into a cloud operation.
+    FaultInjected {
+        /// Cloud (provider) name the fault was injected into.
+        cloud: String,
+        /// Operation kind (`"upload"`, `"download"`, …).
+        op: &'static str,
+        /// Fault taxonomy label (`"transient"`, `"outage"`, `"quota"`,
+        /// `"latency"`, `"torn_upload"`, `"delayed_visibility"`).
+        kind: &'static str,
+    },
     /// A retry loop is about to re-attempt an operation.
     RetryAttempt {
         /// Operation label.
@@ -121,6 +132,7 @@ impl Event {
             Event::FlowFinished { .. } => "FlowFinished",
             Event::EpochResampled { .. } => "EpochResampled",
             Event::CloudOpFailed { .. } => "CloudOpFailed",
+            Event::FaultInjected { .. } => "FaultInjected",
             Event::RetryAttempt { .. } => "RetryAttempt",
             Event::LockAcquired { .. } => "LockAcquired",
             Event::LockContended { .. } => "LockContended",
@@ -154,6 +166,11 @@ impl Event {
                 ("op", S((*op).to_owned())),
                 ("bytes", U(*bytes)),
                 ("transient", B(*transient)),
+            ],
+            Event::FaultInjected { cloud, op, kind } => vec![
+                ("cloud", S(cloud.clone())),
+                ("op", S((*op).to_owned())),
+                ("kind", S((*kind).to_owned())),
             ],
             Event::RetryAttempt {
                 op,

@@ -6,7 +6,7 @@
 
 use std::sync::Arc;
 
-use unidrive::cloud::{CloudSet, CloudStore, FaultyCloud, SimCloud, SimCloudConfig};
+use unidrive::cloud::{ChaosCloud, CloudSet, CloudStore, FaultPlan, SimCloud, SimCloudConfig};
 use unidrive::core::{ClientConfig, DataPlaneConfig, MemFolder, SyncFolder, UniDriveClient};
 use unidrive::erasure::RedundancyConfig;
 use unidrive::core::SyncReport;
@@ -38,11 +38,12 @@ fn run_scenario(seed: u64) -> RunResult {
                 SimCloudConfig::steady(2e6, 8e6),
             ));
             inner.install_obs(obs.clone());
-            let f = Arc::new(FaultyCloud::new(
+            let f = Arc::new(ChaosCloud::new(
                 inner as Arc<dyn CloudStore>,
-                FAILURE_PROB,
-                seed * 31 + i,
+                sim.clone().as_runtime(),
+                &FaultPlan::new(seed * 31 + i),
             ));
+            f.set_flat_probability(FAILURE_PROB);
             f.install_obs(obs.clone());
             faulty.push(Arc::clone(&f));
             f as Arc<dyn CloudStore>
@@ -99,7 +100,7 @@ fn run_scenario(seed: u64) -> RunResult {
     snapshot.canonicalize();
     RunResult {
         json: snapshot.to_json(),
-        injected: faulty.iter().map(|f| f.injected_failures()).sum(),
+        injected: faulty.iter().map(|f| f.injected_faults()).sum(),
         snapshot,
     }
 }
@@ -136,7 +137,7 @@ fn two_device_sync_records_lock_block_and_retry_metrics() {
     let observed_injected: u64 = s
         .counters
         .iter()
-        .filter(|(name, _)| name.ends_with(".injected_failures"))
+        .filter(|(name, _)| name.starts_with("chaos.") && name.ends_with(".injected"))
         .map(|(_, v)| *v)
         .sum();
     assert_eq!(observed_injected, r.injected);
