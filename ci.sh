@@ -92,4 +92,30 @@ cmp "$out/cs1.minplan.json" "$out/cs2.minplan.json"
 cmp "$out/cs1.flight.json" "$out/cs2.flight.json"
 grep -q '"verdict": "PASS"' "$out/cs1.json"
 
+echo "==> fleet bench: 10k-device quick run, invariants + schema + byte-identical"
+# The fleet simulator must converge with every chaos-soak invariant
+# green, emit a schema-stable report, and be a pure function of the
+# seed: two quick runs (the second with a different shard and thread
+# count) must produce byte-identical BENCH_fleet.json.
+./target/release/bench_fleet quick --out "$out/f1.json" >/dev/null
+./target/release/bench_fleet quick --shards 3 --threads 2 --out "$out/f2.json" >/dev/null
+cmp "$out/f1.json" "$out/f2.json"
+python3 - "$out/f1.json" <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+assert doc["bench_fleet"] == "unidrive/v1", doc
+assert set(doc) == {"bench_fleet", "config", "counters", "clouds", "hist", "invariants", "run"}, sorted(doc)
+assert doc["config"]["devices"] == 10000, doc["config"]
+for inv in doc["invariants"]:
+    assert inv["pass"] is True, inv
+for name in ["lock_rounds", "lock_wait_ns", "sync_latency_ns"]:
+    h = doc["hist"][name]
+    assert h["count"] > 0 and h["p50"] <= h["p95"] <= h["p99"], (name, h)
+assert len(doc["clouds"]) == 5, doc["clouds"]
+for c in doc["clouds"]:
+    assert c["ops"] == c["lock_ops"] + c["transfer_ops"], c
+started = doc["counters"]["sessions.started"]
+assert started == doc["counters"]["sessions.completed"] > 0, doc["counters"]
+EOF
+
 echo "CI OK"

@@ -25,7 +25,7 @@ fn derive_path(base: &str, name: &str) -> String {
     }
 }
 
-const EXPERIMENTS: [&str; 18] = [
+const EXPERIMENTS: [&str; 19] = [
     "fig01_spatial",
     "fig02_filesize_throughput",
     "fig03_temporal",
@@ -44,6 +44,7 @@ const EXPERIMENTS: [&str; 18] = [
     "fig16_trial_daily",
     "ablations",
     "chaos_soak",
+    "bench_fleet",
 ];
 
 fn main() {

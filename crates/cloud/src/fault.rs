@@ -12,10 +12,10 @@
 //! so invariant checkers can reconcile observed damage against the
 //! schedule.
 //!
-//! `ChaosCloud` subsumes the older ad-hoc knobs: the flat probability of
-//! the deprecated `FaultyCloud` lives on as
+//! `ChaosCloud` subsumes the older ad-hoc knobs: a flat per-request
+//! failure probability is
 //! [`set_flat_probability`](ChaosCloud::set_flat_probability), and the
-//! `SimCloud::set_available` outage switch as
+//! `SimCloud::set_available` outage switch is
 //! [`set_available`](ChaosCloud::set_available).
 
 use std::collections::HashSet;
@@ -319,8 +319,7 @@ impl ChaosCloud {
     }
 
     /// Unscheduled flat per-request transient-failure probability, on
-    /// top of any active [`FaultKind::TransientBurst`] (the deprecated
-    /// `FaultyCloud` knob).
+    /// top of any active [`FaultKind::TransientBurst`].
     pub fn set_flat_probability(&self, p: f64) {
         *self.flat_probability.lock() = p.clamp(0.0, 1.0);
     }

@@ -18,6 +18,8 @@
 //!   bandwidth limiting and traffic accounting.
 //! * [`Retry`] / [`RetryPolicy`] — bounded-backoff retries for
 //!   transient Web API failures.
+//! * [`TokenBucket`] / [`QpsSeries`] — deterministic per-cloud
+//!   request-rate shaping and accounting for fleet-scale load.
 //!
 //! See the crate-level example on [`CloudStore`].
 
@@ -28,6 +30,7 @@ mod error;
 pub mod fault;
 mod local;
 mod mem;
+mod qps;
 mod retry;
 mod sim_cloud;
 mod store;
@@ -37,11 +40,8 @@ pub use error::{CloudError, CloudOp};
 pub use fault::{ChaosCloud, FaultEvent, FaultKind, FaultPlan};
 pub use local::LocalDirCloud;
 pub use mem::MemCloud;
-#[allow(deprecated)]
-pub use retry::{retrying, retrying_observed, retrying_traced};
+pub use qps::{QpsSeries, TokenBucket};
 pub use retry::{Retry, RetryPolicy};
 pub use sim_cloud::{FailureProfile, SimCloud, SimCloudConfig, TrafficCounters, TrafficSnapshot};
 pub use store::{split_path, validate_path, CloudId, CloudSet, CloudStore, ObjectInfo};
-#[allow(deprecated)]
-pub use wrappers::FaultyCloud;
 pub use wrappers::{CountingCloud, ThrottledCloud};

@@ -8,9 +8,7 @@
 //!
 //! The entry point is the builder-style [`Retry`]: construct it with a
 //! runtime and policy, optionally attach observability and span
-//! causality, then [`run`](Retry::run) the operation. The former free
-//! functions `retrying` / `retrying_observed` / `retrying_traced` remain
-//! as deprecated shims for one release.
+//! causality, then [`run`](Retry::run) the operation.
 
 use std::sync::Arc;
 use std::time::Duration;
@@ -212,66 +210,6 @@ impl<'a> Retry<'a> {
     }
 }
 
-/// Runs `op`, retrying retryable [`CloudError`]s per `policy`.
-///
-/// # Errors
-///
-/// Returns the last error once attempts are exhausted, or immediately
-/// for non-retryable errors.
-#[deprecated(since = "0.5.0", note = "use `Retry::new(rt, policy).run(op)`")]
-pub fn retrying<T>(
-    rt: &Arc<dyn Runtime>,
-    policy: &RetryPolicy,
-    op: impl FnMut() -> Result<T, CloudError>,
-) -> Result<T, CloudError> {
-    Retry::new(rt, policy).run(op)
-}
-
-/// Retry with observability.
-///
-/// # Errors
-///
-/// Returns the last error once attempts are exhausted, or immediately
-/// for non-retryable errors.
-#[deprecated(
-    since = "0.5.0",
-    note = "use `Retry::new(rt, policy).obs(obs, label).run(op)`"
-)]
-pub fn retrying_observed<T>(
-    rt: &Arc<dyn Runtime>,
-    policy: &RetryPolicy,
-    obs: &Obs,
-    op_label: &str,
-    op: impl FnMut() -> Result<T, CloudError>,
-) -> Result<T, CloudError> {
-    Retry::new(rt, policy).obs(obs, op_label).run(op)
-}
-
-/// Retry with observability and span causality.
-///
-/// # Errors
-///
-/// Returns the last error once attempts are exhausted, or immediately
-/// for non-retryable errors.
-#[deprecated(
-    since = "0.5.0",
-    note = "use `Retry::new(rt, policy).obs(obs, label).span(parent, track).run(op)`"
-)]
-pub fn retrying_traced<T>(
-    rt: &Arc<dyn Runtime>,
-    policy: &RetryPolicy,
-    obs: &Obs,
-    op_label: &str,
-    parent: Option<SpanId>,
-    track: u32,
-    op: impl FnMut() -> Result<T, CloudError>,
-) -> Result<T, CloudError> {
-    Retry::new(rt, policy)
-        .obs(obs, op_label)
-        .span(parent, track)
-        .run(op)
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -427,31 +365,5 @@ mod tests {
             Retry::new(&rt, &policy).run(|| Err(CloudError::transient("x")));
         // Backoffs: 1 s + 2 s = 3 s.
         assert_eq!((sim.now() - t0).as_secs_f64(), 3.0);
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_shims_delegate_to_the_builder() {
-        let rt: Arc<dyn Runtime> = Arc::new(RealRuntime::new());
-        let policy = RetryPolicy {
-            max_attempts: 2,
-            initial_backoff: Duration::from_millis(1),
-            max_backoff: Duration::from_millis(1),
-        };
-        let mut calls = 0;
-        let r: Result<u32, _> = retrying(&rt, &policy, || {
-            calls += 1;
-            if calls < 2 {
-                Err(CloudError::transient("hiccup"))
-            } else {
-                Ok(5)
-            }
-        });
-        assert_eq!(r.unwrap(), 5);
-        let obs = Obs::noop();
-        let r: Result<u32, _> = retrying_observed(&rt, &policy, &obs, "op", || Ok(1));
-        assert_eq!(r.unwrap(), 1);
-        let r: Result<u32, _> = retrying_traced(&rt, &policy, &obs, "op", None, 0, || Ok(2));
-        assert_eq!(r.unwrap(), 2);
     }
 }

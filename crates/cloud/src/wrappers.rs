@@ -1,8 +1,7 @@
 //! Composable decorators over any [`CloudStore`].
 //!
 //! * [`ChaosCloud`](crate::ChaosCloud) (in [`fault`](crate::fault)) —
-//!   deterministic scheduled fault injection; `FaultyCloud` remains as a
-//!   deprecated shim over it.
+//!   deterministic scheduled fault injection over any store.
 //! * [`ThrottledCloud`] — token-bucket bandwidth limiting under any
 //!   [`Runtime`]; gives the real-directory examples cloud-like speeds.
 //! * [`CountingCloud`] — traffic and operation accounting used by the
@@ -12,90 +11,11 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
-use unidrive_obs::Obs;
-use unidrive_sim::{RealRuntime, Runtime};
+use unidrive_sim::Runtime;
 use unidrive_util::bytes::Bytes;
 use unidrive_util::sync::Mutex;
 
-use crate::fault::{ChaosCloud, FaultPlan};
 use crate::{CloudError, CloudStore, ObjectInfo, TrafficSnapshot};
-
-/// Wraps a store, failing a configurable fraction of requests.
-///
-/// Deprecated shim: this is now a flat-probability [`ChaosCloud`] with
-/// an empty [`FaultPlan`]. Injected failures count into
-/// `chaos.{name}.injected` and trace `FaultInjected` events (the old
-/// `cloud.{name}.injected_failures` counter and `CloudOpFailed` event
-/// are gone with the consolidation).
-#[deprecated(
-    since = "0.5.0",
-    note = "use `ChaosCloud` with `set_flat_probability` (or a scheduled `FaultPlan`)"
-)]
-pub struct FaultyCloud {
-    chaos: ChaosCloud,
-}
-
-#[allow(deprecated)]
-impl std::fmt::Debug for FaultyCloud {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("FaultyCloud").field("chaos", &self.chaos).finish()
-    }
-}
-
-#[allow(deprecated)]
-impl FaultyCloud {
-    /// Wraps `inner`, failing each request with probability `p`.
-    pub fn new(inner: Arc<dyn CloudStore>, p: f64, seed: u64) -> Self {
-        // An empty plan never consults the clock, so a wall-clock
-        // runtime keeps the shim deterministic.
-        let rt: Arc<dyn Runtime> = Arc::new(RealRuntime::new());
-        let chaos = ChaosCloud::new(inner, rt, &FaultPlan::new(seed));
-        chaos.set_flat_probability(p);
-        FaultyCloud { chaos }
-    }
-
-    /// Adjusts the failure probability at runtime.
-    pub fn set_failure_prob(&self, p: f64) {
-        self.chaos.set_flat_probability(p);
-    }
-
-    /// Installs an observability handle for injection counters/events.
-    pub fn install_obs(&self, obs: Obs) {
-        self.chaos.install_obs(obs);
-    }
-
-    /// How many failures this wrapper has injected so far.
-    pub fn injected_failures(&self) -> u64 {
-        self.chaos.injected_faults()
-    }
-}
-
-#[allow(deprecated)]
-impl CloudStore for FaultyCloud {
-    fn name(&self) -> &str {
-        self.chaos.name()
-    }
-
-    fn upload(&self, path: &str, data: Bytes) -> Result<(), CloudError> {
-        self.chaos.upload(path, data)
-    }
-
-    fn download(&self, path: &str) -> Result<Bytes, CloudError> {
-        self.chaos.download(path)
-    }
-
-    fn create_dir(&self, path: &str) -> Result<(), CloudError> {
-        self.chaos.create_dir(path)
-    }
-
-    fn list(&self, path: &str) -> Result<Vec<ObjectInfo>, CloudError> {
-        self.chaos.list(path)
-    }
-
-    fn delete(&self, path: &str) -> Result<(), CloudError> {
-        self.chaos.delete(path)
-    }
-}
 
 /// Wraps a store, limiting payload throughput with a token bucket.
 ///
@@ -297,21 +217,6 @@ mod tests {
 
     fn mem() -> Arc<dyn CloudStore> {
         Arc::new(MemCloud::new("m"))
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn faulty_cloud_shim_behaves_like_flat_chaos() {
-        let c = FaultyCloud::new(mem(), 0.3, 11);
-        let fails = (0..1000)
-            .filter(|_| c.upload("x", Bytes::from_static(b"d")).is_err())
-            .count();
-        assert!((200..400).contains(&fails), "fails {fails}");
-        assert_eq!(c.injected_failures(), fails as u64);
-        c.set_failure_prob(0.0);
-        assert!(c.upload("x", Bytes::from_static(b"d")).is_ok());
-        c.set_failure_prob(1.0);
-        assert!(c.upload("x", Bytes::from_static(b"d")).is_err());
     }
 
     #[test]

@@ -36,6 +36,12 @@ pub struct LockConfig {
     pub backoff_max: Duration,
     /// ΔT: a foreign lock seen unrefreshed for this long is broken.
     pub stale_after: Duration,
+    /// Bounded-wait audit: once an acquire has waited this long across
+    /// losing rounds it is flagged as starved (`lock.starved` counter,
+    /// `starved` span attribute) — at fleet scale the randomized
+    /// backoff is unfair, and a device spinning on a hot folder must
+    /// not do so unobserved.
+    pub starvation_audit: Duration,
 }
 
 impl Default for LockConfig {
@@ -46,6 +52,7 @@ impl Default for LockConfig {
             backoff_max: Duration::from_secs(15),
             // The paper's example ΔT = 120 s.
             stale_after: Duration::from_secs(120),
+            starvation_audit: Duration::from_secs(30),
         }
     }
 }
@@ -173,6 +180,7 @@ impl QuorumLock {
         let mut span = self.obs.span("lock.acquire", parent);
         span.attr_str("device", self.device.as_str());
         let span_id = span.id();
+        let mut starved = false;
         for attempt in 0..self.config.max_attempts {
             let lock_name =
                 lock_file_name(&self.device, self.rt.now().as_nanos() + attempt as u64);
@@ -212,6 +220,16 @@ impl QuorumLock {
                     let nanos = cap.as_nanos().max(1) as u64;
                     let wait = Duration::from_nanos(self.rng.lock().below(nanos));
                     self.rt.sleep(wait);
+                    // Bounded-wait audit: flag (once) a device that has
+                    // been losing rounds longer than the configured
+                    // threshold, so starvation under hot-folder
+                    // contention is visible in metrics and traces.
+                    let waited = self.rt.now().saturating_duration_since(t0);
+                    if !starved && waited >= self.config.starvation_audit {
+                        starved = true;
+                        self.obs.inc("lock.starved");
+                        span.attr_bool("starved", true);
+                    }
                 }
                 RoundOutcome::Unreachable { reachable } => {
                     self.obs.inc("lock.unreachable");
@@ -633,6 +651,46 @@ mod tests {
         assert_eq!(names.len(), 1);
         assert_eq!(names[0], guard.lock_name());
         guard.release();
+    }
+
+    #[test]
+    fn starved_acquire_is_audited_once() {
+        let sim = SimRuntime::new(14);
+        let rt = sim.clone().as_runtime();
+        let clouds = mem_clouds(5);
+        // A live foreign holder that never goes stale: every round is a
+        // losing round and the acquire eventually exhausts.
+        for (_, c) in clouds.iter() {
+            c.upload(
+                &format!("{LOCK_DIR}/{}", lock_file_name("holder", 1)),
+                unidrive_util::bytes::Bytes::new(),
+            )
+            .unwrap();
+        }
+        let config = LockConfig {
+            max_attempts: 8,
+            backoff_base: Duration::from_millis(400),
+            backoff_max: Duration::from_millis(800),
+            stale_after: Duration::from_secs(100_000),
+            starvation_audit: Duration::from_millis(500),
+        };
+        let obs = unidrive_obs::Obs::with_registry(unidrive_obs::Registry::new());
+        let lock = QuorumLock::new(rt, clouds, "dev-a", config, SimRng::seed_from_u64(15))
+            .with_obs(obs.clone());
+        assert!(matches!(
+            lock.acquire().unwrap_err(),
+            LockError::Contended { attempts: 8 }
+        ));
+        let snap = obs.snapshot().unwrap();
+        assert_eq!(snap.counter("lock.contended_rounds"), 8);
+        // Flagged exactly once however many rounds starve past the
+        // threshold.
+        assert_eq!(snap.counter("lock.starved"), 1);
+        let acquire = snap.spans.iter().find(|s| s.name == "lock.acquire").unwrap();
+        assert_eq!(
+            acquire.attr("starved"),
+            Some(&unidrive_obs::FieldValue::B(true))
+        );
     }
 
     #[test]

@@ -1,0 +1,37 @@
+//! # unidrive-fleet
+//!
+//! Fleet-scale deterministic simulation: 100k+ lightweight device
+//! actors syncing through five consumer clouds, with chaos plans,
+//! Zipf-hot shared folders, and per-cloud QPS shaping.
+//!
+//! The [`SimRuntime`](unidrive_sim::SimRuntime) used by the protocol
+//! tests runs one OS thread per actor — perfect for exercising the
+//! *real* `QuorumLock`/`SyncEngine` code, hopeless for populations.
+//! This crate trades code-path fidelity for scale: devices are
+//! analytic state machines driven by the same derived-RNG streams,
+//! sharded across a [`WorkerPool`](unidrive_util::WorkerPool), with a
+//! deterministic cross-shard merge so a run's metrics are a pure
+//! function of `(seed, config)` — byte-identical at any shard or
+//! thread count.
+//!
+//! * [`FleetConfig`] — population, horizon, QPS ceilings, lock
+//!   parameters, and a [`FaultPlan`](unidrive_cloud::FaultPlan)
+//!   chaos schedule ([`default_chaos_plan`] exercises every
+//!   [`FaultKind`](unidrive_cloud::FaultKind)).
+//! * [`FleetSim`] — the conservative parallel discrete-event engine
+//!   (windowed lookahead execution, lazy device materialization,
+//!   upload-then-commit sessions against quorum-locked hot folders).
+//! * [`FleetMetrics`] — counters, latency/wait/round histograms,
+//!   per-cloud accounting, chaos-soak invariants, and the
+//!   deterministic `BENCH_fleet.json` serialization.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod config;
+mod engine;
+mod metrics;
+
+pub use config::{default_chaos_plan, FleetConfig, FleetLockParams};
+pub use engine::{FleetSim, LOOKAHEAD_NS};
+pub use metrics::{CloudRow, FleetMetrics, Invariant};

@@ -194,7 +194,38 @@ impl Snapshot {
         out.push_str("\n  ]\n}\n");
         out
     }
+}
 
+/// Serializes one histogram as a deterministic standalone JSON
+/// object: counts, extrema, mean, the p50/p95/p99 quantile
+/// estimates, and the raw log₂ bucket array. Fleet-scale reports
+/// (`BENCH_fleet.json`) embed this per latency/wait distribution
+/// instead of carrying a whole registry snapshot.
+pub fn histogram_json(h: &HistogramSnapshot) -> String {
+    let mut out = String::with_capacity(256);
+    out.push_str(&format!(
+        "{{\"count\": {}, \"sum\": {}, \"min\": {}, \"max\": {}, ",
+        h.count, h.sum, h.min, h.max
+    ));
+    out.push_str("\"mean\": ");
+    json_f64(&mut out, h.mean());
+    out.push_str(&format!(
+        ", \"p50\": {}, \"p95\": {}, \"p99\": {}, \"buckets\": [",
+        h.p50(),
+        h.p95(),
+        h.p99()
+    ));
+    for (j, (lo, n)) in h.buckets.iter().enumerate() {
+        if j > 0 {
+            out.push_str(", ");
+        }
+        out.push_str(&format!("[{lo}, {n}]"));
+    }
+    out.push_str("]}");
+    out
+}
+
+impl Snapshot {
     /// Serializes the spans (plus events as instants) in Chrome
     /// trace-event JSON: open the file in Perfetto
     /// (<https://ui.perfetto.dev>) or `chrome://tracing`. Spans become
@@ -401,6 +432,23 @@ mod tests {
         assert!(a.contains("\"spans\": ["));
         assert!(a.contains("\"name\": \"engine.block\""));
         assert!(a.contains("\"parent\": 1"));
+    }
+
+    #[test]
+    fn standalone_histogram_json_is_deterministic_with_quantiles() {
+        use crate::Histogram;
+        let h = Histogram::default();
+        for v in [100u64, 200, 400, 800, 1600, 3200] {
+            h.record(v);
+        }
+        let snap = h.snapshot();
+        let a = histogram_json(&snap);
+        assert_eq!(a, histogram_json(&snap));
+        assert!(a.contains("\"count\": 6"));
+        assert!(a.contains(&format!("\"p50\": {}", snap.p50())));
+        assert!(a.contains(&format!("\"p99\": {}", snap.p99())));
+        assert!(a.contains("\"buckets\": ["));
+        assert!(a.starts_with('{') && a.ends_with('}'));
     }
 
     #[test]

@@ -39,7 +39,7 @@ mod metrics;
 mod span;
 mod trace;
 
-pub use export::Snapshot;
+pub use export::{histogram_json, Snapshot};
 pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot};
 pub use span::{SpanId, SpanRecord, DEFAULT_SPAN_CAPACITY};
 pub use trace::{Event, FieldValue, TracedEvent, DEFAULT_TRACE_CAPACITY};

@@ -46,6 +46,7 @@ mod link;
 mod real;
 mod rng;
 mod runtime;
+pub mod shard;
 mod time;
 
 pub use engine::{SimRuntime, TransferError};

@@ -1,0 +1,258 @@
+//! Sharded discrete-event scheduling primitives for fleet-scale runs.
+//!
+//! [`SimRuntime`](crate::SimRuntime) actors are OS threads, which caps
+//! a population at a few hundred actors. The fleet layer instead runs
+//! hundreds of thousands of lightweight state machines on a single
+//! event [`Calendar`], fanning each *window* of due events out across
+//! shards (pure per-device computation, parallelizable) and then
+//! merging the shard outputs back into one globally ordered stream
+//! (sequential state application). Determinism falls out of two
+//! rules enforced here:
+//!
+//! 1. **Partition is by stable key, order-preserving** — a device's
+//!    events always land in the shard `device % shards`, in calendar
+//!    order, so per-shard streams are reproducible.
+//! 2. **Merge is by total key order, shard-oblivious** — shard outputs
+//!    are interleaved strictly by `(time, lane, seq)`, so the merged
+//!    stream is byte-identical whatever the shard count or which
+//!    worker thread ran which shard.
+//!
+//! The fleet crate drives these with `WorkerPool::par_map_indexed`
+//! (itself order-preserving), giving same-seed, same-output runs at 1,
+//! 4, or 16 shards.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// A calendar entry: `(time_ns, lane, seq)` plus a payload. `lane` is
+/// the scheduling key (the fleet uses the device id); `seq` is a
+/// deterministic push counter that makes the order total even if a
+/// lane somehow schedules twice for the same instant.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Entry<E> {
+    /// Virtual time the event is due, nanoseconds.
+    pub at_ns: u64,
+    /// Scheduling lane (device id in the fleet).
+    pub lane: u64,
+    /// Deterministic tiebreaker assigned by the calendar.
+    pub seq: u64,
+    /// The event payload.
+    pub event: E,
+}
+
+impl<E> Entry<E> {
+    /// The total-order key.
+    pub fn key(&self) -> (u64, u64, u64) {
+        (self.at_ns, self.lane, self.seq)
+    }
+}
+
+/// Which shard a lane belongs to under `shards`-way partitioning.
+pub fn shard_of(lane: u64, shards: usize) -> usize {
+    (lane % shards.max(1) as u64) as usize
+}
+
+/// A deterministic pending-event calendar.
+///
+/// A `BinaryHeap` keyed by `(time, lane, seq)`: pops come out in total
+/// order, and the `seq` counter is assigned in push order, which is
+/// itself deterministic because the fleet engine pushes from the
+/// merged (ordered) stream only.
+#[derive(Debug)]
+pub struct Calendar<E> {
+    heap: BinaryHeap<Reverse<HeapEntry<E>>>,
+    next_seq: u64,
+}
+
+#[derive(Debug)]
+struct HeapEntry<E>(Entry<E>);
+
+impl<E> PartialEq for HeapEntry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.0.key() == other.0.key()
+    }
+}
+impl<E> Eq for HeapEntry<E> {}
+impl<E> PartialOrd for HeapEntry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for HeapEntry<E> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.key().cmp(&other.0.key())
+    }
+}
+
+impl<E> Calendar<E> {
+    /// An empty calendar.
+    pub fn new() -> Calendar<E> {
+        Calendar {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+        }
+    }
+
+    /// Schedules `event` on `lane` at `at_ns`.
+    pub fn push(&mut self, at_ns: u64, lane: u64, event: E) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Reverse(HeapEntry(Entry {
+            at_ns,
+            lane,
+            seq,
+            event,
+        })));
+    }
+
+    /// Time of the earliest pending event.
+    pub fn next_time(&self) -> Option<u64> {
+        self.heap.peek().map(|Reverse(HeapEntry(e))| e.at_ns)
+    }
+
+    /// Pops every event strictly before `before_ns`, in total order.
+    pub fn pop_window(&mut self, before_ns: u64) -> Vec<Entry<E>> {
+        let mut out = Vec::new();
+        while let Some(Reverse(HeapEntry(e))) = self.heap.peek() {
+            if e.at_ns >= before_ns {
+                break;
+            }
+            let Reverse(HeapEntry(e)) = self.heap.pop().unwrap();
+            out.push(e);
+        }
+        out
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True when nothing is pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+impl<E> Default for Calendar<E> {
+    fn default() -> Self {
+        Calendar::new()
+    }
+}
+
+/// Partitions an ordered window of entries into `shards` lists by
+/// `lane % shards`, preserving the within-shard order. The
+/// concatenation of the outputs is a permutation of the input; each
+/// shard list is still sorted by the entry key.
+pub fn partition_window<E>(window: Vec<Entry<E>>, shards: usize) -> Vec<Vec<Entry<E>>> {
+    let shards = shards.max(1);
+    let mut out: Vec<Vec<Entry<E>>> = (0..shards).map(|_| Vec::new()).collect();
+    for e in window {
+        let s = shard_of(e.lane, shards);
+        out[s].push(e);
+    }
+    out
+}
+
+/// K-way merges per-shard output lists back into one stream ordered by
+/// `key`. Each input list must already be sorted by `key` (true for
+/// shard outputs processed in partition order). The result is
+/// independent of the number of input lists — the property the
+/// shard-count-invariance gate checks.
+pub fn merge_by_key<T, K: Ord, F: Fn(&T) -> K>(lists: Vec<Vec<T>>, key: F) -> Vec<T> {
+    let total: usize = lists.iter().map(Vec::len).sum();
+    // Shard counts are small (≤ 64), so a linear min-scan over peeked
+    // heads beats heap overhead and has no tie-break subtleties: the
+    // strict `<` in the scan means equal keys would resolve by list
+    // index, but keys are unique per lane and a lane lives in exactly
+    // one list, so ties cannot occur across lists.
+    let mut heads: Vec<std::iter::Peekable<std::vec::IntoIter<T>>> =
+        lists.into_iter().map(|l| l.into_iter().peekable()).collect();
+    let mut out = Vec::with_capacity(total);
+    loop {
+        let mut best: Option<(usize, K)> = None;
+        for (i, it) in heads.iter_mut().enumerate() {
+            if let Some(item) = it.peek() {
+                let k = key(item);
+                match &best {
+                    Some((_, bk)) if *bk <= k => {}
+                    _ => best = Some((i, k)),
+                }
+            }
+        }
+        match best {
+            Some((i, _)) => out.push(heads[i].next().unwrap()),
+            None => break,
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SimRng;
+
+    #[test]
+    fn calendar_pops_in_total_order() {
+        let mut c: Calendar<&'static str> = Calendar::new();
+        c.push(50, 2, "b");
+        c.push(10, 7, "a");
+        c.push(50, 1, "c");
+        c.push(99, 0, "d");
+        assert_eq!(c.next_time(), Some(10));
+        let w = c.pop_window(60);
+        let got: Vec<_> = w.iter().map(|e| (e.at_ns, e.lane, e.event)).collect();
+        assert_eq!(got, vec![(10, 7, "a"), (50, 1, "c"), (50, 2, "b")]);
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.pop_window(100).len(), 1);
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn same_lane_same_time_orders_by_push_seq() {
+        let mut c: Calendar<u32> = Calendar::new();
+        c.push(5, 1, 10);
+        c.push(5, 1, 20);
+        let w = c.pop_window(6);
+        assert_eq!(w.iter().map(|e| e.event).collect::<Vec<_>>(), vec![10, 20]);
+    }
+
+    #[test]
+    fn partition_then_merge_is_identity_for_any_shard_count() {
+        let mut rng = SimRng::seed_from_u64(3);
+        let mut c: Calendar<u64> = Calendar::new();
+        for lane in 0..500u64 {
+            c.push(rng.below(10_000), lane, lane * 3);
+        }
+        let window = c.pop_window(u64::MAX);
+        let reference: Vec<(u64, u64, u64)> = window.iter().map(|e| e.key()).collect();
+        for shards in [1usize, 4, 16, 64] {
+            let parts = partition_window(window.clone(), shards);
+            assert_eq!(parts.len(), shards);
+            for p in &parts {
+                assert!(p.windows(2).all(|w| w[0].key() < w[1].key()));
+            }
+            let merged = merge_by_key(parts, |e: &Entry<u64>| e.key());
+            let got: Vec<(u64, u64, u64)> = merged.iter().map(|e| e.key()).collect();
+            assert_eq!(got, reference, "shards = {shards}");
+        }
+    }
+
+    #[test]
+    fn merge_handles_empty_and_uneven_lists() {
+        let lists = vec![vec![1u64, 5, 9], vec![], vec![2, 3, 4, 6, 7, 8]];
+        assert_eq!(
+            merge_by_key(lists, |&x| x),
+            vec![1, 2, 3, 4, 5, 6, 7, 8, 9]
+        );
+        assert_eq!(merge_by_key(Vec::<Vec<u64>>::new(), |&x| x), Vec::<u64>::new());
+    }
+
+    #[test]
+    fn shard_of_is_stable_modulo() {
+        assert_eq!(shard_of(17, 4), 1);
+        assert_eq!(shard_of(17, 1), 0);
+        assert_eq!(shard_of(17, 0), 0); // clamped
+    }
+}

@@ -3,20 +3,24 @@
 //! Evaluation substrate for the UniDrive reproduction: the five-provider
 //! network [`profiles`](build_multicloud) calibrated to the paper's §3.2
 //! measurement study, workload [generators](trial_population) including
-//! the synthetic 272-user trial of §7.3, and the summary
-//! [statistics](Summary) the tables and figures report.
+//! the synthetic 272-user trial of §7.3, population-scale
+//! arrival/churn/session models ([`PopulationProfile`]) for the fleet
+//! simulator, and the summary [statistics](Summary) the tables and
+//! figures report.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
 mod gen;
+mod population;
 mod profiles;
 mod stats;
 
 pub use gen::{batch, random_bytes, trial_population, FileKind, SizeBucket, TrialUser};
+pub use population::{BoundedPareto, DeviceClass, Exp, PopulationProfile, Zipf};
 pub use profiles::{
-    build_cloud, build_multicloud, build_multicloud_shared, cloud_config, disjoint_degraded_windows, site_by_name,
-    Provider, Region, Site, EC2_SITES, PLANETLAB_SITES,
+    build_cloud, build_multicloud, build_multicloud_shared, cloud_config, disjoint_degraded_windows, nominal_rates,
+    site_by_name, Provider, Region, Site, EC2_SITES, PLANETLAB_SITES,
 };
 pub use stats::{pearson, quantile, Summary, TextTable};
 

@@ -223,13 +223,24 @@ fn pair_jitter(site: Site, provider: Provider, lo: f64, hi: f64) -> f64 {
     lo + (hi - lo) * ((h >> 11) as f64 / (1u64 << 53) as f64)
 }
 
+/// Nominal `(up, down)` link rates in bytes/second for `(site,
+/// provider)` — the same base rates [`cloud_config`] builds its
+/// [`LinkProfile`]s from, exposed for analytic consumers (the fleet
+/// simulator computes transfer times from these without constructing
+/// a `SimCloud` per device).
+pub fn nominal_rates(site: Site, provider: Provider) -> (f64, f64) {
+    let up = base_up_rate(provider, site.region) * site.local_factor;
+    let down = up * 2.2 * pair_jitter(site, provider, 0.4, 2.6);
+    (up, down)
+}
+
 /// Full simulated-cloud configuration for `(site, provider)`.
 pub fn cloud_config(site: Site, provider: Provider) -> SimCloudConfig {
-    let up_rate = base_up_rate(provider, site.region) * site.local_factor;
     // Downlinks are faster on average but follow different paths than
     // uplinks, so the paper finds up/down only weakly correlated (~0.4);
-    // the per-pair jitter models the asymmetric routes.
-    let down_rate = up_rate * 2.2 * pair_jitter(site, provider, 0.4, 2.6);
+    // the per-pair jitter inside `nominal_rates` models the asymmetric
+    // routes.
+    let (up_rate, down_rate) = nominal_rates(site, provider);
     let (sigma, fade_prob) = fluctuation(provider);
     let mk = |rate: f64| {
         LinkProfile::new(rate, rate * 4.0)
