@@ -91,6 +91,14 @@ cmp "$out/cs1.json" "$out/cs2.json"
 cmp "$out/cs1.minplan.json" "$out/cs2.minplan.json"
 cmp "$out/cs1.flight.json" "$out/cs2.flight.json"
 grep -q '"verdict": "PASS"' "$out/cs1.json"
+# The default run soaks both metadata planes; the oplog-restricted run
+# additionally proves the --meta-mode flag itself is honored and that
+# the oplog plane passes in isolation (op files absorbing torn uploads
+# without the lock plane's rounds masking anything).
+grep -q '"meta_modes": \["lock","oplog"\]' "$out/cs1.json"
+./target/release/chaos_soak quick --meta-mode oplog --out "$out/cso.json" >/dev/null
+grep -q '"meta_modes": \["oplog"\]' "$out/cso.json"
+grep -q '"verdict": "PASS"' "$out/cso.json"
 
 echo "==> fleet bench: 10k-device quick run, invariants + schema + byte-identical"
 # The fleet simulator must converge with every chaos-soak invariant
@@ -116,6 +124,32 @@ for c in doc["clouds"]:
     assert c["ops"] == c["lock_ops"] + c["transfer_ops"], c
 started = doc["counters"]["sessions.started"]
 assert started == doc["counters"]["sessions.completed"] > 0, doc["counters"]
+EOF
+
+echo "==> oplog bench: N-writer scaling shape + schema + byte-identical"
+# The metadata-plane headline: on a hot shared folder, oplog commits
+# must scale with writer count while lock commits serialize. Two quick
+# same-seed runs must be byte-identical (virtual-time determinism
+# through the real client protocol), the report schema must stay
+# stable, and the shape claim itself is asserted: at the top writer
+# count, oplog aggregate throughput must beat lock.
+./target/release/bench_oplog quick --out "$out/o1.json" >/dev/null
+./target/release/bench_oplog quick --out "$out/o2.json" >/dev/null
+cmp "$out/o1.json" "$out/o2.json"
+python3 - "$out/o1.json" <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+assert doc["bench_oplog"] == "unidrive/v1", doc
+assert set(doc) == {"bench_oplog", "config", "rows"}, sorted(doc)
+rows = doc["rows"]
+assert len(rows) == 2 * len(doc["config"]["writer_counts"]), rows
+by = {}
+for r in rows:
+    assert set(r) == {"commits", "commits_per_min", "failed", "mode", "retries", "rounds", "virtual_secs", "writers"}, r
+    assert r["commits"] == r["writers"] * r["rounds"] and r["failed"] == 0, r
+    by[(r["mode"], r["writers"])] = r["commits_per_min"]
+top = max(doc["config"]["writer_counts"])
+assert by[("oplog", top)] > by[("lock", top)], (by[("oplog", top)], by[("lock", top)])
 EOF
 
 echo "CI OK"

@@ -161,7 +161,9 @@ fn main() {
     {
         let sim = SimRuntime::new(2300);
         let (clouds, handles) = build_multicloud(&sim, site);
-        let cloud = clouds.get(unidrive_cloud::CloudId(0));
+        let cloud = clouds
+            .try_get(unidrive_cloud::CloudId(0))
+            .expect("build_multicloud returns a non-empty set");
         let t0 = sim.now();
         for i in 0..256 {
             cloud

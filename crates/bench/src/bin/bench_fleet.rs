@@ -20,7 +20,7 @@
 
 use std::time::Instant;
 
-use unidrive_bench::metrics_out;
+use unidrive_bench::{meta_mode_from_args, metrics_out};
 use unidrive_fleet::{FleetConfig, FleetSim};
 use unidrive_workload::TextTable;
 
@@ -63,16 +63,18 @@ fn main() {
     if let Some(t) = flag_u64(&args, "--threads") {
         cfg.threads = t as usize;
     }
+    cfg.meta_mode = meta_mode_from_args();
     let metrics = metrics_out::from_args();
 
     println!(
-        "Fleet bench ({}): {} devices, {} hot folders, {}s horizon, {} shards, seed {}",
+        "Fleet bench ({}): {} devices, {} hot folders, {}s horizon, {} shards, seed {}, meta-mode {}",
         if quick { "quick" } else { "full" },
         cfg.devices,
         cfg.hot_folders,
         cfg.horizon.as_secs(),
         cfg.shards,
-        seed
+        seed,
+        cfg.meta_mode
     );
 
     let wall = Instant::now();
@@ -117,6 +119,14 @@ fn main() {
         m.counter("lock.exhausted"),
         m.counter("lock.unreachable_rounds")
     );
+    if m.counter("oplog.appends") > 0 {
+        println!(
+            "oplog: {} appends, {} compactions, {} compaction skips",
+            m.counter("oplog.appends"),
+            m.counter("oplog.compactions"),
+            m.counter("oplog.compact_skipped")
+        );
+    }
     println!(
         "chaos: {} burst slowdowns, {} torn repairs, {} delayed acks; drain pulled {} sessions' worth of lag",
         m.counter("fault.burst_slowdowns"),

@@ -22,10 +22,20 @@
 //! dropping events and replaying, and the smallest still-failing plan
 //! is emitted as JSON alongside a flight record of the failing round.
 //!
+//! Every randomized round runs under **both** metadata planes — the
+//! quorum-locked image and the append-only oplog — so the invariants
+//! (durability, convergence, single lock holder, refcounts) are soaked
+//! against oplog commits too, including torn-upload faults landing on
+//! op files mid-append. The lethal round always runs the lock plane:
+//! its must-fail verdict depends on delayed visibility breaking the
+//! lock's read-after-write assumption, which the oplog plane absorbs
+//! by construction (ops become visible after the windows close).
+//!
 //! Everything runs in virtual time from fixed seeds: same-seed runs
 //! produce byte-identical verdict files (checked in CI, like fig11).
 //!
-//! Usage: `chaos_soak [quick] [--out verdict.json]`.
+//! Usage: `chaos_soak [quick] [--meta-mode {lock,oplog}] [--out verdict.json]`.
+//! `--meta-mode` restricts the randomized rounds to one plane.
 
 use std::collections::BTreeMap;
 use std::sync::Arc;
@@ -37,6 +47,7 @@ use unidrive_cloud::{
 };
 use unidrive_core::{ClientConfig, DataPlaneConfig, MemFolder, SyncFolder, UniDriveClient};
 use unidrive_erasure::RedundancyConfig;
+use unidrive_meta::MetaMode;
 use unidrive_obs::{Event, Obs, Registry};
 use unidrive_sim::{spawn, SimRng, SimRuntime};
 
@@ -72,9 +83,12 @@ fn deterministic_bytes(seed: u64, len: usize) -> Vec<u8> {
 }
 
 /// Runs one full soak round under `plan`: builds a fresh 5-cloud /
-/// 3-device world seeded by `plan.seed`, soaks it through the fault
-/// horizon, converges, and checks every invariant.
-fn run_round(plan: &FaultPlan, want_flight: bool) -> RoundOutcome {
+/// 3-device world seeded by `plan.seed` with the given metadata plane,
+/// soaks it through the fault horizon, converges, and checks every
+/// invariant. The lock invariant stays armed in oplog mode: base
+/// compaction still takes the quorum lock, so two simultaneous holders
+/// would be a real violation there too.
+fn run_round(plan: &FaultPlan, mode: MetaMode, want_flight: bool) -> RoundOutcome {
     let sim = SimRuntime::new(plan.seed);
     let rt = sim.clone().as_runtime();
     let obs = Obs::with_registry(Registry::with_trace_capacity(1 << 16));
@@ -115,6 +129,7 @@ fn run_round(plan: &FaultPlan, want_flight: bool) -> RoundOutcome {
     let folders: Vec<Arc<MemFolder>> = (0..DEVICES).map(|_| MemFolder::new()).collect();
     let client = |d: usize| {
         let mut config = ClientConfig::paper_default(format!("dev{d}"));
+        config.meta_mode = mode;
         config.data = DataPlaneConfig {
             obs: obs.clone(),
             ..DataPlaneConfig::with_params(
@@ -321,6 +336,7 @@ fn lethal_plan(seed: u64) -> FaultPlan {
 /// Greedy schedule minimization: repeatedly try dropping each event and
 /// replaying the round from the same seed; keep any removal that still
 /// violates an invariant. Returns the minimal plan and replay count.
+/// Always replays under the lock plane — the lethal schedule targets it.
 fn minimize(plan: &FaultPlan) -> (FaultPlan, usize) {
     let mut best = plan.clone();
     let mut replays = 0usize;
@@ -330,7 +346,7 @@ fn minimize(plan: &FaultPlan) -> (FaultPlan, usize) {
         while i < best.events.len() {
             let candidate = best.without_event(i);
             replays += 1;
-            if run_round(&candidate, false).failed.is_empty() {
+            if run_round(&candidate, MetaMode::Lock, false).failed.is_empty() {
                 i += 1;
             } else {
                 best = candidate;
@@ -357,42 +373,63 @@ fn main() {
         .position(|a| a == "--out")
         .and_then(|i| args.get(i + 1))
         .cloned();
+    let only_mode = args
+        .iter()
+        .position(|a| a == "--meta-mode")
+        .and_then(|i| args.get(i + 1))
+        .map(|v| match MetaMode::parse(v) {
+            Some(m) => m,
+            None => {
+                eprintln!("--meta-mode must be 'lock' or 'oplog', got '{v}'");
+                std::process::exit(2);
+            }
+        });
+    let modes: Vec<MetaMode> = match only_mode {
+        Some(m) => vec![m],
+        None => vec![MetaMode::Lock, MetaMode::Oplog],
+    };
     let rounds = if quick { 3 } else { 8 };
     println!(
-        "Chaos soak: {rounds} randomized rounds + 1 lethal round, {DEVICES} devices x {CLOUDS} clouds\n"
+        "Chaos soak: {rounds} randomized rounds x {} meta plane(s) + 1 lethal round, {DEVICES} devices x {CLOUDS} clouds\n",
+        modes.len()
     );
 
     let mut soak_json = Vec::new();
     let mut soak_ok = true;
-    println!("{:>5}  {:>10}  {:>6}  {:>5}  {:>8}  {:>6}  failed", "round", "seed", "events", "acked", "injected", "errors");
+    println!("{:>5}  {:>5}  {:>10}  {:>6}  {:>5}  {:>8}  {:>6}  failed", "round", "mode", "seed", "events", "acked", "injected", "errors");
     for round in 0..rounds {
         let plan = random_plan(0x0ddba11 + round as u64);
-        let outcome = run_round(&plan, false);
-        soak_ok &= outcome.failed.is_empty();
-        println!(
-            "{round:>5}  {:>10}  {:>6}  {:>5}  {:>8}  {:>6}  {}",
-            plan.seed,
-            plan.events.len(),
-            outcome.acked,
-            outcome.injected,
-            outcome.sync_errors,
-            if outcome.failed.is_empty() { "-".to_owned() } else { outcome.failed.join(",") },
-        );
-        soak_json.push(format!(
-            "{{\"seed\":{},\"events\":{},\"acked\":{},\"injected\":{},\"sync_errors\":{},\"failed\":{}}}",
-            plan.seed,
-            plan.events.len(),
-            outcome.acked,
-            outcome.injected,
-            outcome.sync_errors,
-            json_str_list(&outcome.failed),
-        ));
+        for &mode in &modes {
+            let outcome = run_round(&plan, mode, false);
+            soak_ok &= outcome.failed.is_empty();
+            println!(
+                "{round:>5}  {mode:>5}  {:>10}  {:>6}  {:>5}  {:>8}  {:>6}  {}",
+                plan.seed,
+                plan.events.len(),
+                outcome.acked,
+                outcome.injected,
+                outcome.sync_errors,
+                if outcome.failed.is_empty() { "-".to_owned() } else { outcome.failed.join(",") },
+            );
+            soak_json.push(format!(
+                "{{\"seed\":{},\"mode\":\"{mode}\",\"events\":{},\"acked\":{},\"injected\":{},\"sync_errors\":{},\"failed\":{}}}",
+                plan.seed,
+                plan.events.len(),
+                outcome.acked,
+                outcome.injected,
+                outcome.sync_errors,
+                json_str_list(&outcome.failed),
+            ));
+        }
     }
 
     // The lethal round must fail, and its minimized schedule must still
-    // fail — that is the evidence the invariant checker has teeth.
+    // fail — that is the evidence the invariant checker has teeth. It
+    // runs the lock plane regardless of --meta-mode: the schedule is
+    // built to break quorum-lock read-after-write, which the oplog
+    // plane sidesteps.
     let lethal = lethal_plan(0xdead);
-    let lethal_outcome = run_round(&lethal, true);
+    let lethal_outcome = run_round(&lethal, MetaMode::Lock, true);
     println!(
         "\nlethal round (seed {}): {} events, invariants violated: {}",
         lethal.seed,
@@ -404,7 +441,7 @@ fn main() {
     } else {
         minimize(&lethal)
     };
-    let minimized_outcome = run_round(&minimized, false);
+    let minimized_outcome = run_round(&minimized, MetaMode::Lock, false);
     println!(
         "minimized to {} events in {replays} replays; still failing: {}",
         minimized.events.len(),
@@ -412,9 +449,11 @@ fn main() {
     );
 
     let pass = soak_ok && !lethal_outcome.failed.is_empty() && !minimized_outcome.failed.is_empty();
+    let meta_modes: Vec<&str> = modes.iter().map(|m| m.as_str()).collect();
     let verdict = format!(
-        "{{\n\"chaos_soak\": \"unidrive/v1\",\n\"mode\": \"{}\",\n\"soak_rounds\": [{}],\n\"soak_ok\": {},\n\"lethal\": {{\"seed\": {}, \"initial_events\": {}, \"failed\": {}, \"minimize_replays\": {}, \"minimized_failed\": {}, \"minimized_plan\": {}}},\n\"verdict\": \"{}\"\n}}\n",
+        "{{\n\"chaos_soak\": \"unidrive/v1\",\n\"mode\": \"{}\",\n\"meta_modes\": {},\n\"soak_rounds\": [{}],\n\"soak_ok\": {},\n\"lethal\": {{\"seed\": {}, \"initial_events\": {}, \"failed\": {}, \"minimize_replays\": {}, \"minimized_failed\": {}, \"minimized_plan\": {}}},\n\"verdict\": \"{}\"\n}}\n",
         if quick { "quick" } else { "full" },
+        json_str_list(&meta_modes),
         soak_json.join(","),
         soak_ok,
         lethal.seed,

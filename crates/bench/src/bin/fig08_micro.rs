@@ -8,17 +8,21 @@
 
 use std::time::Duration;
 
-use unidrive_bench::{metrics_out, systems_at_observed, ExperimentScale};
+use unidrive_bench::{meta_mode_from_args, metrics_out, systems_at_observed, ExperimentScale};
 use unidrive_sim::{Runtime, SimRuntime};
 use unidrive_workload::{random_bytes, Summary, TextTable, EC2_SITES};
 
 fn main() {
     let scale = ExperimentScale::from_args();
     let metrics = metrics_out::from_args();
+    // Accepted for uniform drivability from run_all: fig08 measures the
+    // raw data plane (no metadata commits), so the mode only selects
+    // the echo — the transfer numbers are identical under both planes.
+    let meta_mode = meta_mode_from_args();
     let size = scale.large_file;
     let data = random_bytes(size, 8);
     println!(
-        "Figure 8: {} MB transfer seconds, avg (min-max), {} repeats per site\n",
+        "Figure 8: {} MB transfer seconds, avg (min-max), {} repeats per site (meta-mode {meta_mode}; data plane only)\n",
         size / (1024 * 1024),
         scale.repeats
     );

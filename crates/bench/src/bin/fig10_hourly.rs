@@ -20,15 +20,11 @@ fn main() {
     // OneDrive is the paper's comparison point at Virginia.
     let onedrive_cloud = sys
         .clouds
-        .ids()
-        .into_iter()
-        .find(|id| sys.clouds.get(*id).name() == Provider::OneDrive.name())
+        .iter()
+        .find(|(_, c)| c.name() == Provider::OneDrive.name())
+        .map(|(_, c)| Arc::clone(c))
         .expect("OneDrive present");
-    let onedrive = SingleCloudClient::new(
-        sim.clone().as_runtime(),
-        Arc::clone(sys.clouds.get(onedrive_cloud)),
-        5,
-    );
+    let onedrive = SingleCloudClient::new(sim.clone().as_runtime(), onedrive_cloud, 5);
     let data = random_bytes(size, 10);
 
     println!(

@@ -17,16 +17,18 @@ use std::time::Duration;
 
 use unidrive_util::sync::Mutex;
 use unidrive_baseline::{IntuitiveMultiCloud, MultiCloudBenchmark, SingleCloudClient};
-use unidrive_bench::{metrics_out, ExperimentScale};
+use unidrive_bench::{meta_mode_from_args, metrics_out, ExperimentScale};
 use unidrive_cloud::{CloudId, CloudSet};
 use unidrive_core::{ClientConfig, DataPlaneConfig, MemFolder, SyncFolder, UniDriveClient};
 use unidrive_erasure::RedundancyConfig;
+use unidrive_meta::MetaMode;
 use unidrive_obs::Obs;
 use unidrive_sim::{spawn, Runtime, SimRng, SimRuntime};
 use unidrive_workload::{batch, build_multicloud_shared, Summary, TextTable, EC2_SITES};
 
-fn client_config(device: &str, theta: usize, obs: &Obs) -> ClientConfig {
+fn client_config(device: &str, theta: usize, obs: &Obs, meta_mode: MetaMode) -> ClientConfig {
     let mut c = ClientConfig::paper_default(device);
+    c.meta_mode = meta_mode;
     c.data = DataPlaneConfig {
         connections_per_cloud: 5,
         obs: obs.clone(),
@@ -101,10 +103,11 @@ where
 fn main() {
     let scale = ExperimentScale::from_args();
     let metrics = metrics_out::from_args();
+    let meta_mode = meta_mode_from_args();
     let (count, size) = scale.batch;
     let sinks = EC2_SITES.len() - 1;
     println!(
-        "Figure 11: end-to-end sync seconds for {count} x {} KB files, each site -> other {sinks}\n",
+        "Figure 11: end-to-end sync seconds for {count} x {} KB files, each site -> other {sinks} (meta-mode {meta_mode})\n",
         size / 1024
     );
 
@@ -131,7 +134,7 @@ fn main() {
                 rt.clone(),
                 sets[si].clone(),
                 Arc::clone(&uploader_folder) as Arc<dyn SyncFolder>,
-                client_config(&format!("up-{}", site.name), scale.theta, &metrics.obs),
+                client_config(&format!("up-{}", site.name), scale.theta, &metrics.obs, meta_mode),
                 SimRng::seed_from_u64(40 + si as u64),
             );
             let t0 = sim.now();
@@ -148,13 +151,14 @@ fn main() {
                 let seed = 80 + di as u64;
                 let target = count;
                 let obs = metrics.obs.clone();
+                let mode = meta_mode;
                 tasks.push(spawn(&rt, &name.clone(), move || {
                     let folder = MemFolder::new();
                     let mut client = UniDriveClient::new(
                         rt2.clone(),
                         set,
                         folder as Arc<dyn SyncFolder>,
-                        client_config(&name, theta, &obs),
+                        client_config(&name, theta, &obs, mode),
                         SimRng::seed_from_u64(seed),
                     );
                     let mut done = 0usize;

@@ -25,7 +25,7 @@ fn derive_path(base: &str, name: &str) -> String {
     }
 }
 
-const EXPERIMENTS: [&str; 19] = [
+const EXPERIMENTS: [&str; 20] = [
     "fig01_spatial",
     "fig02_filesize_throughput",
     "fig03_temporal",
@@ -45,6 +45,7 @@ const EXPERIMENTS: [&str; 19] = [
     "ablations",
     "chaos_soak",
     "bench_fleet",
+    "bench_oplog",
 ];
 
 fn main() {

@@ -93,11 +93,10 @@ fn main() {
             .iter()
             .map(|set| {
                 unidrive_cloud::CloudSet::new(
-                    set.ids()
-                        .into_iter()
-                        .map(|id| {
+                    set.iter()
+                        .map(|(_, cloud)| {
                             std::sync::Arc::new(ContentCounter {
-                                inner: std::sync::Arc::clone(set.get(id)),
+                                inner: std::sync::Arc::clone(cloud),
                                 bytes: std::sync::Arc::clone(&content_bytes),
                             }) as std::sync::Arc<dyn unidrive_cloud::CloudStore>
                         })

@@ -72,6 +72,28 @@ impl ExperimentScale {
     }
 }
 
+/// Parses `--meta-mode {lock,oplog}` from the process arguments
+/// (default: `lock`, the paper's quorum-locked plane). Shared by every
+/// experiment binary so `run_all --meta-mode oplog` drives both planes
+/// uniformly. An unknown value aborts with a usage message — a typo
+/// must not silently benchmark the wrong plane.
+pub fn meta_mode_from_args() -> unidrive_meta::MetaMode {
+    let mut args = std::env::args();
+    while let Some(arg) = args.next() {
+        if arg == "--meta-mode" {
+            let value = args.next().unwrap_or_default();
+            match unidrive_meta::MetaMode::parse(&value) {
+                Some(mode) => return mode,
+                None => {
+                    eprintln!("--meta-mode must be 'lock' or 'oplog', got '{value}'");
+                    std::process::exit(2);
+                }
+            }
+        }
+    }
+    unidrive_meta::MetaMode::Lock
+}
+
 /// The four systems under comparison at one site (paper §7.1).
 pub struct Systems {
     /// UniDrive proper.
@@ -130,13 +152,8 @@ pub fn systems_at_observed(
     let intuitive = IntuitiveMultiCloud::new(rt.clone(), &clouds, 5);
     let natives = Provider::ALL
         .iter()
-        .zip(clouds.ids())
-        .map(|(&p, id)| {
-            (
-                p,
-                SingleCloudClient::new(rt.clone(), Arc::clone(clouds.get(id)), 5),
-            )
-        })
+        .zip(clouds.iter())
+        .map(|(&p, (_, cloud))| (p, SingleCloudClient::new(rt.clone(), Arc::clone(cloud), 5)))
         .collect();
     Systems {
         unidrive,

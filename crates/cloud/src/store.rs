@@ -99,6 +99,40 @@ pub trait CloudStore: Send + Sync {
     /// [`CloudError::NotFound`] if absent, plus transport errors.
     fn delete(&self, path: &str) -> Result<(), CloudError>;
 
+    /// Appends `data` to the object at `path`, creating it when absent.
+    ///
+    /// Consumer cloud APIs expose no atomic append, so the default is
+    /// read-modify-write over the five primitive ops: `download` the
+    /// current contents (absent ⇒ empty) and `upload` the extended
+    /// object. The composed calls go through the implementation's own
+    /// `download`/`upload`, so wrappers (latency, chaos/torn-upload
+    /// faults) exercise appends with no extra code. Implementations
+    /// with a native append (e.g. [`MemCloud`](crate::MemCloud)) may
+    /// override.
+    ///
+    /// Note for single-writer logs replicated across clouds: a torn
+    /// upload persists a *prefix* of the composed object, so appenders
+    /// that must survive torn faults should prefer replacing the full
+    /// log tail via [`upload`](CloudStore::upload) (idempotent and
+    /// self-healing) over download-based append, which can embed a
+    /// previously torn tail mid-file.
+    ///
+    /// # Errors
+    ///
+    /// The transport errors of [`download`](CloudStore::download) and
+    /// [`upload`](CloudStore::upload).
+    fn append(&self, path: &str, data: Bytes) -> Result<(), CloudError> {
+        let existing = match self.download(path) {
+            Ok(b) => b,
+            Err(CloudError::NotFound { .. }) => Bytes::new(),
+            Err(e) => return Err(e),
+        };
+        let mut out = Vec::with_capacity(existing.len() + data.len());
+        out.extend_from_slice(&existing);
+        out.extend_from_slice(&data);
+        self.upload(path, Bytes::from(out))
+    }
+
     /// Convenience: whether an object or directory exists, implemented
     /// via [`list`](CloudStore::list) on the parent (the only way with
     /// the five-op API).

@@ -18,17 +18,18 @@ use std::time::Duration;
 use unidrive_util::bytes::Bytes;
 use unidrive_cloud::CloudSet;
 use unidrive_meta::{
-    merge3, DeltaLog, SegmentId, Snapshot, SyncFolderImage, VersionStamp,
+    merge3, MetaMode, MetaPlane, PlaneError, SegmentId, Snapshot, SyncFolderImage, VersionStamp,
 };
 use unidrive_obs::{Event, SpanId};
 use unidrive_sim::{Runtime, SimRng};
 
-use crate::control::{newer, MetaError, MetadataStore, RemoteState};
+use crate::control::MetaError;
 use crate::dataplane::{DataPlane, UploadRequest};
 use crate::upload::{BlockSink, UploadOptions};
 use crate::folder::{LocalChange, LocalStat, SyncFolder};
-use crate::lock::{LockConfig, LockError, QuorumLock};
+use crate::lock::{LockConfig, LockError};
 use crate::plan::DataPlaneConfig;
+use crate::plane::build_plane;
 use crate::DownloadError;
 
 /// Client configuration.
@@ -49,6 +50,9 @@ pub struct ClientConfig {
     pub delta_ratio: f64,
     /// Delta-sync compaction floor in bytes (paper: 10 KB).
     pub delta_floor: usize,
+    /// Which metadata plane coordinates commits (default: the paper's
+    /// quorum-locked plane).
+    pub meta_mode: MetaMode,
 }
 
 impl ClientConfig {
@@ -62,6 +66,7 @@ impl ClientConfig {
             poll_interval: Duration::from_secs(30),
             delta_ratio: 0.25,
             delta_floor: 10 * 1024,
+            meta_mode: MetaMode::Lock,
         }
     }
 }
@@ -101,6 +106,24 @@ impl From<LockError> for SyncError {
 impl From<MetaError> for SyncError {
     fn from(e: MetaError) -> Self {
         SyncError::Meta(e)
+    }
+}
+
+impl From<PlaneError> for SyncError {
+    fn from(e: PlaneError) -> Self {
+        // Plane errors keep the pre-refactor surface: lock-shaped
+        // failures report as `Lock`, quorum read/write failures as
+        // `Meta`, so callers matching on the old variants still work.
+        match e {
+            PlaneError::Contended { attempts } => SyncError::Lock(LockError::Contended { attempts }),
+            PlaneError::QuorumUnreachable { reachable, quorum } => {
+                SyncError::Lock(LockError::QuorumUnreachable { reachable, quorum })
+            }
+            PlaneError::QuorumWriteFailed { acked, quorum } => {
+                SyncError::Meta(MetaError::QuorumWriteFailed { acked, quorum })
+            }
+            PlaneError::Unreadable => SyncError::Meta(MetaError::Unreadable),
+        }
     }
 }
 
@@ -169,8 +192,8 @@ pub struct UniDriveClient {
     rt: Arc<dyn Runtime>,
     folder: Arc<dyn SyncFolder>,
     plane: DataPlane,
-    store: MetadataStore,
-    lock: QuorumLock,
+    /// The metadata coordination plane (quorum-locked or oplog).
+    meta: Box<dyn MetaPlane>,
     config: ClientConfig,
     /// v_o: the image as of the last successful sync.
     original: SyncFolderImage,
@@ -179,10 +202,6 @@ pub struct UniDriveClient {
     shadow: BTreeMap<String, LocalStat>,
     /// This device's commit counter.
     counter: u64,
-    /// The remote delta log and encrypted-base size as of the last
-    /// read/commit; valid while the remote version equals
-    /// `original.version` (lets a commit skip re-downloading metadata).
-    cached_delta: Option<(DeltaLog, usize)>,
     /// Placements reported by background reliability workers since the
     /// last commit ("set asynchronously via callback", §5.1).
     pending_blocks: BlockSink,
@@ -207,31 +226,28 @@ impl UniDriveClient {
         rng: SimRng,
     ) -> Self {
         let plane = DataPlane::new(Arc::clone(&rt), clouds.clone(), config.data.clone());
-        let store = MetadataStore::new(
-            Arc::clone(&rt),
-            clouds.clone(),
-            &config.passphrase,
-            config.data.retry.clone(),
-        );
-        let lock = QuorumLock::new(
+        let meta = build_plane(
+            config.meta_mode,
             Arc::clone(&rt),
             clouds,
-            config.device.clone(),
+            &config.device,
+            &config.passphrase,
+            config.data.retry.clone(),
             config.lock.clone(),
             rng,
-        )
-        .with_obs(config.data.obs.clone());
+            config.data.obs.clone(),
+            config.delta_ratio,
+            config.delta_floor,
+        );
         UniDriveClient {
             rt,
             folder,
             plane,
-            store,
-            lock,
+            meta,
             config,
             original: SyncFolderImage::new(),
             shadow: BTreeMap::new(),
             counter: 0,
-            cached_delta: None,
             pending_blocks: std::sync::Arc::new(unidrive_util::sync::Mutex::new(Vec::new())),
         }
     }
@@ -516,109 +532,64 @@ impl UniDriveClient {
             return Ok(report);
         }
 
-        // 3. Lock, merge with any cloud update, commit (lines 4–14).
+        // 3. Transact through the metadata plane (lines 4–14): the
+        //    plane coordinates (quorum lock, or lock-free op append),
+        //    reads the freshest remote image, and runs the merge +
+        //    stamp below *inside* the transaction.
         let obs = self.config.data.obs.clone();
-        let mut guard = self.lock.acquire_in(round)?;
-        // Fast path: the tiny version file tells us whether a cloud
-        // update exists at all; if not, the cached delta from our last
-        // read/commit is current and the base + delta downloads are
-        // skipped entirely (the point of the version-file design, §5.2).
-        let mut read_span = obs.span("meta.read", round);
-        read_span.attr_str("device", self.config.device.as_str());
-        let version_now = self.store.read_version();
-        let unchanged = version_now
-            .as_ref()
-            .is_none_or(|v| *v == self.original.version);
-        let remote = if unchanged {
-            read_span.attr_bool("cached", true);
-            self.cached_delta
-                .clone()
-                .map(|(delta, base_bytes)| RemoteState {
-                    image: self.original.clone(),
-                    delta,
-                    base_bytes,
-                })
-        } else {
-            read_span.attr_bool("cached", false);
-            self.store.read_remote()?
-        };
-        read_span.end();
-        let mut merge_span = obs.span("meta.merge", round);
-        merge_span.attr_str("device", self.config.device.as_str());
-        let (merged, had_cloud_update) = match &remote {
-            Some(state) if state.image.version != self.original.version => {
-                let out = merge3(
-                    &self.original,
-                    &local,
-                    &state.image,
-                    &self.config.device,
-                );
-                report
-                    .conflicts
-                    .extend(out.conflicts.iter().map(|c| c.path.clone()));
-                (out.image, true)
-            }
-            _ => (local.clone(), false),
-        };
-        merge_span.attr_bool("cloud_update", had_cloud_update);
-        merge_span.attr_u64("conflicts", report.conflicts.len() as u64);
-        merge_span.end();
-        let mut to_commit = merged;
-        let garbage = to_commit.collect_garbage();
-        self.counter = self
-            .counter
-            .max(remote.as_ref().map(|r| r.image.version.counter).unwrap_or(0))
-            .max(self.original.version.counter)
-            + 1;
-        let stamp = VersionStamp {
-            device: self.config.device.clone(),
-            counter: self.counter,
-            timestamp_ns: self.rt.now().as_nanos(),
-        };
-        to_commit.version = stamp.clone();
-
-        // Delta-sync: append our records to the stored delta; compact
-        // into a new base when past λ.
-        let (new_base, delta) = match &remote {
-            Some(state) => {
-                let mut delta = state.delta.clone();
-                delta.append(
-                    DeltaLog::records_for(&state.image, &to_commit),
-                    stamp.clone(),
-                );
-                if delta.should_compact(
-                    state.base_bytes,
-                    self.config.delta_ratio,
-                    self.config.delta_floor,
-                ) {
-                    (Some(&to_commit), DeltaLog::new(stamp.clone()))
-                } else {
-                    (None, delta)
+        let device = self.config.device.clone();
+        let rt = Arc::clone(&self.rt);
+        let ancestor = self.original.clone();
+        let mut counter = self.counter;
+        let mut garbage: Vec<(SegmentId, unidrive_meta::SegmentEntry)> = Vec::new();
+        let mut had_cloud_update = false;
+        let transacted = self.meta.transact(&ancestor, round, &mut |remote| {
+            let mut merge_span = obs.span("meta.merge", round);
+            merge_span.attr_str("device", device.as_str());
+            let (merged, cloud_update) = match remote {
+                // The merge triggers on image inequality (not stamp
+                // inequality): under the lock the two are equivalent,
+                // while oplog folds can differ in content at equal head
+                // stamps.
+                Some(image) if *image != ancestor => {
+                    let out = merge3(&ancestor, &local, image, &device);
+                    report
+                        .conflicts
+                        .extend(out.conflicts.iter().map(|c| c.path.clone()));
+                    (out.image, true)
                 }
-            }
-            None => (Some(&to_commit), DeltaLog::new(stamp.clone())),
+                _ => (local.clone(), false),
+            };
+            merge_span.attr_bool("cloud_update", cloud_update);
+            merge_span.attr_u64("conflicts", report.conflicts.len() as u64);
+            merge_span.end();
+            had_cloud_update = cloud_update;
+            let mut to_commit = merged;
+            garbage = to_commit.collect_garbage();
+            counter = counter
+                .max(remote.map(|r| r.version.counter).unwrap_or(0))
+                .max(ancestor.version.counter)
+                + 1;
+            let stamp = VersionStamp {
+                device: device.clone(),
+                counter,
+                timestamp_ns: rt.now().as_nanos(),
+            };
+            to_commit.version = stamp.clone();
+            Some((to_commit, stamp))
+        });
+        // The counter survives a failed commit: the stamp (and, in
+        // oplog mode, the op seq) may have reached a minority of clouds
+        // and must not be reused.
+        self.counter = counter;
+        let Some(committed) = transacted.map_err(SyncError::from)? else {
+            return Ok(report);
         };
-        guard.refresh();
-        let mut commit_span = obs.span("meta.commit", round);
-        commit_span.attr_str("device", self.config.device.as_str());
-        commit_span.attr_bool("compacted", new_base.is_some());
-        let committed_meta = self.store.write_remote(new_base, &delta, &stamp);
-        commit_span.end();
-        committed_meta?;
-        guard.release();
-        let base_bytes = match (new_base, &remote) {
-            // Rough but adequate: ciphertext ≈ plaintext + padding + IV.
-            (Some(image), _) => image.encode().len() + 16,
-            (None, Some(state)) => state.base_bytes,
-            (None, None) => 0,
-        };
-        self.cached_delta = Some((delta, base_bytes));
 
         // 4. Settle local state: adopt the committed image, apply any
         //    merged-in cloud changes to the folder, GC dead blocks. The
         //    diff baseline is `local` (what the folder holds now), so
         //    only the cloud side's contributions are materialized.
-        let committed = to_commit;
         for (path, stat) in committed_stats {
             match stat {
                 Some(s) => {
@@ -640,30 +611,13 @@ impl UniDriveClient {
     /// Poll path of Algorithm 1 (lines 15–18).
     fn check_cloud_update(&mut self, round: Option<SpanId>) -> Result<SyncReport, SyncError> {
         let mut report = SyncReport::default();
-        let obs = self.config.data.obs.clone();
-        let mut read_span = obs.span("meta.read", round);
-        read_span.attr_str("device", self.config.device.as_str());
-        let Some(version) = self.store.read_version() else {
-            read_span.attr_bool("cached", true);
-            return Ok(report);
-        };
-        if version == self.original.version || !newer(&version, &self.original.version) {
-            read_span.attr_bool("cached", true);
-            return Ok(report);
-        }
-        read_span.attr_bool("cached", false);
-        let remote = self.store.read_remote();
-        read_span.end();
-        let Some(RemoteState {
-            image,
-            delta,
-            base_bytes,
-        }) = remote?
+        let Some(committed) = self
+            .meta
+            .poll(&self.original, round)
+            .map_err(SyncError::from)?
         else {
             return Ok(report);
         };
-        self.cached_delta = Some((delta, base_bytes));
-        let committed = image;
         let previous = self.original.clone();
         self.materialize_cloud_changes(&previous, &committed, &mut report, round)?;
         self.original = committed;

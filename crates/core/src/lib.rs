@@ -35,12 +35,14 @@ mod folder;
 mod lock;
 mod maintenance;
 mod plan;
+mod plane;
 mod probe;
 mod rebalance;
 mod upload;
 
 pub use client::{ClientConfig, SyncError, SyncReport, UniDriveClient};
 pub use control::{newer, MetaError, MetadataStore, RemoteState};
+pub use plane::{build_plane, LockPlane, OplogPlane};
 pub use dataplane::{DataPlane, FileSegmentation, UploadRequest};
 pub use download::{
     run_download, run_download_in, DownloadError, DownloadReport, SegmentFetch,

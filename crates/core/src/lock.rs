@@ -285,9 +285,11 @@ impl QuorumLock {
         let mut reachable = 0usize;
         let mut held = 0usize;
         for (id, entries) in listings {
-            // Invariant: `id` came from iterating this same set above,
-            // so the panicking `get` cannot fire.
-            let cloud = std::sync::Arc::clone(self.clouds.get(id));
+            // `id` came from iterating this same set above, but stay
+            // fallible anyway: an unknown id just skips the cloud.
+            let Some(cloud) = self.clouds.try_get(id).map(std::sync::Arc::clone) else {
+                continue;
+            };
             let Some(entries) = entries else {
                 continue;
             };

@@ -1,0 +1,880 @@
+//! The two [`MetaPlane`] implementations: the paper's lock-the-image
+//! plane and the append-only oplog plane.
+//!
+//! [`LockPlane`] is the refactored-in original control flow of
+//! `UniDriveClient`: quorum lock around every commit, version-file fast
+//! path, delta-sync with λ compaction. Its behavior (cloud traffic,
+//! span names and attributes, error shapes) is unchanged — only its
+//! home moved.
+//!
+//! [`OplogPlane`] removes the per-commit lock: each device appends
+//! encrypted [`MetaOp`] frames to its own op file on every cloud and
+//! readers fold every visible op in the total `(lamport, device, seq)`
+//! order (see `unidrive_meta::fold`). A commit is one quorum-acked
+//! upload of the device's own file — no coordination with other
+//! writers — so N concurrent writers of a hot folder scale instead of
+//! serializing. The quorum lock survives only for base compaction,
+//! triggered when the live log outgrows λ (the same ratio/floor the
+//! delta plane uses).
+//!
+//! The op file is always uploaded as a full replace of the device's
+//! retained frame tail, never as a download-modify-append: a torn
+//! upload then persists a *prefix of valid frames* (salvaged by
+//! `unframe_chunks`) and the next replace self-heals, whereas
+//! read-modify-write could embed a torn tail mid-file and lose acked
+//! ops.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use unidrive_util::bytes::Bytes;
+use unidrive_cloud::{CloudError, CloudSet, Retry, RetryPolicy};
+use unidrive_crypto::{MetadataCipher, Sha1};
+use unidrive_meta::{
+    compact, fold, frame_chunks, op_file_path, parse_op_file_name, unframe_chunks, DeltaLog,
+    MergeFn, MetaMode, MetaOp, MetaPlane, OplogBase, PlaneError, SyncFolderImage, OPLOG_BASE_PATH,
+    OPLOG_DIR,
+};
+use unidrive_obs::{Obs, SpanId};
+use unidrive_sim::{Runtime, SimRng};
+
+use crate::control::{MetaError, MetadataStore, RemoteState};
+use crate::lock::{LockConfig, LockError, QuorumLock};
+
+impl From<LockError> for PlaneError {
+    fn from(e: LockError) -> Self {
+        match e {
+            LockError::Contended { attempts } => PlaneError::Contended { attempts },
+            LockError::QuorumUnreachable { reachable, quorum } => {
+                PlaneError::QuorumUnreachable { reachable, quorum }
+            }
+        }
+    }
+}
+
+impl From<MetaError> for PlaneError {
+    fn from(e: MetaError) -> Self {
+        match e {
+            MetaError::QuorumWriteFailed { acked, quorum } => {
+                PlaneError::QuorumWriteFailed { acked, quorum }
+            }
+            MetaError::Unreadable => PlaneError::Unreadable,
+        }
+    }
+}
+
+/// Builds the configured plane over `clouds`.
+#[allow(clippy::too_many_arguments)]
+pub fn build_plane(
+    mode: MetaMode,
+    rt: Arc<dyn Runtime>,
+    clouds: CloudSet,
+    device: &str,
+    passphrase: &str,
+    retry: RetryPolicy,
+    lock_config: LockConfig,
+    rng: SimRng,
+    obs: Obs,
+    delta_ratio: f64,
+    delta_floor: usize,
+) -> Box<dyn MetaPlane> {
+    match mode {
+        MetaMode::Lock => Box::new(LockPlane::new(
+            rt,
+            clouds,
+            device,
+            passphrase,
+            retry,
+            lock_config,
+            rng,
+            obs,
+            delta_ratio,
+            delta_floor,
+        )),
+        MetaMode::Oplog => Box::new(OplogPlane::new(
+            rt,
+            clouds,
+            device,
+            passphrase,
+            retry,
+            lock_config,
+            rng,
+            obs,
+            delta_ratio,
+            delta_floor,
+        )),
+    }
+}
+
+/// The paper's metadata plane: quorum lock around every commit of the
+/// DES-encrypted base + delta + version files (paper §5.2).
+pub struct LockPlane {
+    store: MetadataStore,
+    lock: QuorumLock,
+    obs: Obs,
+    device: String,
+    delta_ratio: f64,
+    delta_floor: usize,
+    /// The remote delta log and encrypted-base size as of the last
+    /// read/commit; valid while the remote version equals the caller's
+    /// current version (lets a commit skip re-downloading metadata).
+    cached: Option<(DeltaLog, usize)>,
+}
+
+impl std::fmt::Debug for LockPlane {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LockPlane").field("device", &self.device).finish()
+    }
+}
+
+impl LockPlane {
+    /// Creates the lock plane for `device` over `clouds`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        rt: Arc<dyn Runtime>,
+        clouds: CloudSet,
+        device: &str,
+        passphrase: &str,
+        retry: RetryPolicy,
+        lock_config: LockConfig,
+        rng: SimRng,
+        obs: Obs,
+        delta_ratio: f64,
+        delta_floor: usize,
+    ) -> Self {
+        let store = MetadataStore::new(Arc::clone(&rt), clouds.clone(), passphrase, retry);
+        let lock = QuorumLock::new(rt, clouds, device, lock_config, rng).with_obs(obs.clone());
+        LockPlane {
+            store,
+            lock,
+            obs,
+            device: device.to_owned(),
+            delta_ratio,
+            delta_floor,
+            cached: None,
+        }
+    }
+}
+
+impl MetaPlane for LockPlane {
+    fn mode(&self) -> MetaMode {
+        MetaMode::Lock
+    }
+
+    fn poll(
+        &mut self,
+        current: &SyncFolderImage,
+        round: Option<SpanId>,
+    ) -> Result<Option<SyncFolderImage>, PlaneError> {
+        let mut read_span = self.obs.span("meta.read", round);
+        read_span.attr_str("device", self.device.as_str());
+        let Some(version) = self.store.read_version() else {
+            read_span.attr_bool("cached", true);
+            return Ok(None);
+        };
+        if version == current.version || !crate::control::newer(&version, &current.version) {
+            read_span.attr_bool("cached", true);
+            return Ok(None);
+        }
+        read_span.attr_bool("cached", false);
+        let remote = self.store.read_remote();
+        read_span.end();
+        let Some(RemoteState {
+            image,
+            delta,
+            base_bytes,
+        }) = remote.map_err(PlaneError::from)?
+        else {
+            return Ok(None);
+        };
+        self.cached = Some((delta, base_bytes));
+        Ok(Some(image))
+    }
+
+    fn transact(
+        &mut self,
+        current: &SyncFolderImage,
+        round: Option<SpanId>,
+        build: &mut MergeFn<'_>,
+    ) -> Result<Option<SyncFolderImage>, PlaneError> {
+        let mut guard = self.lock.acquire_in(round)?;
+        // Fast path: the tiny version file tells us whether a cloud
+        // update exists at all; if not, the cached delta from our last
+        // read/commit is current and the base + delta downloads are
+        // skipped entirely (the point of the version-file design, §5.2).
+        let mut read_span = self.obs.span("meta.read", round);
+        read_span.attr_str("device", self.device.as_str());
+        let version_now = self.store.read_version();
+        let unchanged = version_now.as_ref().is_none_or(|v| *v == current.version);
+        let remote = if unchanged {
+            read_span.attr_bool("cached", true);
+            self.cached.clone().map(|(delta, base_bytes)| RemoteState {
+                image: current.clone(),
+                delta,
+                base_bytes,
+            })
+        } else {
+            read_span.attr_bool("cached", false);
+            self.store.read_remote().map_err(PlaneError::from)?
+        };
+        read_span.end();
+        let Some((to_commit, stamp)) = build(remote.as_ref().map(|s| &s.image)) else {
+            guard.release();
+            return Ok(None);
+        };
+
+        // Delta-sync: append the records to the stored delta; compact
+        // into a new base when past λ.
+        let (new_base, delta) = match &remote {
+            Some(state) => {
+                let mut delta = state.delta.clone();
+                delta.append(
+                    DeltaLog::records_for(&state.image, &to_commit),
+                    stamp.clone(),
+                );
+                if delta.should_compact(state.base_bytes, self.delta_ratio, self.delta_floor) {
+                    (Some(&to_commit), DeltaLog::new(stamp.clone()))
+                } else {
+                    (None, delta)
+                }
+            }
+            None => (Some(&to_commit), DeltaLog::new(stamp.clone())),
+        };
+        guard.refresh();
+        let mut commit_span = self.obs.span("meta.commit", round);
+        commit_span.attr_str("device", self.device.as_str());
+        commit_span.attr_bool("compacted", new_base.is_some());
+        let committed_meta = self.store.write_remote(new_base, &delta, &stamp);
+        commit_span.end();
+        committed_meta.map_err(PlaneError::from)?;
+        guard.release();
+        let base_bytes = match (new_base, &remote) {
+            // Rough but adequate: ciphertext ≈ plaintext + padding + IV.
+            (Some(image), _) => image.encode().len() + 16,
+            (None, Some(state)) => state.base_bytes,
+            (None, None) => 0,
+        };
+        self.cached = Some((delta, base_bytes));
+        Ok(Some(to_commit))
+    }
+}
+
+/// The folder label mixed into op ids. One client syncs one folder, so
+/// a constant suffices; it namespaces op ids against other uses of the
+/// same passphrase.
+const OPLOG_FOLDER: &str = "root";
+
+/// The append-only oplog metadata plane: per-device op files, total
+/// `(lamport, device, seq)` fold order, quorum lock only for
+/// compaction.
+pub struct OplogPlane {
+    rt: Arc<dyn Runtime>,
+    clouds: CloudSet,
+    device: String,
+    cipher: MetadataCipher,
+    retry: RetryPolicy,
+    obs: Obs,
+    lock: QuorumLock,
+    delta_ratio: f64,
+    delta_floor: usize,
+    /// Retained tail of our own log: ops the compacted base's watermark
+    /// does not cover yet, with their encrypted frames. The device's op
+    /// file body is exactly `frame_chunks(my_frames)`.
+    my_ops: Vec<MetaOp>,
+    my_frames: Vec<Bytes>,
+    /// Next op sequence number. Never reused, even after a failed
+    /// append: the op may have landed on a minority of clouds, and two
+    /// different ops must never share an id.
+    next_seq: u64,
+    /// Every op this plane has ever observed that its adopted base does
+    /// not cover yet, keyed by op id with the framed size each occupies
+    /// in an op file. Folds always include this cache, which makes them
+    /// *monotone*: a writer that compacted may trim its op file before
+    /// the new base is visible on the clouds we happen to read, and
+    /// without the cache that read would fold old-base + trimmed-log —
+    /// a regressed image whose missing files look like remote deletes
+    /// (and whose garbage collection would destroy live segments).
+    seen_ops: BTreeMap<[u8; 20], (MetaOp, usize)>,
+    /// The freshest base this plane has ever decoded, with its
+    /// ciphertext size. Monotone under version-stamp comparison, for
+    /// the same reason as `seen_ops`.
+    adopted_base: Option<(OplogBase, usize)>,
+}
+
+impl std::fmt::Debug for OplogPlane {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("OplogPlane")
+            .field("device", &self.device)
+            .field("next_seq", &self.next_seq)
+            .finish()
+    }
+}
+
+/// Everything one oplog read pass learned from the clouds.
+struct OplogFetch {
+    /// `fold(base, ops)`: the up-to-date folded state.
+    folded: OplogBase,
+    /// All distinct visible ops (including this device's in-memory
+    /// tail), in deterministic id order.
+    ops: Vec<MetaOp>,
+    /// Ciphertext size of the stored base (drives the λ test).
+    base_bytes: usize,
+    /// Framed bytes of live ops (not covered by the base watermark).
+    log_bytes: usize,
+    /// Clouds whose oplog directory could be listed.
+    reachable: usize,
+}
+
+impl OplogPlane {
+    /// Creates the oplog plane for `device` over `clouds`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        rt: Arc<dyn Runtime>,
+        clouds: CloudSet,
+        device: &str,
+        passphrase: &str,
+        retry: RetryPolicy,
+        lock_config: LockConfig,
+        rng: SimRng,
+        obs: Obs,
+        delta_ratio: f64,
+        delta_floor: usize,
+    ) -> Self {
+        let lock = QuorumLock::new(
+            Arc::clone(&rt),
+            clouds.clone(),
+            device,
+            lock_config,
+            rng,
+        )
+        .with_obs(obs.clone());
+        OplogPlane {
+            rt,
+            clouds,
+            device: device.to_owned(),
+            cipher: MetadataCipher::from_passphrase(passphrase),
+            retry,
+            obs,
+            lock,
+            delta_ratio,
+            delta_floor,
+            my_ops: Vec::new(),
+            my_frames: Vec::new(),
+            next_seq: 1,
+            seen_ops: BTreeMap::new(),
+            adopted_base: None,
+        }
+    }
+
+    /// Downloads the base and every op file from every cloud
+    /// (concurrently per cloud), decodes and dedups, folds.
+    fn fetch(&mut self, round: Option<SpanId>) -> OplogFetch {
+        let mut span = self.obs.span("meta.oplog.fold", round);
+        span.attr_str("device", self.device.as_str());
+        // One task per cloud: list the oplog dir, then download the
+        // base and each op file. A missing directory is a fresh cloud
+        // (reachable, empty); a failing listing is unreachable.
+        let tasks: Vec<_> = self
+            .clouds
+            .iter()
+            .map(|(_, cloud)| {
+                let cloud = Arc::clone(cloud);
+                let rt = Arc::clone(&self.rt);
+                let retry = self.retry.clone();
+                unidrive_sim::spawn(&self.rt, "oplog-read", move || {
+                    let entries = match Retry::new(&rt, &retry).run(|| cloud.list(OPLOG_DIR)) {
+                        Ok(entries) => entries,
+                        Err(CloudError::NotFound { .. }) => Vec::new(),
+                        Err(_) => return None,
+                    };
+                    let mut names: Vec<String> = entries
+                        .into_iter()
+                        .filter(|e| !e.is_dir)
+                        .map(|e| e.name)
+                        .collect();
+                    names.sort();
+                    let mut base_ct: Option<Bytes> = None;
+                    let mut bodies: Vec<Bytes> = Vec::new();
+                    for name in names {
+                        let path = format!("{OPLOG_DIR}/{name}");
+                        if name == "base" {
+                            base_ct = Retry::new(&rt, &retry).run(|| cloud.download(&path)).ok();
+                        } else if parse_op_file_name(&name).is_some() {
+                            if let Ok(body) =
+                                Retry::new(&rt, &retry).run(|| cloud.download(&path))
+                            {
+                                bodies.push(body);
+                            }
+                        }
+                    }
+                    Some((base_ct, bodies))
+                })
+            })
+            .collect();
+
+        let mut reachable = 0usize;
+        // The freshest base starts from what we already adopted — a
+        // read that races a compaction's base uploads must not regress
+        // to an older base we have moved past.
+        let mut best_base: Option<(OplogBase, usize)> = self.adopted_base.clone();
+        for t in tasks {
+            let Some((base_ct, bodies)) = t.join() else {
+                continue;
+            };
+            reachable += 1;
+            if let Some(ct) = base_ct {
+                if let Ok(pt) = self.cipher.decrypt(&ct) {
+                    if let Ok(base) = OplogBase::decode(&pt) {
+                        let replace = match &best_base {
+                            None => true,
+                            Some((best, _)) => {
+                                crate::control::newer(&base.image.version, &best.image.version)
+                            }
+                        };
+                        if replace {
+                            best_base = Some((base, ct.len()));
+                        }
+                    }
+                }
+            }
+            for body in bodies {
+                for frame in unframe_chunks(&body) {
+                    let Ok(pt) = self.cipher.decrypt(&frame) else {
+                        continue;
+                    };
+                    let Ok(op) = MetaOp::decode(&pt) else {
+                        continue;
+                    };
+                    // Dedup by id into the persistent cache (same op ⇒
+                    // same deterministic ciphertext ⇒ same framed size).
+                    let id = *op.id(OPLOG_FOLDER).as_bytes();
+                    self.seen_ops.entry(id).or_insert((op, 4 + frame.len()));
+                }
+            }
+        }
+        // Our own unacked/partially-replicated tail is always visible
+        // to ourselves, whatever the clouds returned.
+        for (op, frame) in self.my_ops.iter().zip(&self.my_frames) {
+            let id = *op.id(OPLOG_FOLDER).as_bytes();
+            self.seen_ops
+                .entry(id)
+                .or_insert((op.clone(), 4 + frame.len()));
+        }
+
+        let (base, base_bytes) = best_base.unwrap_or((OplogBase::new(), 0));
+        self.adopted_base = Some((base.clone(), base_bytes));
+        // Ops the adopted base covers are folded into it; dropping them
+        // here is what bounds the cache to the compaction cadence.
+        self.seen_ops
+            .retain(|_, (op, _)| op.seq > base.watermark.get(&op.device).copied().unwrap_or(0));
+        // The base watermark covers our old ops: trim them from the
+        // retained tail so the next append rewrites a smaller file.
+        let covered = base.watermark.get(&self.device).copied().unwrap_or(0);
+        if covered > 0 {
+            let mut frames = self.my_frames.iter();
+            let mut kept_frames = Vec::new();
+            self.my_ops.retain(|op| {
+                let frame = frames.next().expect("frames parallel to ops");
+                if op.seq > covered {
+                    kept_frames.push(frame.clone());
+                    true
+                } else {
+                    false
+                }
+            });
+            self.my_frames = kept_frames;
+        }
+
+        let mut ops = Vec::with_capacity(self.seen_ops.len());
+        let mut log_bytes = 0usize;
+        for (op, framed) in self.seen_ops.values() {
+            // Everything left in the cache is live (uncovered) by the
+            // retain above.
+            log_bytes += framed;
+            ops.push(op.clone());
+        }
+        let outcome = fold(&base, &ops, OPLOG_FOLDER);
+        span.attr_u64("reachable", reachable as u64);
+        span.attr_u64("ops", ops.len() as u64);
+        span.attr_u64("applied", outcome.applied as u64);
+        span.attr_u64("conflicts", outcome.conflicts as u64);
+        span.end();
+        self.obs.inc("meta.oplog.folds");
+        OplogFetch {
+            folded: outcome.base,
+            ops,
+            base_bytes,
+            log_bytes,
+            reachable,
+        }
+    }
+
+    /// Uploads `body` as this device's op file on every cloud
+    /// (concurrently); returns how many clouds acked.
+    fn replicate_op_file(&self, body: &Bytes) -> usize {
+        let path = op_file_path(&self.device);
+        let tasks: Vec<_> = self
+            .clouds
+            .iter()
+            .map(|(_, cloud)| {
+                let cloud = Arc::clone(cloud);
+                let rt = Arc::clone(&self.rt);
+                let retry = self.retry.clone();
+                let path = path.clone();
+                let body = body.clone();
+                unidrive_sim::spawn(&self.rt, "oplog-append", move || {
+                    Retry::new(&rt, &retry)
+                        .run(|| cloud.upload(&path, body.clone()))
+                        .is_ok()
+                })
+            })
+            .collect();
+        tasks.into_iter().map(|t| t.join()).filter(|ok| *ok).count()
+    }
+
+    /// Folds everything visible (including the new op) into a fresh
+    /// base and replicates it, under the quorum lock. Best-effort: a
+    /// contended lock or failed quorum write just leaves the old base —
+    /// the log keeps working, only longer.
+    fn try_compact(&mut self, new_base: &OplogBase, round: Option<SpanId>) {
+        let Ok(guard) = self.lock.acquire_in(round) else {
+            self.obs.inc("meta.oplog.compact_skipped");
+            return;
+        };
+        let mut span = self.obs.span("meta.oplog.compact", round);
+        span.attr_str("device", self.device.as_str());
+        let pt = new_base.encode();
+        // Deterministic nonce: same folded state ⇒ same ciphertext, so
+        // a retried compaction is byte-identical.
+        let digest = Sha1::digest(&pt);
+        let nonce = u64::from_le_bytes(digest.as_bytes()[..8].try_into().expect("8 bytes"));
+        let ct = Bytes::from(self.cipher.encrypt(&pt, nonce));
+        span.attr_u64("bytes", ct.len() as u64);
+        let tasks: Vec<_> = self
+            .clouds
+            .iter()
+            .map(|(_, cloud)| {
+                let cloud = Arc::clone(cloud);
+                let rt = Arc::clone(&self.rt);
+                let retry = self.retry.clone();
+                let ct = ct.clone();
+                unidrive_sim::spawn(&self.rt, "oplog-base", move || {
+                    Retry::new(&rt, &retry)
+                        .run(|| cloud.upload(OPLOG_BASE_PATH, ct.clone()))
+                        .is_ok()
+                })
+            })
+            .collect();
+        let acked = tasks.into_iter().map(|t| t.join()).filter(|ok| *ok).count();
+        let ok = acked >= self.clouds.quorum();
+        span.attr_bool("ok", ok);
+        span.end();
+        if ok {
+            self.obs.inc("meta.oplog.compactions");
+            // Adopt our own base immediately: the next fold must not
+            // pick an older cloud copy while the uploads settle.
+            self.adopted_base = Some((new_base.clone(), ct.len()));
+            self.seen_ops.retain(|_, (op, _)| {
+                op.seq > new_base.watermark.get(&op.device).copied().unwrap_or(0)
+            });
+            // The new base covers our whole tail: trim it and shrink
+            // our op file (best-effort; the watermark filters either
+            // way).
+            let covered = new_base.watermark.get(&self.device).copied().unwrap_or(0);
+            let mut frames = self.my_frames.iter();
+            let mut kept = Vec::new();
+            self.my_ops.retain(|op| {
+                let frame = frames.next().expect("frames parallel to ops");
+                if op.seq > covered {
+                    kept.push(frame.clone());
+                    true
+                } else {
+                    false
+                }
+            });
+            self.my_frames = kept;
+            let body = frame_chunks(&self.my_frames);
+            let _ = self.replicate_op_file(&body);
+        }
+        guard.release();
+    }
+}
+
+impl MetaPlane for OplogPlane {
+    fn mode(&self) -> MetaMode {
+        MetaMode::Oplog
+    }
+
+    fn poll(
+        &mut self,
+        current: &SyncFolderImage,
+        round: Option<SpanId>,
+    ) -> Result<Option<SyncFolderImage>, PlaneError> {
+        let fetched = self.fetch(round);
+        if fetched.reachable < self.clouds.quorum() {
+            // Partial visibility could be missing acked ops; never
+            // regress the local state on it.
+            return Ok(None);
+        }
+        if fetched.folded.image == *current {
+            return Ok(None);
+        }
+        Ok(Some(fetched.folded.image))
+    }
+
+    fn transact(
+        &mut self,
+        _current: &SyncFolderImage,
+        round: Option<SpanId>,
+        build: &mut MergeFn<'_>,
+    ) -> Result<Option<SyncFolderImage>, PlaneError> {
+        let fetched = self.fetch(round);
+        let quorum = self.clouds.quorum();
+        if fetched.reachable < quorum {
+            // A fold over fewer clouds could miss acked ops; committing
+            // against it would manufacture spurious conflicts.
+            return Err(PlaneError::QuorumUnreachable {
+                reachable: fetched.reachable,
+                quorum,
+            });
+        }
+        let folded_image = &fetched.folded.image;
+        let remote = if fetched.base_bytes > 0 || !fetched.ops.is_empty() {
+            Some(folded_image)
+        } else {
+            None
+        };
+        let Some((to_commit, stamp)) = build(remote) else {
+            return Ok(None);
+        };
+
+        // Derive the op from exactly the folded state the merge saw.
+        let records = DeltaLog::records_for(folded_image, &to_commit);
+        let op = MetaOp {
+            device: self.device.clone(),
+            seq: self.next_seq,
+            lamport: stamp.counter,
+            base_lamport: folded_image.version.counter,
+            stamp_ns: stamp.timestamp_ns,
+            records,
+        };
+        // Per-op encryption with an id-derived nonce: a retried upload
+        // of the same op is byte-identical, so duplicates dedup at the
+        // byte level too.
+        let id = op.id(OPLOG_FOLDER);
+        let nonce = u64::from_le_bytes(id.as_bytes()[..8].try_into().expect("8 bytes"));
+        let frame = Bytes::from(self.cipher.encrypt(&op.encode(), nonce));
+        let frame_len = 4 + frame.len();
+        self.my_ops.push(op.clone());
+        self.my_frames.push(frame);
+        self.next_seq += 1;
+
+        let body = frame_chunks(&self.my_frames);
+        let mut span = self.obs.span("meta.oplog.append", round);
+        span.attr_str("device", self.device.as_str());
+        span.attr_u64("ops", self.my_frames.len() as u64);
+        span.attr_u64("bytes", body.len() as u64);
+        let acked = self.replicate_op_file(&body);
+        let ok = acked >= quorum;
+        span.attr_bool("ok", ok);
+        span.end();
+        if !ok {
+            // The op stays in our retained tail (it may sit on a
+            // minority cloud already and its seq must never be reused);
+            // the caller retries the pass and the next fold absorbs it.
+            return Err(PlaneError::QuorumWriteFailed { acked, quorum });
+        }
+        self.obs.inc("meta.oplog.appends");
+
+        // The adopted image is the fold including our op — it can
+        // differ from `to_commit` by conflict attachments and retained
+        // segments, and adopting it keeps every reader byte-identical.
+        let adopted = compact(&fetched.folded, std::slice::from_ref(&op), OPLOG_FOLDER);
+
+        // λ: compact when the live log outgrows the base, mirroring the
+        // delta plane's threshold.
+        let live = fetched.log_bytes + frame_len;
+        let threshold =
+            ((fetched.base_bytes as f64 * self.delta_ratio) as usize).max(self.delta_floor);
+        if live > threshold {
+            self.try_compact(&adopted, round);
+        }
+        Ok(Some(adopted.image))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use unidrive_meta::VersionStamp;
+    use unidrive_cloud::{CloudStore, MemCloud};
+    use unidrive_meta::Snapshot;
+    use unidrive_sim::RealRuntime;
+
+    fn clouds(n: usize) -> CloudSet {
+        CloudSet::new(
+            (0..n)
+                .map(|i| Arc::new(MemCloud::new(format!("c{i}"))) as Arc<dyn CloudStore>)
+                .collect(),
+        )
+    }
+
+    fn plane(mode: MetaMode, clouds: CloudSet, device: &str, seed: u64) -> Box<dyn MetaPlane> {
+        build_plane(
+            mode,
+            Arc::new(RealRuntime::new()),
+            clouds,
+            device,
+            "test-passphrase",
+            RetryPolicy::no_retries(),
+            LockConfig::default(),
+            SimRng::seed_from_u64(seed),
+            Obs::noop(),
+            0.25,
+            10 * 1024,
+        )
+    }
+
+    fn commit_file(
+        plane: &mut dyn MetaPlane,
+        current: &SyncFolderImage,
+        device: &str,
+        path: &str,
+        counter: u64,
+    ) -> SyncFolderImage {
+        let stamp = VersionStamp {
+            device: device.to_owned(),
+            counter,
+            timestamp_ns: counter,
+        };
+        plane
+            .transact(current, None, &mut |remote| {
+                let mut img = remote.cloned().unwrap_or_else(SyncFolderImage::new);
+                let seg = unidrive_meta::SegmentId(Sha1::digest(path.as_bytes()));
+                img.ensure_segment(seg, 3);
+                img.upsert_file(
+                    path,
+                    Snapshot {
+                        mtime_ns: counter,
+                        size: 3,
+                        segments: vec![seg],
+                    },
+                );
+                img.version = stamp.clone();
+                Some((img, stamp.clone()))
+            })
+            .expect("transact")
+            .expect("committed")
+    }
+
+    #[test]
+    fn both_modes_round_trip_a_commit() {
+        for mode in [MetaMode::Lock, MetaMode::Oplog] {
+            let set = clouds(5);
+            let mut writer = plane(mode, set.clone(), "dev-a", 1);
+            let committed = commit_file(writer.as_mut(), &SyncFolderImage::new(), "dev-a", "f.txt", 1);
+            assert!(committed.file("f.txt").is_some(), "{mode}: file committed");
+
+            let mut reader = plane(mode, set, "dev-b", 2);
+            let polled = reader
+                .poll(&SyncFolderImage::new(), None)
+                .expect("poll")
+                .expect("update visible");
+            assert!(polled.file("f.txt").is_some(), "{mode}: file visible");
+            // A second poll from the new state is a no-op.
+            assert!(reader.poll(&polled, None).expect("poll").is_none());
+        }
+    }
+
+    #[test]
+    fn oplog_writers_converge_without_locking() {
+        let set = clouds(5);
+        let mut a = plane(MetaMode::Oplog, set.clone(), "dev-a", 1);
+        let mut b = plane(MetaMode::Oplog, set.clone(), "dev-b", 2);
+        let img_a = commit_file(a.as_mut(), &SyncFolderImage::new(), "dev-a", "a.txt", 1);
+        assert!(img_a.file("b.txt").is_none());
+        // dev-b's transaction folds dev-a's already-replicated op into
+        // the image it adopts — no lock, no lost update.
+        let img_b = commit_file(b.as_mut(), &SyncFolderImage::new(), "dev-b", "b.txt", 1);
+        assert!(img_b.file("a.txt").is_some());
+        assert!(img_b.file("b.txt").is_some());
+        // Any reader folds both ops to the same bytes.
+        let mut r = plane(MetaMode::Oplog, set, "dev-c", 3);
+        let merged = r
+            .poll(&SyncFolderImage::new(), None)
+            .expect("poll")
+            .expect("both visible");
+        assert_eq!(merged.encode(), img_b.encode());
+        // dev-a converges on its next poll; dev-b is already current.
+        let next_a = a.as_mut().poll(&img_a, None).expect("poll").expect("sees b");
+        assert_eq!(next_a.encode(), img_b.encode());
+        assert!(b.as_mut().poll(&img_b, None).expect("poll").is_none());
+    }
+
+    #[test]
+    fn oplog_compaction_preserves_fold() {
+        let set = clouds(3);
+        let mut w = plane(MetaMode::Oplog, set.clone(), "dev-a", 1);
+        // Tiny floor forces compaction almost immediately.
+        let mut w_small = OplogPlane::new(
+            Arc::new(RealRuntime::new()),
+            set.clone(),
+            "dev-b",
+            "test-passphrase",
+            RetryPolicy::no_retries(),
+            LockConfig::default(),
+            SimRng::seed_from_u64(9),
+            Obs::noop(),
+            0.25,
+            1,
+        );
+        let mut current = SyncFolderImage::new();
+        for i in 1..=4u64 {
+            current = commit_file(&mut w_small, &current, "dev-b", &format!("f{i}.txt"), i);
+        }
+        // The base must exist now, and a fresh reader folds to the same
+        // state the writer adopted.
+        let base_ct = set
+            .get(unidrive_cloud::CloudId(0))
+            .download(OPLOG_BASE_PATH)
+            .expect("compacted base written");
+        assert!(!base_ct.is_empty());
+        let polled = w
+            .poll(&SyncFolderImage::new(), None)
+            .expect("poll")
+            .expect("visible");
+        assert_eq!(polled.encode(), current.encode());
+        for i in 1..=4 {
+            assert!(polled.file(&format!("f{i}.txt")).is_some());
+        }
+    }
+
+    #[test]
+    fn oplog_unreachable_majority_fails_commit_but_not_poll() {
+        let rt: Arc<dyn Runtime> = Arc::new(RealRuntime::new());
+        let mut members: Vec<Arc<dyn CloudStore>> = Vec::new();
+        for i in 0..5 {
+            let inner: Arc<dyn CloudStore> = Arc::new(MemCloud::new(format!("c{i}")));
+            if i < 3 {
+                let chaos = unidrive_cloud::ChaosCloud::new(
+                    inner,
+                    Arc::clone(&rt),
+                    &unidrive_cloud::FaultPlan::new(i as u64),
+                );
+                chaos.set_flat_probability(1.0);
+                members.push(Arc::new(chaos));
+            } else {
+                members.push(inner);
+            }
+        }
+        let set = CloudSet::new(members);
+        let mut p = plane(MetaMode::Oplog, set, "dev-a", 1);
+        assert!(p.poll(&SyncFolderImage::new(), None).expect("poll").is_none());
+        let err = p
+            .transact(&SyncFolderImage::new(), None, &mut |_| {
+                panic!("build must not run without a readable quorum")
+            })
+            .unwrap_err();
+        assert!(matches!(err, PlaneError::QuorumUnreachable { reachable: 2, quorum: 3 }));
+    }
+}

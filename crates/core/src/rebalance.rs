@@ -29,6 +29,12 @@ pub enum RebalanceError {
     Config(ConfigError),
     /// A segment could not be reconstructed to mint new blocks.
     Fetch(crate::DownloadError),
+    /// A cloud id is not a member of the deployment being changed (or
+    /// removing it would empty the deployment).
+    Membership {
+        /// The offending id.
+        id: CloudId,
+    },
 }
 
 impl std::fmt::Display for RebalanceError {
@@ -36,6 +42,9 @@ impl std::fmt::Display for RebalanceError {
         match self {
             RebalanceError::Config(e) => write!(f, "invalid membership change: {e}"),
             RebalanceError::Fetch(e) => write!(f, "cannot rebuild segment: {e}"),
+            RebalanceError::Membership { id } => {
+                write!(f, "{id} is not a removable member of this deployment")
+            }
         }
     }
 }
@@ -72,6 +81,10 @@ pub fn remove_cloud(
     image: &SyncFolderImage,
     victim: CloudId,
 ) -> Result<RebalanceOutcome, RebalanceError> {
+    // Fail fast on a bad victim id, before any block moves.
+    let remaining = clouds
+        .try_with_removed(victim)
+        .ok_or(RebalanceError::Membership { id: victim })?;
     let new_redundancy = config
         .redundancy
         .with_clouds(clouds.len() - 1)
@@ -159,8 +172,11 @@ pub fn remove_cloud(
                 break; // cap-saturated; reliability is degraded but valid
             };
             let data = codec.encode_block(&plain, block.index as usize);
-            // Invariant: slots were built from this set's own ids.
-            let target = clouds.get(CloudId(slot.0));
+            // Slots were built from this set's own ids, but stay
+            // fallible: an unknown id cannot host the block.
+            let Some(target) = clouds.try_get(CloudId(slot.0)) else {
+                return Err(RebalanceError::Membership { id: CloudId(slot.0) });
+            };
             if target.upload(&block_path(&id, block.index), data).is_ok() {
                 slot.1 += 1;
                 blocks_moved += 1;
@@ -171,14 +187,13 @@ pub fn remove_cloud(
             }
         }
         rewrite_locations(&mut out, &id, &new_blocks, &remap);
-        // Best effort: delete the blocks from the departing cloud.
-        let departing = clouds.get(victim);
-        let _ = departing; // objects die with the account; nothing to do
+        // The departing cloud's objects die with the account; no
+        // explicit cleanup is needed.
     }
 
     Ok(RebalanceOutcome {
         image: out,
-        clouds: clouds.with_removed(victim),
+        clouds: remaining,
         redundancy: new_redundancy,
         blocks_moved,
     })
@@ -247,9 +262,13 @@ pub fn add_cloud(
                 continue;
             }
             let data = grown_codec.encode_block(&plain, index as usize);
-            // Invariant: `newcomer` indexes the cloud just appended to
-            // `new_clouds`, so it is always in range.
-            let target = new_clouds.get(CloudId(newcomer as usize));
+            // `newcomer` indexes the cloud just appended to
+            // `new_clouds`, but stay fallible like every other lookup.
+            let Some(target) = new_clouds.try_get(CloudId(newcomer as usize)) else {
+                return Err(RebalanceError::Membership {
+                    id: CloudId(newcomer as usize),
+                });
+            };
             if target.upload(&block_path(&id, index), data).is_ok() {
                 out.record_block(
                     id,

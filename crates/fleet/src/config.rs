@@ -3,6 +3,7 @@
 use std::time::Duration;
 
 use unidrive_cloud::{CloudOp, FaultEvent, FaultKind, FaultPlan};
+use unidrive_meta::MetaMode;
 use unidrive_workload::{PopulationProfile, Provider};
 
 /// Quorum-lock parameters as the fleet model sees them (the analytic
@@ -57,6 +58,10 @@ pub struct FleetConfig {
     pub cloud_burst: u64,
     /// Lock protocol parameters.
     pub lock: FleetLockParams,
+    /// Metadata-plane mode for hot-folder commits: `Lock` contends a
+    /// quorum lock per commit; `Oplog` appends per-device op files and
+    /// locks only for periodic base compaction.
+    pub meta_mode: MetaMode,
     /// Scheduled fault plan evaluated analytically against every
     /// device's cloud operations.
     pub fault_plan: FaultPlan,
@@ -76,6 +81,7 @@ impl FleetConfig {
             cloud_qps: 1_500,
             cloud_burst: 3_000,
             lock: FleetLockParams::default(),
+            meta_mode: MetaMode::Lock,
             fault_plan: default_chaos_plan(seed, 600),
         }
     }
@@ -94,6 +100,7 @@ impl FleetConfig {
             cloud_qps: 4_000,
             cloud_burst: 8_000,
             lock: FleetLockParams::default(),
+            meta_mode: MetaMode::Lock,
             fault_plan: default_chaos_plan(seed, 1_800),
         }
     }

@@ -58,6 +58,8 @@ pub struct FleetMetrics {
     pub hot_folders: u32,
     /// Arrival horizon echo, seconds.
     pub horizon_secs: u64,
+    /// Metadata-plane mode echo (`"lock"` or `"oplog"`).
+    pub meta_mode: String,
     /// Scheduled fault events in the plan.
     pub fault_events: usize,
     /// Named counters (sessions, locks, faults, drain).
@@ -91,6 +93,7 @@ impl FleetMetrics {
             devices: cfg.devices,
             hot_folders: cfg.hot_folders,
             horizon_secs: cfg.horizon.as_secs(),
+            meta_mode: cfg.meta_mode.as_str().to_owned(),
             fault_events: cfg.fault_plan.events.len(),
             counters: BTreeMap::new(),
             sync_latency: empty(),
@@ -148,8 +151,8 @@ impl FleetMetrics {
 
         out.push_str("  \"config\": {");
         out.push_str(&format!(
-            "\"devices\": {}, \"fault_events\": {}, \"horizon_secs\": {}, \"hot_folders\": {}, \"seed\": {}",
-            self.devices, self.fault_events, self.horizon_secs, self.hot_folders, self.seed
+            "\"devices\": {}, \"fault_events\": {}, \"horizon_secs\": {}, \"hot_folders\": {}, \"meta_mode\": \"{}\", \"seed\": {}",
+            self.devices, self.fault_events, self.horizon_secs, self.hot_folders, self.meta_mode, self.seed
         ));
         out.push_str("},\n");
 

@@ -96,38 +96,7 @@ impl DeltaLog {
     /// the log head.
     pub fn apply_to(&self, image: &mut SyncFolderImage) {
         for record in &self.records {
-            match record {
-                DeltaRecord::UpsertFile { path, snapshot } => {
-                    for id in &snapshot.segments {
-                        image.ensure_segment_if_absent(*id);
-                    }
-                    image.upsert_file(path, snapshot.clone());
-                }
-                DeltaRecord::DeleteFile { path } => {
-                    image.delete_file(path);
-                }
-                DeltaRecord::EnsureSegment { id, len } => {
-                    image.ensure_segment(*id, *len);
-                }
-                DeltaRecord::AddBlock { id, block } => {
-                    image.record_block(*id, *block);
-                }
-                DeltaRecord::RemoveBlock { id, block } => {
-                    image.remove_block(id, *block);
-                }
-                DeltaRecord::AttachConflict {
-                    path,
-                    device,
-                    snapshot,
-                } => {
-                    for id in &snapshot.segments {
-                        image.ensure_segment_if_absent(*id);
-                    }
-                    if image.file(path).is_some() {
-                        image.attach_conflict(path, device, snapshot.clone());
-                    }
-                }
-            }
+            apply_record(image, record);
         }
         image.version = self.head.clone();
     }
@@ -152,44 +121,7 @@ impl DeltaLog {
         encode_stamp(&mut w, &self.head);
         w.put_u32(self.records.len() as u32);
         for r in &self.records {
-            match r {
-                DeltaRecord::UpsertFile { path, snapshot } => {
-                    w.put_u8(0);
-                    w.put_str(path);
-                    encode_snapshot(&mut w, snapshot);
-                }
-                DeltaRecord::DeleteFile { path } => {
-                    w.put_u8(1);
-                    w.put_str(path);
-                }
-                DeltaRecord::EnsureSegment { id, len } => {
-                    w.put_u8(2);
-                    w.put_fixed(id.0.as_bytes());
-                    w.put_u64(*len);
-                }
-                DeltaRecord::AddBlock { id, block } => {
-                    w.put_u8(3);
-                    w.put_fixed(id.0.as_bytes());
-                    w.put_u16(block.index);
-                    w.put_u16(block.cloud);
-                }
-                DeltaRecord::RemoveBlock { id, block } => {
-                    w.put_u8(4);
-                    w.put_fixed(id.0.as_bytes());
-                    w.put_u16(block.index);
-                    w.put_u16(block.cloud);
-                }
-                DeltaRecord::AttachConflict {
-                    path,
-                    device,
-                    snapshot,
-                } => {
-                    w.put_u8(5);
-                    w.put_str(path);
-                    w.put_str(device);
-                    encode_snapshot(&mut w, snapshot);
-                }
-            }
+            encode_record(&mut w, r);
         }
         w.finish()
     }
@@ -206,42 +138,7 @@ impl DeltaLog {
         let count = r.get_u32("record count")?;
         let mut records = Vec::with_capacity(count.min(1 << 20) as usize);
         for _ in 0..count {
-            let kind = r.get_u8("record kind")?;
-            records.push(match kind {
-                0 => DeltaRecord::UpsertFile {
-                    path: r.get_str("path")?,
-                    snapshot: decode_snapshot(&mut r)?,
-                },
-                1 => DeltaRecord::DeleteFile {
-                    path: r.get_str("path")?,
-                },
-                2 => DeltaRecord::EnsureSegment {
-                    id: SegmentId(Digest(r.get_fixed::<20>("segment id")?)),
-                    len: r.get_u64("segment len")?,
-                },
-                3 => DeltaRecord::AddBlock {
-                    id: SegmentId(Digest(r.get_fixed::<20>("segment id")?)),
-                    block: BlockRef {
-                        index: r.get_u16("block index")?,
-                        cloud: r.get_u16("block cloud")?,
-                    },
-                },
-                4 => DeltaRecord::RemoveBlock {
-                    id: SegmentId(Digest(r.get_fixed::<20>("segment id")?)),
-                    block: BlockRef {
-                        index: r.get_u16("block index")?,
-                        cloud: r.get_u16("block cloud")?,
-                    },
-                },
-                5 => DeltaRecord::AttachConflict {
-                    path: r.get_str("path")?,
-                    device: r.get_str("device")?,
-                    snapshot: decode_snapshot(&mut r)?,
-                },
-                other => {
-                    return Err(DecodeError::BadVersion { found: other });
-                }
-            });
+            records.push(decode_record(&mut r)?);
         }
         Ok(DeltaLog {
             base,
@@ -313,13 +210,132 @@ impl DeltaLog {
     }
 }
 
-fn encode_stamp(w: &mut Writer, v: &VersionStamp) {
+/// Applies one record to `image` (shared by [`DeltaLog::apply_to`] and
+/// the oplog fold in [`crate::op`]).
+pub(crate) fn apply_record(image: &mut SyncFolderImage, record: &DeltaRecord) {
+    match record {
+        DeltaRecord::UpsertFile { path, snapshot } => {
+            for id in &snapshot.segments {
+                image.ensure_segment_if_absent(*id);
+            }
+            image.upsert_file(path, snapshot.clone());
+        }
+        DeltaRecord::DeleteFile { path } => {
+            image.delete_file(path);
+        }
+        DeltaRecord::EnsureSegment { id, len } => {
+            image.ensure_segment(*id, *len);
+        }
+        DeltaRecord::AddBlock { id, block } => {
+            image.record_block(*id, *block);
+        }
+        DeltaRecord::RemoveBlock { id, block } => {
+            image.remove_block(id, *block);
+        }
+        DeltaRecord::AttachConflict {
+            path,
+            device,
+            snapshot,
+        } => {
+            for id in &snapshot.segments {
+                image.ensure_segment_if_absent(*id);
+            }
+            if image.file(path).is_some() {
+                image.attach_conflict(path, device, snapshot.clone());
+            }
+        }
+    }
+}
+
+/// Encodes one record with its wire tag (shared with the op codec).
+pub(crate) fn encode_record(w: &mut Writer, r: &DeltaRecord) {
+    match r {
+        DeltaRecord::UpsertFile { path, snapshot } => {
+            w.put_u8(0);
+            w.put_str(path);
+            encode_snapshot(w, snapshot);
+        }
+        DeltaRecord::DeleteFile { path } => {
+            w.put_u8(1);
+            w.put_str(path);
+        }
+        DeltaRecord::EnsureSegment { id, len } => {
+            w.put_u8(2);
+            w.put_fixed(id.0.as_bytes());
+            w.put_u64(*len);
+        }
+        DeltaRecord::AddBlock { id, block } => {
+            w.put_u8(3);
+            w.put_fixed(id.0.as_bytes());
+            w.put_u16(block.index);
+            w.put_u16(block.cloud);
+        }
+        DeltaRecord::RemoveBlock { id, block } => {
+            w.put_u8(4);
+            w.put_fixed(id.0.as_bytes());
+            w.put_u16(block.index);
+            w.put_u16(block.cloud);
+        }
+        DeltaRecord::AttachConflict {
+            path,
+            device,
+            snapshot,
+        } => {
+            w.put_u8(5);
+            w.put_str(path);
+            w.put_str(device);
+            encode_snapshot(w, snapshot);
+        }
+    }
+}
+
+/// Decodes one tagged record (shared with the op codec).
+pub(crate) fn decode_record(r: &mut Reader<'_>) -> Result<DeltaRecord, DecodeError> {
+    let kind = r.get_u8("record kind")?;
+    Ok(match kind {
+        0 => DeltaRecord::UpsertFile {
+            path: r.get_str("path")?,
+            snapshot: decode_snapshot(r)?,
+        },
+        1 => DeltaRecord::DeleteFile {
+            path: r.get_str("path")?,
+        },
+        2 => DeltaRecord::EnsureSegment {
+            id: SegmentId(Digest(r.get_fixed::<20>("segment id")?)),
+            len: r.get_u64("segment len")?,
+        },
+        3 => DeltaRecord::AddBlock {
+            id: SegmentId(Digest(r.get_fixed::<20>("segment id")?)),
+            block: BlockRef {
+                index: r.get_u16("block index")?,
+                cloud: r.get_u16("block cloud")?,
+            },
+        },
+        4 => DeltaRecord::RemoveBlock {
+            id: SegmentId(Digest(r.get_fixed::<20>("segment id")?)),
+            block: BlockRef {
+                index: r.get_u16("block index")?,
+                cloud: r.get_u16("block cloud")?,
+            },
+        },
+        5 => DeltaRecord::AttachConflict {
+            path: r.get_str("path")?,
+            device: r.get_str("device")?,
+            snapshot: decode_snapshot(r)?,
+        },
+        other => {
+            return Err(DecodeError::BadVersion { found: other });
+        }
+    })
+}
+
+pub(crate) fn encode_stamp(w: &mut Writer, v: &VersionStamp) {
     w.put_str(&v.device);
     w.put_u64(v.counter);
     w.put_u64(v.timestamp_ns);
 }
 
-fn decode_stamp(r: &mut Reader<'_>) -> Result<VersionStamp, DecodeError> {
+pub(crate) fn decode_stamp(r: &mut Reader<'_>) -> Result<VersionStamp, DecodeError> {
     Ok(VersionStamp {
         device: r.get_str("stamp device")?,
         counter: r.get_u64("stamp counter")?,

@@ -26,6 +26,18 @@ pub const LOCK_DIR: &str = "unidrive/locks";
 /// Directory holding erasure-coded blocks.
 pub const BLOCKS_DIR: &str = "unidrive/blocks";
 
+/// Directory holding the oplog metadata plane: per-device op files
+/// plus the compacted base (separate from the lock plane's files so
+/// the two modes never alias each other's objects).
+pub const OPLOG_DIR: &str = "unidrive/oplog";
+
+/// The oplog plane's compacted base image (encrypted, with the fold
+/// watermark), written only under the quorum lock.
+pub const OPLOG_BASE_PATH: &str = "unidrive/oplog/base";
+
+/// Prefix of per-device op files inside [`OPLOG_DIR`].
+pub const OP_FILE_PREFIX: &str = "ops_";
+
 /// Cloud path of one erasure-coded block: the segment id concatenated
 /// with the block's sequence number (paper §5.1).
 ///
@@ -53,6 +65,28 @@ pub fn lock_file_name(device: &str, t_ns: u64) -> String {
 /// Full cloud path of a lock file.
 pub fn lock_file_path(device: &str, t_ns: u64) -> String {
     format!("{LOCK_DIR}/{}", lock_file_name(device, t_ns))
+}
+
+/// Name of `device`'s append-only op file (one per device; the device
+/// is its sole writer, so appends never race).
+pub fn op_file_name(device: &str) -> String {
+    format!("{OP_FILE_PREFIX}{device}")
+}
+
+/// Full cloud path of `device`'s op file.
+pub fn op_file_path(device: &str) -> String {
+    format!("{OPLOG_DIR}/{}", op_file_name(device))
+}
+
+/// Parses an op file name back into the owning device.
+///
+/// Returns `None` for files that are not op files.
+pub fn parse_op_file_name(name: &str) -> Option<&str> {
+    let device = name.strip_prefix(OP_FILE_PREFIX)?;
+    if device.is_empty() {
+        return None;
+    }
+    Some(device)
 }
 
 /// Parses a lock file name back into `(device, t)`.
@@ -110,5 +144,21 @@ mod tests {
         assert!(VERSION_PATH.starts_with(ROOT_DIR));
         assert!(LOCK_DIR.starts_with(ROOT_DIR));
         assert!(BLOCKS_DIR.starts_with(ROOT_DIR));
+        assert!(OPLOG_DIR.starts_with(ROOT_DIR));
+        assert!(OPLOG_BASE_PATH.starts_with(OPLOG_DIR));
+    }
+
+    #[test]
+    fn op_file_name_round_trip() {
+        let name = op_file_name("my_home_pc");
+        assert_eq!(parse_op_file_name(&name), Some("my_home_pc"));
+        assert_eq!(op_file_path("d"), "unidrive/oplog/ops_d");
+    }
+
+    #[test]
+    fn non_op_file_names_rejected() {
+        assert_eq!(parse_op_file_name("base"), None);
+        assert_eq!(parse_op_file_name("ops_"), None);
+        assert_eq!(parse_op_file_name("lock_dev_1"), None);
     }
 }

@@ -15,11 +15,16 @@ mod delta;
 mod diff;
 mod layout;
 mod model;
+mod op;
+mod plane;
 
 pub use delta::{DeltaLog, DeltaRecord};
 pub use diff::{diff, merge3, Conflict, EntryChange, MergeOutcome, TreeDelta};
 pub use layout::{
-    block_path, lock_file_name, lock_file_path, parse_lock_name, BASE_PATH, BLOCKS_DIR,
-    DELTA_PATH, LOCK_DIR, ROOT_DIR, VERSION_PATH,
+    block_path, lock_file_name, lock_file_path, op_file_name, op_file_path, parse_lock_name,
+    parse_op_file_name, BASE_PATH, BLOCKS_DIR, DELTA_PATH, LOCK_DIR, OPLOG_BASE_PATH, OPLOG_DIR,
+    OP_FILE_PREFIX, ROOT_DIR, VERSION_PATH,
 };
 pub use model::{BlockRef, FileEntry, SegmentEntry, SegmentId, Snapshot, SyncFolderImage, VersionStamp};
+pub use op::{compact, fold, frame_chunks, op_id, unframe_chunks, FoldOutcome, MetaOp, OplogBase};
+pub use plane::{MergeFn, MetaMode, MetaPlane, PlaneError};

@@ -1,0 +1,194 @@
+//! The pluggable metadata plane: how a device coordinates reads and
+//! commits of the shared [`SyncFolderImage`].
+//!
+//! UniDrive's paper design serializes every writer behind one quorum
+//! lock over the whole image (the **lock** mode). The **oplog** mode
+//! replaces that global serialization with per-device append-only
+//! operation logs replicated to every cloud: writers append without
+//! coordination, readers fold all visible ops in a total
+//! `(lamport, device, seq)` order (see [`fold`](crate::fold)), and the
+//! quorum lock survives only for base compaction. Both modes implement
+//! [`MetaPlane`]; the sync client is written against the trait.
+
+use crate::{SyncFolderImage, VersionStamp};
+use unidrive_obs::SpanId;
+
+/// Which metadata plane a client runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum MetaMode {
+    /// Paper §5.2: quorum lock around every metadata commit (default).
+    #[default]
+    Lock,
+    /// Append-only per-device op logs; lock only for compaction.
+    Oplog,
+}
+
+impl MetaMode {
+    /// Parses `"lock"` / `"oplog"` (as accepted by `--meta-mode`).
+    pub fn parse(s: &str) -> Option<MetaMode> {
+        match s {
+            "lock" => Some(MetaMode::Lock),
+            "oplog" => Some(MetaMode::Oplog),
+            _ => None,
+        }
+    }
+
+    /// The flag spelling of this mode.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            MetaMode::Lock => "lock",
+            MetaMode::Oplog => "oplog",
+        }
+    }
+}
+
+impl std::fmt::Display for MetaMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Error from a metadata-plane operation.
+///
+/// The union of the failure shapes of both planes: lock acquisition
+/// (lock mode), quorum reads and writes (both modes).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PlaneError {
+    /// Could not win the quorum lock within the configured attempts.
+    Contended {
+        /// Rounds attempted.
+        attempts: u32,
+    },
+    /// Fewer than a quorum of clouds are reachable at all.
+    QuorumUnreachable {
+        /// Clouds that answered.
+        reachable: usize,
+        /// Quorum size needed.
+        quorum: usize,
+    },
+    /// Fewer clouds than a quorum acknowledged the write.
+    QuorumWriteFailed {
+        /// Clouds that stored the update.
+        acked: usize,
+        /// Quorum required.
+        quorum: usize,
+    },
+    /// Metadata exists somewhere but no cloud serves a consistent,
+    /// decryptable copy.
+    Unreadable,
+}
+
+impl std::fmt::Display for PlaneError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PlaneError::Contended { attempts } => {
+                write!(f, "failed to acquire quorum lock after {attempts} attempts")
+            }
+            PlaneError::QuorumUnreachable { reachable, quorum } => write!(
+                f,
+                "only {reachable} clouds reachable, quorum of {quorum} required"
+            ),
+            PlaneError::QuorumWriteFailed { acked, quorum } => {
+                write!(f, "metadata write reached {acked} clouds, quorum is {quorum}")
+            }
+            PlaneError::Unreadable => write!(f, "no cloud serves a consistent metadata copy"),
+        }
+    }
+}
+
+impl std::error::Error for PlaneError {}
+
+/// The merge callback [`MetaPlane::transact`] runs inside the
+/// transaction: given the freshest remote image (`None` on a fresh
+/// multi-cloud), returns the image + stamp to commit, or `None` to
+/// abort cleanly.
+pub type MergeFn<'a> =
+    dyn FnMut(Option<&SyncFolderImage>) -> Option<(SyncFolderImage, VersionStamp)> + 'a;
+
+/// A metadata coordination plane: polls for cloud updates and runs
+/// commit transactions against the replicated [`SyncFolderImage`].
+///
+/// The commit API is transactional by construction: the plane performs
+/// whatever coordination its mode requires (acquire the quorum lock,
+/// or fold the op logs), hands the freshest remote image to the
+/// caller's `build` closure, and publishes what the closure returns.
+/// The closure runs *inside* the transaction, so a lock-mode plane
+/// holds the lock across it and an oplog-mode plane derives the op
+/// from exactly the folded state it read.
+pub trait MetaPlane: Send {
+    /// Which mode this plane implements.
+    fn mode(&self) -> MetaMode;
+
+    /// Cheap poll for a cloud update (Algorithm 1 lines 15–18).
+    ///
+    /// Returns `Some(image)` when the cloud holds a newer image than
+    /// `current`, `None` when nothing moved (or nothing is reachable —
+    /// polls never regress on partial visibility).
+    ///
+    /// # Errors
+    ///
+    /// [`PlaneError::Unreadable`] when an update is advertised but no
+    /// consistent copy can be fetched.
+    fn poll(
+        &mut self,
+        current: &SyncFolderImage,
+        round: Option<SpanId>,
+    ) -> Result<Option<SyncFolderImage>, PlaneError>;
+
+    /// One commit transaction.
+    ///
+    /// The plane reads the freshest remote state and calls `build` with
+    /// the remote image (`None` on a fresh multi-cloud). `build`
+    /// returns the image to publish plus its version stamp, or `None`
+    /// to abort the transaction cleanly. On success the plane returns
+    /// the image the caller should adopt as its new synced state — in
+    /// oplog mode this is the *folded* image (remote ops ∪ the new op),
+    /// which may retain state the committed image dropped.
+    ///
+    /// # Errors
+    ///
+    /// [`PlaneError`] on lock, read or quorum-write failures. The
+    /// caller's state is unchanged and the commit can be retried.
+    fn transact(
+        &mut self,
+        current: &SyncFolderImage,
+        round: Option<SpanId>,
+        build: &mut MergeFn<'_>,
+    ) -> Result<Option<SyncFolderImage>, PlaneError>;
+}
+
+impl std::fmt::Debug for dyn MetaPlane {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MetaPlane")
+            .field("mode", &self.mode())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mode_parses_and_prints() {
+        assert_eq!(MetaMode::parse("lock"), Some(MetaMode::Lock));
+        assert_eq!(MetaMode::parse("oplog"), Some(MetaMode::Oplog));
+        assert_eq!(MetaMode::parse("other"), None);
+        assert_eq!(MetaMode::Lock.to_string(), "lock");
+        assert_eq!(MetaMode::Oplog.to_string(), "oplog");
+        assert_eq!(MetaMode::default(), MetaMode::Lock);
+    }
+
+    #[test]
+    fn plane_errors_display() {
+        let cases = [
+            PlaneError::Contended { attempts: 3 },
+            PlaneError::QuorumUnreachable { reachable: 1, quorum: 3 },
+            PlaneError::QuorumWriteFailed { acked: 2, quorum: 3 },
+            PlaneError::Unreadable,
+        ];
+        for e in cases {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

@@ -5,7 +5,8 @@
 
 use unidrive_crypto::{Digest, Sha1};
 use unidrive_meta::{
-    diff, merge3, BlockRef, DeltaLog, SegmentId, Snapshot, SyncFolderImage, VersionStamp,
+    compact, diff, fold, merge3, BlockRef, DeltaLog, MetaOp, OplogBase, SegmentId, Snapshot,
+    SyncFolderImage, VersionStamp,
 };
 use unidrive_sim::SimRng;
 
@@ -201,6 +202,110 @@ fn version_stamp_round_trips() {
             timestamp_ns: rng.next_u64(),
         };
         assert_eq!(VersionStamp::decode(&v.encode()).unwrap(), v);
+    }
+}
+
+const FOLDER: &str = "root";
+
+/// Random per-device op chains over random image transitions: each
+/// device writes `per_device` ops with strictly increasing `seq` and
+/// a fleet-wide drifting lamport clock, the shape the oplog plane
+/// folds in production.
+fn random_ops(rng: &mut SimRng, devices: usize, per_device: usize) -> Vec<MetaOp> {
+    let mut ops = Vec::new();
+    let mut lamport = 0u64;
+    for d in 0..devices {
+        let device = format!("dev{d}");
+        let mut prev = SyncFolderImage::new();
+        for seq in 1..=per_device as u64 {
+            let next = random_image(rng);
+            lamport += 1 + rng.below(3);
+            ops.push(MetaOp {
+                device: device.clone(),
+                seq,
+                lamport,
+                base_lamport: lamport.saturating_sub(1 + rng.below(4)),
+                stamp_ns: rng.next_u64() >> 12,
+                records: DeltaLog::records_for(&prev, &next),
+            });
+            prev = next;
+        }
+    }
+    ops
+}
+
+fn shuffled(rng: &mut SimRng, ops: &[MetaOp]) -> Vec<MetaOp> {
+    let mut out = ops.to_vec();
+    for i in (1..out.len()).rev() {
+        let j = rng.below(i as u64 + 1) as usize;
+        out.swap(i, j);
+    }
+    out
+}
+
+/// Folding the same op set in any delivery order produces the same
+/// image, byte for byte — the oplog plane's convergence property.
+#[test]
+fn op_fold_is_permutation_invariant() {
+    let mut rng = SimRng::seed_from_u64(0x4E09);
+    for _ in 0..32 {
+        let devices = 1 + rng.below(4) as usize;
+        let per_device = 1 + rng.below(4) as usize;
+        let ops = random_ops(&mut rng, devices, per_device);
+        let base = OplogBase::new();
+        let reference = fold(&base, &ops, FOLDER);
+        for _ in 0..4 {
+            let permuted = shuffled(&mut rng, &ops);
+            let outcome = fold(&base, &permuted, FOLDER);
+            assert_eq!(outcome.base.image.encode(), reference.base.image.encode());
+            assert_eq!(outcome.base.watermark, reference.base.watermark);
+            assert_eq!(outcome.applied, reference.applied);
+        }
+    }
+}
+
+/// Delivering every op twice (and thrice) changes nothing: dedup by
+/// deterministic op id makes redelivery harmless.
+#[test]
+fn op_fold_dedup_is_idempotent() {
+    let mut rng = SimRng::seed_from_u64(0x4E0A);
+    for _ in 0..32 {
+        let devices = 1 + rng.below(3) as usize;
+        let per_device = 1 + rng.below(4) as usize;
+        let ops = random_ops(&mut rng, devices, per_device);
+        let base = OplogBase::new();
+        let once = fold(&base, &ops, FOLDER);
+        let mut doubled = ops.clone();
+        doubled.extend(ops.iter().cloned());
+        doubled.extend(ops.iter().cloned());
+        let tripled = fold(&base, &shuffled(&mut rng, &doubled), FOLDER);
+        assert_eq!(tripled.base.image.encode(), once.base.image.encode());
+        assert_eq!(tripled.applied, once.applied);
+        assert_eq!(tripled.duplicates, 2 * ops.len());
+    }
+}
+
+/// Compacting a log then folding nothing equals folding the log
+/// directly — and replaying the compacted-away ops is a no-op (the
+/// watermark filters every one of them).
+#[test]
+fn fold_of_compacted_log_matches_fold_of_log() {
+    let mut rng = SimRng::seed_from_u64(0x4E0B);
+    for _ in 0..32 {
+        let devices = 1 + rng.below(4) as usize;
+        let per_device = 1 + rng.below(4) as usize;
+        let ops = random_ops(&mut rng, devices, per_device);
+        let base = OplogBase::new();
+        let direct = fold(&base, &ops, FOLDER);
+        let compacted = compact(&base, &ops, FOLDER);
+        assert_eq!(compacted.image.encode(), direct.base.image.encode());
+        let replayed = fold(&compacted, &ops, FOLDER);
+        assert_eq!(replayed.applied, 0, "all ops below the base watermark");
+        assert_eq!(replayed.base.image.encode(), direct.base.image.encode());
+        // The compacted base round-trips through its codec.
+        let restored = OplogBase::decode(&compacted.encode()).unwrap();
+        assert_eq!(restored.image.encode(), compacted.image.encode());
+        assert_eq!(restored.watermark, compacted.watermark);
     }
 }
 
