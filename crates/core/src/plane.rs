@@ -264,6 +264,28 @@ impl MetaPlane for LockPlane {
 /// same passphrase.
 const OPLOG_FOLDER: &str = "root";
 
+/// Compaction stops being optional when the live log exceeds this
+/// multiple of λ: a contended lock or flaky quorum can defer any single
+/// compaction, but nothing may defer all of them forever — the op cache
+/// and the full-replace op-file body would grow without bound.
+const OPLOG_COMPACT_ESCALATE: usize = 4;
+
+/// Extra blocking compaction attempts once past the escalation cap
+/// (each is a full [`QuorumLock::acquire_in`] with its own backoff).
+const OPLOG_COMPACT_FORCED_RETRIES: usize = 2;
+
+/// `a` covers `b` when `a`'s watermark is a pointwise superset: every
+/// op folded into `b` is also folded into `a`. Replacing `b` with `a`
+/// can then never lose an op, even one already trimmed from its
+/// writer's op file. Coverage — not the version stamp — is the order
+/// bases advance in: a base folding strictly more ops can still carry
+/// an older stamp when the extra ops sort early in the total order.
+fn covers(a: &OplogBase, b: &OplogBase) -> bool {
+    b.watermark
+        .iter()
+        .all(|(device, seq)| a.watermark.get(device).copied().unwrap_or(0) >= *seq)
+}
+
 /// The append-only oplog metadata plane: per-device op files, total
 /// `(lamport, device, seq)` fold order, quorum lock only for
 /// compaction.
@@ -286,6 +308,15 @@ pub struct OplogPlane {
     /// append: the op may have landed on a minority of clouds, and two
     /// different ops must never share an id.
     next_seq: u64,
+    /// Whether `next_seq` and the retained tail have been recovered
+    /// from cloud state (done by the first fetch that reaches a read
+    /// quorum). A restarted plane must not restart at seq 1: its old
+    /// process's ops are quorum-acked under the same `(device, seq)`
+    /// ids, so a reused id is silently deduped/filtered (the new commit
+    /// never enters any fold) and reuses the id-derived encryption
+    /// nonce for a different plaintext. Commits are refused until
+    /// recovery has run.
+    recovered: bool,
     /// Every op this plane has ever observed that its adopted base does
     /// not cover yet, keyed by op id with the framed size each occupies
     /// in an op file. Folds always include this cache, which makes them
@@ -361,19 +392,54 @@ impl OplogPlane {
             my_ops: Vec::new(),
             my_frames: Vec::new(),
             next_seq: 1,
+            recovered: false,
             seen_ops: BTreeMap::new(),
             adopted_base: None,
         }
     }
 
+    /// Makes `base` this plane's adopted base: drops covered ops from
+    /// the cache (what bounds it to the compaction cadence), trims the
+    /// covered prefix of our retained tail so the next append rewrites
+    /// a smaller file, and never hands out a seq the watermark proves
+    /// was already committed.
+    fn adopt_base(&mut self, base: OplogBase, base_bytes: usize) {
+        self.seen_ops
+            .retain(|_, (op, _)| op.seq > base.watermark.get(&op.device).copied().unwrap_or(0));
+        let covered = base.watermark.get(&self.device).copied().unwrap_or(0);
+        if covered > 0 {
+            let mut frames = self.my_frames.iter();
+            let mut kept = Vec::new();
+            self.my_ops.retain(|op| {
+                let frame = frames.next().expect("frames parallel to ops");
+                if op.seq > covered {
+                    kept.push(frame.clone());
+                    true
+                } else {
+                    false
+                }
+            });
+            self.my_frames = kept;
+        }
+        self.next_seq = self.next_seq.max(covered + 1);
+        self.adopted_base = Some((base, base_bytes));
+    }
+
     /// Downloads the base and every op file from every cloud
     /// (concurrently per cloud), decodes and dedups, folds.
+    ///
+    /// A cloud counts as reachable only when everything it advertised
+    /// could actually be read: a listing that succeeds while a base or
+    /// op-file download fails would otherwise pass the quorum gate with
+    /// acked ops missing from the fold, and the regressed image would
+    /// present as spurious remote deletes.
     fn fetch(&mut self, round: Option<SpanId>) -> OplogFetch {
         let mut span = self.obs.span("meta.oplog.fold", round);
         span.attr_str("device", self.device.as_str());
         // One task per cloud: list the oplog dir, then download the
         // base and each op file. A missing directory is a fresh cloud
-        // (reachable, empty); a failing listing is unreachable.
+        // (reachable, empty); a failing listing — or a listed file the
+        // cloud then refuses to serve — is unreachable.
         let tasks: Vec<_> = self
             .clouds
             .iter()
@@ -396,15 +462,16 @@ impl OplogPlane {
                     let mut base_ct: Option<Bytes> = None;
                     let mut bodies: Vec<Bytes> = Vec::new();
                     for name in names {
+                        if name != "base" && parse_op_file_name(&name).is_none() {
+                            continue;
+                        }
                         let path = format!("{OPLOG_DIR}/{name}");
-                        if name == "base" {
-                            base_ct = Retry::new(&rt, &retry).run(|| cloud.download(&path)).ok();
-                        } else if parse_op_file_name(&name).is_some() {
-                            if let Ok(body) =
-                                Retry::new(&rt, &retry).run(|| cloud.download(&path))
-                            {
-                                bodies.push(body);
-                            }
+                        match Retry::new(&rt, &retry).run(|| cloud.download(&path)) {
+                            Ok(body) if name == "base" => base_ct = Some(body),
+                            Ok(body) => bodies.push(body),
+                            // Listed-then-gone: as absent as unlisted.
+                            Err(CloudError::NotFound { .. }) => {}
+                            Err(_) => return None,
                         }
                     }
                     Some((base_ct, bodies))
@@ -415,8 +482,12 @@ impl OplogPlane {
         let mut reachable = 0usize;
         // The freshest base starts from what we already adopted — a
         // read that races a compaction's base uploads must not regress
-        // to an older base we have moved past.
+        // to a base we have moved past. "Freshest" is watermark
+        // coverage (see [`covers`]), with the version stamp only as a
+        // tie-break between equal-coverage copies.
         let mut best_base: Option<(OplogBase, usize)> = self.adopted_base.clone();
+        // Our own ops as stored on the clouds, for seq/tail recovery.
+        let mut own: BTreeMap<u64, (MetaOp, Bytes)> = BTreeMap::new();
         for t in tasks {
             let Some((base_ct, bodies)) = t.join() else {
                 continue;
@@ -428,7 +499,12 @@ impl OplogPlane {
                         let replace = match &best_base {
                             None => true,
                             Some((best, _)) => {
-                                crate::control::newer(&base.image.version, &best.image.version)
+                                covers(&base, best)
+                                    && (!covers(best, &base)
+                                        || crate::control::newer(
+                                            &base.image.version,
+                                            &best.image.version,
+                                        ))
                             }
                         };
                         if replace {
@@ -445,12 +521,35 @@ impl OplogPlane {
                     let Ok(op) = MetaOp::decode(&pt) else {
                         continue;
                     };
+                    if !self.recovered && op.device == self.device {
+                        own.entry(op.seq).or_insert_with(|| (op.clone(), frame.clone()));
+                    }
                     // Dedup by id into the persistent cache (same op ⇒
                     // same deterministic ciphertext ⇒ same framed size).
                     let id = *op.id(OPLOG_FOLDER).as_bytes();
                     self.seen_ops.entry(id).or_insert((op, 4 + frame.len()));
                 }
             }
+        }
+        // First fetch with a read quorum: recover where our own log
+        // left off. A restarted device re-learns its surviving frames —
+        // so the next full-replace upload preserves them instead of
+        // clobbering the old process's acked ops — and resumes `seq`
+        // after the highest committed one (ids are never reused; the
+        // dedup and the id-derived nonce both depend on it).
+        if !self.recovered && reachable >= self.clouds.quorum() {
+            for (op, frame) in self.my_ops.iter().zip(&self.my_frames) {
+                own.entry(op.seq).or_insert_with(|| (op.clone(), frame.clone()));
+            }
+            self.my_ops = Vec::with_capacity(own.len());
+            self.my_frames = Vec::with_capacity(own.len());
+            for (op, frame) in own.values() {
+                self.my_ops.push(op.clone());
+                self.my_frames.push(frame.clone());
+            }
+            let committed = own.keys().next_back().copied().unwrap_or(0);
+            self.next_seq = self.next_seq.max(committed + 1);
+            self.recovered = true;
         }
         // Our own unacked/partially-replicated tail is always visible
         // to ourselves, whatever the clouds returned.
@@ -462,34 +561,13 @@ impl OplogPlane {
         }
 
         let (base, base_bytes) = best_base.unwrap_or((OplogBase::new(), 0));
-        self.adopted_base = Some((base.clone(), base_bytes));
-        // Ops the adopted base covers are folded into it; dropping them
-        // here is what bounds the cache to the compaction cadence.
-        self.seen_ops
-            .retain(|_, (op, _)| op.seq > base.watermark.get(&op.device).copied().unwrap_or(0));
-        // The base watermark covers our old ops: trim them from the
-        // retained tail so the next append rewrites a smaller file.
-        let covered = base.watermark.get(&self.device).copied().unwrap_or(0);
-        if covered > 0 {
-            let mut frames = self.my_frames.iter();
-            let mut kept_frames = Vec::new();
-            self.my_ops.retain(|op| {
-                let frame = frames.next().expect("frames parallel to ops");
-                if op.seq > covered {
-                    kept_frames.push(frame.clone());
-                    true
-                } else {
-                    false
-                }
-            });
-            self.my_frames = kept_frames;
-        }
+        self.adopt_base(base.clone(), base_bytes);
 
         let mut ops = Vec::with_capacity(self.seen_ops.len());
         let mut log_bytes = 0usize;
         for (op, framed) in self.seen_ops.values() {
             // Everything left in the cache is live (uncovered) by the
-            // retain above.
+            // retain in `adopt_base`.
             log_bytes += framed;
             ops.push(op.clone());
         }
@@ -532,17 +610,106 @@ impl OplogPlane {
         tasks.into_iter().map(|t| t.join()).filter(|ok| *ok).count()
     }
 
-    /// Folds everything visible (including the new op) into a fresh
-    /// base and replicates it, under the quorum lock. Best-effort: a
-    /// contended lock or failed quorum write just leaves the old base —
-    /// the log keeps working, only longer.
-    fn try_compact(&mut self, new_base: &OplogBase, round: Option<SpanId>) {
+    /// Folds everything live into a fresh base and replicates it, under
+    /// the quorum lock. Best-effort: a contended lock, an unreadable
+    /// stored base, or a failed quorum write just leaves the old base —
+    /// the log keeps working, only longer. Returns whether a new base
+    /// was committed.
+    ///
+    /// The base to upload is derived *under the lock*: the stored base
+    /// is re-downloaded and the fold restarts from it whenever it has
+    /// advanced past what this plane had adopted before acquiring.
+    /// Without that, two devices compacting in close succession (B
+    /// folds, A compacts and releases, B acquires and uploads) would
+    /// let B overwrite A's base with one whose watermark covers fewer
+    /// ops — and once a third device trims its op file against A's
+    /// base, those ops exist in neither the base nor the log: a fresh
+    /// reader folds a regressed image whose missing files look like
+    /// remote deletes (and whose garbage collection destroys live
+    /// segments). The invariant is that every base ever uploaded
+    /// [`covers`] the stored base it replaces, so stored bases form a
+    /// coverage chain.
+    fn try_compact(&mut self, round: Option<SpanId>) -> bool {
         let Ok(guard) = self.lock.acquire_in(round) else {
             self.obs.inc("meta.oplog.compact_skipped");
-            return;
+            return false;
         };
         let mut span = self.obs.span("meta.oplog.compact", round);
         span.attr_str("device", self.device.as_str());
+        // Re-read the stored base under the lock. A cloud is
+        // base-readable when it serves a decodable base or has none at
+        // all; a quorum of base-readable clouds is required so this
+        // read intersects the write quorum of whatever compaction most
+        // recently succeeded (an undecodable copy — a torn base upload
+        // — cannot be ruled newer, so it does not count as read).
+        let reads: Vec<_> = self
+            .clouds
+            .iter()
+            .map(|(_, cloud)| {
+                let cloud = Arc::clone(cloud);
+                let rt = Arc::clone(&self.rt);
+                let retry = self.retry.clone();
+                unidrive_sim::spawn(&self.rt, "oplog-base-read", move || {
+                    match Retry::new(&rt, &retry).run(|| cloud.download(OPLOG_BASE_PATH)) {
+                        Ok(ct) => Some(Some(ct)),
+                        Err(CloudError::NotFound { .. }) => Some(None),
+                        Err(_) => None,
+                    }
+                })
+            })
+            .collect();
+        let mut base_readable = 0usize;
+        let mut stored: Vec<(OplogBase, usize)> = Vec::new();
+        for t in reads {
+            match t.join() {
+                Some(Some(ct)) => {
+                    let decoded = self
+                        .cipher
+                        .decrypt(&ct)
+                        .ok()
+                        .and_then(|pt| OplogBase::decode(&pt).ok());
+                    if let Some(base) = decoded {
+                        base_readable += 1;
+                        stored.push((base, ct.len()));
+                    }
+                }
+                Some(None) => base_readable += 1,
+                None => {}
+            }
+        }
+        let mut working: Option<OplogBase> = self.adopted_base.as_ref().map(|(b, _)| b.clone());
+        let mut abort = base_readable < self.clouds.quorum();
+        if !abort {
+            for (base, _) in stored {
+                let ours_covers = working.as_ref().is_some_and(|w| covers(w, &base));
+                if ours_covers {
+                    continue;
+                }
+                let stored_covers = working.as_ref().is_none_or(|w| covers(&base, w));
+                if !stored_covers {
+                    // Incomparable watermarks: something outside the
+                    // coverage chain wrote this base. Leave the stored
+                    // state alone rather than guess which ops survive.
+                    abort = true;
+                    break;
+                }
+                // The stored base moved past us while we were folding:
+                // restart the fold from it.
+                working = Some(base);
+            }
+        }
+        if abort {
+            span.attr_bool("ok", false);
+            span.end();
+            self.obs.inc("meta.oplog.compact_aborted");
+            guard.release();
+            return false;
+        }
+        let base = working.unwrap_or_default();
+        // Fold every cached op; ones the working base already covers
+        // are filtered by its watermark inside `compact`.
+        let live: Vec<MetaOp> = self.seen_ops.values().map(|(op, _)| op.clone()).collect();
+        let new_base = compact(&base, &live, OPLOG_FOLDER);
         let pt = new_base.encode();
         // Deterministic nonce: same folded state ⇒ same ciphertext, so
         // a retried compaction is byte-identical.
@@ -569,34 +736,19 @@ impl OplogPlane {
         let ok = acked >= self.clouds.quorum();
         span.attr_bool("ok", ok);
         span.end();
+        guard.release();
         if ok {
             self.obs.inc("meta.oplog.compactions");
             // Adopt our own base immediately: the next fold must not
-            // pick an older cloud copy while the uploads settle.
-            self.adopted_base = Some((new_base.clone(), ct.len()));
-            self.seen_ops.retain(|_, (op, _)| {
-                op.seq > new_base.watermark.get(&op.device).copied().unwrap_or(0)
-            });
-            // The new base covers our whole tail: trim it and shrink
-            // our op file (best-effort; the watermark filters either
-            // way).
-            let covered = new_base.watermark.get(&self.device).copied().unwrap_or(0);
-            let mut frames = self.my_frames.iter();
-            let mut kept = Vec::new();
-            self.my_ops.retain(|op| {
-                let frame = frames.next().expect("frames parallel to ops");
-                if op.seq > covered {
-                    kept.push(frame.clone());
-                    true
-                } else {
-                    false
-                }
-            });
-            self.my_frames = kept;
+            // pick an older cloud copy while the uploads settle. The
+            // new base covers our whole tail, so this also trims it;
+            // shrink our op file to match (best-effort; the watermark
+            // filters either way).
+            self.adopt_base(new_base, ct.len());
             let body = frame_chunks(&self.my_frames);
             let _ = self.replicate_op_file(&body);
         }
-        guard.release();
+        ok
     }
 }
 
@@ -630,9 +782,10 @@ impl MetaPlane for OplogPlane {
     ) -> Result<Option<SyncFolderImage>, PlaneError> {
         let fetched = self.fetch(round);
         let quorum = self.clouds.quorum();
-        if fetched.reachable < quorum {
-            // A fold over fewer clouds could miss acked ops; committing
-            // against it would manufacture spurious conflicts.
+        if fetched.reachable < quorum || !self.recovered {
+            // A fold over fewer clouds could miss acked ops: committing
+            // against it would manufacture spurious conflicts, and an
+            // unrecovered plane could reuse a (device, seq) id.
             return Err(PlaneError::QuorumUnreachable {
                 reachable: fetched.reachable,
                 quorum,
@@ -666,6 +819,9 @@ impl MetaPlane for OplogPlane {
         let frame = Bytes::from(self.cipher.encrypt(&op.encode(), nonce));
         let frame_len = 4 + frame.len();
         self.my_ops.push(op.clone());
+        // The new op is live by definition: folds (and the compaction
+        // size accounting) must see it like any other uncovered op.
+        self.seen_ops.insert(*id.as_bytes(), (op.clone(), frame_len));
         self.my_frames.push(frame);
         self.next_seq += 1;
 
@@ -692,12 +848,29 @@ impl MetaPlane for OplogPlane {
         let adopted = compact(&fetched.folded, std::slice::from_ref(&op), OPLOG_FOLDER);
 
         // λ: compact when the live log outgrows the base, mirroring the
-        // delta plane's threshold.
+        // delta plane's threshold. Best-effort until the log reaches
+        // OPLOG_COMPACT_ESCALATE × λ; past that, deferring further
+        // would let the op cache and the full-replace op-file body grow
+        // without bound under sustained contention, so the plane keeps
+        // retrying the lock (each attempt a full backoff cycle) and
+        // flags the log as overdue if even that fails.
         let live = fetched.log_bytes + frame_len;
         let threshold =
             ((fetched.base_bytes as f64 * self.delta_ratio) as usize).max(self.delta_floor);
         if live > threshold {
-            self.try_compact(&adopted, round);
+            let mut compacted = self.try_compact(round);
+            if !compacted && live > threshold.saturating_mul(OPLOG_COMPACT_ESCALATE) {
+                self.obs.inc("meta.oplog.compact_forced");
+                for _ in 0..OPLOG_COMPACT_FORCED_RETRIES {
+                    compacted = self.try_compact(round);
+                    if compacted {
+                        break;
+                    }
+                }
+                if !compacted {
+                    self.obs.inc("meta.oplog.compact_overdue");
+                }
+            }
         }
         Ok(Some(adopted.image))
     }
@@ -716,6 +889,60 @@ mod tests {
             (0..n)
                 .map(|i| Arc::new(MemCloud::new(format!("c{i}"))) as Arc<dyn CloudStore>)
                 .collect(),
+        )
+    }
+
+    /// Delegates to `inner` but fails `download` of any path containing
+    /// `only` with a non-NotFound error — a cloud that lists fine yet
+    /// cannot serve (some of) what it advertised.
+    struct FailingDownloads {
+        inner: Arc<dyn CloudStore>,
+        only: &'static str,
+    }
+
+    impl CloudStore for FailingDownloads {
+        fn name(&self) -> &str {
+            self.inner.name()
+        }
+        fn upload(&self, path: &str, data: Bytes) -> Result<(), unidrive_cloud::CloudError> {
+            self.inner.upload(path, data)
+        }
+        fn download(&self, path: &str) -> Result<Bytes, unidrive_cloud::CloudError> {
+            if path.contains(self.only) {
+                return Err(CloudError::Unavailable {
+                    cloud: self.inner.name().to_owned(),
+                    op: None,
+                    path: Some(path.to_owned()),
+                });
+            }
+            self.inner.download(path)
+        }
+        fn create_dir(&self, path: &str) -> Result<(), unidrive_cloud::CloudError> {
+            self.inner.create_dir(path)
+        }
+        fn list(
+            &self,
+            path: &str,
+        ) -> Result<Vec<unidrive_cloud::ObjectInfo>, unidrive_cloud::CloudError> {
+            self.inner.list(path)
+        }
+        fn delete(&self, path: &str) -> Result<(), unidrive_cloud::CloudError> {
+            self.inner.delete(path)
+        }
+    }
+
+    fn oplog_plane(set: CloudSet, device: &str, floor: usize, seed: u64) -> OplogPlane {
+        OplogPlane::new(
+            Arc::new(RealRuntime::new()),
+            set,
+            device,
+            "test-passphrase",
+            RetryPolicy::no_retries(),
+            LockConfig::default(),
+            SimRng::seed_from_u64(seed),
+            Obs::noop(),
+            0.25,
+            floor,
         )
     }
 
@@ -876,5 +1103,147 @@ mod tests {
             })
             .unwrap_err();
         assert!(matches!(err, PlaneError::QuorumUnreachable { reachable: 2, quorum: 3 }));
+    }
+
+    /// A compactor holding a pre-lock fold must not overwrite a base
+    /// that advanced while it waited: dev-a's second compaction trims
+    /// its op file, so a stale base from dev-b would lose those ops in
+    /// both the base and the log.
+    #[test]
+    fn stale_compactor_cannot_regress_the_stored_base() {
+        let set = clouds(3);
+        // dev-a commits one op; the large floor defers compaction.
+        let mut a = oplog_plane(set.clone(), "dev-a", 10 * 1024, 1);
+        let img1 = commit_file(&mut a, &SyncFolderImage::new(), "dev-a", "a1.txt", 1);
+        // dev-b folds the pre-compaction world and goes stale.
+        let mut b = oplog_plane(set.clone(), "dev-b", 10 * 1024, 2);
+        assert!(b.poll(&SyncFolderImage::new(), None).expect("poll").is_some());
+        // dev-a (restarted) compacts: base watermark {dev-a: 2}, its op
+        // file trimmed empty — a2's op now lives only in the base.
+        let mut a2 = oplog_plane(set.clone(), "dev-a", 1, 3);
+        let _ = commit_file(&mut a2, &img1, "dev-a", "a2.txt", 2);
+        // dev-b compacts from its stale fold. The under-lock re-read
+        // must restart from the stored base instead of unwinding it.
+        assert!(b.try_compact(None));
+        let cipher = MetadataCipher::from_passphrase("test-passphrase");
+        let after_ct = set
+            .get(unidrive_cloud::CloudId(0))
+            .download(OPLOG_BASE_PATH)
+            .expect("base present");
+        let after = OplogBase::decode(&cipher.decrypt(&after_ct).unwrap()).unwrap();
+        assert!(
+            after.watermark.get("dev-a").copied().unwrap_or(0) >= 2,
+            "stale compactor unwound dev-a's compaction"
+        );
+        // A fresh reader still sees both files.
+        let mut r = plane(MetaMode::Oplog, set, "dev-r", 9);
+        let merged = r
+            .poll(&SyncFolderImage::new(), None)
+            .expect("poll")
+            .expect("visible");
+        assert!(merged.file("a1.txt").is_some());
+        assert!(merged.file("a2.txt").is_some());
+    }
+
+    /// A plane recreated for an existing device (process restart) must
+    /// resume its sequence past the quorum-acked ops — a reused
+    /// `(device, seq)` id is silently deduped away — and its first
+    /// full-replace upload must carry the surviving frames instead of
+    /// clobbering them.
+    #[test]
+    fn restarted_device_resumes_sequence_and_preserves_log() {
+        let set = clouds(3);
+        let mut w1 = oplog_plane(set.clone(), "dev-a", 10 * 1024, 1);
+        let img1 = commit_file(&mut w1, &SyncFolderImage::new(), "dev-a", "f1.txt", 1);
+        let img2 = commit_file(&mut w1, &img1, "dev-a", "f2.txt", 2);
+        assert_eq!(w1.next_seq, 3);
+        drop(w1);
+        let mut w2 = oplog_plane(set.clone(), "dev-a", 10 * 1024, 2);
+        let img3 = commit_file(&mut w2, &img2, "dev-a", "f3.txt", 3);
+        assert_eq!(w2.next_seq, 4, "seq resumed after the committed ops");
+        assert_eq!(w2.my_ops.len(), 3, "surviving frames recovered");
+        assert!(img3.file("f1.txt").is_some() && img3.file("f2.txt").is_some());
+        let mut r = plane(MetaMode::Oplog, set, "dev-r", 9);
+        let merged = r
+            .poll(&SyncFolderImage::new(), None)
+            .expect("poll")
+            .expect("visible");
+        for f in ["f1.txt", "f2.txt", "f3.txt"] {
+            assert!(merged.file(f).is_some(), "{f} lost across the restart");
+        }
+    }
+
+    /// A cloud whose listing succeeds but whose downloads fail must not
+    /// count toward the read quorum: the fold would silently miss acked
+    /// ops.
+    #[test]
+    fn listed_but_undownloadable_cloud_is_unreachable() {
+        let inners: Vec<Arc<dyn CloudStore>> = (0..5)
+            .map(|i| Arc::new(MemCloud::new(format!("c{i}"))) as Arc<dyn CloudStore>)
+            .collect();
+        let mut w = plane(MetaMode::Oplog, CloudSet::new(inners.clone()), "dev-a", 1);
+        commit_file(w.as_mut(), &SyncFolderImage::new(), "dev-a", "f.txt", 1);
+        let wrapped: Vec<Arc<dyn CloudStore>> = inners
+            .iter()
+            .enumerate()
+            .map(|(i, c)| {
+                if i < 3 {
+                    Arc::new(FailingDownloads {
+                        inner: Arc::clone(c),
+                        only: "",
+                    }) as Arc<dyn CloudStore>
+                } else {
+                    Arc::clone(c)
+                }
+            })
+            .collect();
+        let mut r = plane(MetaMode::Oplog, CloudSet::new(wrapped), "dev-b", 2);
+        assert!(
+            r.poll(&SyncFolderImage::new(), None).expect("poll").is_none(),
+            "partial fold must not be presented"
+        );
+        let err = r
+            .transact(&SyncFolderImage::new(), None, &mut |_| {
+                panic!("build must not run when downloads fail below quorum")
+            })
+            .unwrap_err();
+        assert!(matches!(err, PlaneError::QuorumUnreachable { reachable: 2, quorum: 3 }));
+    }
+
+    /// When compaction keeps failing past the escalation cap, the plane
+    /// retries it as blocking work and surfaces the overdue log on the
+    /// counters — commits themselves keep succeeding.
+    #[test]
+    fn overdue_compaction_escalates_with_counters() {
+        // Base downloads always fail (non-NotFound), so every
+        // compaction attempt aborts its stored-base re-read.
+        let members: Vec<Arc<dyn CloudStore>> = (0..3)
+            .map(|i| {
+                Arc::new(FailingDownloads {
+                    inner: Arc::new(MemCloud::new(format!("c{i}"))),
+                    only: "oplog/base",
+                }) as Arc<dyn CloudStore>
+            })
+            .collect();
+        let registry = unidrive_obs::Registry::new();
+        let mut w = OplogPlane::new(
+            Arc::new(RealRuntime::new()),
+            CloudSet::new(members),
+            "dev-a",
+            "test-passphrase",
+            RetryPolicy::no_retries(),
+            LockConfig::default(),
+            SimRng::seed_from_u64(1),
+            Obs::with_registry(Arc::clone(&registry)),
+            0.25,
+            1,
+        );
+        let img = commit_file(&mut w, &SyncFolderImage::new(), "dev-a", "f.txt", 1);
+        assert!(img.file("f.txt").is_some(), "commit survives a stuck compaction");
+        let snap = registry.snapshot();
+        assert!(snap.counter("meta.oplog.compact_aborted") >= 3, "initial try + forced retries");
+        assert_eq!(snap.counter("meta.oplog.compact_forced"), 1);
+        assert_eq!(snap.counter("meta.oplog.compact_overdue"), 1);
+        assert_eq!(snap.counter("meta.oplog.compactions"), 0);
     }
 }
