@@ -78,6 +78,16 @@ echo "==> span trace determinism + Chrome trace-event shape"
 cmp "$out/t1.json" "$out/t2.json"
 ./target/release/trace_report --validate "$out/t1.json"
 
+echo "==> windowed series export: determinism + schema validation (fig11)"
+# The obs series layer (--series-out) must be a pure function of the
+# seed and pass its own validator: schema tag, strictly increasing
+# window indices, and quantile monotonicity (p50 <= p95 <= p99) in
+# every sample window.
+./target/release/fig11_batch_sync quick --series-out "$out/s1.json" >/dev/null
+./target/release/fig11_batch_sync quick --series-out "$out/s2.json" >/dev/null
+cmp "$out/s1.json" "$out/s2.json"
+./target/release/obs_report --validate "$out/s1.json"
+
 echo "==> chaos soak: invariants hold, lethal plan minimizes, same seed => byte-identical"
 # Randomized (but seeded) fault schedules must never violate an
 # invariant; the deliberately lethal schedule must, and must shrink to
@@ -85,12 +95,36 @@ echo "==> chaos soak: invariants hold, lethal plan minimizes, same seed => byte-
 # flight record are all derived from virtual time only, so two
 # same-seed runs must be byte-identical — the fig11 gate's analogue
 # for the fault-injection layer.
-./target/release/chaos_soak quick --out "$out/cs1.json" >/dev/null
-./target/release/chaos_soak quick --out "$out/cs2.json" >/dev/null
+./target/release/chaos_soak quick --out "$out/cs1.json" --series-out "$out/csh1.json" >/dev/null
+./target/release/chaos_soak quick --out "$out/cs2.json" --series-out "$out/csh2.json" >/dev/null
 cmp "$out/cs1.json" "$out/cs2.json"
 cmp "$out/cs1.minplan.json" "$out/cs2.minplan.json"
 cmp "$out/cs1.flight.json" "$out/cs2.flight.json"
 grep -q '"verdict": "PASS"' "$out/cs1.json"
+
+echo "==> chaos health round: targeted outage visibly degrades, then recovers"
+# The health-round acceptance gate: the scoreboard fed by ObservedCloud
+# wrappers must show the targeted cloud leaving healthy during its
+# outage window and back to healthy once the window closes, while no
+# untargeted cloud ever goes down. The same scoreboard is embedded in
+# the series export, which must also validate.
+cmp "$out/csh1.json" "$out/csh2.json"
+./target/release/obs_report --validate "$out/csh1.json"
+grep -q '"dipped": true' "$out/cs1.json"
+grep -q '"recovered": true' "$out/cs1.json"
+python3 - "$out/csh1.json" <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+rows = {h["cloud"]: h for h in doc["health"]}
+target = rows["c2"]
+dipped = {w["state"] for w in target["timeline"]} & {"degraded", "down"}
+assert dipped, [w["state"] for w in target["timeline"]]
+assert target["state"] == "healthy", target["state"]
+assert any(t["to"] in ("degraded", "down") for t in target["transitions"]), target["transitions"]
+for name, row in rows.items():
+    if name != "c2":
+        assert all(t["to"] != "down" for t in row["transitions"]), (name, row["transitions"])
+EOF
 # The default run soaks both metadata planes; the oplog-restricted run
 # additionally proves the --meta-mode flag itself is honored and that
 # the oplog plane passes in isolation (op files absorbing torn uploads
@@ -105,8 +139,8 @@ echo "==> fleet bench: 10k-device quick run, invariants + schema + byte-identica
 # green, emit a schema-stable report, and be a pure function of the
 # seed: two quick runs (the second with a different shard and thread
 # count) must produce byte-identical BENCH_fleet.json.
-./target/release/bench_fleet quick --out "$out/f1.json" >/dev/null
-./target/release/bench_fleet quick --shards 3 --threads 2 --out "$out/f2.json" >/dev/null
+./target/release/bench_fleet quick --out "$out/f1.json" --series-out "$out/fs1.json" >/dev/null
+./target/release/bench_fleet quick --shards 3 --threads 2 --out "$out/f2.json" --series-out "$out/fs2.json" >/dev/null
 cmp "$out/f1.json" "$out/f2.json"
 python3 - "$out/f1.json" <<'EOF'
 import json, sys
@@ -124,6 +158,33 @@ for c in doc["clouds"]:
     assert c["ops"] == c["lock_ops"] + c["transfer_ops"], c
 started = doc["counters"]["sessions.started"]
 assert started == doc["counters"]["sessions.completed"] > 0, doc["counters"]
+# Contention and compaction-pressure counters must be first-class
+# schema members even when zero (lock mode leaves the oplog ones at 0).
+for name in ["lock.starved", "oplog.compact_forced", "oplog.compact_overdue"]:
+    assert name in doc["counters"], sorted(doc["counters"])
+EOF
+
+echo "==> fleet series: byte-identical across shard/thread layouts + health schema"
+# The per-shard series banks must merge to the same document no matter
+# how the event set is partitioned — the windowed-telemetry analogue
+# of the BENCH_fleet.json determinism gate — and the embedded health
+# scoreboard must carry one valid row per cloud.
+cmp "$out/fs1.json" "$out/fs2.json"
+./target/release/obs_report --validate "$out/fs1.json"
+python3 - "$out/fs1.json" <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+assert doc["series"] == "unidrive-obs-series/v1", doc.get("series")
+assert doc["window_ns"] > 0
+for metric in ["fleet.arrivals", "fleet.sessions", "cloud.ops", "fleet.sync_latency_ns"]:
+    assert metric in doc["metrics"], sorted(doc["metrics"])
+health = doc["health"]
+assert len(health) == 5, [h["cloud"] for h in health]
+for row in health:
+    assert row["state"] in ("healthy", "degraded", "down"), row
+    assert row["ops"] > 0, row
+    indices = [w["i"] for w in row["timeline"]]
+    assert indices == sorted(set(indices)), row["cloud"]
 EOF
 
 echo "==> oplog bench: N-writer scaling shape + schema + byte-identical"
@@ -133,9 +194,11 @@ echo "==> oplog bench: N-writer scaling shape + schema + byte-identical"
 # through the real client protocol), the report schema must stay
 # stable, and the shape claim itself is asserted: at the top writer
 # count, oplog aggregate throughput must beat lock.
-./target/release/bench_oplog quick --out "$out/o1.json" >/dev/null
-./target/release/bench_oplog quick --out "$out/o2.json" >/dev/null
+./target/release/bench_oplog quick --out "$out/o1.json" --series-out "$out/os1.json" >/dev/null
+./target/release/bench_oplog quick --out "$out/o2.json" --series-out "$out/os2.json" >/dev/null
 cmp "$out/o1.json" "$out/o2.json"
+cmp "$out/os1.json" "$out/os2.json"
+./target/release/obs_report --validate "$out/os1.json"
 python3 - "$out/o1.json" <<'EOF'
 import json, sys
 doc = json.load(open(sys.argv[1]))
@@ -145,11 +208,32 @@ rows = doc["rows"]
 assert len(rows) == 2 * len(doc["config"]["writer_counts"]), rows
 by = {}
 for r in rows:
-    assert set(r) == {"commits", "commits_per_min", "failed", "mode", "retries", "rounds", "virtual_secs", "writers"}, r
+    assert set(r) == {"commits", "commits_per_min", "compact_forced", "compact_overdue",
+                      "failed", "lock_starved", "mode", "retries", "rounds",
+                      "virtual_secs", "writers"}, r
     assert r["commits"] == r["writers"] * r["rounds"] and r["failed"] == 0, r
+    # The metadata plane's own counters: an uncontended oplog run must
+    # never leave a compaction overdue, and starvation audits belong to
+    # the lock plane.
+    assert r["compact_overdue"] == 0, r
+    if r["mode"] == "oplog":
+        assert r["lock_starved"] == 0, r
     by[(r["mode"], r["writers"])] = r["commits_per_min"]
 top = max(doc["config"]["writer_counts"])
 assert by[("oplog", top)] > by[("lock", top)], (by[("oplog", top)], by[("lock", top)])
 EOF
+
+echo "==> bench_compare: identical runs are regression-free; drift is advisory"
+# Same-input comparison must report zero regressions across every
+# tracked metric and doc type (throughput, failure counts, latency
+# percentiles, headline counters) — the tool's own no-false-positive
+# gate. Comparing a quick run against the checked-in full-mode
+# baseline is informational only: different rounds, expected drift.
+./target/release/bench_compare "$out/o1.json" "$out/o2.json" --md "$out/cmp_oplog.md"
+grep -q "0 regression" "$out/cmp_oplog.md"
+./target/release/bench_compare "$out/f1.json" "$out/f1.json" >/dev/null
+./target/release/bench_compare "$out/bench_kernels.json" "$out/bench_kernels.json" >/dev/null
+./target/release/bench_compare BENCH_oplog.json "$out/o1.json" --md "$out/cmp_baseline.md" \
+    || echo "    advisory: quick run drifts from the full-mode baseline (expected, not a gate)"
 
 echo "CI OK"

@@ -1,0 +1,298 @@
+//! **Bench compare** — regression tracker for the deterministic bench
+//! reports. Diffs two runs of the same bench JSON (baseline vs
+//! current), applies per-metric tolerances, and emits a markdown
+//! summary table; exits non-zero when any tracked metric regressed
+//! beyond tolerance.
+//!
+//! Detects the document type by its schema key:
+//!
+//! * `bench_kernels` — `mb_per_s` per `(kernel, bytes, threads)` row;
+//!   regression = throughput drop beyond 25% (kernel benches run in
+//!   wall-clock and jitter with the host).
+//! * `bench_oplog` — `commits_per_min` per `(mode, writers)` cell;
+//!   regression = throughput drop beyond 20% (virtual-time, but the
+//!   schedule shifts with protocol changes), or any increase in
+//!   `failed` commits.
+//! * `bench_fleet` — `hist.*` latency percentiles (p50/p95/p99, upper
+//!   bound, 25%) plus headline counters: `sessions.completed` must not
+//!   drop more than 5%, `lock.starved` must not grow more than 25%
+//!   (with a small absolute slack so near-zero baselines don't trip).
+//!
+//! Rows present in only one run are reported but never count as
+//! regressions — a new matrix cell is growth, not a regression.
+//!
+//! Usage: `bench_compare BASELINE.json CURRENT.json [--md OUT.md]`.
+//! The markdown table goes to stdout, or to `--md` when given.
+
+use unidrive_bench::json::{parse_json, Json};
+
+/// One compared metric: identity, both values, and the verdict.
+struct Delta {
+    key: String,
+    metric: &'static str,
+    baseline: f64,
+    current: f64,
+    /// Relative change, signed; positive = current larger.
+    change: f64,
+    regressed: bool,
+}
+
+/// Direction a metric is allowed to move without counting as a
+/// regression.
+enum Bound {
+    /// Higher is better; regression when current drops below
+    /// `baseline * (1 - tol)`.
+    Lower(f64),
+    /// Lower is better; regression when current rises above
+    /// `baseline * (1 + tol) + slack`.
+    Upper(f64, f64),
+}
+
+fn delta(key: String, metric: &'static str, baseline: f64, current: f64, bound: Bound) -> Delta {
+    let change = if baseline.abs() > f64::EPSILON {
+        (current - baseline) / baseline
+    } else if current.abs() > f64::EPSILON {
+        f64::INFINITY
+    } else {
+        0.0
+    };
+    let regressed = match bound {
+        Bound::Lower(tol) => current < baseline * (1.0 - tol),
+        Bound::Upper(tol, slack) => current > baseline * (1.0 + tol) + slack,
+    };
+    Delta {
+        key,
+        metric,
+        baseline,
+        current,
+        change,
+        regressed,
+    }
+}
+
+/// Pulls `rows` and indexes each row by the given identity fields.
+fn index_rows<'a>(doc: &'a Json, id_fields: &[&str]) -> Vec<(String, &'a Json)> {
+    doc.get("rows")
+        .and_then(Json::as_arr)
+        .unwrap_or(&[])
+        .iter()
+        .map(|row| {
+            let key = id_fields
+                .iter()
+                .map(|f| match row.get(f) {
+                    Some(Json::Str(s)) => s.clone(),
+                    Some(Json::Num(v)) => format!("{v}"),
+                    _ => "?".to_owned(),
+                })
+                .collect::<Vec<_>>()
+                .join("/");
+            (key, row)
+        })
+        .collect()
+}
+
+/// Compares one numeric field across row sets keyed by identity;
+/// appends deltas for shared keys and notes one-sided keys.
+fn compare_rows(
+    base: &[(String, &Json)],
+    cur: &[(String, &Json)],
+    field: &'static str,
+    bound: impl Fn() -> Bound,
+    deltas: &mut Vec<Delta>,
+    notes: &mut Vec<String>,
+) {
+    for (key, brow) in base {
+        match cur.iter().find(|(k, _)| k == key) {
+            Some((_, crow)) => {
+                let b = brow.get(field).and_then(Json::as_f64).unwrap_or(0.0);
+                let c = crow.get(field).and_then(Json::as_f64).unwrap_or(0.0);
+                deltas.push(delta(key.clone(), field, b, c, bound()));
+            }
+            None => notes.push(format!("row `{key}` only in baseline")),
+        }
+    }
+    for (key, _) in cur {
+        if !base.iter().any(|(k, _)| k == key) {
+            notes.push(format!("row `{key}` only in current"));
+        }
+    }
+}
+
+fn compare_kernels(base: &Json, cur: &Json, deltas: &mut Vec<Delta>, notes: &mut Vec<String>) {
+    let b = index_rows(base, &["kernel", "bytes", "threads"]);
+    let c = index_rows(cur, &["kernel", "bytes", "threads"]);
+    compare_rows(&b, &c, "mb_per_s", || Bound::Lower(0.25), deltas, notes);
+}
+
+fn compare_oplog(base: &Json, cur: &Json, deltas: &mut Vec<Delta>, notes: &mut Vec<String>) {
+    let b = index_rows(base, &["mode", "writers"]);
+    let c = index_rows(cur, &["mode", "writers"]);
+    compare_rows(&b, &c, "commits_per_min", || Bound::Lower(0.20), deltas, notes);
+    compare_rows(&b, &c, "failed", || Bound::Upper(0.0, 0.0), deltas, notes);
+}
+
+fn compare_fleet(base: &Json, cur: &Json, deltas: &mut Vec<Delta>, notes: &mut Vec<String>) {
+    // Latency percentiles: higher is worse.
+    if let (Some(bh), Some(ch)) = (
+        base.get("hist").and_then(Json::as_obj),
+        cur.get("hist").and_then(Json::as_obj),
+    ) {
+        for (name, bhist) in bh {
+            let Some((_, chist)) = ch.iter().find(|(n, _)| n == name) else {
+                notes.push(format!("hist `{name}` only in baseline"));
+                continue;
+            };
+            for q in ["p50", "p95", "p99"] {
+                let b = bhist.get(q).and_then(Json::as_f64).unwrap_or(0.0);
+                let c = chist.get(q).and_then(Json::as_f64).unwrap_or(0.0);
+                // Histogram buckets are power-of-two-ish; one bucket of
+                // absolute slack keeps boundary flips from tripping.
+                deltas.push(delta(
+                    name.clone(),
+                    match q {
+                        "p50" => "p50",
+                        "p95" => "p95",
+                        _ => "p99",
+                    },
+                    b,
+                    c,
+                    Bound::Upper(0.25, b * 0.01 + 1.0),
+                ));
+            }
+        }
+    }
+    let counter = |doc: &Json, name: &str| {
+        doc.get("counters")
+            .and_then(|c| c.get(name))
+            .and_then(Json::as_f64)
+            .unwrap_or(0.0)
+    };
+    deltas.push(delta(
+        "counters".to_owned(),
+        "sessions.completed",
+        counter(base, "sessions.completed"),
+        counter(cur, "sessions.completed"),
+        Bound::Lower(0.05),
+    ));
+    deltas.push(delta(
+        "counters".to_owned(),
+        "lock.starved",
+        counter(base, "lock.starved"),
+        counter(cur, "lock.starved"),
+        Bound::Upper(0.25, 16.0),
+    ));
+}
+
+fn fmt_val(v: f64) -> String {
+    if v == 0.0 {
+        "0".to_owned()
+    } else if v.abs() >= 1e6 || v.fract() == 0.0 {
+        format!("{v:.0}")
+    } else {
+        format!("{v:.3}")
+    }
+}
+
+fn fmt_change(c: f64) -> String {
+    if c.is_infinite() {
+        "new".to_owned()
+    } else {
+        format!("{:+.1}%", c * 100.0)
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let md_out = args
+        .iter()
+        .position(|a| a == "--md")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+    let paths: Vec<&String> = args
+        .iter()
+        .skip(1)
+        .filter(|a| !a.starts_with("--") && md_out.as_ref() != Some(a))
+        .collect();
+    let [base_path, cur_path] = paths[..] else {
+        eprintln!("usage: bench_compare BASELINE.json CURRENT.json [--md OUT.md]");
+        std::process::exit(2);
+    };
+    let load = |path: &str| -> Json {
+        let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("bench_compare: cannot read {path}: {e}");
+            std::process::exit(2);
+        });
+        parse_json(&text).unwrap_or_else(|e| {
+            eprintln!("bench_compare: {path}: {e}");
+            std::process::exit(2);
+        })
+    };
+    let base = load(base_path);
+    let cur = load(cur_path);
+
+    let kind = ["bench_kernels", "bench_oplog", "bench_fleet"]
+        .into_iter()
+        .find(|k| base.get(k).is_some());
+    let Some(kind) = kind else {
+        eprintln!("bench_compare: {base_path} has no recognized schema key");
+        std::process::exit(2);
+    };
+    if cur.get(kind).is_none() {
+        eprintln!("bench_compare: {cur_path} is not a {kind} report");
+        std::process::exit(2);
+    }
+
+    let mut deltas = Vec::new();
+    let mut notes = Vec::new();
+    match kind {
+        "bench_kernels" => compare_kernels(&base, &cur, &mut deltas, &mut notes),
+        "bench_oplog" => compare_oplog(&base, &cur, &mut deltas, &mut notes),
+        _ => compare_fleet(&base, &cur, &mut deltas, &mut notes),
+    }
+
+    let regressions = deltas.iter().filter(|d| d.regressed).count();
+    let mut md = String::new();
+    md.push_str(&format!(
+        "## {kind} comparison\n\nbaseline `{base_path}` vs current `{cur_path}` — \
+         {} metric(s), **{} regression(s)**\n\n",
+        deltas.len(),
+        regressions
+    ));
+    md.push_str("| row | metric | baseline | current | change | status |\n");
+    md.push_str("|---|---|---:|---:|---:|---|\n");
+    for d in &deltas {
+        md.push_str(&format!(
+            "| {} | {} | {} | {} | {} | {} |\n",
+            d.key,
+            d.metric,
+            fmt_val(d.baseline),
+            fmt_val(d.current),
+            fmt_change(d.change),
+            if d.regressed { "REGRESSED" } else { "ok" }
+        ));
+    }
+    if !notes.is_empty() {
+        md.push('\n');
+        for n in &notes {
+            md.push_str(&format!("- {n}\n"));
+        }
+    }
+
+    match &md_out {
+        Some(path) => {
+            if let Err(e) = std::fs::write(path, &md) {
+                eprintln!("bench_compare: cannot write {path}: {e}");
+                std::process::exit(2);
+            }
+            println!(
+                "bench_compare: {kind}: {} metric(s), {} regression(s) — summary in {path}",
+                deltas.len(),
+                regressions
+            );
+        }
+        None => print!("{md}"),
+    }
+    if regressions > 0 {
+        std::process::exit(1);
+    }
+}

@@ -15,8 +15,12 @@
 //! facts, and would break the byte-identical gate.
 //!
 //! Usage: `bench_fleet [quick] [--seed N] [--shards N] [--threads N]
-//! [--out BENCH_fleet.json]`. `--metrics-out`/`--trace-out` mirror the
-//! counters into a standard obs snapshot for `run_all` integration.
+//! [--out BENCH_fleet.json] [--series-out SERIES.json]`.
+//! `--metrics-out`/`--trace-out` mirror the counters into a standard
+//! obs snapshot for `run_all` integration; `--series-out` writes the
+//! windowed per-cloud/workload series with the health scoreboard
+//! embedded (byte-identical across shard and thread counts — CI runs
+//! two layouts and byte-compares).
 
 use std::time::Instant;
 
@@ -64,7 +68,10 @@ fn main() {
         cfg.threads = t as usize;
     }
     cfg.meta_mode = meta_mode_from_args();
-    let metrics = metrics_out::from_args();
+    let mut metrics = metrics_out::from_args();
+    // The fleet's series are merged per-shard banks, not registry
+    // cells: claim the path and write the fleet's own document.
+    let series_out = metrics.take_series_path();
 
     println!(
         "Fleet bench ({}): {} devices, {} hot folders, {}s horizon, {} shards, seed {}, meta-mode {}",
@@ -121,9 +128,11 @@ fn main() {
     );
     if m.counter("oplog.appends") > 0 {
         println!(
-            "oplog: {} appends, {} compactions, {} compaction skips",
+            "oplog: {} appends, {} compactions ({} forced, {} overdue), {} compaction skips",
             m.counter("oplog.appends"),
             m.counter("oplog.compactions"),
+            m.counter("oplog.compact_forced"),
+            m.counter("oplog.compact_overdue"),
             m.counter("oplog.compact_skipped")
         );
     }
@@ -175,6 +184,31 @@ fn main() {
     }
     println!("\n{}", table.render());
 
+    // Health scoreboard summary: final state per cloud (full timelines
+    // are in the --series-out export).
+    let state_of = |row: &str| {
+        row.split("\"state\": \"")
+            .nth(1)
+            .and_then(|rest| rest.split('"').next())
+            .unwrap_or("?")
+            .to_owned()
+    };
+    let cloud_of = |row: &str| {
+        row.split("\"cloud\": \"")
+            .nth(1)
+            .and_then(|rest| rest.split('"').next())
+            .unwrap_or("?")
+            .to_owned()
+    };
+    println!(
+        "health: {}",
+        m.health_rows
+            .iter()
+            .map(|r| format!("{}={}", cloud_of(r), state_of(r)))
+            .collect::<Vec<_>>()
+            .join(" ")
+    );
+
     println!("invariants:");
     for inv in &m.invariants {
         println!(
@@ -193,6 +227,13 @@ fn main() {
     metrics.obs.set_gauge("fleet.virtual_end_secs", m.virtual_end_ns as f64 / 1e9);
     if let Some(path) = metrics.write() {
         println!("metrics written to {path}");
+    }
+
+    if let Some(path) = &series_out {
+        match std::fs::write(path, m.series_json()) {
+            Ok(()) => println!("series written to {path}"),
+            Err(e) => eprintln!("failed to write --series-out {path}: {e}"),
+        }
     }
 
     let json = m.to_json();

@@ -22,7 +22,15 @@
 //! emit byte-identical `BENCH_oplog.json` (CI runs quick mode twice
 //! and byte-compares, like fig11 and bench_fleet).
 //!
-//! Usage: `bench_oplog [quick] [--meta-mode {lock,oplog}] [--out BENCH_oplog.json]`.
+//! Each cell runs against its own virtual-time-clocked obs registry,
+//! so the metadata plane's own counters land in the report: per-cell
+//! `lock_starved` (starvation audits under contention — lock plane),
+//! `compact_forced` and `compact_overdue` (λ-compaction escalation —
+//! oplog plane). `--series-out` exports the windowed series of the
+//! hottest cell (top writer count, last plane).
+//!
+//! Usage: `bench_oplog [quick] [--meta-mode {lock,oplog}]
+//! [--out BENCH_oplog.json] [--series-out SERIES.json]`.
 //! Without `--meta-mode` both planes run (that is the point); with it,
 //! only the selected plane's rows are produced.
 
@@ -33,6 +41,7 @@ use unidrive_cloud::{CloudSet, CloudStore, MemCloud, SimCloud, SimCloudConfig};
 use unidrive_core::{ClientConfig, DataPlaneConfig, MemFolder, SyncFolder, UniDriveClient};
 use unidrive_erasure::RedundancyConfig;
 use unidrive_meta::MetaMode;
+use unidrive_obs::{Obs, Registry, DEFAULT_SERIES_WINDOW_NS};
 use unidrive_sim::{spawn, Runtime, SimRng, SimRuntime};
 use unidrive_workload::TextTable;
 
@@ -49,6 +58,15 @@ struct Cell {
     failures: usize,
     virtual_secs: f64,
     commits_per_min: f64,
+    /// Lock rounds where a starvation audit fired (lock plane earns
+    /// these under contention; the oplog plane should stay near zero).
+    lock_starved: u64,
+    /// λ-compactions escalated to forced retries (oplog plane only).
+    compact_forced: u64,
+    /// Forced compactions that *still* failed — backlog left overdue.
+    compact_overdue: u64,
+    /// Windowed series export of this cell, when requested.
+    series: Option<String>,
 }
 
 fn payload(seed: u64, len: usize) -> Vec<u8> {
@@ -59,9 +77,15 @@ fn payload(seed: u64, len: usize) -> Vec<u8> {
 /// Runs one cell: `writers` clients hammering commits of fresh files
 /// into the same shared folder, `rounds` commits each, no think time —
 /// the pure hot-folder contention case.
-fn run_cell(mode: MetaMode, writers: usize, rounds: usize, seed: u64) -> Cell {
+fn run_cell(mode: MetaMode, writers: usize, rounds: usize, seed: u64, want_series: bool) -> Cell {
     let sim = SimRuntime::new(seed);
     let rt = sim.clone().as_runtime();
+    // Per-cell registry: the lock/oplog planes feed their counters and
+    // windowed series here (virtual-time clocked via install_obs).
+    let registry = Registry::with_trace_capacity(1 << 14);
+    registry.enable_series(DEFAULT_SERIES_WINDOW_NS);
+    let obs = Obs::with_registry(Arc::clone(&registry));
+    sim.install_obs(obs.clone());
 
     // Shared provider backings; per-writer network frontends so one
     // writer's transfers never queue behind another's (contention in
@@ -90,10 +114,13 @@ fn run_cell(mode: MetaMode, writers: usize, rounds: usize, seed: u64) -> Cell {
         let rt2 = rt.clone();
         let mut config = ClientConfig::paper_default(format!("w{d}"));
         config.meta_mode = mode;
-        config.data = DataPlaneConfig::with_params(
-            RedundancyConfig::new(5, 3, 3, 2).expect("paper parameters"),
-            64 * 1024,
-        );
+        config.data = DataPlaneConfig {
+            obs: obs.clone(),
+            ..DataPlaneConfig::with_params(
+                RedundancyConfig::new(5, 3, 3, 2).expect("paper parameters"),
+                64 * 1024,
+            )
+        };
         let folder = MemFolder::new();
         let mut client = UniDriveClient::new(
             rt.clone(),
@@ -145,6 +172,8 @@ fn run_cell(mode: MetaMode, writers: usize, rounds: usize, seed: u64) -> Cell {
         failures += f;
     }
     let virtual_secs = (sim.now() - t0).as_secs_f64();
+    let snap = obs.snapshot().expect("registry snapshot");
+    let series = want_series.then(|| registry.series_snapshot().to_json());
     Cell {
         mode,
         writers,
@@ -154,6 +183,10 @@ fn run_cell(mode: MetaMode, writers: usize, rounds: usize, seed: u64) -> Cell {
         failures,
         virtual_secs,
         commits_per_min: commits as f64 * 60.0 / virtual_secs.max(1e-9),
+        lock_starved: snap.counter("lock.starved"),
+        compact_forced: snap.counter("meta.oplog.compact_forced"),
+        compact_overdue: snap.counter("meta.oplog.compact_overdue"),
+        series,
     }
 }
 
@@ -185,6 +218,11 @@ fn main() {
                 std::process::exit(2);
             }
         });
+    let series_out = args
+        .iter()
+        .position(|a| a == "--series-out")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
     let rounds = if quick { 4 } else { 8 };
     let modes: Vec<MetaMode> = match only_mode {
         Some(m) => vec![m],
@@ -197,12 +235,18 @@ fn main() {
     );
 
     let wall = Instant::now();
+    let top = *WRITER_COUNTS.last().expect("non-empty");
     let mut cells: Vec<Cell> = Vec::new();
     for &mode in &modes {
         for &writers in &WRITER_COUNTS {
             // Same seed for every cell: both planes face the identical
-            // world; only the metadata plane differs.
-            cells.push(run_cell(mode, writers, rounds, 0x9106));
+            // world; only the metadata plane differs. The series export
+            // (when asked for) comes from the hottest cell of the last
+            // plane — the most contended world in the matrix.
+            let want_series = series_out.is_some()
+                && writers == top
+                && Some(&mode) == modes.last();
+            cells.push(run_cell(mode, writers, rounds, 0x9106, want_series));
         }
     }
     let elapsed = wall.elapsed();
@@ -213,6 +257,8 @@ fn main() {
         "commits",
         "retries",
         "failed",
+        "starved",
+        "forced",
         "virtual_s",
         "commits/min",
         "scaling",
@@ -229,6 +275,8 @@ fn main() {
             c.commits.to_string(),
             c.retries.to_string(),
             c.failures.to_string(),
+            c.lock_starved.to_string(),
+            c.compact_forced.to_string(),
             format!("{:.1}", c.virtual_secs),
             format!("{:.1}", c.commits_per_min),
             format!("{:.2}x", c.commits_per_min / base.max(1e-9)),
@@ -254,14 +302,27 @@ fn main() {
         );
     }
 
+    if let Some(path) = &series_out {
+        match cells.iter().find_map(|c| c.series.as_deref()) {
+            Some(doc) => match std::fs::write(path, doc) {
+                Ok(()) => println!("series written to {path}"),
+                Err(e) => eprintln!("failed to write --series-out {path}: {e}"),
+            },
+            None => eprintln!("--series-out: no cell produced a series"),
+        }
+    }
+
     let rows: Vec<String> = cells
         .iter()
         .map(|c| {
             format!(
-                "    {{\"commits\": {}, \"commits_per_min\": {}, \"failed\": {}, \"mode\": \"{}\", \"retries\": {}, \"rounds\": {}, \"virtual_secs\": {}, \"writers\": {}}}",
+                "    {{\"commits\": {}, \"commits_per_min\": {}, \"compact_forced\": {}, \"compact_overdue\": {}, \"failed\": {}, \"lock_starved\": {}, \"mode\": \"{}\", \"retries\": {}, \"rounds\": {}, \"virtual_secs\": {}, \"writers\": {}}}",
                 c.commits,
                 fmt_f64(c.commits_per_min),
+                c.compact_forced,
+                c.compact_overdue,
                 c.failures,
+                c.lock_starved,
                 c.mode,
                 c.retries,
                 c.rounds,

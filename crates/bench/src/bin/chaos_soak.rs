@@ -34,7 +34,16 @@
 //! Everything runs in virtual time from fixed seeds: same-seed runs
 //! produce byte-identical verdict files (checked in CI, like fig11).
 //!
-//! Usage: `chaos_soak [quick] [--meta-mode {lock,oplog}] [--out verdict.json]`.
+//! A final **health** round drives a targeted single-cloud outage with
+//! every device frontend wrapped in an [`ObservedCloud`] feeding a
+//! shared per-provider [`HealthBoard`]: the targeted cloud must leave
+//! `healthy` during the fault window and return to `healthy` after it
+//! closes, and no untargeted cloud may go `down`. The scoreboard is
+//! embedded in the verdict and, with `--series-out`, exported alongside
+//! the windowed obs series.
+//!
+//! Usage: `chaos_soak [quick] [--meta-mode {lock,oplog}]
+//! [--out verdict.json] [--series-out SERIES.json]`.
 //! `--meta-mode` restricts the randomized rounds to one plane.
 
 use std::collections::BTreeMap;
@@ -42,13 +51,13 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use unidrive_cloud::{
-    ChaosCloud, CloudSet, CloudStore, FaultEvent, FaultKind, FaultPlan, MemCloud, SimCloud,
-    SimCloudConfig,
+    ChaosCloud, CloudSet, CloudStore, FaultEvent, FaultKind, FaultPlan, HealthBoard,
+    HealthConfig, MemCloud, ObservedCloud, SimCloud, SimCloudConfig,
 };
 use unidrive_core::{ClientConfig, DataPlaneConfig, MemFolder, SyncFolder, UniDriveClient};
 use unidrive_erasure::RedundancyConfig;
 use unidrive_meta::MetaMode;
-use unidrive_obs::{Event, Obs, Registry};
+use unidrive_obs::{Event, Obs, Registry, DEFAULT_SERIES_WINDOW_NS};
 use unidrive_sim::{spawn, SimRng, SimRuntime};
 
 const CLOUDS: usize = 5;
@@ -282,6 +291,167 @@ fn run_round(plan: &FaultPlan, mode: MetaMode, want_flight: bool) -> RoundOutcom
     }
 }
 
+/// Cloud targeted by the [`health_round`] outage.
+const HEALTH_TARGET: &str = "c2";
+/// Outage window (seconds) for the health round.
+const HEALTH_OUTAGE: (u64, u64) = (60, 160);
+
+/// What the targeted-outage health round observed.
+struct HealthOutcome {
+    /// The targeted cloud left `healthy` during the outage window.
+    dipped: bool,
+    /// ... and was back to `healthy` once the window closed.
+    recovered: bool,
+    /// No *untargeted* cloud ever went `down`.
+    others_clean: bool,
+    /// Scoreboard rows (one JSON object per cloud, sorted by name).
+    rows: Vec<String>,
+}
+
+/// Targeted health round: a fixed outage on [`HEALTH_TARGET`] while
+/// the usual soak workload runs, with every device frontend wrapped in
+/// an [`ObservedCloud`] feeding one *shared* per-provider health
+/// tracker (the scoreboard scores the provider, not one device's view
+/// of it). This is the observability acceptance check: the fault
+/// window must demonstrably move the targeted cloud out of `healthy`
+/// and the close of the window must bring it back. When `series_out`
+/// is set, the windowed series + health scoreboard export is written
+/// there — virtual-time deterministic, same seed ⇒ byte-identical.
+fn health_round(series_out: Option<&str>) -> HealthOutcome {
+    let plan = FaultPlan::with_events(
+        0x4ea17,
+        vec![FaultEvent::always(HEALTH_TARGET, FaultKind::Outage)
+            .window_secs(HEALTH_OUTAGE.0, HEALTH_OUTAGE.1)],
+    );
+    let sim = SimRuntime::new(plan.seed);
+    let rt = sim.clone().as_runtime();
+    let registry = Registry::with_trace_capacity(1 << 16);
+    registry.enable_series(DEFAULT_SERIES_WINDOW_NS);
+    let obs = Obs::with_registry(Arc::clone(&registry));
+    sim.install_obs(obs.clone());
+    let board = HealthBoard::new(HealthConfig::default());
+
+    let backings: Vec<Arc<MemCloud>> = (0..CLOUDS)
+        .map(|i| Arc::new(MemCloud::new(format!("b{i}"))))
+        .collect();
+    let mut device_sets = Vec::new();
+    for d in 0..DEVICES {
+        let members: Vec<Arc<dyn CloudStore>> = (0..CLOUDS)
+            .map(|i| {
+                let inner = Arc::new(SimCloud::with_backing(
+                    &sim,
+                    format!("c{i}"),
+                    SimCloudConfig::steady(2e6, 8e6),
+                    Arc::clone(&backings[i]),
+                ));
+                inner.install_obs(obs.clone());
+                let chaos = Arc::new(ChaosCloud::with_label(
+                    inner as Arc<dyn CloudStore>,
+                    rt.clone(),
+                    &plan,
+                    &format!("dev{d}"),
+                ));
+                chaos.install_obs(obs.clone());
+                Arc::new(ObservedCloud::new(
+                    chaos as Arc<dyn CloudStore>,
+                    rt.clone(),
+                    board.cloud(&format!("c{i}")),
+                    obs.clone(),
+                )) as Arc<dyn CloudStore>
+            })
+            .collect();
+        device_sets.push(CloudSet::new(members));
+    }
+
+    let folders: Vec<Arc<MemFolder>> = (0..DEVICES).map(|_| MemFolder::new()).collect();
+    let mut tasks = Vec::new();
+    for d in 0..DEVICES {
+        let mut config = ClientConfig::paper_default(format!("dev{d}"));
+        config.meta_mode = MetaMode::Lock;
+        config.data = DataPlaneConfig {
+            obs: obs.clone(),
+            ..DataPlaneConfig::with_params(
+                RedundancyConfig::new(5, 3, 3, 2).expect("valid"),
+                64 * 1024,
+            )
+        };
+        let mut c = UniDriveClient::new(
+            rt.clone(),
+            device_sets[d].clone(),
+            Arc::clone(&folders[d]) as Arc<dyn SyncFolder>,
+            config,
+            SimRng::derive(plan.seed, &format!("chaos_soak/health{d}")),
+        );
+        let folder = Arc::clone(&folders[d]);
+        let rt2 = rt.clone();
+        let seed = plan.seed;
+        tasks.push(spawn(&rt, &format!("health-dev{d}"), move || {
+            for (i, &t) in SYNC_TIMES[d].iter().enumerate() {
+                let target = t * 1_000_000_000;
+                let now = rt2.now().as_nanos();
+                if target > now {
+                    rt2.sleep(Duration::from_nanos(target - now));
+                }
+                if d < 2 && i < 2 {
+                    let path = format!("dev{d}/f{i}.bin");
+                    let data = deterministic_bytes(
+                        seed ^ ((d as u64) << 8) ^ i as u64,
+                        96 * 1024 + d * 4096,
+                    );
+                    folder.write(&path, &data, (i + 1) as u64).expect("mem write");
+                }
+                let _ = c.sync_once();
+            }
+            c
+        }));
+    }
+    let mut clients: Vec<_> = tasks.into_iter().map(|t| t.join()).collect();
+
+    // Cool-down past the horizon: a few no-op sync passes give every
+    // cloud clean active windows so recovery streaks can complete.
+    let horizon = HORIZON_SECS * 1_000_000_000;
+    let now = rt.now().as_nanos();
+    if horizon > now {
+        rt.sleep(Duration::from_nanos(horizon - now));
+    }
+    for _ in 0..4 {
+        for c in &mut clients {
+            let _ = c.sync_once();
+        }
+        rt.sleep(Duration::from_secs(15));
+    }
+
+    board.finish(rt.now().as_nanos());
+    let rows = board.to_json_rows();
+    if let Some(path) = series_out {
+        let doc = registry.series_snapshot().to_json_with_health(&rows);
+        match std::fs::write(path, doc) {
+            Ok(()) => println!("series written to {path}"),
+            Err(e) => eprintln!("failed to write --series-out {path}: {e}"),
+        }
+    }
+
+    let target_tag = format!("{{\"cloud\": \"{HEALTH_TARGET}\"");
+    let target = rows
+        .iter()
+        .find(|r| r.starts_with(&target_tag))
+        .cloned()
+        .unwrap_or_default();
+    let dipped =
+        target.contains("\"to\": \"degraded\"") || target.contains("\"to\": \"down\"");
+    let recovered = target.contains("\"state\": \"healthy\"");
+    let others_clean = rows
+        .iter()
+        .filter(|r| !r.starts_with(&target_tag))
+        .all(|r| !r.contains("\"to\": \"down\""));
+    HealthOutcome {
+        dipped,
+        recovered,
+        others_clean,
+        rows,
+    }
+}
+
 /// A randomized per-round schedule drawn only from fault kinds the
 /// protocol is supposed to mask. `DelayedVisibility` is deliberately
 /// excluded: it breaks the quorum lock's read-after-write assumption
@@ -373,6 +543,11 @@ fn main() {
         .position(|a| a == "--out")
         .and_then(|i| args.get(i + 1))
         .cloned();
+    let series_out = args
+        .iter()
+        .position(|a| a == "--series-out")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
     let only_mode = args
         .iter()
         .position(|a| a == "--meta-mode")
@@ -448,10 +623,21 @@ fn main() {
         if minimized_outcome.failed.is_empty() { "NO".to_owned() } else { minimized_outcome.failed.join(",") },
     );
 
-    let pass = soak_ok && !lethal_outcome.failed.is_empty() && !minimized_outcome.failed.is_empty();
+    // Health round: targeted outage must visibly move the scoreboard.
+    let health = health_round(series_out.as_deref());
+    println!(
+        "\nhealth round: outage on {HEALTH_TARGET} [{}s,{}s): dipped={} recovered={} others_clean={}",
+        HEALTH_OUTAGE.0, HEALTH_OUTAGE.1, health.dipped, health.recovered, health.others_clean,
+    );
+    let health_ok = health.dipped && health.recovered && health.others_clean;
+
+    let pass = soak_ok
+        && !lethal_outcome.failed.is_empty()
+        && !minimized_outcome.failed.is_empty()
+        && health_ok;
     let meta_modes: Vec<&str> = modes.iter().map(|m| m.as_str()).collect();
     let verdict = format!(
-        "{{\n\"chaos_soak\": \"unidrive/v1\",\n\"mode\": \"{}\",\n\"meta_modes\": {},\n\"soak_rounds\": [{}],\n\"soak_ok\": {},\n\"lethal\": {{\"seed\": {}, \"initial_events\": {}, \"failed\": {}, \"minimize_replays\": {}, \"minimized_failed\": {}, \"minimized_plan\": {}}},\n\"verdict\": \"{}\"\n}}\n",
+        "{{\n\"chaos_soak\": \"unidrive/v1\",\n\"mode\": \"{}\",\n\"meta_modes\": {},\n\"soak_rounds\": [{}],\n\"soak_ok\": {},\n\"lethal\": {{\"seed\": {}, \"initial_events\": {}, \"failed\": {}, \"minimize_replays\": {}, \"minimized_failed\": {}, \"minimized_plan\": {}}},\n\"health\": {{\"target\": \"{}\", \"outage_secs\": [{}, {}], \"dipped\": {}, \"recovered\": {}, \"others_clean\": {}, \"clouds\": [{}]}},\n\"verdict\": \"{}\"\n}}\n",
         if quick { "quick" } else { "full" },
         json_str_list(&meta_modes),
         soak_json.join(","),
@@ -462,6 +648,13 @@ fn main() {
         replays,
         json_str_list(&minimized_outcome.failed),
         minimized.to_json(),
+        HEALTH_TARGET,
+        HEALTH_OUTAGE.0,
+        HEALTH_OUTAGE.1,
+        health.dipped,
+        health.recovered,
+        health.others_clean,
+        health.rows.join(","),
         if pass { "PASS" } else { "FAIL" },
     );
     println!("\nchaos_soak verdict: {}", if pass { "PASS" } else { "FAIL" });

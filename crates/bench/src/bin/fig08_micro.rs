@@ -39,6 +39,8 @@ fn main() {
 
     for site in EC2_SITES {
         let sim = SimRuntime::new(0x0808 + site.name.len() as u64 * 131);
+        // Virtual-time clock for the windowed series (--series-out).
+        sim.install_obs(metrics.obs.clone());
         let sys = systems_at_observed(&sim, site, scale.theta, &metrics.obs);
         let mut up: Vec<Vec<f64>> = vec![Vec::new(); 8];
         let mut down: Vec<Vec<f64>> = vec![Vec::new(); 8];

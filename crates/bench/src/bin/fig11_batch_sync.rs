@@ -123,6 +123,11 @@ fn main() {
         // --- UniDrive: the real sync protocol. ---
         {
             let sim = SimRuntime::new(1100 + si as u64);
+            // Point the registry clock at this world's virtual time so
+            // windowed series (--series-out) land in real windows; each
+            // site's world restarts at t=0, so same-named series
+            // aggregate per window index across sites (deterministic).
+            sim.install_obs(metrics.obs.clone());
             let (sets, handles) = build_multicloud_shared(&sim, &EC2_SITES);
             for handle in handles.iter().flatten() {
                 handle.install_obs(metrics.obs.clone());

@@ -13,6 +13,8 @@
 
 #![warn(missing_docs)]
 
+pub mod json;
+
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -252,7 +254,9 @@ pub mod microbench {
 /// the returned handle is a no-op and the run pays only an `Option`
 /// branch per instrumentation site.
 pub mod metrics_out {
-    use unidrive_obs::{HistogramSnapshot, Obs, Registry};
+    use std::sync::Arc;
+
+    use unidrive_obs::{HistogramSnapshot, Obs, Registry, DEFAULT_SERIES_WINDOW_NS};
 
     /// Event-ring capacity used for exported runs: large enough that a
     /// full figure run keeps every event, so the export (and therefore
@@ -260,39 +264,65 @@ pub mod metrics_out {
     /// order between racing actors.
     pub const EXPORT_TRACE_CAPACITY: usize = 1 << 16;
 
-    /// Parsed `--metrics-out` / `--trace-out` state; obtain via
-    /// [`from_args`].
-    #[derive(Debug)]
+    /// Parsed `--metrics-out` / `--trace-out` / `--series-out` state;
+    /// obtain via [`from_args`].
     pub struct MetricsOut {
         /// Handle to thread through [`crate::systems_at_observed`] or
         /// `DataPlaneConfig.obs` / `SimCloud::install_obs` directly.
         pub obs: Obs,
+        registry: Option<Arc<Registry>>,
         path: Option<String>,
         trace_path: Option<String>,
+        series_path: Option<String>,
+        health_rows: Vec<String>,
     }
 
-    /// Reads `--metrics-out <path>` and `--trace-out <path>` from the
-    /// process arguments.
+    impl std::fmt::Debug for MetricsOut {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.debug_struct("MetricsOut")
+                .field("path", &self.path)
+                .field("trace_path", &self.trace_path)
+                .field("series_path", &self.series_path)
+                .finish()
+        }
+    }
+
+    /// Reads `--metrics-out <path>`, `--trace-out <path>`, and
+    /// `--series-out <path>` from the process arguments. Any of the
+    /// three flags installs a real registry; `--series-out` also
+    /// enables windowed series collection on it (window =
+    /// [`DEFAULT_SERIES_WINDOW_NS`]).
     pub fn from_args() -> MetricsOut {
         let mut args = std::env::args();
         let mut path = None;
         let mut trace_path = None;
+        let mut series_path = None;
         while let Some(arg) = args.next() {
             if arg == "--metrics-out" {
                 path = args.next();
             } else if arg == "--trace-out" {
                 trace_path = args.next();
+            } else if arg == "--series-out" {
+                series_path = args.next();
             }
         }
-        let obs = if path.is_some() || trace_path.is_some() {
-            Obs::with_registry(Registry::with_trace_capacity(EXPORT_TRACE_CAPACITY))
+        let (obs, registry) = if path.is_some() || trace_path.is_some() || series_path.is_some()
+        {
+            let registry = Registry::with_trace_capacity(EXPORT_TRACE_CAPACITY);
+            if series_path.is_some() {
+                registry.enable_series(DEFAULT_SERIES_WINDOW_NS);
+            }
+            (Obs::with_registry(Arc::clone(&registry)), Some(registry))
         } else {
-            Obs::noop()
+            (Obs::noop(), None)
         };
         MetricsOut {
             obs,
+            registry,
             path,
             trace_path,
+            series_path,
+            health_rows: Vec::new(),
         }
     }
 
@@ -309,13 +339,46 @@ pub mod metrics_out {
     }
 
     impl MetricsOut {
+        /// True when `--series-out` was given (callers can skip
+        /// series-only work otherwise).
+        pub fn series_enabled(&self) -> bool {
+            self.series_path.is_some()
+        }
+
+        /// Health scoreboard rows (`unidrive-health/v1` objects, one
+        /// per cloud, pre-sorted) to embed in the `--series-out`
+        /// export's `"health"` array.
+        pub fn set_health_rows(&mut self, rows: Vec<String>) {
+            self.health_rows = rows;
+        }
+
+        /// Claims the `--series-out` path, disabling the
+        /// registry-backed series write in [`write`](MetricsOut::write).
+        /// For binaries whose series come from a deterministic source
+        /// of their own (the fleet bench merges per-shard banks) and
+        /// must write that document instead.
+        pub fn take_series_path(&mut self) -> Option<String> {
+            self.series_path.take()
+        }
+
         /// Writes the canonicalized snapshot to the `--metrics-out`
-        /// path and the Chrome trace to the `--trace-out` path, then
-        /// prints a `p50/p95/p99` summary of every latency histogram.
-        /// Returns the metrics path written, or `None` when that flag
-        /// was absent. I/O errors are reported on stderr, not fatal:
-        /// the figure output already printed.
+        /// path, the Chrome trace to the `--trace-out` path, and the
+        /// windowed series (plus any health rows) to the
+        /// `--series-out` path, then prints a `p50/p95/p99` summary of
+        /// every latency histogram. Returns the metrics path written,
+        /// or `None` when that flag was absent. I/O errors are
+        /// reported on stderr, not fatal: the figure output already
+        /// printed.
         pub fn write(&self) -> Option<String> {
+            if let (Some(series_path), Some(registry)) = (&self.series_path, &self.registry) {
+                let doc = registry
+                    .series_snapshot()
+                    .to_json_with_health(&self.health_rows);
+                match std::fs::write(series_path, doc) {
+                    Ok(()) => println!("series written to {series_path}"),
+                    Err(e) => eprintln!("failed to write --series-out {series_path}: {e}"),
+                }
+            }
             let mut snap = self.obs.snapshot()?;
             snap.canonicalize();
             for (name, h) in &snap.histograms {

@@ -1,0 +1,672 @@
+//! Per-cloud health scoreboard: EWMA latency, windowed error rate, an
+//! availability state machine with flap damping, and SLO burn counters.
+//!
+//! UniDrive's placement story rests on *measuring* the clouds — the
+//! paper probes per-PCS throughput/latency and redistributes chunks
+//! when performance shifts. This module is the measurement half: every
+//! operation outcome (latency, ok/err) feeds a [`HealthTracker`],
+//! which rolls samples into fixed virtual-time windows (the same
+//! window grid as `obs::series`) and derives:
+//!
+//! * an **EWMA latency** score updated once per closed window,
+//! * a per-window **error rate**,
+//! * an **availability state** — `healthy → degraded → down` — that
+//!   degrades *immediately* on a bad window but recovers only after
+//!   `recover_windows` consecutive clean windows (flap damping: one
+//!   good window between two outage bursts must not flash `healthy`),
+//! * **SLO burn** counters: windows whose mean latency exceeded the
+//!   latency SLO, and windows whose error rate exceeded the error
+//!   budget.
+//!
+//! The state machine:
+//!
+//! ```text
+//!             err_rate ≥ degraded_err_rate          err_rate ≥ down_err_rate
+//!   +---------+ ------------------------> +----------+ ----------------> +------+
+//!   | HEALTHY |                           | DEGRADED |                   | DOWN |
+//!   +---------+ <------------------------ +----------+ <---------------- +------+
+//!             recover_windows clean                    1 clean window
+//!             (consecutive, counted                    (then climbs via
+//!              across idle windows)                     the same streak)
+//! ```
+//!
+//! Everything is driven by caller-supplied virtual-time stamps and
+//! integer/f64 arithmetic with no ambient time or randomness, so
+//! same-seed runs export byte-identical health JSON.
+
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex, PoisonError};
+
+/// Availability state of one cloud.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum HealthState {
+    /// Error rate below the degraded threshold.
+    Healthy,
+    /// Error rate at or above `degraded_err_rate` in the latest
+    /// active window (or recovering from `Down`).
+    Degraded,
+    /// Error rate at or above `down_err_rate`: the cloud is effectively
+    /// refusing or failing the workload.
+    Down,
+}
+
+impl HealthState {
+    /// Stable lowercase label used in JSON exports.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            HealthState::Healthy => "healthy",
+            HealthState::Degraded => "degraded",
+            HealthState::Down => "down",
+        }
+    }
+}
+
+impl std::fmt::Display for HealthState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Tuning knobs for [`HealthTracker`].
+#[derive(Debug, Clone)]
+pub struct HealthConfig {
+    /// Rollup window width, nanoseconds (match the obs series window).
+    pub window_ns: u64,
+    /// EWMA smoothing factor in `(0, 1]`; applied once per closed
+    /// window to the window's mean latency.
+    pub ewma_alpha: f64,
+    /// Window error rate at or above this ⇒ at least `Degraded`.
+    pub degraded_err_rate: f64,
+    /// Window error rate at or above this ⇒ `Down`.
+    pub down_err_rate: f64,
+    /// Windows with fewer ops than this and zero errors are *idle*:
+    /// they assert nothing about the cloud but count toward recovery.
+    pub min_ops: u64,
+    /// Consecutive clean windows required before `Degraded` returns to
+    /// `Healthy` (flap damping).
+    pub recover_windows: u32,
+    /// Latency SLO: a window whose mean op latency exceeds this burns
+    /// one latency budget window. 0 disables.
+    pub slo_latency_ns: u64,
+    /// Error-rate SLO budget: a window whose error rate exceeds this
+    /// burns one error budget window.
+    pub slo_err_budget: f64,
+}
+
+impl Default for HealthConfig {
+    fn default() -> Self {
+        HealthConfig {
+            window_ns: 10_000_000_000,
+            ewma_alpha: 0.3,
+            degraded_err_rate: 0.10,
+            down_err_rate: 0.50,
+            min_ops: 3,
+            recover_windows: 2,
+            slo_latency_ns: 2_000_000_000,
+            slo_err_budget: 0.01,
+        }
+    }
+}
+
+/// One closed window's health view.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WindowHealth {
+    /// Window index (`t_ns / window_ns`).
+    pub index: u64,
+    /// Operations observed in the window.
+    pub ops: u64,
+    /// Failed operations (`NotFound` is a success — the object simply
+    /// isn't there; callers decide).
+    pub errors: u64,
+    /// `errors / ops` (0 when idle).
+    pub err_rate: f64,
+    /// EWMA latency after folding this window in, nanoseconds.
+    pub ewma_latency_ns: u64,
+    /// State *after* evaluating this window.
+    pub state: HealthState,
+}
+
+/// A recorded state transition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HealthTransition {
+    /// Window index at which the new state took effect.
+    pub window: u64,
+    /// Previous state.
+    pub from: HealthState,
+    /// New state.
+    pub to: HealthState,
+}
+
+/// Single-threaded per-cloud health model; see the module docs for the
+/// state machine. Wrap in [`CloudHealth`] when shared across threads.
+#[derive(Debug, Clone)]
+pub struct HealthTracker {
+    name: String,
+    config: HealthConfig,
+    // Open window accumulation.
+    open_index: Option<u64>,
+    open_ops: u64,
+    open_errors: u64,
+    open_lat_sum: u64,
+    // Derived model state.
+    state: HealthState,
+    clean_streak: u32,
+    ewma_latency_ns: f64,
+    ewma_seeded: bool,
+    total_ops: u64,
+    total_errors: u64,
+    slo_latency_burn: u64,
+    slo_error_burn: u64,
+    timeline: Vec<WindowHealth>,
+    transitions: Vec<HealthTransition>,
+}
+
+impl HealthTracker {
+    /// A fresh tracker for cloud `name`.
+    pub fn new(name: impl Into<String>, config: HealthConfig) -> HealthTracker {
+        assert!(config.window_ns > 0, "window must be positive");
+        assert!(
+            config.degraded_err_rate <= config.down_err_rate,
+            "degraded threshold must not exceed down threshold"
+        );
+        HealthTracker {
+            name: name.into(),
+            config,
+            open_index: None,
+            open_ops: 0,
+            open_errors: 0,
+            open_lat_sum: 0,
+            state: HealthState::Healthy,
+            clean_streak: 0,
+            ewma_latency_ns: 0.0,
+            ewma_seeded: false,
+            total_ops: 0,
+            total_errors: 0,
+            slo_latency_burn: 0,
+            slo_error_burn: 0,
+            timeline: Vec::new(),
+            transitions: Vec::new(),
+        }
+    }
+
+    /// The cloud this tracker scores.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Current availability state (reflects all *closed* windows).
+    pub fn state(&self) -> HealthState {
+        self.state
+    }
+
+    /// EWMA latency in nanoseconds (0 until the first active window).
+    pub fn ewma_latency_ns(&self) -> u64 {
+        self.ewma_latency_ns.round() as u64
+    }
+
+    /// Closed-window timeline (active windows only; idle windows are
+    /// folded into the recovery streak but not materialized).
+    pub fn timeline(&self) -> &[WindowHealth] {
+        &self.timeline
+    }
+
+    /// Recorded state transitions, in order.
+    pub fn transitions(&self) -> &[HealthTransition] {
+        &self.transitions
+    }
+
+    /// `(latency SLO burn windows, error SLO burn windows)`.
+    pub fn slo_burn(&self) -> (u64, u64) {
+        (self.slo_latency_burn, self.slo_error_burn)
+    }
+
+    /// Records one operation outcome observed at virtual time `t_ns`.
+    /// Rolls the window grid forward as `t_ns` advances; `ok` should be
+    /// true for successes *and* `NotFound`.
+    pub fn record(&mut self, t_ns: u64, latency_ns: u64, ok: bool) {
+        let index = t_ns / self.config.window_ns;
+        match self.open_index {
+            Some(open) if open == index => {}
+            Some(open) if open > index => {
+                // Late sample (merge-phase replay): fold into the open
+                // window rather than rewriting closed history — the
+                // state machine only moves at window boundaries anyway.
+            }
+            Some(open) => {
+                self.close_open_window();
+                // Windows between `open` and `index` saw no traffic:
+                // idle windows count toward recovery, one streak step
+                // each, but produce no timeline rows.
+                for w in open + 1..index {
+                    self.idle_window(w);
+                }
+                self.open_index = Some(index);
+            }
+            None => self.open_index = Some(index),
+        }
+        self.open_ops += 1;
+        self.open_lat_sum = self.open_lat_sum.saturating_add(latency_ns);
+        if !ok {
+            self.open_errors += 1;
+        }
+        self.total_ops += 1;
+        if !ok {
+            self.total_errors += 1;
+        }
+    }
+
+    /// Closes the open window and steps the state machine through any
+    /// fully-elapsed idle windows before `end_ns`: call once at the
+    /// end of a run so the final partial window is evaluated.
+    pub fn finish(&mut self, end_ns: u64) {
+        if let Some(open) = self.open_index {
+            self.close_open_window();
+            // Only windows that fully elapsed before `end_ns` count as
+            // observed-idle; the partial window containing `end_ns`
+            // asserts nothing.
+            let end_index = end_ns / self.config.window_ns;
+            for w in open + 1..end_index {
+                self.idle_window(w);
+            }
+            self.open_index = None;
+        }
+    }
+
+    fn idle_window(&mut self, index: u64) {
+        self.step_state(index, true);
+    }
+
+    fn close_open_window(&mut self) {
+        let index = match self.open_index {
+            Some(i) => i,
+            None => return,
+        };
+        let (ops, errors, lat_sum) = (self.open_ops, self.open_errors, self.open_lat_sum);
+        self.open_ops = 0;
+        self.open_errors = 0;
+        self.open_lat_sum = 0;
+        if ops == 0 {
+            self.idle_window(index);
+            return;
+        }
+        let mean_lat = lat_sum as f64 / ops as f64;
+        if self.ewma_seeded {
+            let a = self.config.ewma_alpha;
+            self.ewma_latency_ns = a * mean_lat + (1.0 - a) * self.ewma_latency_ns;
+        } else {
+            self.ewma_latency_ns = mean_lat;
+            self.ewma_seeded = true;
+        }
+        let err_rate = errors as f64 / ops as f64;
+        if self.config.slo_latency_ns > 0 && mean_lat > self.config.slo_latency_ns as f64 {
+            self.slo_latency_burn += 1;
+        }
+        if err_rate > self.config.slo_err_budget {
+            self.slo_error_burn += 1;
+        }
+        // Windows with too few ops assert nothing unless they actually
+        // erred; a low-traffic clean window still counts as clean.
+        let clean = if ops < self.config.min_ops {
+            errors == 0
+        } else {
+            err_rate < self.config.degraded_err_rate
+        };
+        self.step_state(index, clean);
+        // Evaluate severity for non-clean active windows.
+        if !clean {
+            let to = if ops >= self.config.min_ops && err_rate >= self.config.down_err_rate {
+                HealthState::Down
+            } else {
+                HealthState::Degraded
+            };
+            // Degrading is immediate; a Down verdict overrides Degraded
+            // but an already-Down cloud stays Down on a Degraded window.
+            if to > self.state {
+                self.transition(index, to);
+            }
+        }
+        let state = self.state;
+        self.timeline.push(WindowHealth {
+            index,
+            ops,
+            errors,
+            err_rate,
+            ewma_latency_ns: self.ewma_latency_ns.round() as u64,
+            state,
+        });
+    }
+
+    /// Advances the recovery streak for window `index`; `clean` windows
+    /// build the streak, dirty ones reset it (the actual degradation
+    /// transition is decided by the caller, which knows the severity).
+    fn step_state(&mut self, index: u64, clean: bool) {
+        if !clean {
+            self.clean_streak = 0;
+            return;
+        }
+        self.clean_streak = self.clean_streak.saturating_add(1);
+        match self.state {
+            HealthState::Healthy => {}
+            HealthState::Down => {
+                // One clean window steps Down → Degraded; the climb to
+                // Healthy then needs the full streak below.
+                self.transition(index, HealthState::Degraded);
+                self.clean_streak = 0;
+            }
+            HealthState::Degraded => {
+                if self.clean_streak >= self.config.recover_windows {
+                    self.transition(index, HealthState::Healthy);
+                }
+            }
+        }
+    }
+
+    fn transition(&mut self, window: u64, to: HealthState) {
+        if to == self.state {
+            return;
+        }
+        self.transitions.push(HealthTransition {
+            window,
+            from: self.state,
+            to,
+        });
+        self.state = to;
+    }
+
+    /// Deterministic JSON object for this cloud's scoreboard row
+    /// (schema `unidrive-health/v1`, embedded in the series export or
+    /// standalone).
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(512);
+        out.push_str(&format!(
+            "{{\"cloud\": \"{}\", \"state\": \"{}\", \"ewma_latency_ns\": {}, \
+             \"ops\": {}, \"errors\": {}, \"slo\": {{\"latency_burn_windows\": {}, \
+             \"error_burn_windows\": {}}}, \"transitions\": [",
+            self.name,
+            self.state.as_str(),
+            self.ewma_latency_ns(),
+            self.total_ops,
+            self.total_errors,
+            self.slo_latency_burn,
+            self.slo_error_burn,
+        ));
+        for (i, t) in self.transitions.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&format!(
+                "{{\"window\": {}, \"from\": \"{}\", \"to\": \"{}\"}}",
+                t.window,
+                t.from.as_str(),
+                t.to.as_str()
+            ));
+        }
+        out.push_str("], \"timeline\": [");
+        for (i, w) in self.timeline.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&format!(
+                "{{\"i\": {}, \"ops\": {}, \"errors\": {}, \"err_rate\": {}, \
+                 \"ewma_latency_ns\": {}, \"state\": \"{}\"}}",
+                w.index,
+                w.ops,
+                w.errors,
+                fmt_rate(w.err_rate),
+                w.ewma_latency_ns,
+                w.state.as_str()
+            ));
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+/// Locale-free fixed-precision rate: deterministic across hosts.
+fn fmt_rate(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x:.4}")
+    } else {
+        "0.0000".to_owned()
+    }
+}
+
+/// Thread-safe wrapper around a [`HealthTracker`], shared between an
+/// [`ObservedCloud`](crate::ObservedCloud) and the reporting path.
+#[derive(Debug)]
+pub struct CloudHealth {
+    inner: Mutex<HealthTracker>,
+}
+
+impl CloudHealth {
+    /// A shared tracker for cloud `name`.
+    pub fn new(name: impl Into<String>, config: HealthConfig) -> Arc<CloudHealth> {
+        Arc::new(CloudHealth {
+            inner: Mutex::new(HealthTracker::new(name, config)),
+        })
+    }
+
+    /// Records one operation outcome (see [`HealthTracker::record`]).
+    pub fn record(&self, t_ns: u64, latency_ns: u64, ok: bool) {
+        self.lock().record(t_ns, latency_ns, ok);
+    }
+
+    /// Closes the final window (see [`HealthTracker::finish`]).
+    pub fn finish(&self, end_ns: u64) {
+        self.lock().finish(end_ns);
+    }
+
+    /// Current availability state.
+    pub fn state(&self) -> HealthState {
+        self.lock().state()
+    }
+
+    /// Deterministic JSON row (see [`HealthTracker::to_json`]).
+    pub fn to_json(&self) -> String {
+        self.lock().to_json()
+    }
+
+    /// A clone of the underlying tracker for inspection.
+    pub fn tracker(&self) -> HealthTracker {
+        self.lock().clone()
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, HealthTracker> {
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+/// A set of per-cloud health trackers keyed by cloud name — the
+/// scoreboard one world hands to its reporting path.
+#[derive(Debug, Default)]
+pub struct HealthBoard {
+    config: HealthConfig,
+    clouds: Mutex<BTreeMap<String, Arc<CloudHealth>>>,
+}
+
+impl HealthBoard {
+    /// An empty board whose trackers use `config`.
+    pub fn new(config: HealthConfig) -> Arc<HealthBoard> {
+        Arc::new(HealthBoard {
+            config,
+            clouds: Mutex::new(BTreeMap::new()),
+        })
+    }
+
+    /// The tracker for `cloud`, created on first use.
+    pub fn cloud(&self, cloud: &str) -> Arc<CloudHealth> {
+        let mut map = self.clouds.lock().unwrap_or_else(PoisonError::into_inner);
+        if let Some(h) = map.get(cloud) {
+            return Arc::clone(h);
+        }
+        let h = CloudHealth::new(cloud, self.config.clone());
+        map.insert(cloud.to_owned(), Arc::clone(&h));
+        h
+    }
+
+    /// Closes every tracker's final window at `end_ns`.
+    pub fn finish(&self, end_ns: u64) {
+        for h in self
+            .clouds
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .values()
+        {
+            h.finish(end_ns);
+        }
+    }
+
+    /// One deterministic JSON object per cloud, sorted by name — ready
+    /// for [`SeriesSnapshot::to_json_with_health`]
+    /// (unidrive_obs::SeriesSnapshot::to_json_with_health).
+    pub fn to_json_rows(&self) -> Vec<String> {
+        self.clouds
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .values()
+            .map(|h| h.to_json())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const W: u64 = 1_000;
+
+    fn config() -> HealthConfig {
+        HealthConfig {
+            window_ns: W,
+            ewma_alpha: 0.5,
+            degraded_err_rate: 0.10,
+            down_err_rate: 0.50,
+            min_ops: 3,
+            recover_windows: 2,
+            slo_latency_ns: 100,
+            slo_err_budget: 0.01,
+        }
+    }
+
+    /// Fills window `w` with `ok` successes and `err` failures at
+    /// `lat` ns each.
+    fn fill(h: &mut HealthTracker, w: u64, ok: u64, err: u64, lat: u64) {
+        for k in 0..ok + err {
+            h.record(w * W + k % W, lat, k < ok);
+        }
+    }
+
+    #[test]
+    fn degrades_immediately_and_recovers_after_streak() {
+        let mut h = HealthTracker::new("c0", config());
+        fill(&mut h, 0, 10, 0, 50);
+        fill(&mut h, 1, 5, 5, 50); // 50% errors ⇒ Down at window 1
+        fill(&mut h, 2, 9, 1, 50); // 10% ⇒ still dirty, stays Down
+        fill(&mut h, 3, 10, 0, 50); // clean: Down → Degraded
+        fill(&mut h, 4, 10, 0, 50); // clean streak 1
+        fill(&mut h, 5, 10, 0, 50); // clean streak 2 ⇒ Healthy
+        h.finish(6 * W);
+        assert_eq!(h.state(), HealthState::Healthy);
+        let ts: Vec<(u64, HealthState)> =
+            h.transitions().iter().map(|t| (t.window, t.to)).collect();
+        assert_eq!(
+            ts,
+            vec![
+                (1, HealthState::Down),
+                (3, HealthState::Degraded),
+                (5, HealthState::Healthy),
+            ]
+        );
+    }
+
+    #[test]
+    fn flap_damping_holds_degraded_through_single_clean_windows() {
+        let mut h = HealthTracker::new("c0", config());
+        fill(&mut h, 0, 8, 2, 50); // 20% ⇒ Degraded
+        // Alternating clean/dirty windows must never flash Healthy:
+        // recover_windows = 2 and every dirty window resets the streak.
+        for w in 1..7 {
+            if w % 2 == 1 {
+                fill(&mut h, w, 10, 0, 50);
+            } else {
+                fill(&mut h, w, 8, 2, 50);
+            }
+        }
+        h.finish(7 * W);
+        assert_eq!(h.state(), HealthState::Degraded);
+        assert!(h.transitions().iter().all(|t| t.to != HealthState::Healthy));
+        // Two consecutive clean windows finally recover.
+        fill(&mut h, 7, 10, 0, 50);
+        fill(&mut h, 8, 10, 0, 50);
+        h.finish(9 * W);
+        assert_eq!(h.state(), HealthState::Healthy);
+    }
+
+    #[test]
+    fn idle_windows_count_toward_recovery() {
+        let mut h = HealthTracker::new("c0", config());
+        fill(&mut h, 0, 8, 2, 50); // Degraded
+        // No traffic in windows 1..=4, next activity in window 5.
+        fill(&mut h, 5, 10, 0, 50);
+        h.finish(6 * W);
+        // Idle windows 1-4 built the streak: healthy before window 5.
+        assert_eq!(h.state(), HealthState::Healthy);
+        let back = h
+            .transitions()
+            .iter()
+            .find(|t| t.to == HealthState::Healthy)
+            .unwrap();
+        assert!(back.window <= 2, "recovered at {}", back.window);
+    }
+
+    #[test]
+    fn sparse_low_traffic_windows_assert_nothing_unless_erring() {
+        let mut h = HealthTracker::new("c0", config());
+        fill(&mut h, 0, 2, 0, 50); // below min_ops, clean: stays Healthy
+        fill(&mut h, 1, 1, 1, 50); // below min_ops but errored: Degraded
+        h.finish(2 * W);
+        assert_eq!(h.state(), HealthState::Degraded);
+        // Never Down on under-sampled evidence.
+        assert!(h.transitions().iter().all(|t| t.to != HealthState::Down));
+    }
+
+    #[test]
+    fn ewma_and_slo_burn_track_latency() {
+        let mut h = HealthTracker::new("c0", config());
+        fill(&mut h, 0, 10, 0, 80); // under the 100 ns SLO
+        fill(&mut h, 1, 10, 0, 200); // over: burns one window
+        h.finish(2 * W);
+        // EWMA: seed 80, then 0.5·200 + 0.5·80 = 140.
+        assert_eq!(h.ewma_latency_ns(), 140);
+        assert_eq!(h.slo_burn(), (1, 0));
+        assert_eq!(h.timeline().len(), 2);
+        assert_eq!(h.timeline()[1].ewma_latency_ns, 140);
+    }
+
+    #[test]
+    fn json_row_is_deterministic_and_complete() {
+        let mut h = HealthTracker::new("gdrive", config());
+        fill(&mut h, 0, 5, 5, 50);
+        h.finish(W);
+        let a = h.to_json();
+        assert_eq!(a, h.to_json());
+        assert!(a.contains("\"cloud\": \"gdrive\""));
+        assert!(a.contains("\"state\": \"down\""));
+        assert!(a.contains("\"err_rate\": 0.5000"));
+        assert!(a.contains("\"transitions\": [{\"window\": 0, \"from\": \"healthy\", \"to\": \"down\"}]"));
+        assert!(a.contains("\"slo\""));
+    }
+
+    #[test]
+    fn board_sorts_rows_by_cloud_name() {
+        let board = HealthBoard::new(config());
+        board.cloud("zeta").record(10, 5, true);
+        board.cloud("alpha").record(10, 5, true);
+        board.finish(2 * W);
+        let rows = board.to_json_rows();
+        assert_eq!(rows.len(), 2);
+        assert!(rows[0].contains("\"alpha\"") && rows[1].contains("\"zeta\""));
+        // Same Arc on repeat lookup.
+        assert_eq!(board.cloud("alpha").tracker().name(), "alpha");
+    }
+}

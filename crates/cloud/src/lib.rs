@@ -16,6 +16,9 @@
 //!   spikes, torn uploads, delayed visibility) over any store.
 //! * [`ThrottledCloud`], [`CountingCloud`] — composable decorators for
 //!   bandwidth limiting and traffic accounting.
+//! * [`ObservedCloud`] / [`CloudHealth`] / [`HealthBoard`] — the
+//!   measurement decorator and per-cloud health scoreboard (EWMA
+//!   latency, windowed error rate, availability state machine).
 //! * [`Retry`] / [`RetryPolicy`] — bounded-backoff retries for
 //!   transient Web API failures.
 //! * [`TokenBucket`] / [`QpsSeries`] — deterministic per-cloud
@@ -28,8 +31,10 @@
 
 mod error;
 pub mod fault;
+pub mod health;
 mod local;
 mod mem;
+mod observed;
 mod qps;
 mod retry;
 mod sim_cloud;
@@ -38,8 +43,13 @@ mod wrappers;
 
 pub use error::{CloudError, CloudOp};
 pub use fault::{ChaosCloud, FaultEvent, FaultKind, FaultPlan};
+pub use health::{
+    CloudHealth, HealthBoard, HealthConfig, HealthState, HealthTracker, HealthTransition,
+    WindowHealth,
+};
 pub use local::LocalDirCloud;
 pub use mem::MemCloud;
+pub use observed::ObservedCloud;
 pub use qps::{QpsSeries, TokenBucket};
 pub use retry::{Retry, RetryPolicy};
 pub use sim_cloud::{FailureProfile, SimCloud, SimCloudConfig, TrafficCounters, TrafficSnapshot};

@@ -376,6 +376,8 @@ impl UniDriveClient {
         obs.inc("client.sync_rounds");
         obs.inc(&format!("client.sync_rounds.{outcome}"));
         obs.observe("client.sync_round_ns", elapsed_ns);
+        obs.series_add("client.sync_rounds", outcome, 1);
+        obs.series_observe("client.sync_round_ns", self.config.device.as_str(), elapsed_ns);
         obs.event(|| Event::SyncRoundCompleted {
             device: self.config.device.clone(),
             outcome,

@@ -626,6 +626,8 @@ fn worker_loop<P: TransferPolicy>(
                 obs.add(&names.block_bytes, bytes_len);
                 obs.inc(cloud_blocks);
                 obs.observe(&names.block_elapsed, elapsed.as_nanos() as u64);
+                obs.series_observe("engine.block_ns", cloud.name(), elapsed.as_nanos() as u64);
+                obs.series_add("engine.block_bytes", cloud.name(), bytes_len);
                 obs.event(|| Event::BlockCompleted {
                     cloud: cloud_id.0,
                     index,
@@ -635,6 +637,7 @@ fn worker_loop<P: TransferPolicy>(
             }
             Err(_) => {
                 obs.inc(&names.failures);
+                obs.series_add("engine.block_fail", cloud.name(), 1);
                 // A hard failure (retries exhausted) is the precursor
                 // of most stalls: capture the state now, while the
                 // other workers are still mid-flight.

@@ -190,6 +190,7 @@ impl QuorumLock {
                         self.rt.now().saturating_duration_since(t0).as_nanos() as u64;
                     self.obs.inc("lock.acquired");
                     self.obs.observe("lock.acquire_wait_ns", wait_ns);
+                    self.obs.series_observe("lock.wait_ns", &self.device, wait_ns);
                     self.obs.event(|| Event::LockAcquired {
                         device: self.device.clone(),
                         rounds: attempt + 1,
@@ -207,6 +208,7 @@ impl QuorumLock {
                 }
                 RoundOutcome::Lost { held } => {
                     self.obs.inc("lock.contended_rounds");
+                    self.obs.series_add("lock.contended", &self.device, 1);
                     self.obs.event(|| Event::LockContended {
                         device: self.device.clone(),
                         held,
@@ -228,6 +230,7 @@ impl QuorumLock {
                     if !starved && waited >= self.config.starvation_audit {
                         starved = true;
                         self.obs.inc("lock.starved");
+                        self.obs.series_add("lock.starved", &self.device, 1);
                         span.attr_bool("starved", true);
                     }
                 }

@@ -739,6 +739,7 @@ impl OplogPlane {
         guard.release();
         if ok {
             self.obs.inc("meta.oplog.compactions");
+            self.obs.series_add("meta.oplog.compactions", &self.device, 1);
             // Adopt our own base immediately: the next fold must not
             // pick an older cloud copy while the uploads settle. The
             // new base covers our whole tail, so this also trims it;
@@ -841,6 +842,7 @@ impl MetaPlane for OplogPlane {
             return Err(PlaneError::QuorumWriteFailed { acked, quorum });
         }
         self.obs.inc("meta.oplog.appends");
+        self.obs.series_add("meta.oplog.appends", &self.device, 1);
 
         // The adopted image is the fold including our op — it can
         // differ from `to_commit` by conflict attachments and retained
@@ -861,6 +863,7 @@ impl MetaPlane for OplogPlane {
             let mut compacted = self.try_compact(round);
             if !compacted && live > threshold.saturating_mul(OPLOG_COMPACT_ESCALATE) {
                 self.obs.inc("meta.oplog.compact_forced");
+                self.obs.series_add("meta.oplog.compact_forced", &self.device, 1);
                 for _ in 0..OPLOG_COMPACT_FORCED_RETRIES {
                     compacted = self.try_compact(round);
                     if compacted {
@@ -869,6 +872,7 @@ impl MetaPlane for OplogPlane {
                 }
                 if !compacted {
                     self.obs.inc("meta.oplog.compact_overdue");
+                    self.obs.series_add("meta.oplog.compact_overdue", &self.device, 1);
                 }
             }
         }

@@ -48,16 +48,18 @@
 use std::collections::HashMap;
 use std::sync::Mutex;
 
-use unidrive_cloud::{CloudOp, FaultKind, FaultPlan, TokenBucket};
+use unidrive_cloud::{
+    CloudOp, FaultKind, FaultPlan, HealthConfig, HealthTracker, TokenBucket,
+};
 use unidrive_meta::MetaMode;
-use unidrive_obs::Histogram;
+use unidrive_obs::{Histogram, SeriesBank};
 use unidrive_sim::shard::{merge_by_key, partition_window, shard_of, Calendar, Entry};
 use unidrive_sim::SimRng;
 use unidrive_util::pool::WorkerPool;
 use unidrive_workload::{nominal_rates, DeviceClass, Provider, Zipf, EC2_SITES};
 
 use crate::config::FleetConfig;
-use crate::metrics::{CloudRow, FleetMetrics};
+use crate::metrics::{CloudRow, FleetMetrics, FLEET_SERIES_WINDOW_NS};
 
 /// The total order intents are merged and applied in:
 /// `(time_ns, lane, seq)` as produced by `Entry::key`.
@@ -84,6 +86,12 @@ const OPLOG_COMPACT_OPS: u64 = 3;
 /// λ threshold in op count: a folder's accumulated ops trigger a base
 /// compaction (the analytic mirror of `delta_ratio`/`delta_floor`).
 const OPLOG_COMPACT_EVERY: u64 = 64;
+/// Escalation multiple: once a folder's pending-op backlog reaches
+/// `OPLOG_COMPACT_ESCALATE × OPLOG_COMPACT_EVERY`, a committer stops
+/// deferring to the advisory compaction lock and barges — waiting out
+/// the holder's bounded window, then folding (the analytic mirror of
+/// core's forced-compaction retries past its escalate threshold).
+const OPLOG_COMPACT_ESCALATE: u64 = 4;
 /// Metadata commit under the lock: version write + lock release.
 const COMMIT_NS: u64 = 500_000_000;
 /// Drain guard: give the fleet at most this many pull rounds.
@@ -151,6 +159,10 @@ struct CloudLane {
     bytes_up: u64,
     bytes_down: u64,
     throttle_delay_ns: u64,
+    /// Availability scoreboard, fed by the serial apply phase: every
+    /// op charged to this lane is an ok sample, every op a session
+    /// wanted but could not place (the lane was unreachable) an error.
+    health: HealthTracker,
 }
 
 /// What the parallel phase hands to the merge phase for one event.
@@ -238,6 +250,24 @@ fn upload_reachability(plan: &FaultPlan, now_ns: u64) -> [bool; 5] {
     ok
 }
 
+/// Scores one failed probe on every lane the event wanted but could
+/// not reach: the provider was refusing writes, which is exactly what
+/// a client-side prober would report. Reachable lanes are scored at
+/// the points where ops are actually charged to them.
+fn record_unreachable(
+    lanes: &mut [CloudLane],
+    reachable: &[bool; 5],
+    t: u64,
+    m: &mut FleetMetrics,
+) {
+    for (i, lane) in lanes.iter_mut().enumerate() {
+        if !reachable[i] {
+            lane.health.record(t, 0, false);
+            m.series.add("cloud.err", lane.name, t, 1);
+        }
+    }
+}
+
 /// The fleet simulator. Construct with a [`FleetConfig`], call
 /// [`run`](FleetSim::run), inspect the returned [`FleetMetrics`].
 #[derive(Debug)]
@@ -284,6 +314,13 @@ impl FleetSim {
                 bytes_up: 0,
                 bytes_down: 0,
                 throttle_delay_ns: 0,
+                health: HealthTracker::new(
+                    p.name(),
+                    HealthConfig {
+                        window_ns: FLEET_SERIES_WINDOW_NS,
+                        ..HealthConfig::default()
+                    },
+                ),
             })
             .collect();
 
@@ -366,17 +403,31 @@ impl FleetSim {
             metrics.events_processed += window.len() as u64;
 
             // Parallel phase: per-shard intent computation. Shard i
-            // touches only maps[i]; all RNG draws happen here.
+            // touches only maps[i]; all RNG draws happen here. Each
+            // shard rolls its workload series into a private bank.
             let parts = partition_window(window, shards);
-            let intents: Vec<Vec<(MergeKey, Intent)>> =
+            let sharded: Vec<(Vec<(MergeKey, Intent)>, SeriesBank)> =
                 pool.par_map_indexed(&parts, |si, part| {
                     let mut out = Vec::with_capacity(part.len());
+                    let mut bank = SeriesBank::new(FLEET_SERIES_WINDOW_NS);
                     let mut map = maps[si].lock().expect("shard map poisoned");
                     for e in part {
-                        out.push((e.key(), shard_phase(e, &mut map, &shared)));
+                        out.push((e.key(), shard_phase(e, &mut map, &shared, &mut bank)));
                     }
-                    out
+                    (out, bank)
                 });
+
+            // Fold the per-shard banks into the global series at the
+            // window boundary. Every window fold is commutative and
+            // associative (sums, min/max, bucket unions keyed by
+            // absolute window index), and sharding only partitions the
+            // event set, so the merged content — and therefore the
+            // exported bytes — is identical at any shard/thread count.
+            let mut intents = Vec::with_capacity(sharded.len());
+            for (list, bank) in sharded {
+                metrics.series.merge_from(&bank);
+                intents.push(list);
+            }
 
             // Merge phase: apply intents in global (time, device, seq)
             // order against folders, lanes, calendar, metrics.
@@ -404,7 +455,7 @@ impl FleetSim {
             metrics,
             &folders,
             &maps,
-            &lanes,
+            &mut lanes,
             overrun,
             sync_latency,
             lock_wait,
@@ -441,6 +492,7 @@ impl FleetSim {
                 cloud_us,
                 reachable,
             } => {
+                record_unreachable(lanes, &reachable, t, m);
                 let n_reachable = reachable.iter().filter(|&&r| r).count();
                 if n_reachable < QUORUM_K {
                     // Not enough providers accept writes: the upload
@@ -453,6 +505,7 @@ impl FleetSim {
                     return;
                 }
                 m.bump("sessions.started");
+                m.series.add("fleet.sessions", "started", t, 1);
                 if let Some(rank) = hot {
                     let f = &mut folders[rank as usize];
                     // A joining member snapshots the folder: history
@@ -517,6 +570,13 @@ impl FleetSim {
                         start + (dur * NS_PER_SEC as f64) as u64,
                         ops,
                     );
+                    // Health sees the share transfer (shaper delay
+                    // included) as one successful timed op.
+                    let xfer_ns = ((dur * NS_PER_SEC as f64) as u64).saturating_add(d);
+                    lane.health.record(t, xfer_ns, true);
+                    m.series.add("cloud.ops", lane.name, t, ops);
+                    m.series.add("cloud.bytes_up", lane.name, t, share);
+                    m.series.observe("cloud.op_ns", lane.name, t, xfer_ns);
                 }
                 let duration = ((slowest * NS_PER_SEC as f64) as u64)
                     .saturating_add(qps_delay)
@@ -533,6 +593,7 @@ impl FleetSim {
                 retry_u,
                 reachable,
             } => {
+                record_unreachable(lanes, &reachable, t, m);
                 let n_reachable = reachable.iter().filter(|&&r| r).count();
                 if n_reachable < QUORUM_K {
                     // Quorum unreachable: back off and retry the same
@@ -556,9 +617,12 @@ impl FleetSim {
                             lane.lock_ops += OPLOG_APPEND_OPS;
                             lane.throttle_delay_ns += d;
                             qps_delay = qps_delay.max(d);
+                            lane.health.record(t, d.saturating_add(COMMIT_NS), true);
+                            m.series.add("cloud.ops", lane.name, t, OPLOG_APPEND_OPS);
                         }
                     }
                     m.bump("oplog.appends");
+                    m.series.add("oplog.appends", "fleet", t, 1);
                     let mut commit = COMMIT_NS.saturating_add(qps_delay);
                     if let Some(rank) = hot {
                         let f = &mut folders[rank as usize];
@@ -575,12 +639,56 @@ impl FleetSim {
                                         lane.series.record(t + d, OPLOG_COMPACT_OPS);
                                         lane.lock_ops += OPLOG_COMPACT_OPS;
                                         lane.throttle_delay_ns += d;
+                                        m.series.add(
+                                            "cloud.ops",
+                                            lane.name,
+                                            t,
+                                            OPLOG_COMPACT_OPS,
+                                        );
                                     }
                                 }
                                 f.pending_ops = 0;
                                 f.compact_lock_until_ns = t + 2 * COMMIT_NS;
                                 commit = commit.saturating_add(COMMIT_NS);
                                 m.bump("oplog.compactions");
+                                m.series.add("oplog.compactions", "fleet", t, 1);
+                            } else if f.pending_ops
+                                >= OPLOG_COMPACT_ESCALATE * OPLOG_COMPACT_EVERY
+                            {
+                                // Backlog past the escalate threshold:
+                                // barge — wait out the remainder of the
+                                // holder's bounded window, then fold.
+                                // `oplog.compact_overdue` (a forced fold
+                                // that still failed) cannot occur here,
+                                // because the advisory hold is bounded
+                                // by 2×COMMIT_NS; the counter is zero-
+                                // initialized for schema parity with
+                                // the core plane, which can time out.
+                                let wait = f.compact_lock_until_ns - t;
+                                for (i, lane) in lanes.iter_mut().enumerate() {
+                                    if reachable[i] {
+                                        let d =
+                                            lane.bucket.consume(t, OPLOG_COMPACT_OPS);
+                                        lane.series.record(t + d, OPLOG_COMPACT_OPS);
+                                        lane.lock_ops += OPLOG_COMPACT_OPS;
+                                        lane.throttle_delay_ns += d;
+                                        m.series.add(
+                                            "cloud.ops",
+                                            lane.name,
+                                            t,
+                                            OPLOG_COMPACT_OPS,
+                                        );
+                                    }
+                                }
+                                f.pending_ops = 0;
+                                f.compact_lock_until_ns = t + wait + 2 * COMMIT_NS;
+                                commit = commit
+                                    .saturating_add(wait)
+                                    .saturating_add(COMMIT_NS);
+                                m.bump("oplog.compactions");
+                                m.bump("oplog.compact_forced");
+                                m.series.add("oplog.compactions", "fleet", t, 1);
+                                m.series.add("oplog.compact_forced", "fleet", t, 1);
                             } else {
                                 // Another device is compacting; the
                                 // append stands, the fold waits.
@@ -590,6 +698,12 @@ impl FleetSim {
                     }
                     lock_wait.record(t.saturating_sub(wait_start_ns));
                     lock_rounds.record(attempt as u64 + 1);
+                    m.series.observe(
+                        "fleet.lock_wait_ns",
+                        cfg.meta_mode.as_str(),
+                        t,
+                        t.saturating_sub(wait_start_ns),
+                    );
                     calendar.push(t + commit.max(LOOKAHEAD_NS), device, Ev::Release);
                     return;
                 }
@@ -604,6 +718,8 @@ impl FleetSim {
                         lane.lock_ops += LOCK_OPS;
                         lane.throttle_delay_ns += d;
                         qps_delay = qps_delay.max(d);
+                        lane.health.record(t, d.saturating_add(COMMIT_NS), true);
+                        m.series.add("cloud.ops", lane.name, t, LOCK_OPS);
                     }
                 }
 
@@ -622,6 +738,7 @@ impl FleetSim {
 
                 if !won {
                     m.bump("lock.contended_rounds");
+                    m.series.add("lock.contended", "fleet", t, 1);
                     // Starvation audit, mirroring the core lock path:
                     // flag (once) any acquire waiting past the bound.
                     let waited = t.saturating_sub(wait_start_ns);
@@ -632,6 +749,7 @@ impl FleetSim {
                         if !dev.starved {
                             dev.starved = true;
                             m.bump("lock.starved");
+                            m.series.add("lock.starved", "fleet", t, 1);
                         }
                     }
                     let next = attempt + 1;
@@ -640,6 +758,7 @@ impl FleetSim {
                         // acquire cycle later.
                         m.bump("lock.exhausted");
                         m.bump("sessions.deferred");
+                        m.series.add("fleet.sessions", "deferred", t, 1);
                         let defer =
                             (60.0 * NS_PER_SEC as f64 * (1.0 + backoff_u)) as u64;
                         calendar.push(t + defer, device, Ev::Attempt { attempt: 0 });
@@ -661,6 +780,12 @@ impl FleetSim {
                 m.bump("lock.acquired");
                 lock_wait.record(t.saturating_sub(wait_start_ns));
                 lock_rounds.record(attempt as u64 + 1);
+                m.series.observe(
+                    "fleet.lock_wait_ns",
+                    cfg.meta_mode.as_str(),
+                    t,
+                    t.saturating_sub(wait_start_ns),
+                );
                 let commit = COMMIT_NS.saturating_add(qps_delay).max(LOOKAHEAD_NS);
                 calendar.push(t + commit, device, Ev::Release);
             }
@@ -692,6 +817,13 @@ impl FleetSim {
                 m.bump("sessions.completed");
                 m.add("bytes.synced", bytes);
                 sync_latency.record(t.saturating_sub(t0_ns));
+                m.series.add("fleet.sessions", "completed", t, 1);
+                m.series.observe(
+                    "fleet.sync_latency_ns",
+                    cfg.meta_mode.as_str(),
+                    t,
+                    t.saturating_sub(t0_ns),
+                );
 
                 maps[shard_of(device, maps.len())]
                     .lock()
@@ -748,6 +880,12 @@ impl FleetSim {
                             start + (dur * NS_PER_SEC as f64) as u64,
                             ops,
                         );
+                        let xfer_ns =
+                            ((dur * NS_PER_SEC as f64) as u64).saturating_add(d);
+                        lane.health.record(t, xfer_ns, true);
+                        m.series.add("cloud.ops", lane.name, t, ops);
+                        m.series.add("cloud.bytes_down", lane.name, t, share);
+                        m.series.observe("cloud.op_ns", lane.name, t, xfer_ns);
                     }
                     f.member_synced.insert(device, f.cum_bytes);
                     m.bump("drain.pulls");
@@ -764,7 +902,7 @@ impl FleetSim {
         mut m: FleetMetrics,
         folders: &[HotFolder],
         maps: &[Mutex<HashMap<u64, ActiveDevice>>],
-        lanes: &[CloudLane],
+        lanes: &mut [CloudLane],
         overrun: bool,
         sync_latency: Histogram,
         lock_wait: Histogram,
@@ -822,6 +960,20 @@ impl FleetSim {
         m.sync_latency = sync_latency.snapshot();
         m.lock_wait = lock_wait.snapshot();
         m.lock_rounds = lock_rounds.snapshot();
+
+        // Close each lane's health tracker at the virtual end time and
+        // render the scoreboard rows, sorted by cloud name so the
+        // export order is independent of `Provider::ALL` ordering.
+        let mut rows: Vec<(String, String)> = lanes
+            .iter_mut()
+            .map(|l| {
+                l.health.finish(m.virtual_end_ns);
+                (l.name.to_owned(), l.health.to_json())
+            })
+            .collect();
+        rows.sort();
+        m.health_rows = rows.into_iter().map(|(_, row)| row).collect();
+
         m.clouds = lanes
             .iter()
             .map(|l| CloudRow {
@@ -842,10 +994,14 @@ impl FleetSim {
 
 /// Parallel phase for one event: all RNG draws for the event happen
 /// here, against the device's own stream; global state is read-only.
+/// Workload-shaped series (arrivals by class, session sizes, attempt
+/// and pull volume) roll into the shard's private `bank`, merged into
+/// the global series at the window boundary.
 fn shard_phase(
     e: &Entry<Ev>,
     map: &mut HashMap<u64, ActiveDevice>,
     ctx: &Shared<'_>,
+    bank: &mut SeriesBank,
 ) -> Intent {
     let cfg = ctx.cfg;
     let device = e.lane;
@@ -868,6 +1024,8 @@ fn shard_phase(
             for u in &mut cloud_us {
                 *u = rng.next_f64();
             }
+            bank.add("fleet.arrivals", class.as_str(), e.at_ns, 1);
+            bank.observe("fleet.session_bytes", class.as_str(), e.at_ns, bytes);
             // Preserve the original arrival time across retries so
             // sync latency covers the whole outage wait.
             let t0_ns = map.get(&device).map_or(e.at_ns, |d| d.t0_ns);
@@ -905,6 +1063,12 @@ fn shard_phase(
             // Fixed draw sequence: backoff, retry jitter.
             let backoff_u = dev.rng.next_f64();
             let retry_u = dev.rng.next_f64();
+            bank.add(
+                "fleet.attempts",
+                if dev.hot.is_some() { "hot" } else { "private" },
+                e.at_ns,
+                1,
+            );
             Intent::Attempt {
                 device,
                 hot: dev.hot,
@@ -927,11 +1091,14 @@ fn shard_phase(
                 next_gap_secs,
             }
         }
-        Ev::Pull { folder } => Intent::Pull {
-            device,
-            folder: *folder,
-            site: site_of(device),
-        },
+        Ev::Pull { folder } => {
+            bank.add("fleet.pulls", "drain", e.at_ns, 1);
+            Intent::Pull {
+                device,
+                folder: *folder,
+                site: site_of(device),
+            }
+        }
     }
 }
 
@@ -1011,17 +1178,66 @@ mod tests {
     }
 
     #[test]
-    fn oplog_fleet_is_deterministic_across_shards() {
-        let run = |shards: usize| {
+    fn oplog_fleet_is_deterministic_across_shards_and_threads() {
+        let run = |shards: usize, threads: usize| {
             let mut cfg = FleetConfig::quick(23);
             cfg.devices = 150;
             cfg.horizon = std::time::Duration::from_secs(90);
             cfg.hot_folders = 3;
             cfg.shards = shards;
+            cfg.threads = threads;
             cfg.fault_plan = crate::config::default_chaos_plan(23, 90);
             cfg.meta_mode = MetaMode::Oplog;
-            FleetSim::new(cfg).run().to_json()
+            let m = FleetSim::new(cfg).run();
+            (m.to_json(), m.series_json())
         };
-        assert_eq!(run(1), run(8));
+        let (json_a, series_a) = run(1, 1);
+        let (json_b, series_b) = run(8, 8);
+        assert_eq!(json_a, json_b);
+        // The windowed series (per-shard banks merged at window
+        // boundaries) must also be byte-identical across layouts.
+        assert_eq!(series_a, series_b);
+        assert!(series_a.contains("\"series\": \"unidrive-obs-series/v1\""));
+        assert!(series_a.contains("fleet.arrivals"));
+    }
+
+    #[test]
+    fn chaos_outage_degrades_target_cloud_health_then_recovers() {
+        let mut cfg = FleetConfig::quick(31);
+        cfg.devices = 400;
+        cfg.horizon = std::time::Duration::from_secs(600);
+        cfg.hot_folders = 8;
+        // Outage on Provider::ALL[4] over [h/6, h/3) = [100s, 200s).
+        cfg.fault_plan = crate::config::default_chaos_plan(31, 600);
+        let m = FleetSim::new(cfg).run();
+
+        let target = Provider::ALL[4].name();
+        let row = m
+            .health_rows
+            .iter()
+            .find(|r| r.contains(&format!("\"cloud\": \"{target}\"")))
+            .expect("scoreboard row for the outage provider");
+        // The outage window must drive the cloud out of Healthy…
+        assert!(
+            row.contains("\"to\": \"degraded\"") || row.contains("\"to\": \"down\""),
+            "no degradation recorded: {row}"
+        );
+        // …and flap damping must walk it back to Healthy by the end.
+        assert!(
+            row.starts_with(&format!("{{\"cloud\": \"{target}\", \"state\": \"healthy\"")),
+            "final state not healthy: {row}"
+        );
+        // Clouds outside the fault plan's outage stay healthy with no
+        // Down transition.
+        let calm = m
+            .health_rows
+            .iter()
+            .find(|r| r.contains(&format!("\"cloud\": \"{}\"", Provider::ALL[0].name())))
+            .expect("row");
+        assert!(!calm.contains("\"to\": \"down\""), "{calm}");
+        // Series and scoreboard travel together in the export.
+        let doc = m.series_json();
+        assert!(doc.contains("\"health\": ["));
+        assert!(doc.contains(&format!("\"cloud\": \"{target}\"")));
     }
 }

@@ -9,9 +9,20 @@
 
 use std::collections::BTreeMap;
 
-use unidrive_obs::{histogram_json, Histogram, HistogramSnapshot};
+use unidrive_obs::{histogram_json, Histogram, HistogramSnapshot, SeriesBank};
 
 use crate::config::FleetConfig;
+
+/// Window width of the fleet's time-series rollups (and of the
+/// per-cloud health trackers, which share the grid): one minute of
+/// virtual time per window.
+pub const FLEET_SERIES_WINDOW_NS: u64 = 60 * 1_000_000_000;
+
+/// Counters that must appear in every report even when zero, so the
+/// JSON schema is stable across meta modes and fault plans (CI and
+/// `bench_compare` key off their presence).
+const SCHEMA_COUNTERS: [&str; 3] =
+    ["lock.starved", "oplog.compact_forced", "oplog.compact_overdue"];
 
 /// One invariant verdict, named and explained.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -82,12 +93,23 @@ pub struct FleetMetrics {
     pub virtual_end_ns: u64,
     /// Drain rounds needed after the horizon.
     pub drain_rounds: u32,
+    /// Windowed time-series rollups ([`FLEET_SERIES_WINDOW_NS`] grid):
+    /// per-shard banks are merged at each window boundary, so the
+    /// content is independent of shard and thread layout.
+    pub series: SeriesBank,
+    /// Pre-rendered per-cloud health scoreboard rows
+    /// (`unidrive-health/v1` objects), sorted by cloud name.
+    pub health_rows: Vec<String>,
 }
 
 impl FleetMetrics {
     /// An empty metrics value echoing `cfg`.
     pub fn new(cfg: &FleetConfig) -> FleetMetrics {
         let empty = || Histogram::default().snapshot();
+        let mut counters = BTreeMap::new();
+        for name in SCHEMA_COUNTERS {
+            counters.insert(name.to_owned(), 0);
+        }
         FleetMetrics {
             seed: cfg.seed,
             devices: cfg.devices,
@@ -95,7 +117,7 @@ impl FleetMetrics {
             horizon_secs: cfg.horizon.as_secs(),
             meta_mode: cfg.meta_mode.as_str().to_owned(),
             fault_events: cfg.fault_plan.events.len(),
-            counters: BTreeMap::new(),
+            counters,
             sync_latency: empty(),
             lock_wait: empty(),
             lock_rounds: empty(),
@@ -105,7 +127,18 @@ impl FleetMetrics {
             windows: 0,
             virtual_end_ns: 0,
             drain_rounds: 0,
+            series: SeriesBank::new(FLEET_SERIES_WINDOW_NS),
+            health_rows: Vec::new(),
         }
+    }
+
+    /// Deterministic windowed-series export (`unidrive-obs-series/v1`)
+    /// with the per-cloud health scoreboard embedded. Like
+    /// [`to_json`](FleetMetrics::to_json), the bytes depend only on the
+    /// virtual run: same seed ⇒ identical output at any shard or
+    /// thread count (CI `cmp`-gates this).
+    pub fn series_json(&self) -> String {
+        self.series.snapshot().to_json_with_health(&self.health_rows)
     }
 
     /// Increments counter `name`.
@@ -266,6 +299,10 @@ mod tests {
         assert_eq!(a, b);
         assert!(a.starts_with("{\n  \"bench_fleet\": \"unidrive/v1\""));
         assert!(a.contains("\"sessions.started\": 1"));
+        // Schema counters are present (at zero) even when never hit.
+        assert!(a.contains("\"lock.starved\": 0"));
+        assert!(a.contains("\"oplog.compact_forced\": 0"));
+        assert!(a.contains("\"oplog.compact_overdue\": 0"));
         assert!(a.contains("\"qps_mean\": 1.500"));
         assert!(a.contains("\"throttle_delay_ms\": 2"));
         assert!(a.contains("\"pass\": true"));

@@ -36,11 +36,16 @@
 
 mod export;
 mod metrics;
+mod series;
 mod span;
 mod trace;
 
 pub use export::{histogram_json, Snapshot};
 pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot};
+pub use series::{
+    SeriesBank, SeriesCell, SeriesEntry, SeriesHandle, SeriesKind, SeriesSnapshot, TimeSeries,
+    WindowStat, DEFAULT_SERIES_WINDOW_NS,
+};
 pub use span::{SpanId, SpanRecord, DEFAULT_SPAN_CAPACITY};
 pub use trace::{Event, FieldValue, TracedEvent, DEFAULT_TRACE_CAPACITY};
 
@@ -64,6 +69,9 @@ pub struct Registry {
     spans: span::SpanRing,
     next_span: AtomicU64,
     dropped_spans: AtomicU64,
+    /// Windowed-series rollup interval in ns; 0 = series disabled.
+    series_window_ns: AtomicU64,
+    series: Mutex<BTreeMap<(String, String), Arc<SeriesCell>>>,
 }
 
 impl Registry {
@@ -86,6 +94,8 @@ impl Registry {
             spans: span::SpanRing::new(capacity),
             next_span: AtomicU64::new(1),
             dropped_spans: AtomicU64::new(0),
+            series_window_ns: AtomicU64::new(0),
+            series: Mutex::new(BTreeMap::new()),
         })
     }
 
@@ -134,6 +144,76 @@ impl Registry {
     pub fn record_span(&self, span: SpanRecord) {
         if self.spans.push(span) {
             self.dropped_spans.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Turns on windowed-series collection at `window_ns` rollup
+    /// intervals (use [`DEFAULT_SERIES_WINDOW_NS`] unless an
+    /// experiment needs finer grain). Until this is called, every
+    /// `series_*` recording method is a cheap no-op, so instrumented
+    /// code can emit series unconditionally.
+    pub fn enable_series(&self, window_ns: u64) {
+        self.series_window_ns
+            .store(window_ns.max(1), Ordering::Relaxed);
+    }
+
+    /// Whether windowed-series collection is on.
+    pub fn series_enabled(&self) -> bool {
+        self.series_window_ns.load(Ordering::Relaxed) != 0
+    }
+
+    /// The series cell for `(metric, label)`, created on first use;
+    /// `None` while series collection is disabled. The `kind` of the
+    /// first caller wins.
+    pub fn series_cell(
+        &self,
+        metric: &str,
+        label: &str,
+        kind: SeriesKind,
+    ) -> Option<Arc<SeriesCell>> {
+        let window_ns = self.series_window_ns.load(Ordering::Relaxed);
+        if window_ns == 0 {
+            return None;
+        }
+        let mut map = lockp(&self.series);
+        if let Some(cell) = map.get(&(metric.to_owned(), label.to_owned())) {
+            return Some(Arc::clone(cell));
+        }
+        let cell = Arc::new(SeriesCell::new(kind, window_ns));
+        map.insert((metric.to_owned(), label.to_owned()), Arc::clone(&cell));
+        Some(cell)
+    }
+
+    /// Records into series `(metric, label)` stamped with the
+    /// installed clock. No-op while series collection is disabled.
+    pub fn series_record(&self, metric: &str, label: &str, kind: SeriesKind, value: u64) {
+        if let Some(cell) = self.series_cell(metric, label, kind) {
+            cell.record(self.now_ns(), value);
+        }
+    }
+
+    /// Sorted snapshot of every windowed series (empty when disabled).
+    pub fn series_snapshot(&self) -> SeriesSnapshot {
+        let window_ns = self.series_window_ns.load(Ordering::Relaxed);
+        let map = lockp(&self.series);
+        SeriesSnapshot {
+            window_ns: if window_ns == 0 {
+                DEFAULT_SERIES_WINDOW_NS
+            } else {
+                window_ns
+            },
+            entries: map
+                .iter()
+                .map(|((metric, label), cell)| {
+                    let (kind, windows) = cell.view();
+                    SeriesEntry {
+                        metric: metric.clone(),
+                        label: label.clone(),
+                        kind,
+                        windows,
+                    }
+                })
+                .collect(),
         }
     }
 
@@ -280,6 +360,37 @@ impl Obs {
                 }),
             },
             None => SpanGuard { inner: None },
+        }
+    }
+
+    /// Adds `n` to the windowed counter series `(metric, label)` at
+    /// the current clock time. No-op unless the registry is installed
+    /// *and* [`Registry::enable_series`] was called.
+    #[inline]
+    pub fn series_add(&self, metric: &str, label: &str, n: u64) {
+        if let Some(r) = &self.registry {
+            r.series_record(metric, label, SeriesKind::Counter, n);
+        }
+    }
+
+    /// Records `value` into the windowed sample series
+    /// `(metric, label)` at the current clock time. No-op unless the
+    /// registry is installed and series collection is enabled.
+    #[inline]
+    pub fn series_observe(&self, metric: &str, label: &str, value: u64) {
+        if let Some(r) = &self.registry {
+            r.series_record(metric, label, SeriesKind::Sample, value);
+        }
+    }
+
+    /// Pre-resolved series handle for hot loops: no map lookup per
+    /// record. No-op when the registry or series collection is off.
+    pub fn series_handle(&self, metric: &str, label: &str, kind: SeriesKind) -> SeriesHandle {
+        SeriesHandle {
+            inner: self.registry.as_ref().and_then(|r| {
+                r.series_cell(metric, label, kind)
+                    .map(|cell| (Arc::clone(r), cell))
+            }),
         }
     }
 
@@ -558,6 +669,46 @@ mod tests {
         assert_eq!(snap.counter("hot"), 80_000);
         assert_eq!(snap.counter("cold"), 80_000);
         assert_eq!(snap.histogram("hist").unwrap().count, 80_000);
+    }
+
+    #[test]
+    fn series_are_noop_until_enabled_then_stamp_through_the_clock() {
+        let reg = Registry::new();
+        let t = Arc::new(AtomicU64::new(0));
+        let t2 = Arc::clone(&t);
+        reg.set_clock(move || t2.load(Ordering::SeqCst));
+        let obs = Obs::with_registry(Arc::clone(&reg));
+
+        // Disabled: recording is a no-op, handles are inert.
+        obs.series_add("ops", "c0", 1);
+        let dead = obs.series_handle("lat", "c0", SeriesKind::Sample);
+        dead.record(99);
+        assert!(!reg.series_enabled());
+        assert!(reg.series_snapshot().entries.is_empty());
+
+        reg.enable_series(1_000);
+        obs.series_add("ops", "c0", 2);
+        t.store(2_500, Ordering::SeqCst);
+        obs.series_add("ops", "c0", 3);
+        let lat = obs.series_handle("lat", "c0", SeriesKind::Sample);
+        lat.record(40);
+
+        let snap = reg.series_snapshot();
+        assert_eq!(snap.window_ns, 1_000);
+        let ops = snap.entry("ops", "c0").unwrap();
+        assert_eq!(ops.kind, SeriesKind::Counter);
+        assert_eq!(
+            ops.windows
+                .iter()
+                .map(|w| (w.index, w.stat.sum))
+                .collect::<Vec<_>>(),
+            vec![(0, 2), (2, 3)]
+        );
+        let lat = snap.entry("lat", "c0").unwrap();
+        assert_eq!(lat.kind, SeriesKind::Sample);
+        assert_eq!(lat.windows[0].stat.p50(), 40);
+        // The export path is exercised end to end.
+        assert!(snap.to_json().contains("\"ops\""));
     }
 
     #[test]

@@ -178,6 +178,60 @@ impl HistogramSnapshot {
         self.max
     }
 
+    /// Folds `other` into this snapshot: counts and sums add
+    /// (saturating), extrema combine, buckets union by lower bound.
+    /// Commutative and associative, which is what lets windowed
+    /// rollups merge per-shard snapshots in any order.
+    ///
+    /// An empty side is the identity: its `min` is the *sentinel* 0,
+    /// not an observation, so a naive `min(self.min, other.min)` would
+    /// poison the merged minimum — and through the `[min, max]` clamp
+    /// in [`quantile`](HistogramSnapshot::quantile), drag every
+    /// percentile of a sparse window toward 0 and break the
+    /// p50 ≤ p95 ≤ p99 ordering contract.
+    pub fn merge_from(&mut self, other: &HistogramSnapshot) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = other.clone();
+            return;
+        }
+        self.count = self.count.saturating_add(other.count);
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        let mut merged: Vec<(u64, u64)> = Vec::with_capacity(self.buckets.len() + other.buckets.len());
+        let (mut i, mut j) = (0, 0);
+        while i < self.buckets.len() || j < other.buckets.len() {
+            match (self.buckets.get(i), other.buckets.get(j)) {
+                (Some(&(la, na)), Some(&(lb, nb))) if la == lb => {
+                    merged.push((la, na.saturating_add(nb)));
+                    i += 1;
+                    j += 1;
+                }
+                (Some(&(la, na)), Some(&(lb, _))) if la < lb => {
+                    merged.push((la, na));
+                    i += 1;
+                }
+                (Some(_), Some(&(lb, nb))) => {
+                    merged.push((lb, nb));
+                    j += 1;
+                }
+                (Some(&a), None) => {
+                    merged.push(a);
+                    i += 1;
+                }
+                (None, Some(&b)) => {
+                    merged.push(b);
+                    j += 1;
+                }
+                (None, None) => unreachable!(),
+            }
+        }
+        self.buckets = merged;
+    }
+
     /// Median estimate (see [`quantile`](HistogramSnapshot::quantile)).
     pub fn p50(&self) -> u64 {
         self.quantile(0.50)
@@ -262,5 +316,62 @@ mod tests {
         one.record(7);
         let os = one.snapshot();
         assert_eq!((os.p50(), os.p95(), os.p99()), (7, 7, 7));
+    }
+
+    fn snap_of(values: &[u64]) -> HistogramSnapshot {
+        let h = Histogram::default();
+        for &v in values {
+            h.record(v);
+        }
+        h.snapshot()
+    }
+
+    #[test]
+    fn merge_matches_recording_everything_into_one_histogram() {
+        let a = snap_of(&[0, 1, 7, 1024]);
+        let b = snap_of(&[3, 7, 500_000]);
+        let mut m = a.clone();
+        m.merge_from(&b);
+        assert_eq!(m, snap_of(&[0, 1, 7, 1024, 3, 7, 500_000]));
+        // Commutative.
+        let mut n = b.clone();
+        n.merge_from(&a);
+        assert_eq!(n, m);
+    }
+
+    #[test]
+    fn merge_with_empty_side_is_identity() {
+        let s = snap_of(&[40, 90]);
+        let empty = snap_of(&[]);
+
+        let mut m = s.clone();
+        m.merge_from(&empty);
+        assert_eq!(m, s, "empty rhs must not change anything");
+        // In particular the empty side's sentinel min=0 must not leak:
+        // through the quantile clamp it would drag p50 to ~0.
+        assert_eq!(m.min, 40);
+        assert!(m.p50() >= 40);
+
+        let mut e = empty.clone();
+        e.merge_from(&s);
+        assert_eq!(e, s, "empty lhs adopts the other side verbatim");
+    }
+
+    #[test]
+    fn sparse_one_sample_window_merges_keep_percentiles_ordered() {
+        // Regression: windowed rollups fold many 1-sample windows; the
+        // merged estimate must stay monotone and within [min, max].
+        let windows = [9_u64, 130, 3, 77_000, 1, 500_000, 12];
+        let mut acc = snap_of(&[]);
+        for &v in &windows {
+            acc.merge_from(&snap_of(&[v]));
+            let (p50, p95, p99) = (acc.p50(), acc.p95(), acc.p99());
+            assert!(p50 <= p95 && p95 <= p99, "{p50} {p95} {p99}");
+            assert!(p50 >= acc.min && p99 <= acc.max);
+        }
+        assert_eq!(acc.count, windows.len() as u64);
+        assert_eq!(acc.sum, windows.iter().sum::<u64>());
+        assert_eq!(acc.min, 1);
+        assert_eq!(acc.max, 500_000);
     }
 }

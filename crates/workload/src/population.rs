@@ -153,6 +153,15 @@ pub enum DeviceClass {
 }
 
 impl DeviceClass {
+    /// Stable lowercase label, used as a series/metrics dimension.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            DeviceClass::Light => "light",
+            DeviceClass::Regular => "regular",
+            DeviceClass::Heavy => "heavy",
+        }
+    }
+
     /// Multiplier applied to the profile's mean inter-session gap
     /// (heavy users sync more often → smaller gap).
     pub fn gap_factor(&self) -> f64 {
