@@ -13,6 +13,31 @@ cargo build --offline --release
 cargo test --offline -q
 
 if [ "${1:-}" = "quick" ]; then
+    echo "==> quick mode: parallel-chunker determinism + gear-vs-rabin ingest shape"
+    # The tentpole contracts, cheap enough for the quick gate: (a) the
+    # parallel cut-point driver must emit byte-identical cuts at any
+    # thread count (dumped for both hash kinds over a fixed buffer and
+    # cmp'd), and (b) gear-kind ingest must beat rabin-kind ingest at
+    # every pool width — the whole point of shipping a second hash.
+    cargo build --offline --release -p unidrive-bench --bin bench_kernels
+    qout="$(mktemp -d)"
+    trap 'rm -rf "$qout"' EXIT
+    ./target/release/bench_kernels --cuts-out "$qout/cuts1.txt" --cuts-threads 1
+    ./target/release/bench_kernels --cuts-out "$qout/cuts2.txt" --cuts-threads 2
+    ./target/release/bench_kernels --cuts-out "$qout/cuts8.txt" --cuts-threads 8
+    cmp "$qout/cuts1.txt" "$qout/cuts2.txt"
+    cmp "$qout/cuts1.txt" "$qout/cuts8.txt"
+    ./target/release/bench_kernels --quick --out "$qout/bench_kernels.json" >/dev/null
+    python3 - "$qout/bench_kernels.json" <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+rabin = {r["threads"]: r["mb_per_s"] for r in doc["rows"] if r["kernel"] == "ingest"}
+gear = {r["threads"]: r["mb_per_s"] for r in doc["rows"] if r["kernel"] == "ingest_gear"}
+assert rabin and set(rabin) == set(gear), (sorted(rabin), sorted(gear))
+for t in sorted(rabin):
+    assert gear[t] >= rabin[t], f"gear ingest slower than rabin at {t} threads: {gear[t]:.0f} < {rabin[t]:.0f} MiB/s"
+print("    gear >= rabin ingest at threads " + ", ".join(f"{t} ({gear[t]:.0f} vs {rabin[t]:.0f} MiB/s)" for t in sorted(rabin)))
+EOF
     echo "==> quick mode: skipping workspace tests and lints"
     exit 0
 fi
@@ -61,7 +86,8 @@ import json, sys
 doc = json.load(open(sys.argv[1]))
 assert doc["bench_kernels"] == "unidrive/v1", doc
 kernels = [r["kernel"] for r in doc["rows"]]
-for expected in ["sha1", "rabin_roll", "chunker_cut_points", "rs_encode", "rs_decode", "ingest"]:
+for expected in ["sha1", "rabin_roll", "gear_roll", "chunker_cut_points", "gear_cut_points",
+                 "cut_points_parallel", "rs_encode", "rs_decode", "ingest", "ingest_gear"]:
     assert expected in kernels, f"missing kernel row: {expected}"
 for r in doc["rows"]:
     assert set(r) == {"kernel", "bytes", "threads", "iters", "mb_per_s", "mean_ns", "p50_ns", "p95_ns"}, r

@@ -8,7 +8,9 @@
 //!
 //! * `bench_kernels` — `mb_per_s` per `(kernel, bytes, threads)` row;
 //!   regression = throughput drop beyond 25% (kernel benches run in
-//!   wall-clock and jitter with the host).
+//!   wall-clock and jitter with the host), loosened to 35% for the
+//!   pool-backed rows (`cut_points_parallel`, `ingest*`, anything at
+//!   more than one thread) which also see scheduler placement noise.
 //! * `bench_oplog` — `commits_per_min` per `(mode, writers)` cell;
 //!   regression = throughput drop beyond 20% (virtual-time, but the
 //!   schedule shifts with protocol changes), or any increase in
@@ -92,12 +94,13 @@ fn index_rows<'a>(doc: &'a Json, id_fields: &[&str]) -> Vec<(String, &'a Json)> 
 }
 
 /// Compares one numeric field across row sets keyed by identity;
-/// appends deltas for shared keys and notes one-sided keys.
+/// appends deltas for shared keys and notes one-sided keys. The bound
+/// is computed per row key, so one table can mix tolerances.
 fn compare_rows(
     base: &[(String, &Json)],
     cur: &[(String, &Json)],
     field: &'static str,
-    bound: impl Fn() -> Bound,
+    bound: impl Fn(&str) -> Bound,
     deltas: &mut Vec<Delta>,
     notes: &mut Vec<String>,
 ) {
@@ -106,7 +109,7 @@ fn compare_rows(
             Some((_, crow)) => {
                 let b = brow.get(field).and_then(Json::as_f64).unwrap_or(0.0);
                 let c = crow.get(field).and_then(Json::as_f64).unwrap_or(0.0);
-                deltas.push(delta(key.clone(), field, b, c, bound()));
+                deltas.push(delta(key.clone(), field, b, c, bound(key)));
             }
             None => notes.push(format!("row `{key}` only in baseline")),
         }
@@ -121,14 +124,31 @@ fn compare_rows(
 fn compare_kernels(base: &Json, cur: &Json, deltas: &mut Vec<Delta>, notes: &mut Vec<String>) {
     let b = index_rows(base, &["kernel", "bytes", "threads"]);
     let c = index_rows(cur, &["kernel", "bytes", "threads"]);
-    compare_rows(&b, &c, "mb_per_s", || Bound::Lower(0.25), deltas, notes);
+    // Single-thread kernels jitter with the host (25%). Pool-backed
+    // rows (`cut_points_parallel`, `ingest`, `ingest_gear`, and any
+    // row tagged with >1 thread) also contend with whatever else the
+    // CI box runs and with scheduler placement, so they get extra
+    // headroom (35%) rather than extra strictness.
+    compare_rows(
+        &b,
+        &c,
+        "mb_per_s",
+        |key| {
+            let pooled = key.starts_with("cut_points_parallel/")
+                || key.starts_with("ingest")
+                || !key.ends_with("/1");
+            Bound::Lower(if pooled { 0.35 } else { 0.25 })
+        },
+        deltas,
+        notes,
+    );
 }
 
 fn compare_oplog(base: &Json, cur: &Json, deltas: &mut Vec<Delta>, notes: &mut Vec<String>) {
     let b = index_rows(base, &["mode", "writers"]);
     let c = index_rows(cur, &["mode", "writers"]);
-    compare_rows(&b, &c, "commits_per_min", || Bound::Lower(0.20), deltas, notes);
-    compare_rows(&b, &c, "failed", || Bound::Upper(0.0, 0.0), deltas, notes);
+    compare_rows(&b, &c, "commits_per_min", |_| Bound::Lower(0.20), deltas, notes);
+    compare_rows(&b, &c, "failed", |_| Bound::Upper(0.0, 0.0), deltas, notes);
 }
 
 fn compare_fleet(base: &Json, cur: &Json, deltas: &mut Vec<Delta>, notes: &mut Vec<String>) {

@@ -6,27 +6,45 @@
 //! every PR inherits a measured kernel baseline. Rows:
 //!
 //! - `sha1` — one-shot digest, several sizes
-//! - `rabin_roll` — rolling-hash slide across a buffer
-//! - `chunker_cut_points` — content-defined segmentation (no hashing)
+//! - `rabin_roll` / `gear_roll` — rolling-hash slide across a buffer
+//!   (the per-byte cost of each cut-point hash, no chunking logic)
+//! - `chunker_cut_points` / `gear_cut_points` — content-defined
+//!   segmentation, serial, per kind (no hashing)
+//! - `cut_points_parallel` — gear cut-point discovery fanned across
+//!   disjoint slices at 1/2/4/8 worker threads (byte-identical output
+//!   to the serial scan; `--cuts-out` below gates that in CI)
 //! - `rs_encode` / `rs_decode` — (255, 3) non-systematic codec,
 //!   full 5-block stripe per iteration (the paper's N = 5)
-//! - `ingest` — end-to-end chunk + hash + encode at 1/2/4/8 worker
-//!   threads through `unidrive_util::pool::WorkerPool`
+//! - `ingest` / `ingest_gear` — end-to-end chunk + hash + encode per
+//!   chunker kind at 1/2/4/8 worker threads through
+//!   `unidrive_util::pool::WorkerPool` (both cut discovery and
+//!   per-segment work ride the pool, as in `DataPlane`)
 //!
-//! Timing runs through the `unidrive-obs` timer/histogram machinery
-//! (per-iteration nanoseconds recorded into log₂ histograms; p50/p95
-//! from the same quantile code the experiment summaries use). Results
-//! export as JSON with a fixed schema and row order — values are wall
-//! clock and vary run to run, the *shape* never does.
+//! Per-iteration wall-clock nanoseconds are kept as exact samples and
+//! `p50_ns`/`p95_ns` are computed from the sorted sample array.
+//! (Earlier revisions read the percentiles off the `unidrive-obs`
+//! log₂ histogram, whose quantile returns its bucket's *upper bound*
+//! `2^k - 1`; with power-of-two payloads that collapses every row's
+//! p50/p95 to `bytes - 1` — a coarse bucket artifact, not a latency.)
+//! Each sample is still recorded into the obs histogram so the export
+//! machinery stays exercised. Results export as JSON with a fixed
+//! schema and row order — values are wall clock and vary run to run,
+//! the *shape* never does.
 //!
 //! Usage: `bench_kernels [--quick|quick] [--out PATH]`
-//! (default out: `BENCH_kernels.json`).
+//! (default out: `BENCH_kernels.json`), or
+//! `bench_kernels --cuts-out PATH --cuts-threads N` to dump the
+//! parallel cut points of a fixed deterministic buffer (both kinds)
+//! and exit — `ci.sh` runs that at several thread counts and `cmp`s
+//! the dumps.
 
 use std::fmt::Write as _;
 use std::hint::black_box;
 use std::time::Instant;
 
-use unidrive_chunker::{cut_points, ChunkerConfig, RabinHash};
+use unidrive_chunker::{
+    cut_points, cut_points_parallel, ChunkerConfig, GearHash, RabinHash,
+};
 use unidrive_crypto::Sha1;
 use unidrive_erasure::Codec;
 use unidrive_obs::{Obs, Registry};
@@ -51,6 +69,17 @@ struct Harness {
     /// Per-row time budget.
     budget: std::time::Duration,
     rows: Vec<Row>,
+}
+
+/// Exact rank-`q` percentile of the (sorted in place) samples:
+/// the ⌈q·n⌉-th smallest observation, an actual measured value rather
+/// than a histogram bucket bound.
+fn percentile(sorted: &[u64], q: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
 }
 
 impl Harness {
@@ -78,23 +107,17 @@ impl Harness {
         black_box(f());
         let name = format!("bench.{kernel}.{bytes}.{threads}");
         let start = Instant::now();
-        let mut iters = 0u64;
-        while iters < 3 || (start.elapsed() < self.budget && iters < 10_000) {
-            let timer = self.obs.timer(&name);
+        let mut samples: Vec<u64> = Vec::with_capacity(256);
+        while samples.len() < 3 || (start.elapsed() < self.budget && samples.len() < 10_000) {
+            let t0 = Instant::now();
             black_box(f());
-            timer.stop();
-            iters += 1;
+            let ns = t0.elapsed().as_nanos() as u64;
+            self.obs.observe(&name, ns);
+            samples.push(ns);
         }
-        let snap = self
-            .obs
-            .snapshot()
-            .expect("registry-backed obs")
-            .histograms
-            .iter()
-            .find(|(n, _)| n == &name)
-            .map(|(_, h)| h.clone())
-            .expect("row histogram recorded");
-        let mean_ns = snap.mean();
+        let iters = samples.len() as u64;
+        let mean_ns = samples.iter().sum::<u64>() as f64 / iters as f64;
+        samples.sort_unstable();
         let row = Row {
             kernel,
             bytes,
@@ -102,8 +125,8 @@ impl Harness {
             iters,
             mb_per_s: bytes as f64 / (mean_ns / 1e9).max(1e-12) / (1024.0 * 1024.0),
             mean_ns: mean_ns as u64,
-            p50_ns: snap.p50(),
-            p95_ns: snap.p95(),
+            p50_ns: percentile(&samples, 0.50),
+            p95_ns: percentile(&samples, 0.95),
         };
         println!(
             "{:<24} {:>10} B {:>2} thr {:>6} it {:>10.1} MiB/s  (mean {:>9} ns, p50 {:>9}, p95 {:>9})",
@@ -135,10 +158,11 @@ impl Harness {
 }
 
 /// The full pipeline one upload performs per file before any network
-/// traffic: content-defined cuts, then per-segment SHA-1 + a 5-block
-/// RS stripe, fanned across `pool`.
+/// traffic, mirroring `DataPlane`: parallel content-defined cut
+/// discovery, then per-segment SHA-1 + a 5-block RS stripe, all fanned
+/// across `pool`.
 fn ingest(data: &Bytes, config: &ChunkerConfig, codec: &Codec, pool: &WorkerPool) -> usize {
-    let cuts = cut_points(data, config);
+    let cuts = cut_points_parallel(data, config, pool);
     let outputs = pool.par_map_indexed(&cuts, |_, &(offset, len)| {
         let seg = data.slice(offset..offset + len);
         let digest = Sha1::digest(&seg);
@@ -148,15 +172,46 @@ fn ingest(data: &Bytes, config: &ChunkerConfig, codec: &Codec, pool: &WorkerPool
     outputs.len()
 }
 
+/// `--cuts-out` mode: chunk one fixed deterministic buffer with the
+/// parallel driver (both kinds) at the given thread count and dump the
+/// cut points as text. Byte-identical dumps across thread counts are
+/// the CI-visible form of the serial ≡ parallel contract.
+fn dump_cuts(path: &str, threads: usize) {
+    let data = random_bytes(8 * 1024 * 1024, 0xC0DE_C4B5);
+    let pool = WorkerPool::new(threads);
+    let mut out = String::new();
+    for config in [
+        ChunkerConfig::new(128 * 1024),
+        ChunkerConfig::gear(128 * 1024),
+    ] {
+        for (offset, len) in cut_points_parallel(&data, &config, &pool) {
+            let _ = writeln!(out, "{} {offset} {len}", config.kind.label());
+        }
+    }
+    std::fs::write(path, &out).unwrap_or_else(|e| {
+        eprintln!("bench_kernels: cannot write {path}: {e}");
+        std::process::exit(1);
+    });
+    println!("wrote cut points for both kinds ({threads} threads) to {path}");
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    let flag = |name: &str| {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1))
+            .cloned()
+    };
+    if let Some(path) = flag("--cuts-out") {
+        let threads = flag("--cuts-threads")
+            .and_then(|t| t.parse().ok())
+            .unwrap_or(1);
+        dump_cuts(&path, threads);
+        return;
+    }
     let quick = args.iter().any(|a| a == "--quick" || a == "quick");
-    let out_path = args
-        .iter()
-        .position(|a| a == "--out")
-        .and_then(|i| args.get(i + 1))
-        .cloned()
-        .unwrap_or_else(|| "BENCH_kernels.json".to_owned());
+    let out_path = flag("--out").unwrap_or_else(|| "BENCH_kernels.json".to_owned());
     let mode = if quick { "quick" } else { "full" };
     println!("bench_kernels ({mode} mode)\n");
 
@@ -186,14 +241,33 @@ fn main() {
         }
         acc
     });
+    h.row("gear_roll", roll_size, 1, || {
+        let mut hash = GearHash::new();
+        let mut acc = 0u64;
+        for &b in data.iter() {
+            hash.push(b);
+            acc ^= hash.fingerprint();
+        }
+        acc
+    });
 
     let chunk_size = if quick { 4 * 1024 * 1024 } else { 16 * 1024 * 1024 };
     let theta = chunk_size / 16;
     let data = random_bytes(chunk_size, 0x5E6);
-    let config = ChunkerConfig::new(theta);
+    let rabin_config = ChunkerConfig::new(theta);
     h.row("chunker_cut_points", chunk_size, 1, || {
-        cut_points(&data, &config)
+        cut_points(&data, &rabin_config)
     });
+    let gear_config = ChunkerConfig::gear(theta);
+    h.row("gear_cut_points", chunk_size, 1, || {
+        cut_points(&data, &gear_config)
+    });
+    for threads in [1usize, 2, 4, 8] {
+        let pool = WorkerPool::new(threads);
+        h.row("cut_points_parallel", chunk_size, threads, || {
+            cut_points_parallel(&data, &gear_config, &pool)
+        });
+    }
 
     let rs_size = if quick { 1024 * 1024 } else { 4 * 1024 * 1024 };
     let data = random_bytes(rs_size, 0xEC0DE);
@@ -212,11 +286,18 @@ fn main() {
 
     let ingest_size = if quick { 4 * 1024 * 1024 } else { 16 * 1024 * 1024 };
     let data = random_bytes(ingest_size, 0x1265);
-    let config = ChunkerConfig::new(ingest_size / 16);
+    let rabin_ingest = ChunkerConfig::new(ingest_size / 16);
+    let gear_ingest = ChunkerConfig::gear(ingest_size / 16);
     for threads in [1usize, 2, 4, 8] {
         let pool = WorkerPool::new(threads);
         h.row("ingest", ingest_size, threads, || {
-            ingest(&data, &config, &codec, &pool)
+            ingest(&data, &rabin_ingest, &codec, &pool)
+        });
+    }
+    for threads in [1usize, 2, 4, 8] {
+        let pool = WorkerPool::new(threads);
+        h.row("ingest_gear", ingest_size, threads, || {
+            ingest(&data, &gear_ingest, &codec, &pool)
         });
     }
 

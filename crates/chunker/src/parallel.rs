@@ -1,0 +1,278 @@
+//! Parallel cut-point discovery: the buffer is split into disjoint
+//! slices, each worker collects the content-defined *candidate*
+//! positions in its slice, and one cheap serial fold applies the
+//! `(0.5 θ, 1.5 θ)` size contract over the merged list.
+//!
+//! ## Why the output is byte-identical to the serial scan
+//!
+//! A *candidate* is a position whose rolling fingerprint — an exact
+//! function of only the fixed-width window ending there (48 bytes for
+//! Rabin, 64 for gear) — matches the cut mask. Because the judgment
+//! sees nothing but its own trailing window, the candidate set is a
+//! pure function of the content: a worker that warms its hash up one
+//! window before its slice computes bit-identical fingerprints to a
+//! serial scan that rolled through from the start of the file. Slicing
+//! therefore changes *who finds* each candidate, never *whether it
+//! exists* — the union over any partition of `[min, len)` is the same
+//! set, in the same (sorted) order, at any thread count.
+//!
+//! The size constraint is the only sequential part: whether a
+//! candidate becomes a cut depends on where the previous cut landed.
+//! That state machine ([`fold_candidates`] in `chunker.rs`) is shared
+//! verbatim with the serial drivers and runs over the merged candidate
+//! list in O(candidates) — candidates arrive about one per `0.5 θ`
+//! bytes, so the fold is noise next to the scan. This is the
+//! "resync at the first agreeing boundary" argument in closed form:
+//! after any forced or chosen cut, the next cut is the first candidate
+//! past the minimum-size region, and candidates don't move.
+
+use unidrive_util::pool::WorkerPool;
+
+use crate::chunker::fold_candidates;
+use crate::gear::collect_matches;
+use crate::rabin::RabinHash;
+use crate::{ChunkerConfig, ChunkerKind};
+
+/// Slices shorter than this are not worth a worker handoff; below
+/// `2 × this`, the whole buffer goes serial.
+const MIN_SLICE_BYTES: usize = 256 * 1024;
+
+/// What the parallel driver did, for telemetry (`chunker.*` series).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ChunkStats {
+    /// Disjoint slices scanned (1 for a serial fallback).
+    pub slices: usize,
+    /// Candidate cut positions found across all slices. 0 when the
+    /// serial fallback ran (the skip-ahead scans don't enumerate
+    /// candidates they never visit).
+    pub candidates: usize,
+    /// Candidates discarded by the size-contract fold because they
+    /// fell inside a minimum-size region — the "resync" work.
+    pub skipped: usize,
+}
+
+/// [`cut_points`](crate::cut_points) with cut-point *discovery* fanned
+/// out across `pool`: output is byte-identical to the serial scan at
+/// any thread count (see the module docs for the argument).
+///
+/// # Examples
+///
+/// ```
+/// use unidrive_chunker::{cut_points, cut_points_parallel, ChunkerConfig};
+/// use unidrive_util::pool::WorkerPool;
+///
+/// let data: Vec<u8> = (0..4_000_000u32).map(|i| (i.wrapping_mul(2654435761) >> 13) as u8).collect();
+/// let config = ChunkerConfig::gear(64 * 1024);
+/// let serial = cut_points(&data, &config);
+/// let parallel = cut_points_parallel(&data, &config, &WorkerPool::new(4));
+/// assert_eq!(serial, parallel);
+/// ```
+pub fn cut_points_parallel(
+    data: &[u8],
+    config: &ChunkerConfig,
+    pool: &WorkerPool,
+) -> Vec<(usize, usize)> {
+    cut_points_parallel_stats(data, config, pool).0
+}
+
+/// [`cut_points_parallel`] plus [`ChunkStats`] for telemetry.
+pub fn cut_points_parallel_stats(
+    data: &[u8],
+    config: &ChunkerConfig,
+    pool: &WorkerPool,
+) -> (Vec<(usize, usize)>, ChunkStats) {
+    let min = config.effective_min();
+    // Serial fallback: one worker, or a buffer too small to amortize
+    // the handoff (a single-segment file has no interior candidates at
+    // all). The skip-ahead serial scans are also strictly faster per
+    // byte scanned than full candidate collection, so this is the
+    // right path for small inputs, not just a safe one.
+    if pool.threads() == 1 || data.len() <= config.max_size() || data.len() < 2 * MIN_SLICE_BYTES {
+        let cuts = crate::cut_points(data, config);
+        let stats = ChunkStats {
+            slices: 1,
+            ..ChunkStats::default()
+        };
+        return (cuts, stats);
+    }
+    // Candidates can only matter from the first eligible position of
+    // the first segment onward; carve [min, len) into slices. More
+    // slices than workers smooths imbalance from uneven match density.
+    let span = data.len() - min;
+    let want = pool.threads() * 2;
+    let slice_len = (span / want).max(MIN_SLICE_BYTES);
+    let mut bounds = Vec::new();
+    let mut lo = min;
+    while lo < data.len() {
+        let hi = (lo + slice_len).min(data.len());
+        bounds.push((lo, hi));
+        lo = hi;
+    }
+    let mask = config.kind_mask();
+    let per_slice: Vec<Vec<usize>> = pool.par_map_indexed(&bounds, |_, &(lo, hi)| {
+        let mut found = Vec::new();
+        match config.kind {
+            ChunkerKind::Gear => collect_matches(data, lo, hi, mask, &mut found),
+            ChunkerKind::Rabin => collect_matches_rabin(data, lo, hi, config, &mut found),
+        }
+        found
+    });
+    let candidates: Vec<usize> = per_slice.concat();
+    debug_assert!(candidates.windows(2).all(|w| w[0] < w[1]));
+    let (cuts, skipped) = fold_candidates(data.len(), config, &candidates);
+    let stats = ChunkStats {
+        slices: bounds.len(),
+        candidates: candidates.len(),
+        skipped,
+    };
+    (cuts, stats)
+}
+
+/// Appends every position `c` in `[lo, hi)` whose Rabin fingerprint
+/// (window ending at `c`) matches. Requires `lo >= config.window` so
+/// the warm-up window exists — guaranteed because slicing starts at
+/// `effective_min() >= window`.
+fn collect_matches_rabin(
+    data: &[u8],
+    lo: usize,
+    hi: usize,
+    config: &ChunkerConfig,
+    out: &mut Vec<usize>,
+) {
+    let window = config.window;
+    let mask = config.mask();
+    debug_assert!(lo >= window && hi <= data.len());
+    let mut hash = RabinHash::new(window);
+    for &b in &data[lo - window..lo] {
+        hash.push(b);
+    }
+    // Judge position c (window ending at c), then slide the window by
+    // consuming data[c]. Zipped slices keep the loop bounds-check-free,
+    // mirroring the serial scan's inner loop.
+    let expiring = &data[lo - window..hi - window];
+    let arriving = &data[lo..hi];
+    for (i, (&old, &new)) in expiring.iter().zip(arriving).enumerate() {
+        if hash.fingerprint() & mask == mask {
+            out.push(lo + i);
+        }
+        hash.roll(old, new);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cut_points;
+
+    fn pseudo_random(len: usize, seed: u64) -> Vec<u8> {
+        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+        (0..len)
+            .map(|_| {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                (state >> 32) as u8
+            })
+            .collect()
+    }
+
+    fn both_kinds(theta: usize) -> [ChunkerConfig; 2] {
+        [ChunkerConfig::new(theta), ChunkerConfig::gear(theta)]
+    }
+
+    #[test]
+    fn parallel_equals_serial_at_every_thread_count() {
+        // The tentpole contract: byte-identical output at 1/2/8 threads
+        // for both hash kinds, across sizes that exercise multi-slice
+        // splits and the serial fallback.
+        for config in both_kinds(8 * 1024) {
+            for (len, seed) in [(900_000usize, 1u64), (2_500_000, 2), (100_000, 3)] {
+                let data = pseudo_random(len, seed);
+                let serial = cut_points(&data, &config);
+                for threads in [1usize, 2, 8] {
+                    let pool = WorkerPool::new(threads);
+                    let parallel = cut_points_parallel(&data, &config, &pool);
+                    assert_eq!(
+                        parallel,
+                        serial,
+                        "kind={} len={len} threads={threads}",
+                        config.kind.label()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_equals_serial_on_forced_cut_data() {
+        // All-zero data has no candidates anywhere: every cut is forced
+        // at max_size, the degenerate case where slice edges and forced
+        // cuts interleave arbitrarily.
+        for config in both_kinds(4 * 1024) {
+            let data = vec![0u8; 1_200_000];
+            let serial = cut_points(&data, &config);
+            for threads in [2usize, 8] {
+                let parallel = cut_points_parallel(&data, &config, &WorkerPool::new(threads));
+                assert_eq!(parallel, serial, "kind={}", config.kind.label());
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_handles_edge_sizes() {
+        for config in both_kinds(1024) {
+            let pool = WorkerPool::new(4);
+            assert!(cut_points_parallel(&[], &config, &pool).is_empty());
+            for len in [1usize, 100, config.max_size(), config.max_size() + 1] {
+                let data = pseudo_random(len, len as u64);
+                assert_eq!(
+                    cut_points_parallel(&data, &config, &pool),
+                    cut_points(&data, &config),
+                    "kind={} len={len}",
+                    config.kind.label()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn rabin_candidate_scan_agrees_with_serial_walk() {
+        // The Rabin collector judges exactly the positions a serial
+        // roll-through would, wherever the slice starts.
+        let config = ChunkerConfig::new(4 * 1024);
+        let data = pseudo_random(300_000, 9);
+        let window = config.window;
+        let mask = config.mask();
+        let mut reference = Vec::new();
+        let mut hash = RabinHash::new(window);
+        for &b in &data[..window] {
+            hash.push(b);
+        }
+        for c in window..data.len() {
+            if hash.fingerprint() & mask == mask {
+                reference.push(c);
+            }
+            hash.roll(data[c - window], data[c]);
+        }
+        for lo in [window, 1000, 65_537] {
+            let mut got = Vec::new();
+            collect_matches_rabin(&data, lo, data.len(), &config, &mut got);
+            let expect: Vec<usize> = reference.iter().copied().filter(|&c| c >= lo).collect();
+            assert_eq!(got, expect, "lo={lo}");
+        }
+        assert!(!reference.is_empty(), "mask produced no matches");
+    }
+
+    #[test]
+    fn stats_are_thread_count_invariant() {
+        // Candidate and skip counts are content properties; only the
+        // slice count may see the pool width.
+        let config = ChunkerConfig::gear(8 * 1024);
+        let data = pseudo_random(2_000_000, 17);
+        let (_, s2) = cut_points_parallel_stats(&data, &config, &WorkerPool::new(2));
+        let (_, s8) = cut_points_parallel_stats(&data, &config, &WorkerPool::new(8));
+        assert!(s2.candidates > 0 && s2.skipped > 0, "{s2:?}");
+        assert_eq!(s2.candidates, s8.candidates);
+        assert_eq!(s2.skipped, s8.skipped);
+    }
+}

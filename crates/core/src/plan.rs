@@ -12,7 +12,10 @@ use unidrive_obs::Obs;
 pub struct DataPlaneConfig {
     /// Erasure-coding and placement parameters (N, k, K_r, K_s).
     pub redundancy: RedundancyConfig,
-    /// Content-defined segmentation parameters (θ, window).
+    /// Content-defined segmentation parameters (θ, window, and the
+    /// rolling-hash kind: paper-faithful Rabin, or the several-times
+    /// faster FastCDC-style gear hash — see
+    /// [`ChunkerKind`](unidrive_chunker::ChunkerKind)).
     pub chunker: ChunkerConfig,
     /// Concurrent connections per cloud (the paper uses up to 5).
     pub connections_per_cloud: usize,
@@ -38,12 +41,14 @@ pub struct DataPlaneConfig {
     /// completion or failure actually notifies it — the former 5 ms
     /// `IDLE_POLL` constant, kept sweepable for ablations.
     pub idle_wait: Option<Duration>,
-    /// Worker threads for the CPU-bound ingest pipeline (content-defined
-    /// chunking + per-segment hashing) in
-    /// [`DataPlane::upload_files`](crate::DataPlane::upload_files).
-    /// Results are collected by input index, so plans, metrics, and
-    /// traces are byte-identical at any width — only wall clock changes.
-    /// 1 (the default) runs strictly inline on the calling thread.
+    /// Worker threads for the CPU-bound ingest pipeline in
+    /// [`DataPlane::upload_files`](crate::DataPlane::upload_files):
+    /// cut-point discovery scans disjoint buffer slices on the pool,
+    /// and per-segment hashing fans out across it. Cut points are
+    /// byte-identical to the serial scan and hash results are
+    /// collected by input index, so plans, metrics, and traces are
+    /// byte-identical at any width — only wall clock changes. 1 (the
+    /// default) runs strictly inline on the calling thread.
     pub ingest_threads: usize,
     /// Observability handle threaded through the schedulers, retries,
     /// and the bandwidth probe (no-op by default; see `unidrive-obs`).
