@@ -262,4 +262,28 @@ grep -q "0 regression" "$out/cmp_oplog.md"
 ./target/release/bench_compare BENCH_oplog.json "$out/o1.json" --md "$out/cmp_baseline.md" \
     || echo "    advisory: quick run drifts from the full-mode baseline (expected, not a gate)"
 
+echo "==> s3 backend: real-socket sync gate + HTTP bench schema"
+# The HTTP backend's acceptance bar: the two-device workload must
+# converge through in-process S3 servers over real TCP, and the chaos
+# phase (torn uploads + 503 bursts) must end byte-identical to the
+# clean phase — asserted inside the test. Release build keeps the
+# wall-clock runs snappy. s3_bench throughput varies with the machine;
+# CI pins the JSON schema and the fixed row ordering.
+cargo test --offline --release --test s3_sync -q
+./target/release/s3_bench --quick --out "$out/s3_bench.json" >/dev/null
+python3 - "$out/s3_bench.json" <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+assert doc["s3_bench"] == "unidrive/v1", doc
+assert set(doc) == {"s3_bench", "mode", "rows"}, sorted(doc)
+ops = [r["op"] for r in doc["rows"]]
+assert ops == ["upload"] * 3 + ["download"] * 3 + ["append", "list", "upload_delete"], ops
+for r in doc["rows"]:
+    assert set(r) == {"op", "bytes", "iters", "mb_per_s", "mean_ns", "p50_ns", "p95_ns"}, r
+    assert r["iters"] >= 3 and r["mean_ns"] > 0, r
+    assert r["p50_ns"] <= r["p95_ns"], r
+    if r["op"] != "list":
+        assert r["mb_per_s"] > 0, r
+EOF
+
 echo "CI OK"

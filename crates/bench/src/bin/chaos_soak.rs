@@ -51,8 +51,8 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use unidrive_cloud::{
-    ChaosCloud, CloudSet, CloudStore, FaultEvent, FaultKind, FaultPlan, HealthBoard,
-    HealthConfig, MemCloud, ObservedCloud, SimCloud, SimCloudConfig,
+    ChaosCloud, CloudBuilder, CloudSet, CloudStore, FaultEvent, FaultKind, FaultPlan,
+    HealthBoard, HealthConfig, MemCloud, SimCloud, SimCloudConfig,
 };
 use unidrive_core::{ClientConfig, DataPlaneConfig, MemFolder, SyncFolder, UniDriveClient};
 use unidrive_erasure::RedundancyConfig;
@@ -121,15 +121,12 @@ fn run_round(plan: &FaultPlan, mode: MetaMode, want_flight: bool) -> RoundOutcom
                     Arc::clone(&backings[i]),
                 ));
                 inner.install_obs(obs.clone());
-                let chaos = Arc::new(ChaosCloud::with_label(
-                    inner as Arc<dyn CloudStore>,
-                    rt.clone(),
-                    plan,
-                    &format!("dev{d}"),
-                ));
-                chaos.install_obs(obs.clone());
-                chaos_handles.push(Arc::clone(&chaos));
-                chaos as Arc<dyn CloudStore>
+                let built = CloudBuilder::new(&rt, inner as Arc<dyn CloudStore>)
+                    .chaos(plan, &format!("dev{d}"))
+                    .obs(&obs)
+                    .build();
+                chaos_handles.push(built.chaos.expect("chaos stage configured"));
+                built.store
             })
             .collect();
         device_sets.push(CloudSet::new(members));
@@ -345,19 +342,12 @@ fn health_round(series_out: Option<&str>) -> HealthOutcome {
                     Arc::clone(&backings[i]),
                 ));
                 inner.install_obs(obs.clone());
-                let chaos = Arc::new(ChaosCloud::with_label(
-                    inner as Arc<dyn CloudStore>,
-                    rt.clone(),
-                    &plan,
-                    &format!("dev{d}"),
-                ));
-                chaos.install_obs(obs.clone());
-                Arc::new(ObservedCloud::new(
-                    chaos as Arc<dyn CloudStore>,
-                    rt.clone(),
-                    board.cloud(&format!("c{i}")),
-                    obs.clone(),
-                )) as Arc<dyn CloudStore>
+                CloudBuilder::new(&rt, inner as Arc<dyn CloudStore>)
+                    .chaos(&plan, &format!("dev{d}"))
+                    .observed(board.cloud(&format!("c{i}")))
+                    .obs(&obs)
+                    .build()
+                    .store
             })
             .collect();
         device_sets.push(CloudSet::new(members));

@@ -1,0 +1,186 @@
+//! **s3_bench** — wall-clock throughput of the HTTP backend.
+//!
+//! Boots an in-process [`MockS3`] on an ephemeral port and drives an
+//! [`S3Cloud`] through the pooled std-only HTTP client, measuring each
+//! Web API op end to end: request framing, connection checkout,
+//! loopback TCP, server routing, and response parsing. Loopback wipes
+//! out network variance, so what the rows track is the *client-side*
+//! cost of the real-backend path — the serialization and pooling
+//! overhead UniDrive adds on top of a provider's wire time. Rows:
+//!
+//! - `upload` / `download` — one object per iteration, several sizes
+//! - `append` — read-modify-write through HTTP (download + upload),
+//!   constant payload against a bounded object
+//! - `list` — one directory of 32 entries
+//! - `upload_delete` — full object lifecycle per iteration
+//!
+//! Like `bench_kernels`, percentiles are exact sample ranks and
+//! results export as JSON with a fixed schema and row order — values
+//! are wall clock and vary run to run, the shape never does.
+//!
+//! Usage: `s3_bench [--quick|quick] [--out PATH]`
+//! (default out: `BENCH_s3.json`).
+
+use std::fmt::Write as _;
+use std::hint::black_box;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use unidrive_cloud::{CloudStore, MockS3, S3Cloud, S3Endpoint};
+use unidrive_sim::{RealRuntime, Runtime};
+use unidrive_util::bytes::Bytes;
+use unidrive_workload::random_bytes;
+
+struct Row {
+    op: &'static str,
+    bytes: usize,
+    iters: u64,
+    mb_per_s: f64,
+    mean_ns: u64,
+    p50_ns: u64,
+    p95_ns: u64,
+}
+
+/// Exact rank-`q` percentile of the (sorted) samples.
+fn percentile(sorted: &[u64], q: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+struct Harness {
+    budget: Duration,
+    rows: Vec<Row>,
+}
+
+impl Harness {
+    /// Times `f` until the row budget is spent (≥ 3 iterations), with
+    /// one untimed warm-up. `bytes` is the payload one iteration moves.
+    fn row<T>(&mut self, op: &'static str, bytes: usize, mut f: impl FnMut() -> T) {
+        black_box(f());
+        let start = Instant::now();
+        let mut samples: Vec<u64> = Vec::with_capacity(256);
+        while samples.len() < 3 || (start.elapsed() < self.budget && samples.len() < 10_000) {
+            let t0 = Instant::now();
+            black_box(f());
+            samples.push(t0.elapsed().as_nanos() as u64);
+        }
+        let iters = samples.len() as u64;
+        let mean_ns = samples.iter().sum::<u64>() as f64 / iters as f64;
+        samples.sort_unstable();
+        let row = Row {
+            op,
+            bytes,
+            iters,
+            mb_per_s: bytes as f64 / (mean_ns / 1e9).max(1e-12) / (1024.0 * 1024.0),
+            mean_ns: mean_ns as u64,
+            p50_ns: percentile(&samples, 0.50),
+            p95_ns: percentile(&samples, 0.95),
+        };
+        println!(
+            "{:<14} {:>9} B {:>6} it {:>10.1} MiB/s  (mean {:>9} ns, p50 {:>9}, p95 {:>9})",
+            row.op, row.bytes, row.iters, row.mb_per_s, row.mean_ns, row.p50_ns, row.p95_ns
+        );
+        self.rows.push(row);
+    }
+
+    fn to_json(&self, mode: &str) -> String {
+        let mut out = String::with_capacity(2048);
+        out.push_str("{\n\"s3_bench\": \"unidrive/v1\",\n");
+        let _ = writeln!(out, "\"mode\": \"{mode}\",");
+        out.push_str("\"rows\": [");
+        for (i, r) in self.rows.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "\n{{\"op\": \"{}\", \"bytes\": {}, \"iters\": {}, \
+                 \"mb_per_s\": {:.2}, \"mean_ns\": {}, \"p50_ns\": {}, \"p95_ns\": {}}}",
+                r.op, r.bytes, r.iters, r.mb_per_s, r.mean_ns, r.p50_ns, r.p95_ns
+            );
+        }
+        out.push_str("\n]\n}\n");
+        out
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick" || a == "quick");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_s3.json".to_owned());
+
+    let server = MockS3::start().unwrap_or_else(|e| {
+        eprintln!("s3_bench: cannot bind mock server: {e}");
+        std::process::exit(1);
+    });
+    let rt: Arc<dyn Runtime> = Arc::new(RealRuntime::new());
+    let endpoint = S3Endpoint::new("s3", server.addr(), "bench");
+    // The paper's data plane opens up to 5 connections per cloud; the
+    // bench drives ops serially, so the pool mainly exercises reuse.
+    let cloud = S3Cloud::connect(&rt, &endpoint, 5);
+
+    let mut h = Harness {
+        budget: Duration::from_millis(if quick { 60 } else { 300 }),
+        rows: Vec::new(),
+    };
+
+    let sizes: &[usize] = &[4 * 1024, 256 * 1024, 1024 * 1024];
+    for &size in sizes {
+        let payload = random_bytes(size, 0x5335 ^ size as u64);
+        h.row("upload", size, || {
+            cloud.upload("bench/up.bin", payload.clone()).expect("upload")
+        });
+    }
+    for &size in sizes {
+        let payload = random_bytes(size, 0x5336 ^ size as u64);
+        cloud.upload("bench/down.bin", payload).expect("seed download");
+        h.row("download", size, || {
+            black_box(cloud.download("bench/down.bin").expect("download"))
+        });
+    }
+
+    // Append is the composed RMW over HTTP; reset the object each
+    // iteration so the cost stays a function of the payload, not of an
+    // unboundedly growing log.
+    let chunk = random_bytes(16 * 1024, 0x5337);
+    h.row("append", chunk.len(), || {
+        cloud.upload("bench/log.bin", chunk.clone()).expect("reset");
+        cloud.append("bench/log.bin", chunk.clone()).expect("append")
+    });
+
+    for i in 0..32 {
+        cloud
+            .upload(&format!("bench/dir/f{i:02}"), Bytes::from_static(b"x"))
+            .expect("seed listing");
+    }
+    h.row("list", 0, || {
+        let entries = cloud.list("bench/dir").expect("list");
+        assert_eq!(entries.len(), 32);
+        black_box(entries)
+    });
+
+    let small = random_bytes(4 * 1024, 0x5338);
+    h.row("upload_delete", small.len(), || {
+        cloud.upload("bench/tmp.bin", small.clone()).expect("upload");
+        cloud.delete("bench/tmp.bin").expect("delete")
+    });
+
+    let json = h.to_json(if quick { "quick" } else { "full" });
+    std::fs::write(&out_path, &json).unwrap_or_else(|e| {
+        eprintln!("s3_bench: cannot write {out_path}: {e}");
+        std::process::exit(1);
+    });
+    println!(
+        "wrote {} rows to {out_path} ({} requests served)",
+        h.rows.len(),
+        server.requests()
+    );
+}

@@ -186,6 +186,36 @@ impl CloudError {
             _ => None,
         }
     }
+
+    /// Attaches operation context to a `Transient`/`Unavailable` error
+    /// that lacks it; context already present wins (the deepest layer
+    /// knows the *originating* op), and other variants pass through
+    /// untouched. Every decorator applies this to errors crossing it,
+    /// so retry accounting and health tracking see the originating
+    /// operation through any stack depth.
+    pub fn with_op_context(self, op: CloudOp, path: &str) -> CloudError {
+        match self {
+            CloudError::Transient {
+                reason,
+                op: prev_op,
+                path: prev_path,
+            } => CloudError::Transient {
+                reason,
+                op: prev_op.or(Some(op)),
+                path: prev_path.or_else(|| Some(path.to_owned())),
+            },
+            CloudError::Unavailable {
+                cloud,
+                op: prev_op,
+                path: prev_path,
+            } => CloudError::Unavailable {
+                cloud,
+                op: prev_op.or(Some(op)),
+                path: prev_path.or_else(|| Some(path.to_owned())),
+            },
+            other => other,
+        }
+    }
 }
 
 impl fmt::Display for CloudError {

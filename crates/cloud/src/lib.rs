@@ -19,28 +19,42 @@
 //! * [`ObservedCloud`] / [`CloudHealth`] / [`HealthBoard`] — the
 //!   measurement decorator and per-cloud health scoreboard (EWMA
 //!   latency, windowed error rate, availability state machine).
-//! * [`Retry`] / [`RetryPolicy`] — bounded-backoff retries for
-//!   transient Web API failures.
-//! * [`TokenBucket`] / [`QpsSeries`] — deterministic per-cloud
-//!   request-rate shaping and accounting for fleet-scale load.
+//! * [`Retry`] / [`RetryPolicy`] / [`RetryCloud`] — bounded-backoff
+//!   retries for transient Web API failures, per call site or as a
+//!   store decorator.
+//! * [`TokenBucket`] / [`QpsSeries`] / [`QpsShaper`] — deterministic
+//!   per-cloud request-rate shaping and accounting, shared by the
+//!   fleet simulator and the store interface.
+//! * [`CloudBuilder`] — composes the decorators above in one canonical
+//!   order (base → qps → chaos → retry → observed).
+//! * [`S3Cloud`] / [`MockS3`] — a real HTTP backend speaking the
+//!   S3-compatible REST dialect over the std-only pooled
+//!   [`http::HttpClient`], plus the in-process server the integration
+//!   tests run it against.
 //!
 //! See the crate-level example on [`CloudStore`].
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+mod builder;
+pub mod contract;
 mod error;
 pub mod fault;
 pub mod health;
+pub mod http;
 mod local;
 mod mem;
+mod mock_s3;
 mod observed;
 mod qps;
 mod retry;
+mod s3;
 mod sim_cloud;
 mod store;
 mod wrappers;
 
+pub use builder::{shims, BuiltCloud, CloudBuilder};
 pub use error::{CloudError, CloudOp};
 pub use fault::{ChaosCloud, FaultEvent, FaultKind, FaultPlan};
 pub use health::{
@@ -49,9 +63,13 @@ pub use health::{
 };
 pub use local::LocalDirCloud;
 pub use mem::MemCloud;
+pub use mock_s3::MockS3;
 pub use observed::ObservedCloud;
-pub use qps::{QpsSeries, TokenBucket};
-pub use retry::{Retry, RetryPolicy};
+pub use qps::{QpsSeries, QpsShaper, TokenBucket};
+pub use retry::{Retry, RetryCloud, RetryPolicy};
+pub use s3::{S3Cloud, S3Endpoint};
 pub use sim_cloud::{FailureProfile, SimCloud, SimCloudConfig, TrafficCounters, TrafficSnapshot};
-pub use store::{split_path, validate_path, CloudId, CloudSet, CloudStore, ObjectInfo};
+pub use store::{
+    split_path, validate_path, CloudCaps, CloudId, CloudSet, CloudStore, ObjectInfo,
+};
 pub use wrappers::{CountingCloud, ThrottledCloud};

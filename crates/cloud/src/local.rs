@@ -58,10 +58,18 @@ impl LocalDirCloud {
         &self.root
     }
 
+    /// Resolves a directory path; the empty string is the root.
     fn resolve(&self, path: &str) -> Result<PathBuf, CloudError> {
         if path.is_empty() {
             return Ok(self.root.clone());
         }
+        validate_path(path)?;
+        Ok(self.root.join(path))
+    }
+
+    /// Resolves an object path; the empty string (the root) is not a
+    /// valid object and is rejected like any other malformed path.
+    fn resolve_object(&self, path: &str) -> Result<PathBuf, CloudError> {
         validate_path(path)?;
         Ok(self.root.join(path))
     }
@@ -74,7 +82,7 @@ impl CloudStore for LocalDirCloud {
 
     fn upload(&self, path: &str, data: Bytes) -> Result<(), CloudError> {
         static TMP_COUNTER: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
-        let full = self.resolve(path)?;
+        let full = self.resolve_object(path)?;
         if let Some(parent) = full.parent() {
             fs::create_dir_all(parent)?;
         }
@@ -96,7 +104,7 @@ impl CloudStore for LocalDirCloud {
     }
 
     fn download(&self, path: &str) -> Result<Bytes, CloudError> {
-        let full = self.resolve(path)?;
+        let full = self.resolve_object(path)?;
         match fs::read(&full) {
             Ok(data) => Ok(Bytes::from(data)),
             Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
@@ -140,7 +148,7 @@ impl CloudStore for LocalDirCloud {
     }
 
     fn delete(&self, path: &str) -> Result<(), CloudError> {
-        let full = self.resolve(path)?;
+        let full = self.resolve_object(path)?;
         match fs::metadata(&full) {
             Ok(m) if m.is_dir() => {
                 fs::remove_dir_all(&full)?;
@@ -154,6 +162,18 @@ impl CloudStore for LocalDirCloud {
                 Err(CloudError::not_found(path))
             }
             Err(e) => Err(e.into()),
+        }
+    }
+
+    fn caps(&self) -> crate::CloudCaps {
+        crate::CloudCaps {
+            // Appends are the default download + atomic-rename upload:
+            // no in-place extension, so not native.
+            native_append: false,
+            // Local filesystem reads see completed renames immediately.
+            read_after_write: true,
+            max_object_bytes: None,
+            supports_conditional_put: false,
         }
     }
 }

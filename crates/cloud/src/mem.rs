@@ -112,6 +112,17 @@ impl CloudStore for MemCloud {
             .ok_or_else(|| CloudError::not_found(path))
     }
 
+    fn caps(&self) -> crate::CloudCaps {
+        crate::CloudCaps {
+            // The override below extends in place under the write lock:
+            // a true all-or-nothing append.
+            native_append: true,
+            read_after_write: true,
+            max_object_bytes: None,
+            supports_conditional_put: false,
+        }
+    }
+
     fn append(&self, path: &str, data: Bytes) -> Result<(), CloudError> {
         // Native append: one atomic in-place extension under the write
         // lock (the default read-modify-write would be two ops).

@@ -98,7 +98,11 @@ impl CloudStore for ObservedCloud {
 
     fn upload(&self, path: &str, data: Bytes) -> Result<(), CloudError> {
         let len = data.len() as u64;
-        let r = self.measure(|| self.inner.upload(path, data));
+        let r = self.measure(|| {
+            self.inner
+                .upload(path, data)
+                .map_err(|e| e.with_op_context(crate::CloudOp::Upload, path))
+        });
         if r.is_ok() {
             self.bytes_up.record(len);
         }
@@ -106,7 +110,11 @@ impl CloudStore for ObservedCloud {
     }
 
     fn download(&self, path: &str) -> Result<Bytes, CloudError> {
-        let r = self.measure(|| self.inner.download(path));
+        let r = self.measure(|| {
+            self.inner
+                .download(path)
+                .map_err(|e| e.with_op_context(crate::CloudOp::Download, path))
+        });
         if let Ok(data) = &r {
             self.bytes_down.record(data.len() as u64);
         }
@@ -114,15 +122,36 @@ impl CloudStore for ObservedCloud {
     }
 
     fn create_dir(&self, path: &str) -> Result<(), CloudError> {
-        self.measure(|| self.inner.create_dir(path))
+        self.measure(|| {
+            self.inner
+                .create_dir(path)
+                .map_err(|e| e.with_op_context(crate::CloudOp::CreateDir, path))
+        })
     }
 
     fn list(&self, path: &str) -> Result<Vec<ObjectInfo>, CloudError> {
-        self.measure(|| self.inner.list(path))
+        self.measure(|| {
+            self.inner
+                .list(path)
+                .map_err(|e| e.with_op_context(crate::CloudOp::List, path))
+        })
     }
 
     fn delete(&self, path: &str) -> Result<(), CloudError> {
-        self.measure(|| self.inner.delete(path))
+        self.measure(|| {
+            self.inner
+                .delete(path)
+                .map_err(|e| e.with_op_context(crate::CloudOp::Delete, path))
+        })
+    }
+
+    fn caps(&self) -> crate::CloudCaps {
+        // Observation is transparent; appends run through the composed
+        // default so both sub-ops are timed, hence not native.
+        crate::CloudCaps {
+            native_append: false,
+            ..self.inner.caps()
+        }
     }
 }
 

@@ -23,7 +23,7 @@ use unidrive_util::bytes::Bytes;
 use unidrive_util::sync::Mutex;
 use unidrive_sim::{LinkId, LinkProfile, Runtime, SimRng, SimRuntime, Time, TransferError};
 
-use crate::{CloudError, CloudStore, MemCloud, ObjectInfo};
+use crate::{CloudCaps, CloudError, CloudOp, CloudStore, MemCloud, ObjectInfo};
 
 /// Transient-failure model of one cloud's Web API.
 ///
@@ -375,75 +375,102 @@ impl CloudStore for SimCloud {
     }
 
     fn upload(&self, path: &str, data: Bytes) -> Result<(), CloudError> {
-        self.check_available("upload")?;
-        if let Some(quota) = self.quota {
-            let used = self.storage.used_bytes();
-            let needed = data.len() as u64;
-            if used + needed > quota {
-                self.count_failure("upload", needed, false);
-                return Err(CloudError::QuotaExceeded {
-                    needed,
-                    available: quota.saturating_sub(used),
-                });
+        let run = || {
+            self.check_available("upload")?;
+            if let Some(quota) = self.quota {
+                let used = self.storage.used_bytes();
+                let needed = data.len() as u64;
+                if used + needed > quota {
+                    self.count_failure("upload", needed, false);
+                    return Err(CloudError::QuotaExceeded {
+                        needed,
+                        available: quota.saturating_sub(used),
+                    });
+                }
             }
-        }
-        self.request(
-            self.up,
-            "upload",
-            data.len() as u64,
-            &self.counters.uploaded_bytes,
-        )?;
-        self.storage.upload(path, data)
+            self.request(
+                self.up,
+                "upload",
+                data.len() as u64,
+                &self.counters.uploaded_bytes,
+            )?;
+            self.storage.upload(path, data.clone())
+        };
+        run().map_err(|e| e.with_op_context(CloudOp::Upload, path))
     }
 
     fn download(&self, path: &str) -> Result<Bytes, CloudError> {
-        self.check_available("download")?;
-        // The request has to reach the cloud before NotFound can be known.
-        let data = match self.storage.download(path) {
-            Ok(d) => d,
-            Err(e) => {
-                self.request(self.down, "download", 0, &self.counters.downloaded_bytes)?;
-                return Err(e);
-            }
+        let run = || {
+            self.check_available("download")?;
+            // The request has to reach the cloud before NotFound can be known.
+            let data = match self.storage.download(path) {
+                Ok(d) => d,
+                Err(e) => {
+                    self.request(self.down, "download", 0, &self.counters.downloaded_bytes)?;
+                    return Err(e);
+                }
+            };
+            self.request(
+                self.down,
+                "download",
+                data.len() as u64,
+                &self.counters.downloaded_bytes,
+            )?;
+            Ok(data)
         };
-        self.request(
-            self.down,
-            "download",
-            data.len() as u64,
-            &self.counters.downloaded_bytes,
-        )?;
-        Ok(data)
+        run().map_err(|e| e.with_op_context(CloudOp::Download, path))
     }
 
     fn create_dir(&self, path: &str) -> Result<(), CloudError> {
-        self.check_available("create_dir")?;
-        self.request(self.up, "create_dir", 0, &self.counters.uploaded_bytes)?;
-        self.storage.create_dir(path)
+        let run = || {
+            self.check_available("create_dir")?;
+            self.request(self.up, "create_dir", 0, &self.counters.uploaded_bytes)?;
+            self.storage.create_dir(path)
+        };
+        run().map_err(|e| e.with_op_context(CloudOp::CreateDir, path))
     }
 
     fn list(&self, path: &str) -> Result<Vec<ObjectInfo>, CloudError> {
-        self.check_available("list")?;
-        let entries = match self.storage.list(path) {
-            Ok(e) => e,
-            Err(e) => {
-                self.request(self.down, "list", 0, &self.counters.downloaded_bytes)?;
-                return Err(e);
-            }
+        let run = || {
+            self.check_available("list")?;
+            let entries = match self.storage.list(path) {
+                Ok(e) => e,
+                Err(e) => {
+                    self.request(self.down, "list", 0, &self.counters.downloaded_bytes)?;
+                    return Err(e);
+                }
+            };
+            // Listings cost roughly 64 bytes of response per entry.
+            self.request(
+                self.down,
+                "list",
+                entries.len() as u64 * 64,
+                &self.counters.downloaded_bytes,
+            )?;
+            Ok(entries)
         };
-        // Listings cost roughly 64 bytes of response per entry.
-        self.request(
-            self.down,
-            "list",
-            entries.len() as u64 * 64,
-            &self.counters.downloaded_bytes,
-        )?;
-        Ok(entries)
+        run().map_err(|e| e.with_op_context(CloudOp::List, path))
     }
 
     fn delete(&self, path: &str) -> Result<(), CloudError> {
-        self.check_available("delete")?;
-        self.request(self.up, "delete", 0, &self.counters.uploaded_bytes)?;
-        self.storage.delete(path)
+        let run = || {
+            self.check_available("delete")?;
+            self.request(self.up, "delete", 0, &self.counters.uploaded_bytes)?;
+            self.storage.delete(path)
+        };
+        run().map_err(|e| e.with_op_context(CloudOp::Delete, path))
+    }
+
+    fn caps(&self) -> CloudCaps {
+        CloudCaps {
+            // Appends go through the default read-modify-write over the
+            // simulated links (no atomic server-side append), exactly
+            // like the consumer clouds being modeled.
+            native_append: false,
+            read_after_write: true,
+            max_object_bytes: None,
+            supports_conditional_put: false,
+        }
     }
 }
 

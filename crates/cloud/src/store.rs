@@ -144,6 +144,58 @@ pub trait CloudStore: Send + Sync {
             Err(e) => Err(e),
         }
     }
+
+    /// What this store can actually do beyond the five-op minimum, so
+    /// callers (the oplog metadata plane, the data plane) can *query*
+    /// behavior instead of probing for it. The default is the most
+    /// conservative honest answer for an unknown consumer cloud;
+    /// wrappers must forward their inner store's capabilities, masking
+    /// anything they themselves break (e.g. a fault injector that
+    /// schedules delayed visibility masks `read_after_write`).
+    fn caps(&self) -> CloudCaps {
+        CloudCaps::default()
+    }
+}
+
+/// Capability descriptor returned by [`CloudStore::caps`].
+///
+/// The fields answer the questions UniDrive's planes otherwise had to
+/// answer by folklore: can `append` tear (see the torn-tail note on
+/// [`CloudStore::append`])? can a just-written object be read back
+/// immediately? how big may one object be? is compare-and-swap
+/// available for lock-free metadata commits?
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CloudCaps {
+    /// The store appends atomically server-side (all-or-nothing, no
+    /// read-modify-write window). When `false`, `append` is the
+    /// composed default and a torn upload can persist a prefix of the
+    /// *whole* object — single-writer logs should full-replace.
+    pub native_append: bool,
+    /// Once `upload` returns success, `download`/`list` from any
+    /// client observe the new object (paper §5.2's contract). Fault
+    /// wrappers that delay visibility must report `false`.
+    pub read_after_write: bool,
+    /// Hard per-object size limit, if the provider documents one.
+    pub max_object_bytes: Option<u64>,
+    /// The store offers conditional put (compare-and-swap on upload),
+    /// e.g. S3 `If-Match`. None of the paper's five ops require it;
+    /// reported so future metadata planes can pick commit strategies.
+    pub supports_conditional_put: bool,
+}
+
+impl Default for CloudCaps {
+    /// The conservative profile of an unknown consumer cloud: no
+    /// native append, no conditional put, no documented size limit,
+    /// but read-after-write (which [`CloudStore`] *requires* of every
+    /// implementation).
+    fn default() -> CloudCaps {
+        CloudCaps {
+            native_append: false,
+            read_after_write: true,
+            max_object_bytes: None,
+            supports_conditional_put: false,
+        }
+    }
 }
 
 /// Splits a path into `(parent, basename)`.

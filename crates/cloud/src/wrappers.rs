@@ -15,7 +15,7 @@ use unidrive_sim::Runtime;
 use unidrive_util::bytes::Bytes;
 use unidrive_util::sync::Mutex;
 
-use crate::{CloudError, CloudStore, ObjectInfo, TrafficSnapshot};
+use crate::{CloudError, CloudOp, CloudStore, ObjectInfo, TrafficSnapshot};
 
 /// Wraps a store, limiting payload throughput with a token bucket.
 ///
@@ -97,25 +97,46 @@ impl CloudStore for ThrottledCloud {
 
     fn upload(&self, path: &str, data: Bytes) -> Result<(), CloudError> {
         self.consume(data.len() as u64);
-        self.inner.upload(path, data)
+        self.inner
+            .upload(path, data)
+            .map_err(|e| e.with_op_context(CloudOp::Upload, path))
     }
 
     fn download(&self, path: &str) -> Result<Bytes, CloudError> {
-        let data = self.inner.download(path)?;
+        let data = self
+            .inner
+            .download(path)
+            .map_err(|e| e.with_op_context(CloudOp::Download, path))?;
         self.consume(data.len() as u64);
         Ok(data)
     }
 
     fn create_dir(&self, path: &str) -> Result<(), CloudError> {
-        self.inner.create_dir(path)
+        self.inner
+            .create_dir(path)
+            .map_err(|e| e.with_op_context(CloudOp::CreateDir, path))
     }
 
     fn list(&self, path: &str) -> Result<Vec<ObjectInfo>, CloudError> {
-        self.inner.list(path)
+        self.inner
+            .list(path)
+            .map_err(|e| e.with_op_context(CloudOp::List, path))
     }
 
     fn delete(&self, path: &str) -> Result<(), CloudError> {
-        self.inner.delete(path)
+        self.inner
+            .delete(path)
+            .map_err(|e| e.with_op_context(CloudOp::Delete, path))
+    }
+
+    fn caps(&self) -> crate::CloudCaps {
+        // Shaping doesn't change semantics, but appends run through the
+        // composed default (so both sub-ops are byte-accounted), never
+        // the inner store's native path.
+        crate::CloudCaps {
+            native_append: false,
+            ..self.inner.caps()
+        }
     }
 }
 
@@ -181,7 +202,11 @@ impl CloudStore for CountingCloud {
 
     fn upload(&self, path: &str, data: Bytes) -> Result<(), CloudError> {
         let len = data.len() as u64;
-        let r = self.record(self.inner.upload(path, data));
+        let r = self.record(
+            self.inner
+                .upload(path, data)
+                .map_err(|e| e.with_op_context(CloudOp::Upload, path)),
+        );
         if r.is_ok() {
             self.uploaded.fetch_add(len, Ordering::Relaxed);
         }
@@ -189,7 +214,11 @@ impl CloudStore for CountingCloud {
     }
 
     fn download(&self, path: &str) -> Result<Bytes, CloudError> {
-        let r = self.record(self.inner.download(path));
+        let r = self.record(
+            self.inner
+                .download(path)
+                .map_err(|e| e.with_op_context(CloudOp::Download, path)),
+        );
         if let Ok(data) = &r {
             self.downloaded.fetch_add(data.len() as u64, Ordering::Relaxed);
         }
@@ -197,15 +226,36 @@ impl CloudStore for CountingCloud {
     }
 
     fn create_dir(&self, path: &str) -> Result<(), CloudError> {
-        self.record(self.inner.create_dir(path))
+        self.record(
+            self.inner
+                .create_dir(path)
+                .map_err(|e| e.with_op_context(CloudOp::CreateDir, path)),
+        )
     }
 
     fn list(&self, path: &str) -> Result<Vec<ObjectInfo>, CloudError> {
-        self.record(self.inner.list(path))
+        self.record(
+            self.inner
+                .list(path)
+                .map_err(|e| e.with_op_context(CloudOp::List, path)),
+        )
     }
 
     fn delete(&self, path: &str) -> Result<(), CloudError> {
-        self.record(self.inner.delete(path))
+        self.record(
+            self.inner
+                .delete(path)
+                .map_err(|e| e.with_op_context(CloudOp::Delete, path)),
+        )
+    }
+
+    fn caps(&self) -> crate::CloudCaps {
+        // Counting is transparent, but appends take the composed
+        // default (both sub-ops counted), not the inner native path.
+        crate::CloudCaps {
+            native_append: false,
+            ..self.inner.caps()
+        }
     }
 }
 

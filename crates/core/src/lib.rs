@@ -55,7 +55,7 @@ pub use folder::{
 };
 pub use lock::{LockConfig, LockError, LockGuard, QuorumLock};
 pub use maintenance::{trim_overprovisioned, trim_plan};
-pub use plan::{normal_assignment, DataPlaneConfig, SegmentData};
+pub use plan::{normal_assignment, s3_cloud_set, DataPlaneConfig, SegmentData};
 pub use probe::BandwidthProbe;
 pub use rebalance::{add_cloud, remove_cloud, RebalanceError, RebalanceOutcome};
 pub use upload::{

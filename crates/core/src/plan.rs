@@ -105,6 +105,36 @@ pub fn normal_assignment(redundancy: &RedundancyConfig) -> Vec<Vec<u16>> {
     per_cloud
 }
 
+/// Builds the user's multi-cloud from S3-compatible HTTP endpoints:
+/// one [`S3Cloud`](unidrive_cloud::S3Cloud) per endpoint, each with a
+/// connection pool sized by
+/// [`connections_per_cloud`](DataPlaneConfig::connections_per_cloud)
+/// (the paper's "up to 5 TCP connections to each cloud", §6.1).
+///
+/// The stores are returned bare: the sync engine already applies
+/// [`DataPlaneConfig::retry`] around every Web API call, exactly as it
+/// does for simulated or in-memory members, so wrapping retries here
+/// would double them. Compose
+/// [`CloudBuilder`](unidrive_cloud::CloudBuilder) stages around the
+/// members first if a deployment wants shaping or observation.
+pub fn s3_cloud_set(
+    rt: &std::sync::Arc<dyn unidrive_sim::Runtime>,
+    endpoints: &[unidrive_cloud::S3Endpoint],
+    config: &DataPlaneConfig,
+) -> unidrive_cloud::CloudSet {
+    use std::sync::Arc;
+    use unidrive_cloud::{CloudStore, S3Cloud};
+    unidrive_cloud::CloudSet::new(
+        endpoints
+            .iter()
+            .map(|ep| {
+                Arc::new(S3Cloud::connect(rt, ep, config.connections_per_cloud))
+                    as Arc<dyn CloudStore>
+            })
+            .collect(),
+    )
+}
+
 /// A snapshot of one segment's plaintext, shared across upload workers.
 #[derive(Debug, Clone)]
 pub struct SegmentData {

@@ -330,6 +330,14 @@ pub struct OplogPlane {
     /// ciphertext size. Monotone under version-stamp comparison, for
     /// the same reason as `seen_ops`.
     adopted_base: Option<(OplogBase, usize)>,
+    /// Per-cloud (indexed by [`CloudId`]) byte length of this device's
+    /// op file known acked on that cloud; 0 means unknown, forcing the
+    /// next replication to full-replace there (self-healing).
+    op_acked: Vec<usize>,
+    /// The body the `op_acked` lengths refer to; a new body extending
+    /// this one may be delta-appended on clouds whose capabilities
+    /// allow it (see `replicate_op_file`).
+    op_last_body: Bytes,
 }
 
 impl std::fmt::Debug for OplogPlane {
@@ -381,6 +389,7 @@ impl OplogPlane {
         .with_obs(obs.clone());
         OplogPlane {
             rt,
+            op_acked: vec![0; clouds.len()],
             clouds,
             device: device.to_owned(),
             cipher: MetadataCipher::from_passphrase(passphrase),
@@ -395,6 +404,7 @@ impl OplogPlane {
             recovered: false,
             seen_ops: BTreeMap::new(),
             adopted_base: None,
+            op_last_body: Bytes::new(),
         }
     }
 
@@ -587,14 +597,35 @@ impl OplogPlane {
         }
     }
 
-    /// Uploads `body` as this device's op file on every cloud
+    /// Replicates `body` as this device's op file on every cloud
     /// (concurrently); returns how many clouds acked.
-    fn replicate_op_file(&self, body: &Bytes) -> usize {
+    ///
+    /// The replication mode is chosen per cloud by *querying*
+    /// [`CloudStore::caps`] instead of probing: a cloud advertising a
+    /// native (atomic) append plus read-after-write, whose last acked
+    /// body is a verified prefix of this one, gets only the new frames
+    /// appended; every other cloud gets the torn-tail-safe full
+    /// replace (see the note on [`CloudStore::append`] — the composed
+    /// read-modify-write default can embed a previously torn tail, so
+    /// it is never used here). A duplicate append after a
+    /// reported-failed-but-applied attempt is harmless: frames carry
+    /// op ids and folds dedup by id. Any failure zeroes that cloud's
+    /// acked length, so the next replication self-heals with a full
+    /// replace.
+    fn replicate_op_file(&mut self, body: &Bytes) -> usize {
         let path = op_file_path(&self.device);
+        let prev = self.op_last_body.clone();
         let tasks: Vec<_> = self
             .clouds
             .iter()
-            .map(|(_, cloud)| {
+            .map(|(id, cloud)| {
+                let caps = cloud.caps();
+                let extends = !prev.is_empty()
+                    && body.len() > prev.len()
+                    && self.op_acked[id.0] == prev.len()
+                    && body[..prev.len()] == prev[..];
+                let delta = (caps.native_append && caps.read_after_write && extends)
+                    .then(|| body.slice(prev.len()..));
                 let cloud = Arc::clone(cloud);
                 let rt = Arc::clone(&self.rt);
                 let retry = self.retry.clone();
@@ -602,12 +633,20 @@ impl OplogPlane {
                 let body = body.clone();
                 unidrive_sim::spawn(&self.rt, "oplog-append", move || {
                     Retry::new(&rt, &retry)
-                        .run(|| cloud.upload(&path, body.clone()))
+                        .run(|| match &delta {
+                            Some(tail) => cloud.append(&path, tail.clone()),
+                            None => cloud.upload(&path, body.clone()),
+                        })
                         .is_ok()
                 })
             })
             .collect();
-        tasks.into_iter().map(|t| t.join()).filter(|ok| *ok).count()
+        let acks: Vec<bool> = tasks.into_iter().map(|t| t.join()).collect();
+        for (i, ok) in acks.iter().enumerate() {
+            self.op_acked[i] = if *ok { body.len() } else { 0 };
+        }
+        self.op_last_body = body.clone();
+        acks.into_iter().filter(|ok| *ok).count()
     }
 
     /// Folds everything live into a fresh base and replicates it, under

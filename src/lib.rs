@@ -38,4 +38,5 @@ pub use unidrive_erasure as erasure;
 pub use unidrive_meta as meta;
 pub use unidrive_obs as obs;
 pub use unidrive_sim as sim;
+pub use unidrive_util as util;
 pub use unidrive_workload as workload;

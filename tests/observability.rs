@@ -6,7 +6,7 @@
 
 use std::sync::Arc;
 
-use unidrive::cloud::{ChaosCloud, CloudSet, CloudStore, FaultPlan, SimCloud, SimCloudConfig};
+use unidrive::cloud::{CloudBuilder, CloudSet, CloudStore, FaultPlan, SimCloud, SimCloudConfig};
 use unidrive::core::{ClientConfig, DataPlaneConfig, MemFolder, SyncFolder, UniDriveClient};
 use unidrive::erasure::RedundancyConfig;
 use unidrive::core::SyncReport;
@@ -38,15 +38,15 @@ fn run_scenario(seed: u64) -> RunResult {
                 SimCloudConfig::steady(2e6, 8e6),
             ));
             inner.install_obs(obs.clone());
-            let f = Arc::new(ChaosCloud::new(
-                inner as Arc<dyn CloudStore>,
-                sim.clone().as_runtime(),
-                &FaultPlan::new(seed * 31 + i),
-            ));
+            let rt = sim.clone().as_runtime();
+            let built = CloudBuilder::new(&rt, inner as Arc<dyn CloudStore>)
+                .chaos(&FaultPlan::new(seed * 31 + i), "")
+                .obs(&obs)
+                .build();
+            let f = built.chaos.expect("chaos stage configured");
             f.set_flat_probability(FAILURE_PROB);
-            f.install_obs(obs.clone());
-            faulty.push(Arc::clone(&f));
-            f as Arc<dyn CloudStore>
+            faulty.push(f);
+            built.store
         })
         .collect();
     let clouds = CloudSet::new(members);
