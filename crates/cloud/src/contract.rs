@@ -103,21 +103,35 @@ pub fn check_delete_object_and_dir(cloud: &dyn CloudStore) {
     assert!(listing.is_empty(), "leftovers: {listing:?}");
 }
 
-/// Absent objects and directories answer `NotFound` — never a panic,
-/// never a transport error — on download, delete, and list.
+/// Downloading an absent object answers `NotFound` — never a panic,
+/// never a transport error — under every dialect. Delete and list of
+/// absent paths follow the dialect the store *declares* via
+/// [`strict_not_found`](crate::CloudCaps::strict_not_found): the
+/// strict dialect answers `NotFound`, the idempotent S3 dialect
+/// succeeds (delete is a no-op, an absent prefix lists as empty).
+/// Either way the claim must match the behavior, so the capability is
+/// honest and both dialects are certified passing modes.
 pub fn check_not_found_edges(cloud: &dyn CloudStore) {
     cloud
         .upload("ct/nf/present", Bytes::from_static(b"x"))
         .expect("upload");
-    for result in [
-        cloud.download("ct/nf/ghost").map(|_| ()),
-        cloud.delete("ct/nf/ghost"),
-        cloud.list("ct/nf/ghost-dir").map(|_| ()),
-    ] {
-        match result {
-            Err(CloudError::NotFound { .. }) => {}
-            other => panic!("expected NotFound, got {other:?}"),
-        }
+    match cloud.download("ct/nf/ghost") {
+        Err(CloudError::NotFound { .. }) => {}
+        other => panic!("download of absent object: expected NotFound, got {other:?}"),
+    }
+    let strict = cloud.caps().strict_not_found;
+    match (strict, cloud.delete("ct/nf/ghost")) {
+        (true, Err(CloudError::NotFound { .. })) | (false, Ok(())) => {}
+        (_, other) => panic!(
+            "delete of absent object (strict_not_found={strict}): got {other:?}"
+        ),
+    }
+    match (strict, cloud.list("ct/nf/ghost-dir")) {
+        (true, Err(CloudError::NotFound { .. })) => {}
+        (false, Ok(entries)) if entries.is_empty() => {}
+        (_, other) => panic!(
+            "list of absent directory (strict_not_found={strict}): got {other:?}"
+        ),
     }
 }
 

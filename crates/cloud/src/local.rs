@@ -174,6 +174,8 @@ impl CloudStore for LocalDirCloud {
             read_after_write: true,
             max_object_bytes: None,
             supports_conditional_put: false,
+            // The filesystem reports ENOENT for absent files and dirs.
+            strict_not_found: true,
         }
     }
 }

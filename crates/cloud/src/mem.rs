@@ -120,6 +120,8 @@ impl CloudStore for MemCloud {
             read_after_write: true,
             max_object_bytes: None,
             supports_conditional_put: false,
+            // Missing paths answer NotFound on delete and list alike.
+            strict_not_found: true,
         }
     }
 

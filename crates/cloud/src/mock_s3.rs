@@ -16,12 +16,15 @@
 //! | `DELETE /{bucket}/{key}`                  | delete object/dir  |
 //! | `GET /{bucket}?list-type=2&prefix=&delimiter=%2F` | list one level |
 //!
-//! Two deliberate divergences from real S3, both in the direction of
-//! the `CloudStore` contract: `DELETE` of a missing key returns 404
-//! (real S3 returns 204), and listing a prefix that was never created
-//! returns 404 `NoSuchKey` (real S3 returns an empty listing). Both
-//! let `S3Cloud` surface the same `NotFound` edges the other backends
-//! are contract-tested against.
+//! The wire dialect follows real S3, so passing the conformance suite
+//! over this server certifies behavior a real endpoint would also
+//! show: listings carry the `xmlns` attribute on `ListBucketResult`,
+//! pages are capped at [`set_page_size`](MockS3::set_page_size) keys
+//! (default 1000, like S3) and chained with
+//! `IsTruncated`/`NextContinuationToken`, `DELETE` of a missing key
+//! answers 204, and listing a prefix that was never created answers an
+//! empty listing — the idempotent not-found dialect `S3Cloud` declares
+//! via `CloudCaps::strict_not_found = false`.
 //!
 //! Fault hooks — [`fail_next`](MockS3::fail_next) and
 //! [`throttle_next`](MockS3::throttle_next) — make the next N requests
@@ -60,6 +63,8 @@ struct Hooks {
     faults_injected: AtomicU64,
     /// Response bodies at or above this many bytes are sent chunked.
     chunk_threshold: AtomicUsize,
+    /// Maximum keys per listing page (real S3: 1000).
+    page_size: AtomicUsize,
 }
 
 /// An in-process S3-compatible server on an ephemeral loopback port.
@@ -95,6 +100,7 @@ impl MockS3 {
             requests: AtomicU64::new(0),
             faults_injected: AtomicU64::new(0),
             chunk_threshold: AtomicUsize::new(64 * 1024),
+            page_size: AtomicUsize::new(1000),
         });
         let stop = Arc::new(AtomicBool::new(false));
         let conn_threads: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
@@ -164,6 +170,15 @@ impl MockS3 {
         self.hooks.chunk_threshold.store(bytes, Ordering::SeqCst);
     }
 
+    /// Caps listing pages at `keys` entries (default 1000, mirroring
+    /// real S3): larger listings are chained with `IsTruncated` and
+    /// `NextContinuationToken`. Tests set a small value so the
+    /// client's pagination path is exercised on small directories.
+    pub fn set_page_size(&self, keys: usize) {
+        assert!(keys > 0, "page size must be positive");
+        self.hooks.page_size.store(keys, Ordering::SeqCst);
+    }
+
     /// Total requests served (including injected failures).
     pub fn requests(&self) -> u64 {
         self.hooks.requests.load(Ordering::SeqCst)
@@ -222,7 +237,7 @@ fn serve_connection(stream: TcpStream, store: &MemCloud, hooks: &Hooks, stop: &A
         hooks.requests.fetch_add(1, Ordering::SeqCst);
         let resp = match injected_fault(hooks) {
             Some(resp) => resp,
-            None => handle(&req, store),
+            None => handle(&req, store, hooks),
         };
         let threshold = hooks.chunk_threshold.load(Ordering::SeqCst);
         if send(reader.get_mut(), &resp, threshold).is_err() {
@@ -288,7 +303,7 @@ fn store_error(e: &CloudError) -> HttpResponse {
 }
 
 /// Routes one request against the backing store.
-fn handle(req: &HttpRequest, store: &MemCloud) -> HttpResponse {
+fn handle(req: &HttpRequest, store: &MemCloud, hooks: &Hooks) -> HttpResponse {
     let (raw_path, query) = match req.target.split_once('?') {
         Some((p, q)) => (p, Some(q)),
         None => (req.target.as_str(), None),
@@ -309,7 +324,7 @@ fn handle(req: &HttpRequest, store: &MemCloud) -> HttpResponse {
     match (req.method.as_str(), key, query) {
         // GET on the bucket itself is a listing (the only bucket-level
         // operation this dialect speaks).
-        ("GET", "", q) => list_objects(store, q.unwrap_or("")),
+        ("GET", "", q) => list_objects(store, q.unwrap_or(""), hooks.page_size.load(Ordering::SeqCst)),
         ("PUT", _, _) if key.ends_with('/') => {
             match store.create_dir(key.trim_end_matches('/')) {
                 Ok(()) => HttpResponse::new(200, "OK"),
@@ -326,8 +341,9 @@ fn handle(req: &HttpRequest, store: &MemCloud) -> HttpResponse {
                 .body(data.to_vec()),
             Err(e) => store_error(&e),
         },
+        // Real S3 dialect: deleting a missing key succeeds with 204.
         ("DELETE", _, _) => match store.delete(key) {
-            Ok(()) => HttpResponse::new(204, "No Content"),
+            Ok(()) | Err(CloudError::NotFound { .. }) => HttpResponse::new(204, "No Content"),
             Err(e) => store_error(&e),
         },
         _ => error_response(405, "Method Not Allowed", "MethodNotAllowed"),
@@ -339,33 +355,57 @@ fn is_list(query: &str) -> bool {
 }
 
 /// Serves `GET /{bucket}?list-type=2&prefix=...&delimiter=%2F` from
-/// the backing store's one-level listing.
-fn list_objects(store: &MemCloud, query: &str) -> HttpResponse {
+/// the backing store's one-level listing, paginated at `page_size`
+/// keys per response with an S3-style continuation chain.
+fn list_objects(store: &MemCloud, query: &str, page_size: usize) -> HttpResponse {
     if !is_list(query) {
         return error_response(400, "Bad Request", "InvalidRequest");
     }
     let mut prefix = String::new();
+    let mut token: Option<String> = None;
     for kv in query.split('&') {
         if let Some((k, v)) = kv.split_once('=') {
-            if k == "prefix" {
-                prefix = percent_decode(v);
+            match k {
+                "prefix" => prefix = percent_decode(v),
+                "continuation-token" => token = Some(percent_decode(v)),
+                _ => {}
             }
         }
     }
     let dir = prefix.trim_end_matches('/');
-    let entries = match store.list(dir) {
+    // Real S3 dialect: a prefix nothing was ever stored under is an
+    // empty listing, not an error.
+    let mut entries = match store.list(dir) {
         Ok(entries) => entries,
+        Err(CloudError::NotFound { .. }) => Vec::new(),
         Err(e) => return store_error(&e),
     };
+    // Stable lexicographic order (S3's contract) so index-based
+    // continuation tokens stay consistent across pages.
+    entries.sort_by(|a, b| a.name.cmp(&b.name));
+    // The token is opaque to clients; here it encodes the next start
+    // index into the sorted listing.
+    let start = match token {
+        None => 0,
+        Some(t) => match t.parse::<usize>() {
+            Ok(n) => n,
+            Err(_) => return error_response(400, "Bad Request", "InvalidArgument"),
+        },
+    };
+    let end = entries.len().min(start.saturating_add(page_size));
+    let page = entries.get(start..end).unwrap_or(&[]);
     let key_prefix = if dir.is_empty() {
         String::new()
     } else {
         format!("{dir}/")
     };
-    let mut xml = String::from("<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n<ListBucketResult>");
+    let mut xml = String::from(
+        "<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n\
+         <ListBucketResult xmlns=\"http://s3.amazonaws.com/doc/2006-03-01/\">",
+    );
     xml.push_str(&format!("<Prefix>{}</Prefix>", xml_escape(&prefix)));
-    xml.push_str(&format!("<KeyCount>{}</KeyCount>", entries.len()));
-    for entry in &entries {
+    xml.push_str(&format!("<KeyCount>{}</KeyCount>", page.len()));
+    for entry in page {
         if entry.is_dir {
             xml.push_str(&format!(
                 "<CommonPrefixes><Prefix>{}{}/</Prefix></CommonPrefixes>",
@@ -380,6 +420,13 @@ fn list_objects(store: &MemCloud, query: &str) -> HttpResponse {
                 entry.size
             ));
         }
+    }
+    if end < entries.len() {
+        xml.push_str(&format!(
+            "<IsTruncated>true</IsTruncated><NextContinuationToken>{end}</NextContinuationToken>"
+        ));
+    } else {
+        xml.push_str("<IsTruncated>false</IsTruncated>");
     }
     xml.push_str("</ListBucketResult>");
     HttpResponse::new(200, "OK")

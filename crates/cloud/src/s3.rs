@@ -8,7 +8,9 @@
 //! * `upload` → `PUT /{bucket}/{key}`
 //! * `download` → `GET /{bucket}/{key}`
 //! * `create_dir` → `PUT /{bucket}/{key}/` (trailing-slash marker)
-//! * `list` → `GET /{bucket}?list-type=2&prefix={dir}/&delimiter=%2F`
+//! * `list` → `GET /{bucket}?list-type=2&prefix={dir}/&delimiter=%2F`,
+//!   following `NextContinuationToken` until `IsTruncated` is false
+//!   (real S3 caps each page at 1000 keys)
 //! * `delete` → `DELETE /{bucket}/{key}`
 //!
 //! Transport is the std-only pooled [`HttpClient`](crate::http): a
@@ -17,9 +19,26 @@
 //! notifier. Status mapping keeps the retry/health stack honest:
 //! 500/503 and connection-level failures become
 //! [`CloudError::Transient`] *with operation context attached*, 404
-//! becomes `NotFound`, 400 `InvalidPath`, and 507 `QuotaExceeded` —
-//! so `Retry`, `ChaosCloud`, and the health scoreboard wrap a real
+//! becomes `NotFound`, 400 `InvalidPath`, 507 `QuotaExceeded`, and
+//! 401/403 the non-retryable [`CloudError::Unavailable`] (auth
+//! rejections need failover or operator action, not retries) — so
+//! `Retry`, `ChaosCloud`, and the health scoreboard wrap a real
 //! network path exactly as they wrap `SimCloud`.
+//!
+//! # Limitations
+//!
+//! Requests are **unsigned**: there is no SigV4 (or any) credential
+//! support, so the adapter only works against anonymous/unauthenticated
+//! S3-compatible endpoints — the in-process [`MockS3`](crate::MockS3),
+//! or a MinIO/ceph-rgw instance with a public bucket policy. A
+//! credentialed endpoint answers 401/403, which surfaces as a terminal
+//! `Unavailable` rather than a retry loop.
+//!
+//! The adapter also inherits the real S3 not-found dialect
+//! ([`CloudCaps::strict_not_found`] = `false`): deleting a missing key
+//! succeeds idempotently and listing an absent prefix yields an empty
+//! listing, because the wire protocol cannot distinguish those from
+//! their strict counterparts.
 
 use std::sync::Arc;
 
@@ -121,6 +140,15 @@ impl S3Cloud {
                 path: path.to_owned(),
                 reason: "rejected by server (400)".to_owned(),
             },
+            // Auth rejections are terminal, not transient: this adapter
+            // sends unsigned requests (see the module docs), so a
+            // credentialed endpoint will refuse every attempt — the
+            // caller must fail over, not retry.
+            401 | 403 => CloudError::Unavailable {
+                cloud: format!("{} (auth rejected: {})", self.name, resp.status),
+                op: Some(op),
+                path: Some(path.to_owned()),
+            },
             507 => CloudError::QuotaExceeded {
                 needed: 0,
                 available: 0,
@@ -183,18 +211,37 @@ impl CloudStore for S3Cloud {
         } else {
             format!("{path}/")
         };
-        let target = format!(
-            "/{}?list-type=2&prefix={}&delimiter=%2F",
-            self.bucket,
-            percent_encode_query(&prefix)
-        );
-        let req = HttpRequest::new("GET", &target).header("Host", self.client.addr());
-        let resp = self.send(&req, CloudOp::List, path)?;
-        if resp.status != 200 {
-            return Err(self.status_error(&resp, CloudOp::List, path));
+        // Real S3 caps every page at 1000 keys; follow the continuation
+        // chain so a large directory is never silently truncated (a
+        // truncated listing would make the sync engine treat the tail
+        // entries as remotely deleted).
+        let mut out = Vec::new();
+        let mut token: Option<String> = None;
+        loop {
+            let mut target = format!(
+                "/{}?list-type=2&prefix={}&delimiter=%2F",
+                self.bucket,
+                percent_encode_query(&prefix)
+            );
+            if let Some(t) = &token {
+                target.push_str("&continuation-token=");
+                target.push_str(&percent_encode_query(t));
+            }
+            let req = HttpRequest::new("GET", &target).header("Host", self.client.addr());
+            let resp = self.send(&req, CloudOp::List, path)?;
+            if resp.status != 200 {
+                return Err(self.status_error(&resp, CloudOp::List, path));
+            }
+            let xml = String::from_utf8_lossy(&resp.body);
+            let page = parse_listing(&xml, &prefix, path)?;
+            out.extend(page.entries);
+            match page.next_token {
+                Some(t) => token = Some(t),
+                None => break,
+            }
         }
-        let xml = String::from_utf8_lossy(&resp.body);
-        parse_listing(&xml, &prefix, path)
+        out.sort_by(|a, b| a.name.cmp(&b.name));
+        Ok(out)
     }
 
     fn delete(&self, path: &str) -> Result<(), CloudError> {
@@ -219,14 +266,30 @@ impl CloudStore for S3Cloud {
             // S3's single-PUT limit.
             max_object_bytes: Some(5 * 1024 * 1024 * 1024),
             supports_conditional_put: false,
+            // Real S3: delete of a missing key answers 204 and an
+            // absent prefix lists as empty — the wire cannot express
+            // the strict dialect.
+            strict_not_found: false,
         }
     }
 }
 
-/// Parses the one-level `ListBucketResult` XML into `ObjectInfo` rows
-/// relative to `prefix`, in name order.
-fn parse_listing(xml: &str, prefix: &str, dir: &str) -> Result<Vec<ObjectInfo>, CloudError> {
-    if !xml.contains("<ListBucketResult>") {
+/// One parsed page of a `ListBucketResult` response.
+#[derive(Debug)]
+struct ListingPage {
+    /// Entries on this page, relative to the requested prefix.
+    entries: Vec<ObjectInfo>,
+    /// Continuation token for the next page when the response was
+    /// truncated; `None` on the final page.
+    next_token: Option<String>,
+}
+
+/// Parses one page of `ListBucketResult` XML into `ObjectInfo` rows
+/// relative to `prefix`, plus the continuation token if truncated.
+fn parse_listing(xml: &str, prefix: &str, dir: &str) -> Result<ListingPage, CloudError> {
+    // Tolerate attributes on the root element: real S3/MinIO emit
+    // `<ListBucketResult xmlns="http://s3.amazonaws.com/doc/2006-03-01/">`.
+    if !xml.contains("<ListBucketResult") {
         return Err(CloudError::transient_op(
             "malformed listing response",
             CloudOp::List,
@@ -262,8 +325,27 @@ fn parse_listing(xml: &str, prefix: &str, dir: &str) -> Result<Vec<ObjectInfo>, 
             is_dir: true,
         });
     }
-    out.sort_by(|a, b| a.name.cmp(&b.name));
-    Ok(out)
+    let truncated = tag_text(xml, "IsTruncated").is_some_and(|t| t == "true");
+    let next_token = if truncated {
+        match tag_text(xml, "NextContinuationToken") {
+            Some(t) if !t.is_empty() => Some(t),
+            // Truncated with no token would loop or drop entries —
+            // treat as a malformed (retryable) response.
+            _ => {
+                return Err(CloudError::transient_op(
+                    "truncated listing without continuation token",
+                    CloudOp::List,
+                    dir,
+                ))
+            }
+        }
+    } else {
+        None
+    };
+    Ok(ListingPage {
+        entries: out,
+        next_token,
+    })
 }
 
 /// Yields the inner text of each `open`..`close` block in order.
@@ -290,6 +372,8 @@ fn tag_text(block: &str, tag: &str) -> Option<String> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::MockS3;
+    use unidrive_sim::RealRuntime;
 
     #[test]
     fn listing_parser_extracts_files_and_dirs() {
@@ -299,7 +383,10 @@ mod tests {
                    <Contents><Key>d/a &amp; b</Key><Size>0</Size></Contents>\
                    <CommonPrefixes><Prefix>d/sub/</Prefix></CommonPrefixes>\
                    </ListBucketResult>";
-        let rows = parse_listing(xml, "d/", "d").unwrap();
+        let page = parse_listing(xml, "d/", "d").unwrap();
+        assert!(page.next_token.is_none());
+        let mut rows = page.entries;
+        rows.sort_by(|a, b| a.name.cmp(&b.name));
         let names: Vec<_> = rows.iter().map(|r| r.name.as_str()).collect();
         assert_eq!(names, ["a & b", "b.txt", "sub"]);
         assert!(rows[2].is_dir);
@@ -307,7 +394,81 @@ mod tests {
     }
 
     #[test]
+    fn listing_parser_tolerates_root_element_attributes() {
+        // Real S3 and MinIO stamp the 2006-03-01 namespace on the root.
+        let xml = "<?xml version=\"1.0\"?>\n\
+                   <ListBucketResult xmlns=\"http://s3.amazonaws.com/doc/2006-03-01/\">\
+                   <Contents><Key>f</Key><Size>1</Size></Contents>\
+                   <IsTruncated>false</IsTruncated>\
+                   </ListBucketResult>";
+        let page = parse_listing(xml, "", "").unwrap();
+        assert_eq!(page.entries.len(), 1);
+        assert_eq!(page.entries[0].name, "f");
+    }
+
+    #[test]
+    fn listing_parser_surfaces_continuation_token() {
+        let xml = "<ListBucketResult xmlns=\"x\">\
+                   <Contents><Key>a</Key><Size>1</Size></Contents>\
+                   <IsTruncated>true</IsTruncated>\
+                   <NextContinuationToken>tok-42</NextContinuationToken>\
+                   </ListBucketResult>";
+        let page = parse_listing(xml, "", "").unwrap();
+        assert_eq!(page.next_token.as_deref(), Some("tok-42"));
+        // Truncated without a token must not silently end the chain.
+        let bad = "<ListBucketResult><IsTruncated>true</IsTruncated></ListBucketResult>";
+        assert!(parse_listing(bad, "", "").is_err());
+    }
+
+    #[test]
     fn listing_parser_rejects_garbage() {
         assert!(parse_listing("<html>nope</html>", "", "").is_err());
+    }
+
+    #[test]
+    fn auth_rejections_map_to_terminal_unavailable() {
+        let rt: Arc<dyn Runtime> = Arc::new(RealRuntime::new());
+        let endpoint = S3Endpoint::new("s3", "127.0.0.1:1", "b");
+        let cloud = S3Cloud::connect(&rt, &endpoint, 1);
+        for status in [401u16, 403] {
+            let resp = HttpResponse::new(status, "Forbidden");
+            let err = cloud.status_error(&resp, CloudOp::Upload, "p");
+            assert!(
+                matches!(err, CloudError::Unavailable { .. }),
+                "{status} mapped to {err:?}"
+            );
+            assert!(!err.is_retryable(), "{status} must not retry");
+            assert_eq!(err.op(), Some(CloudOp::Upload));
+        }
+        // 5xx stays retryable.
+        let resp = HttpResponse::new(503, "Service Unavailable");
+        assert!(cloud.status_error(&resp, CloudOp::Upload, "p").is_retryable());
+    }
+
+    /// End-to-end pagination: a directory larger than the server page
+    /// size lists completely, via multiple continuation-chained
+    /// requests.
+    #[test]
+    fn large_listing_follows_continuation_tokens() {
+        let server = MockS3::start().expect("bind mock server");
+        server.set_page_size(3);
+        let rt: Arc<dyn Runtime> = Arc::new(RealRuntime::new());
+        let endpoint = S3Endpoint::new("s3", server.addr(), "b");
+        let cloud = S3Cloud::connect(&rt, &endpoint, 2);
+        for i in 0..10 {
+            cloud
+                .upload(&format!("dir/f{i:02}"), Bytes::from(vec![0u8; i]))
+                .expect("upload");
+        }
+        let before = server.requests();
+        let rows = cloud.list("dir").expect("list");
+        let names: Vec<_> = rows.iter().map(|r| r.name.as_str()).collect();
+        let want: Vec<String> = (0..10).map(|i| format!("f{i:02}")).collect();
+        assert_eq!(names, want.iter().map(String::as_str).collect::<Vec<_>>());
+        assert_eq!(
+            server.requests() - before,
+            4,
+            "10 entries at page size 3 must take 4 list requests"
+        );
     }
 }

@@ -470,6 +470,8 @@ impl CloudStore for SimCloud {
             read_after_write: true,
             max_object_bytes: None,
             supports_conditional_put: false,
+            // The simulated namespace mirrors MemCloud's strict edges.
+            strict_not_found: true,
         }
     }
 }

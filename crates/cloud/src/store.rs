@@ -181,19 +181,28 @@ pub struct CloudCaps {
     /// e.g. S3 `If-Match`. None of the paper's five ops require it;
     /// reported so future metadata planes can pick commit strategies.
     pub supports_conditional_put: bool,
+    /// Deleting a missing object and listing a never-created directory
+    /// report [`NotFound`](crate::CloudError::NotFound). Stores with
+    /// idempotent S3-style semantics (delete of an absent key succeeds,
+    /// an absent prefix lists as empty) report `false`, and callers
+    /// must not use those two ops as existence probes. Download of a
+    /// missing object is `NotFound` under either dialect.
+    pub strict_not_found: bool,
 }
 
 impl Default for CloudCaps {
     /// The conservative profile of an unknown consumer cloud: no
     /// native append, no conditional put, no documented size limit,
-    /// but read-after-write (which [`CloudStore`] *requires* of every
-    /// implementation).
+    /// no strict not-found edges (the S3-style idempotent dialect is
+    /// the weaker promise), but read-after-write (which [`CloudStore`]
+    /// *requires* of every implementation).
     fn default() -> CloudCaps {
         CloudCaps {
             native_append: false,
             read_after_write: true,
             max_object_bytes: None,
             supports_conditional_put: false,
+            strict_not_found: false,
         }
     }
 }

@@ -60,6 +60,9 @@ mod s3 {
 
     cloud_contract_tests!(|check: fn(&dyn CloudStore)| {
         let server = MockS3::start().expect("bind mock server");
+        // A one-key listing page forces every multi-entry directory in
+        // the suite through the IsTruncated/NextContinuationToken chain.
+        server.set_page_size(1);
         let rt: Arc<dyn Runtime> = Arc::new(RealRuntime::new());
         let endpoint = S3Endpoint::new("s3", server.addr(), "contract-bucket");
         let cloud = S3Cloud::connect(&rt, &endpoint, 2);

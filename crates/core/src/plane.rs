@@ -608,10 +608,13 @@ impl OplogPlane {
     /// replace (see the note on [`CloudStore::append`] — the composed
     /// read-modify-write default can embed a previously torn tail, so
     /// it is never used here). A duplicate append after a
-    /// reported-failed-but-applied attempt is harmless: frames carry
-    /// op ids and folds dedup by id. Any failure zeroes that cloud's
-    /// acked length, so the next replication self-heals with a full
-    /// replace.
+    /// reported-failed-but-applied attempt is harmless for *readers*
+    /// (frames carry op ids and folds dedup by id), but it leaves the
+    /// remote object longer than the body we wrote — so an appended ack
+    /// is only recorded as the verified acked length when the retry
+    /// loop reports a single attempt; a retried append (and any
+    /// failure) zeroes that cloud's acked length, forcing the next
+    /// replication to self-heal with a full replace.
     fn replicate_op_file(&mut self, body: &Bytes) -> usize {
         let path = op_file_path(&self.device);
         let prev = self.op_last_body.clone();
@@ -632,21 +635,31 @@ impl OplogPlane {
                 let path = path.clone();
                 let body = body.clone();
                 unidrive_sim::spawn(&self.rt, "oplog-append", move || {
-                    Retry::new(&rt, &retry)
-                        .run(|| match &delta {
-                            Some(tail) => cloud.append(&path, tail.clone()),
-                            None => cloud.upload(&path, body.clone()),
+                    let mut attempts = 0u32;
+                    let ok = Retry::new(&rt, &retry)
+                        .run(|| {
+                            attempts += 1;
+                            match &delta {
+                                Some(tail) => cloud.append(&path, tail.clone()),
+                                None => cloud.upload(&path, body.clone()),
+                            }
                         })
-                        .is_ok()
+                        .is_ok();
+                    // An append that needed more than one attempt may
+                    // have been applied by an earlier failed-but-applied
+                    // try, leaving duplicate tail frames remotely: the
+                    // ack counts, but the remote length is unknown.
+                    let length_verified = delta.is_none() || attempts == 1;
+                    (ok, ok && length_verified)
                 })
             })
             .collect();
-        let acks: Vec<bool> = tasks.into_iter().map(|t| t.join()).collect();
-        for (i, ok) in acks.iter().enumerate() {
-            self.op_acked[i] = if *ok { body.len() } else { 0 };
+        let acks: Vec<(bool, bool)> = tasks.into_iter().map(|t| t.join()).collect();
+        for (i, (_, verified)) in acks.iter().enumerate() {
+            self.op_acked[i] = if *verified { body.len() } else { 0 };
         }
         self.op_last_body = body.clone();
-        acks.into_iter().filter(|ok| *ok).count()
+        acks.into_iter().filter(|(ok, _)| *ok).count()
     }
 
     /// Folds everything live into a fresh base and replicates it, under
@@ -1251,6 +1264,124 @@ mod tests {
             })
             .unwrap_err();
         assert!(matches!(err, PlaneError::QuorumUnreachable { reachable: 2, quorum: 3 }));
+    }
+
+    /// Applies appends to `inner` but reports the first `fail` of them
+    /// as transient failures — the applied-but-reported-failed shape a
+    /// real network append can take.
+    struct AppliedButFailedAppend {
+        inner: Arc<MemCloud>,
+        fail: std::sync::atomic::AtomicU32,
+    }
+
+    impl CloudStore for AppliedButFailedAppend {
+        fn name(&self) -> &str {
+            self.inner.name()
+        }
+        fn upload(&self, path: &str, data: Bytes) -> Result<(), unidrive_cloud::CloudError> {
+            self.inner.upload(path, data)
+        }
+        fn download(&self, path: &str) -> Result<Bytes, unidrive_cloud::CloudError> {
+            self.inner.download(path)
+        }
+        fn create_dir(&self, path: &str) -> Result<(), unidrive_cloud::CloudError> {
+            self.inner.create_dir(path)
+        }
+        fn list(
+            &self,
+            path: &str,
+        ) -> Result<Vec<unidrive_cloud::ObjectInfo>, unidrive_cloud::CloudError> {
+            self.inner.list(path)
+        }
+        fn delete(&self, path: &str) -> Result<(), unidrive_cloud::CloudError> {
+            self.inner.delete(path)
+        }
+        fn append(&self, path: &str, data: Bytes) -> Result<(), unidrive_cloud::CloudError> {
+            self.inner.append(path, data)?;
+            if self
+                .fail
+                .fetch_update(
+                    std::sync::atomic::Ordering::SeqCst,
+                    std::sync::atomic::Ordering::SeqCst,
+                    |v| v.checked_sub(1),
+                )
+                .is_ok()
+            {
+                return Err(CloudError::transient("applied but reported failed"));
+            }
+            Ok(())
+        }
+        fn caps(&self) -> unidrive_cloud::CloudCaps {
+            self.inner.caps()
+        }
+    }
+
+    /// A native append that was applied but reported failed gets
+    /// re-appended by the retry loop, duplicating tail frames remotely.
+    /// The acked length must not be trusted after such a retry: the
+    /// next replication full-replaces, restoring the invariant that the
+    /// verified acked prefix equals the actual remote bytes.
+    #[test]
+    fn retried_append_forces_full_replace_self_heal() {
+        let inner0 = Arc::new(MemCloud::new("c0"));
+        let flaky = Arc::new(AppliedButFailedAppend {
+            inner: Arc::clone(&inner0),
+            fail: std::sync::atomic::AtomicU32::new(0),
+        });
+        let mut members: Vec<Arc<dyn CloudStore>> =
+            vec![Arc::clone(&flaky) as Arc<dyn CloudStore>];
+        members.extend((1..3).map(|i| Arc::new(MemCloud::new(format!("c{i}"))) as Arc<dyn CloudStore>));
+        let retry = RetryPolicy {
+            max_attempts: 3,
+            initial_backoff: std::time::Duration::from_millis(1),
+            max_backoff: std::time::Duration::from_millis(1),
+        };
+        let mut w = OplogPlane::new(
+            Arc::new(RealRuntime::new()),
+            CloudSet::new(members),
+            "dev-a",
+            "test-passphrase",
+            retry,
+            LockConfig::default(),
+            SimRng::seed_from_u64(1),
+            Obs::noop(),
+            0.25,
+            10 * 1024,
+        );
+        // First commit full-replaces (no previous body); the second
+        // extends, and c0's first append applies yet reports failure,
+        // so the retry duplicates the tail.
+        let img1 = commit_file(&mut w, &SyncFolderImage::new(), "dev-a", "f1.txt", 1);
+        flaky.fail.store(1, std::sync::atomic::Ordering::SeqCst);
+        let img2 = commit_file(&mut w, &img1, "dev-a", "f2.txt", 2);
+        let op_file = op_file_path("dev-a");
+        assert!(
+            inner0.download(&op_file).expect("op file").len() > w.op_last_body.len(),
+            "test premise: the retried append duplicated tail frames"
+        );
+        assert_eq!(w.op_acked[0], 0, "retried append must not be trusted as acked length");
+        // The next replication self-heals c0 with a full replace.
+        let _ = commit_file(&mut w, &img2, "dev-a", "f3.txt", 3);
+        assert_eq!(
+            inner0.download(&op_file).expect("op file"),
+            w.op_last_body,
+            "remote op file must equal the verified body after self-heal"
+        );
+        // Nothing was lost along the way: a fresh reader folding only
+        // c0's (healed) op file sees every commit.
+        let mut reader = oplog_plane(
+            CloudSet::new(vec![Arc::clone(&inner0) as Arc<dyn CloudStore>]),
+            "dev-r",
+            10 * 1024,
+            9,
+        );
+        let merged = reader
+            .poll(&SyncFolderImage::new(), None)
+            .expect("poll")
+            .expect("visible");
+        for f in ["f1.txt", "f2.txt", "f3.txt"] {
+            assert!(merged.file(f).is_some(), "{f} lost across the self-heal");
+        }
     }
 
     /// When compaction keeps failing past the escalation cap, the plane
